@@ -1,0 +1,103 @@
+"""Figure 11 — bulk prefix-sums: CPU vs bulk row-wise vs bulk column-wise.
+
+Paper setup: ``n ∈ {32, 1K, 32K}`` floats, ``p = 64 … 8M`` on a GTX Titan;
+Figure 11(1) plots computing time, Figure 11(2) the GPU-over-CPU speedup
+(column-wise >150× for ``n = 1K, p ≥ 8K``).
+
+Scaled setup here (see EXPERIMENTS.md): ``n ∈ {32, 1024}``, ``p`` up to a
+few thousand per benchmark case; the full sweep with paper-style tables is
+``python -m repro.harness fig11``.  The benchmark cases below measure each
+curve's points; the ``speedup`` benches assert the figure's qualitative
+claims (who wins) while measuring the winning configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.baselines import SequentialBaseline
+from repro.bulk import BulkExecutor
+from repro.harness.workloads import prefix_sum_inputs
+
+from conftest import run_pedantic
+
+# (n, p) grid: small/large arrays × small/large batch.
+GRID = [(32, 256), (32, 4096), (1024, 256), (1024, 4096)]
+CPU_GRID = [(32, 256), (1024, 64)]  # the interpreter loop is O(p·n) slow
+
+
+@pytest.mark.parametrize("n,p", GRID, ids=lambda v: str(v))
+def bench_gpu_column_wise(benchmark, n, p):
+    """Fig 11(1), 'GPU column-wise' curve (the paper's optimal arrangement)."""
+    program = build_prefix_sums(n)
+    inputs = prefix_sum_inputs(n, p)
+    ex = BulkExecutor(program, p, "column")
+    out = run_pedantic(benchmark, lambda: ex.run(inputs).outputs)
+    np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+
+@pytest.mark.parametrize("n,p", GRID, ids=lambda v: str(v))
+def bench_gpu_row_wise(benchmark, n, p):
+    """Fig 11(1), 'GPU row-wise' curve (non-coalesced arrangement)."""
+    program = build_prefix_sums(n)
+    inputs = prefix_sum_inputs(n, p)
+    ex = BulkExecutor(program, p, "row")
+    out = run_pedantic(benchmark, lambda: ex.run(inputs).outputs)
+    np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+
+@pytest.mark.parametrize("n,p", CPU_GRID, ids=lambda v: str(v))
+def bench_cpu_in_turn(benchmark, n, p):
+    """Fig 11(1), 'CPU' curve: the same program run per input, in turn."""
+    program = build_prefix_sums(n)
+    inputs = prefix_sum_inputs(n, p)
+    base = SequentialBaseline(program)
+    out = run_pedantic(benchmark, lambda: base.run(inputs))
+    np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+
+@pytest.mark.parametrize("n", [32, 1024])
+def bench_fig11_speedup_column_over_cpu(benchmark, n):
+    """Fig 11(2): the column-wise bulk run must beat the per-input CPU loop
+    by a wide factor at scale (paper: >150×; our substrate: >10×)."""
+    p = 1024
+    program = build_prefix_sums(n)
+    inputs = prefix_sum_inputs(n, p)
+    ex = BulkExecutor(program, p, "column")
+    base = SequentialBaseline(program)
+
+    import time
+
+    t0 = time.perf_counter()
+    base.run(inputs)
+    cpu_time = time.perf_counter() - t0
+
+    run_pedantic(benchmark, lambda: ex.run(inputs))
+    gpu_time = benchmark.stats.stats.min
+    speedup = cpu_time / gpu_time
+    benchmark.extra_info["speedup_over_cpu"] = round(speedup, 1)
+    assert speedup > 10, f"column-wise only {speedup:.1f}x over CPU"
+
+
+def bench_fig11_column_not_slower_than_row(benchmark):
+    """Fig 11 ordering: column-wise <= row-wise wall clock at scale."""
+    n, p = 1024, 4096
+    program = build_prefix_sums(n)
+    inputs = prefix_sum_inputs(n, p)
+    col = BulkExecutor(program, p, "column")
+    row = BulkExecutor(program, p, "row")
+
+    import time
+
+    t0 = time.perf_counter()
+    row.run(inputs)
+    row_time = time.perf_counter() - t0
+
+    run_pedantic(benchmark, lambda: col.run(inputs))
+    col_time = benchmark.stats.stats.min
+    benchmark.extra_info["row_over_column"] = round(row_time / col_time, 2)
+    assert col_time <= row_time * 1.15, (
+        f"column-wise ({col_time:.4f}s) slower than row-wise ({row_time:.4f}s)"
+    )

@@ -1,0 +1,124 @@
+"""Analytical artefacts: Lemma 1, Theorem 2, Theorem 3, Corollary 5.
+
+These benches time the *simulator* (so the cost plane itself is profiled)
+and assert the closed-form agreement the paper proves: simulated time units
+equal the Lemma 1 / Corollary 5 formulas exactly, and no configuration
+beats the Theorem 3 bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.polygon import build_opt
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.algorithms.registry import all_specs
+from repro.bulk import simulate_bulk
+from repro.machine import MachineParams
+from repro.machine.cost import (
+    column_wise_time,
+    lemma1_column_wise,
+    lemma1_row_wise,
+    lower_bound,
+    opt_trace_length,
+    row_wise_time,
+)
+
+from conftest import run_pedantic
+
+PARAMS = MachineParams(p=256, w=32, l=100)
+
+
+@pytest.mark.parametrize("arrangement", ["row", "column"])
+def bench_lemma1_prefix_sums(benchmark, arrangement):
+    """Lemma 1: simulated bulk prefix-sums time == the exact formula."""
+    n = 256
+    program = build_prefix_sums(n)
+    rep = run_pedantic(
+        benchmark, lambda: simulate_bulk(program, PARAMS, arrangement)
+    )
+    want = (
+        lemma1_row_wise(PARAMS, n)
+        if arrangement == "row"
+        else lemma1_column_wise(PARAMS, n)
+    )
+    assert rep.total_time == want
+    benchmark.extra_info["time_units"] = rep.total_time
+
+
+@pytest.mark.parametrize("arrangement", ["row", "column"])
+def bench_corollary5_opt(benchmark, arrangement):
+    """Corollary 5: simulated bulk OPT time == the exact formula."""
+    n = 12
+    program = build_opt(n)
+    rep = run_pedantic(
+        benchmark, lambda: simulate_bulk(program, PARAMS, arrangement)
+    )
+    t = opt_trace_length(n)
+    want = (
+        row_wise_time(PARAMS, t)
+        if arrangement == "row"
+        else column_wise_time(PARAMS, t)
+    )
+    assert rep.total_time == want
+    benchmark.extra_info["time_units"] = rep.total_time
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+def bench_theorem2_all_algorithms(benchmark, spec):
+    """Theorem 2 over the whole registry: column-wise simulated time within
+    the closed-form bound, and below the row-wise time."""
+    program = spec.build(spec.sizes[-1])
+
+    def both():
+        return (
+            simulate_bulk(program, PARAMS, "row").total_time,
+            simulate_bulk(program, PARAMS, "column").total_time,
+        )
+
+    row, col = run_pedantic(benchmark, both)
+    t = program.trace_length
+    assert col <= column_wise_time(PARAMS, t)
+    assert row <= row_wise_time(PARAMS, t)
+    assert col <= row
+    benchmark.extra_info["row_time_units"] = row
+    benchmark.extra_info["col_time_units"] = col
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+def bench_theorem3_optimality(benchmark, spec):
+    """Theorem 3: measured >= bound, column-wise within 2x (time optimal)."""
+    program = spec.build(spec.sizes[-1])
+    rep = run_pedantic(
+        benchmark, lambda: simulate_bulk(program, PARAMS, "column")
+    )
+    bound = lower_bound(PARAMS, program.trace_length)
+    assert rep.total_time >= bound
+    assert rep.total_time <= 2 * bound
+    benchmark.extra_info["optimality_ratio"] = round(rep.optimality_ratio, 3)
+
+
+def bench_event_machine_crosscheck(benchmark):
+    """Two independent implementations of Section II: the cycle-level event
+    machine must agree with the closed-form batch accounting to the cycle
+    on a real bulk trace (and this measures the event machine's speed)."""
+    from repro.bulk import make_arrangement
+    from repro.machine.events import crosscheck_against_batch
+
+    params = MachineParams(p=64, w=8, l=20)
+    program = build_opt(8)
+    arr = make_arrangement("column", program.memory_words, 64)
+    trace = arr.trace_addresses(program.address_trace())
+    machine = __import__("repro.machine", fromlist=["UMM"]).UMM(params)
+    log = run_pedantic(benchmark, lambda: crosscheck_against_batch(machine, trace))
+    benchmark.extra_info["total_cycles"] = log.total_cycles
+    benchmark.extra_info["utilization"] = round(log.utilization, 3)
+
+
+def bench_simulator_throughput_large_trace(benchmark):
+    """Profiling the cost plane itself: a ~10⁴-step OPT trace at p = 1024
+    should be priced in well under a second (vectorised accounting)."""
+    params = MachineParams(p=1024, w=32, l=100)
+    program = build_opt(16)  # t = 1345 steps
+    rep = run_pedantic(benchmark, lambda: simulate_bulk(program, params, "column"))
+    assert rep.trace_length == opt_trace_length(16)

@@ -1,0 +1,34 @@
+"""Engine throughput across the whole algorithm registry.
+
+One benchmark per registered algorithm at a fixed mid-size configuration —
+the performance-regression net for the bulk engine: a change to the engine,
+register allocator or an arrangement shows up as a shift in these numbers.
+Each case also re-verifies its outputs, so a *correctness* regression fails
+the bench outright.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import all_specs
+from repro.bulk import BulkExecutor
+
+from conftest import run_pedantic
+
+P = 512
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+def bench_engine_throughput(benchmark, spec):
+    n = spec.sizes[-1]
+    program = spec.build(n)
+    rng = np.random.default_rng(1234)
+    inputs = spec.make_inputs(rng, n, P)
+    executor = BulkExecutor(program, P, "column")
+    out = run_pedantic(benchmark, lambda: executor.run(inputs).outputs)
+    spec.check_outputs(inputs, out, n)
+    benchmark.extra_info["trace_length"] = program.trace_length
+    benchmark.extra_info["instructions"] = program.num_instructions
+    benchmark.extra_info["inputs_per_run"] = P

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures and light-weight run settings.
+
+Every benchmark uses ``benchmark.pedantic`` with few rounds: the quantities
+of interest are ratios between implementations (who wins, by what factor),
+which are stable at 3 rounds, and the full sweeps live in
+``python -m repro.harness`` where the row counts match the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20140519)
+
+
+def run_pedantic(benchmark, fn, *, rounds: int = 3):
+    """One warmup + ``rounds`` timed rounds of ``fn``."""
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inspect and optimise an oblivious program before "shipping" it.
+
+Obliviousness means a program's entire memory behaviour is known statically
+— so the tooling a GPU programmer usually gets from a profiler is available
+*before ever running*.  This example takes Algorithm OPT, profiles where
+its trace goes, checks its coalescing under both arrangements, and then
+runs the IR optimiser, showing how store-to-load forwarding shortens the
+priced trace (and hence the UMM time) without changing the results.
+
+Run: ``python examples/analyze_and_optimize.py``
+"""
+
+import numpy as np
+
+from repro import MachineParams, bulk_run, simulate_bulk
+from repro.algorithms.polygon import build_opt, pack_weights, unpack_result
+from repro.algorithms.registry import make_chord_weights
+from repro.analysis import Region, analyze_coalescing, profile_regions
+from repro.trace import optimize
+
+N = 12
+P = 512
+MACHINE = MachineParams(p=P, w=32, l=400)
+
+
+def main() -> None:
+    program = build_opt(N)
+    print(f"program: {program}\n")
+
+    # 1. Where does the trace go? (weights region vs DP table)
+    profile = profile_regions(
+        program,
+        [Region("weights-c", 0, N * N), Region("table-M", N * N, 2 * N * N)],
+    )
+    print(profile.render())
+
+    # 2. Coalescing under both arrangements — computed statically.
+    for arrangement in ("column", "row"):
+        report = analyze_coalescing(program, MACHINE, arrangement)
+        print("\n" + report.summary())
+
+    # 3. Optimise.  Post-hoc (on the allocated program) register reuse hides
+    #    most forwarding opportunities; building with opt_level=2 runs the
+    #    passes on SSA, where the DP's store->load pairs are all visible —
+    #    trading registers for memory traffic, the classic GPU tuning knob.
+    o1 = optimize(program, level=1)
+    o2 = build_opt(N, opt_level=2)
+    print("\noptimisation:")
+    print(f"  O0:        {program.num_instructions:5d} instrs, "
+          f"t = {program.trace_length:4d}, {program.num_registers:2d} registers")
+    print(f"  O1 post:   {o1.num_instructions:5d} instrs, "
+          f"t = {o1.trace_length:4d} (trace preserved)")
+    print(f"  O2 at SSA: {o2.num_instructions:5d} instrs, "
+          f"t = {o2.trace_length:4d}, {o2.num_registers:2d} registers "
+          f"({program.trace_length - o2.trace_length} accesses forwarded away)")
+
+    # 4. Same answers, cheaper UMM bill.
+    rng = np.random.default_rng(5)
+    weights = make_chord_weights(rng, N, P)
+    inputs = pack_weights(weights)
+    base_vals = unpack_result(bulk_run(program, inputs), N)
+    for name, prog in (("O1", o1), ("O2", o2)):
+        vals = unpack_result(bulk_run(prog, inputs), N)
+        assert np.allclose(vals, base_vals), name
+    print("\nall optimisation levels agree on every polygon's optimum")
+
+    t0 = simulate_bulk(program, MACHINE, "column").total_time
+    t2 = simulate_bulk(o2, MACHINE, "column").total_time
+    print(f"column-wise UMM time: {t0:,} -> {t2:,} time units "
+          f"({t0 / t2:.2f}x from store-to-load forwarding)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bring your own algorithm: the conversion system in practice.
+
+The paper's conclusion proposes "a conversion system that automatically
+converts a sequential program … for the bulk execution".  This example
+writes a *new* oblivious algorithm as ordinary Python — one pass of
+smoothing followed by a running maximum — converts it, verifies the
+conversion, checks obliviousness empirically, and bulk-executes it.
+
+It also shows what happens when an algorithm is NOT oblivious: the
+converter rejects it with a diagnostic instead of producing a wrong
+program.
+
+Run: ``python examples/custom_algorithm.py``
+"""
+
+import numpy as np
+
+from repro import MachineParams, bulk_run, simulate_bulk
+from repro.bulk.convert import convert_and_check, maximum, select
+from repro.errors import ObliviousnessError
+from repro.trace import TracingMemory, check_python_oblivious
+
+N = 32
+P = 512
+
+
+def smooth_then_running_max(mem) -> None:
+    """Smooth with a 3-point average (in place), then running max.
+
+    Written once, runs three ways: on plain lists (reference), through the
+    converter (tracing), and in bulk (vectorised).  The data-dependent max
+    uses the oblivious `maximum` helper.
+    """
+    n = len(mem) // 2  # second half is the output region
+    for i in range(1, n - 1):
+        mem[n + i] = (mem[i - 1] + mem[i] + mem[i + 1]) / 3.0
+    mem[n] = mem[0]
+    mem[n + n - 1] = mem[n - 1]
+    run = mem[n]
+    for i in range(1, n):
+        run = maximum(run, mem[n + i])
+        mem[n + i] = run
+
+
+def not_oblivious(mem) -> None:
+    """A data-dependent branch: the converter must refuse this."""
+    if mem[0] > 0.0:
+        mem[1] = 1.0
+    else:
+        mem[2] = 1.0
+
+
+def main() -> None:
+    # 1. Convert + self-check: the program must agree with the plain-Python
+    #    run on random inputs.
+    program = convert_and_check(
+        smooth_then_running_max,
+        memory_words=2 * N,
+        input_factory=lambda rng: rng.uniform(-5, 5, N),
+    )
+    print(f"converted: {program}")
+
+    # 2. Empirical obliviousness witness for the Python source.
+    report = check_python_oblivious(
+        smooth_then_running_max,
+        lambda rng: rng.uniform(-5, 5, 2 * N),
+        trials=8,
+    )
+    print(f"oblivious: identical trace of t = {report.trace_length} accesses "
+          f"across {report.trials} random inputs")
+
+    # 3. Bulk-execute for P inputs.
+    rng = np.random.default_rng(3)
+    inputs = rng.uniform(-5.0, 5.0, (P, N))
+    outputs = bulk_run(program, inputs)[:, N:]
+
+    # verify against NumPy
+    smoothed = inputs.copy()
+    smoothed[:, 1:-1] = (inputs[:, :-2] + inputs[:, 1:-1] + inputs[:, 2:]) / 3.0
+    expected = np.maximum.accumulate(smoothed, axis=1)
+    assert np.allclose(outputs, expected)
+    print(f"bulk run of {P} inputs verified against NumPy")
+
+    # 4. Cost on the UMM.
+    machine = MachineParams(p=P, w=32, l=400)
+    col = simulate_bulk(program, machine, "column")
+    print(f"column-wise UMM cost: {col.total_time:,} time units "
+          f"({col.optimality_ratio:.2f}x the Theorem-3 bound)")
+
+    # 5. The converter refuses non-oblivious code.
+    try:
+        convert_and_check(
+            not_oblivious, memory_words=4,
+            input_factory=lambda rng: rng.uniform(-1, 1, 4),
+        )
+    except ObliviousnessError as exc:
+        print(f"\nnon-oblivious algorithm correctly rejected:\n  {exc}")
+    else:
+        raise AssertionError("the converter accepted a data-dependent branch")
+
+
+if __name__ == "__main__":
+    main()

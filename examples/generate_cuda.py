@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The conversion system end to end: Python → IR → C → (CUDA C).
+
+The paper's conclusion proposes automatically converting a sequential
+program into a CUDA C program for bulk execution.  This example does the
+whole pipeline for a user-written algorithm:
+
+1. trace the Python source into the oblivious IR,
+2. emit portable C99, compile it with the system compiler, and
+   cross-check the native bulk run against the Python engine,
+3. emit the CUDA kernels (column-wise coalesced + row-wise) and the host
+   launch code — ready for `nvcc` on a machine that has a GPU.
+
+Run: ``python examples/generate_cuda.py``
+"""
+
+import numpy as np
+
+from repro.bulk import bulk_run, convert_and_check
+from repro.codegen import (
+    compile_program,
+    emit_c,
+    emit_cuda,
+    have_compiler,
+    launch_snippet,
+)
+
+N = 16
+P = 1024
+
+
+def ema_filter(mem):
+    """Exponential moving average, alpha = 1/4 — a tiny DSP kernel.
+
+    y[i] = y[i-1] + (x[i] - y[i-1]) / 4, second half of memory is output.
+    """
+    n = len(mem) // 2
+    y = mem[0]
+    mem[n] = y
+    for i in range(1, n):
+        y = y + (mem[i] - y) / 4.0
+        mem[n + i] = y
+
+
+def reference(inputs: np.ndarray) -> np.ndarray:
+    out = np.empty_like(inputs)
+    out[:, 0] = inputs[:, 0]
+    for i in range(1, inputs.shape[1]):
+        out[:, i] = out[:, i - 1] + (inputs[:, i] - out[:, i - 1]) / 4.0
+    return out
+
+
+def main() -> None:
+    # 1. Python -> oblivious IR (with the converter's semantic self-check).
+    program = convert_and_check(
+        ema_filter,
+        memory_words=2 * N,
+        input_factory=lambda rng: rng.uniform(-5, 5, N),
+    )
+    print(f"converted: {program}")
+
+    # 2. IR -> C99, compiled and cross-checked.
+    rng = np.random.default_rng(11)
+    inputs = rng.uniform(-5.0, 5.0, (P, N))
+    engine_out = bulk_run(program, inputs)[:, N:]
+    assert np.allclose(engine_out, reference(inputs))
+    if have_compiler():
+        compiled = compile_program(program)
+        native_out = compiled.run_bulk(inputs, "column")[:, N:]
+        assert np.allclose(native_out, engine_out, rtol=1e-12)
+        print(f"native C bulk run matches the Python engine on {P} inputs")
+    else:
+        print("no C compiler found - skipping the native cross-check")
+    c_src = emit_c(program)
+    print(f"emitted C: {len(c_src.splitlines())} lines "
+          f"({c_src.count('void ')} functions)")
+
+    # 3. IR -> CUDA C.
+    kernel = emit_cuda(program, "column")
+    print("\n--- generated CUDA kernel (column-wise, coalesced) "
+          f"[{len(kernel.splitlines())} lines; first 12 shown] ---")
+    print("\n".join(kernel.splitlines()[:12]))
+    print("    ...")
+    print("\n--- host launch code (the paper's 64-thread blocks) ---")
+    print(launch_snippet(program, "column", block_size=64))
+
+
+if __name__ == "__main__":
+    main()

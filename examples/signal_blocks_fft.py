@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Signal processing: the paper's FFT motivation, end to end.
+
+Section III: "In practical signal processing, an input stream is equally
+partitioned into many blocks, and the FFT algorithm is executed for each
+block in turn or in parallel.  This is exactly the bulk execution of the
+FFT algorithm."
+
+This example synthesises a long noisy stream containing two tones, chops it
+into blocks, bulk-FFTs *all blocks at once* through the oblivious IR, and
+locates the tones from the averaged spectrum — then compares the UMM cost
+of the two arrangements.
+
+Run: ``python examples/signal_blocks_fft.py``
+"""
+
+import numpy as np
+
+from repro import BulkExecutor, MachineParams, simulate_bulk
+from repro.algorithms.fft import build_fft, pack_complex, unpack_complex
+
+BLOCK = 64          # FFT size n
+NUM_BLOCKS = 1024   # p — one UMM thread per block
+SAMPLE_RATE = 4096.0
+TONES_HZ = (320.0, 1152.0)
+
+
+def main() -> None:
+    # A long stream: two tones + noise.
+    rng = np.random.default_rng(7)
+    t = np.arange(BLOCK * NUM_BLOCKS) / SAMPLE_RATE
+    stream = sum(np.sin(2 * np.pi * f * t) for f in TONES_HZ)
+    stream = stream + rng.normal(0.0, 1.5, t.size)
+
+    # Partition into blocks — the bulk-execution workload.
+    blocks = stream.reshape(NUM_BLOCKS, BLOCK).astype(np.complex128)
+
+    # One oblivious FFT program, p = NUM_BLOCKS threads.
+    program = build_fft(BLOCK)
+    print(f"FFT program: t = {program.trace_length} accesses per block "
+          f"(n log n for n = {BLOCK})")
+
+    executor = BulkExecutor(program, NUM_BLOCKS, "column")
+    spectra = unpack_complex(executor.run(pack_complex(blocks)).outputs, BLOCK)
+
+    # Sanity: identical to NumPy's FFT.
+    assert np.allclose(spectra, np.fft.fft(blocks, axis=1), atol=1e-8)
+
+    # Average the magnitude spectra across blocks; find the tones.
+    avg = np.abs(spectra[:, : BLOCK // 2]).mean(axis=0)
+    freqs = np.arange(BLOCK // 2) * SAMPLE_RATE / BLOCK
+    top2 = freqs[np.argsort(avg)[-2:]]
+    print(f"detected tones at {sorted(top2)} Hz (injected: {sorted(TONES_HZ)})")
+    for f in TONES_HZ:
+        assert any(abs(f - g) <= SAMPLE_RATE / BLOCK for g in top2), f
+
+    # The UMM price of the whole batch, both arrangements.
+    machine = MachineParams(p=NUM_BLOCKS, w=32, l=400)
+    col = simulate_bulk(program, machine, "column")
+    row = simulate_bulk(program, machine, "row")
+    print(f"\nUMM cost for {NUM_BLOCKS} blocks (w=32, l=400):")
+    print(f"  row-wise    : {row.total_time:>12,} time units")
+    print(f"  column-wise : {col.total_time:>12,} time units "
+          f"({col.versus(row):.1f}x faster, "
+          f"{col.optimality_ratio:.2f}x the Theorem-3 bound)")
+
+
+if __name__ == "__main__":
+    main()

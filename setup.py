@@ -1,0 +1,7 @@
+"""Setuptools shim: lets ``pip install -e .`` use the legacy develop path
+in offline environments that lack the ``wheel`` package (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Bulk execution of oblivious algorithms on the Unified Memory Machine.
+
+Reproduction of Tani, Takafuji, Nakano & Ito, *"Bulk Execution of Oblivious
+Algorithms on the Unified Memory Machine, with GPU Implementation"* (IPPS
+2014).
+
+Quickstart::
+
+    import numpy as np
+    from repro import build_prefix_sums, BulkExecutor, simulate_bulk, MachineParams
+
+    program = build_prefix_sums(32)              # the oblivious IR (t = 64)
+    ex = BulkExecutor(program, p=1024)           # column-wise bulk "GPU"
+    out = ex.run(np.random.rand(1024, 32))       # 1024 prefix-sums at once
+
+    report = simulate_bulk(program, MachineParams(p=1024, w=32, l=100))
+    print(report.total_time, "UMM time units;",
+          f"{report.optimality_ratio:.2f}x the Theorem-3 lower bound")
+
+Package map:
+
+* :mod:`repro.machine` — DMM/UMM/HMM simulators and the closed-form cost model;
+* :mod:`repro.trace` — the oblivious IR, builder DSL, interpreter, checkers;
+* :mod:`repro.bulk` — the bulk executor, arrangements, converter, kernels;
+* :mod:`repro.algorithms` — prefix-sums, Algorithm OPT, FFT, sorting, …;
+* :mod:`repro.baselines` — the single-CPU comparisons;
+* :mod:`repro.harness` — sweeps, fits and paper-figure experiments.
+"""
+
+from .algorithms import (
+    REGISTRY,
+    build_bitonic_sort,
+    build_convolution,
+    build_fft,
+    build_lcs,
+    build_matmul,
+    build_matrix_chain,
+    build_opt,
+    build_prefix_sums,
+    build_xtea_encrypt,
+)
+from .baselines import SequentialBaseline
+from .bulk import (
+    BulkExecutor,
+    ColumnWise,
+    RowWise,
+    bulk_run,
+    compare_arrangements,
+    convert,
+    convert_and_check,
+    simulate_bulk,
+)
+from .errors import ObliviousnessError, ReproError
+from .machine import DMM, HMM, UMM, BankedMemory, MachineParams, preset
+from .trace import (
+    Program,
+    ProgramBuilder,
+    TracingMemory,
+    check_program_semantics,
+    check_python_oblivious,
+    run_sequential,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "MachineParams",
+    "preset",
+    "UMM",
+    "DMM",
+    "HMM",
+    "BankedMemory",
+    # trace
+    "Program",
+    "ProgramBuilder",
+    "TracingMemory",
+    "run_sequential",
+    "check_python_oblivious",
+    "check_program_semantics",
+    # bulk
+    "BulkExecutor",
+    "bulk_run",
+    "ColumnWise",
+    "RowWise",
+    "simulate_bulk",
+    "compare_arrangements",
+    "convert",
+    "convert_and_check",
+    # algorithms
+    "build_prefix_sums",
+    "build_opt",
+    "build_matrix_chain",
+    "build_fft",
+    "build_bitonic_sort",
+    "build_matmul",
+    "build_convolution",
+    "build_xtea_encrypt",
+    "build_lcs",
+    "REGISTRY",
+    # baselines
+    "SequentialBaseline",
+    # errors
+    "ReproError",
+    "ObliviousnessError",
+]

@@ -1,0 +1,212 @@
+"""Top-level command line: inspect, price and export oblivious programs.
+
+::
+
+    python -m repro list                               # the algorithm registry
+    python -m repro disasm opt 8 --limit 20            # IR listing
+    python -m repro simulate opt 8 --p 256 --w 32 --l 100
+    python -m repro analyze prefix-sums 64 --p 256 --arrangement row
+    python -m repro export opt 8 /tmp/opt8.json        # save the IR as JSON
+    python -m repro run fft 16 --p 128                 # bulk run + verify
+
+(The evaluation harness lives separately: ``python -m repro.harness``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .algorithms.registry import all_specs, get_spec
+from .analysis import analyze_coalescing
+from .bulk import BulkExecutor, simulate_bulk
+from .errors import ReproError
+from .harness.report import Table
+from .machine import MachineParams
+from .machine.cost import lower_bound
+from .trace.serialize import save_program
+
+
+def _machine(args) -> MachineParams:
+    return MachineParams(p=args.p, w=args.w, l=args.l)
+
+
+def cmd_list(args) -> int:
+    tab = Table("registered oblivious algorithms", ["name", "complexity", "sizes"])
+    for spec in all_specs():
+        tab.add_row([spec.name, spec.complexity, ", ".join(map(str, spec.sizes))])
+    print(tab.render())
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = get_spec(args.algorithm).build(args.n)
+    print(program.listing(limit=args.limit))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .machine import DMM, UMM
+
+    program = get_spec(args.algorithm).build(args.n)
+    params = _machine(args)
+    machine = (DMM if args.machine == "dmm" else UMM)(params)
+    t = program.trace_length
+    tab = Table(
+        f"{program.name} on the {args.machine.upper()} ({params.describe()})",
+        ["arrangement", "time units", "vs Theorem-3 bound"],
+    )
+    bound = lower_bound(params, t)
+    for arrangement in ("row", "column"):
+        rep = simulate_bulk(program, machine, arrangement)
+        tab.add_row([arrangement, f"{rep.total_time:,}", f"{rep.total_time / bound:.2f}x"])
+    tab.add_note(f"t = {t} accesses; lower bound {bound:,} time units")
+    print(tab.render())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = get_spec(args.algorithm).build(args.n)
+    params = _machine(args)
+    report = analyze_coalescing(program, params, args.arrangement)
+    print(report.summary())
+    print("stage-count histogram (stages: steps):")
+    for stages, steps in sorted(report.histogram().items()):
+        print(f"  {stages:6d}: {steps}")
+    if args.timeline:
+        from .bulk import make_arrangement
+        from .machine import UMM, timeline
+        from .machine.events import EventSimulator
+
+        arr = make_arrangement(args.arrangement, program.memory_words, params.p)
+        trace = arr.trace_addresses(program.address_trace()[: args.timeline])
+        log = EventSimulator(UMM(params)).simulate_trace(trace)
+        print(f"\nevent schedule of the first {args.timeline} bulk steps:")
+        print(timeline(log))
+    return 0
+
+
+def cmd_export(args) -> int:
+    program = get_spec(args.algorithm).build(args.n)
+    save_program(program, args.path)
+    print(f"wrote {program.name} ({program.num_instructions} instructions) "
+          f"to {args.path}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from .codegen import emit_c, emit_cuda, launch_snippet
+
+    program = get_spec(args.algorithm).build(args.n)
+    if args.target == "c":
+        text = emit_c(program)
+    else:
+        text = emit_cuda(program, args.arrangement)
+        if args.launch:
+            text += "\n" + launch_snippet(program, args.arrangement)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.target} source for {program.name} to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = get_spec(args.algorithm)
+    program = spec.build(args.n)
+    rng = np.random.default_rng(args.seed)
+    inputs = spec.make_inputs(rng, args.n, args.p)
+    outputs = BulkExecutor(program, args.p, args.arrangement).run(inputs).outputs
+    spec.check_outputs(inputs, outputs, args.n)
+    print(f"bulk-ran {spec.name} (n={args.n}) for p={args.p} inputs "
+          f"[{args.arrangement}-wise]: outputs verified against the reference")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Oblivious-algorithm bulk-execution toolkit."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the algorithm registry").set_defaults(
+        fn=cmd_list
+    )
+
+    def add_algo(p):
+        p.add_argument("algorithm", help="registry name (see `list`)")
+        p.add_argument("n", type=int, help="problem size")
+
+    p = sub.add_parser("disasm", help="print a program's IR listing")
+    add_algo(p)
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(fn=cmd_disasm)
+
+    def add_machine(p):
+        p.add_argument("--p", type=int, default=256, help="threads / inputs")
+        p.add_argument("--w", type=int, default=32, help="memory width")
+        p.add_argument("--l", type=int, default=100, help="access latency")
+
+    p = sub.add_parser("simulate", help="price a bulk run in UMM/DMM time units")
+    add_algo(p)
+    add_machine(p)
+    p.add_argument("--machine", choices=["umm", "dmm"], default="umm")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("analyze", help="coalescing analysis of a bulk trace")
+    add_algo(p)
+    add_machine(p)
+    p.add_argument("--arrangement", choices=["row", "column"], default="column")
+    p.add_argument(
+        "--timeline",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="also draw the event schedule of the first STEPS bulk steps",
+    )
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("export", help="save a program's IR as JSON")
+    add_algo(p)
+    p.add_argument("path", type=Path)
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("codegen", help="emit C99 or CUDA C for a program")
+    add_algo(p)
+    p.add_argument("--target", choices=["c", "cuda"], default="cuda")
+    p.add_argument("--arrangement", choices=["row", "column"], default="column")
+    p.add_argument("--launch", action="store_true",
+                   help="append host launch code (cuda target)")
+    p.add_argument("-o", "--output", type=Path, default=None)
+    p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser("run", help="bulk-run an algorithm and verify outputs")
+    add_algo(p)
+    p.add_argument("--p", type=int, default=64)
+    p.add_argument("--arrangement", choices=["row", "column"], default="column")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, the Unix way.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(141)  # 128 + SIGPIPE
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Library of oblivious sequential algorithms.
+
+The paper's two case studies — :mod:`prefix_sums <repro.algorithms
+.prefix_sums>` (Section III) and :mod:`polygon <repro.algorithms.polygon>`
+(Algorithm OPT, Section IV) — plus one representative per oblivious class
+the introduction names: matrix computation (:mod:`matmul`), signal
+processing (:mod:`fft`, :mod:`convolution`), sorting (:mod:`sorting`),
+dynamic programming (:mod:`matrix_chain`, :mod:`lcs`) and
+encryption/decryption (:mod:`cipher`).
+
+Each module exports a plain-Python reference, a mode-polymorphic source
+usable with the converter, and a ``build_*`` function emitting the
+oblivious IR.  :mod:`registry <repro.algorithms.registry>` wires them for
+the harness.
+"""
+
+from .cipher import (
+    build_xtea_decrypt,
+    build_xtea_encrypt,
+    xtea_decrypt_reference,
+    xtea_encrypt_reference,
+)
+from .convolution import build_convolution, convolution_reference
+from .crc import build_crc32, crc32_reference
+from .fft import build_fft, build_ifft, fft_reference, ifft_reference
+from .floyd_warshall import build_floyd_warshall, floyd_warshall_reference
+from .horner import build_horner, horner_reference
+from .lcs import build_lcs, lcs_reference
+from .matmul import build_matmul, matmul_reference
+from .matrix_chain import build_matrix_chain, matrix_chain_reference
+from .polygon import (
+    brute_force_opt,
+    build_opt,
+    catalan_number,
+    enumerate_triangulations,
+    opt_reference,
+    reconstruct_chords,
+)
+from .prefix_sums import build_prefix_sums, prefix_sums_reference
+from .registry import REGISTRY, AlgorithmSpec, all_specs, get_spec
+from .sorting import build_bitonic_sort, build_odd_even_sort, sort_reference
+from .stencil import build_jacobi, jacobi_reference
+
+__all__ = [
+    "build_prefix_sums",
+    "prefix_sums_reference",
+    "build_opt",
+    "opt_reference",
+    "brute_force_opt",
+    "enumerate_triangulations",
+    "reconstruct_chords",
+    "catalan_number",
+    "build_matrix_chain",
+    "matrix_chain_reference",
+    "build_fft",
+    "build_ifft",
+    "fft_reference",
+    "ifft_reference",
+    "build_jacobi",
+    "jacobi_reference",
+    "build_crc32",
+    "crc32_reference",
+    "build_bitonic_sort",
+    "sort_reference",
+    "build_matmul",
+    "matmul_reference",
+    "build_convolution",
+    "convolution_reference",
+    "build_xtea_encrypt",
+    "build_xtea_decrypt",
+    "xtea_encrypt_reference",
+    "xtea_decrypt_reference",
+    "build_floyd_warshall",
+    "floyd_warshall_reference",
+    "build_horner",
+    "horner_reference",
+    "build_odd_even_sort",
+    "build_lcs",
+    "lcs_reference",
+    "REGISTRY",
+    "AlgorithmSpec",
+    "get_spec",
+    "all_specs",
+]

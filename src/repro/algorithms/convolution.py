@@ -1,0 +1,89 @@
+"""1-D convolution / FIR filtering — the "signal processing" class.
+
+``y[i] = Σ_j h[j] · x[i - j]`` with zero padding at the left boundary.
+Both the signal and the taps live in memory (re-read per output sample), so
+the address pattern is a pure function of ``(i, j)`` — oblivious with
+``t = Θ(n·m)`` accesses.
+
+Memory layout (``memory_words = 2n + m``):
+
+* ``x[i]`` at ``i`` for ``i = 0..n-1``;
+* ``h[j]`` at ``n + j`` for ``j = 0..m-1``;
+* ``y[i]`` at ``n + m + i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_convolution",
+    "convolution_python",
+    "convolution_reference",
+    "pack_signal",
+    "unpack_filtered",
+]
+
+
+def pack_signal(x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """``(p, n)`` signals + ``(m,)`` or ``(p, m)`` taps → program inputs."""
+    xs = np.asarray(x, dtype=np.float64)
+    hs = np.asarray(h, dtype=np.float64)
+    if xs.ndim != 2:
+        raise WorkloadError(f"expected (p, n) signals, got shape {xs.shape}")
+    if hs.ndim == 1:
+        hs = np.broadcast_to(hs, (xs.shape[0], hs.size))
+    if hs.shape[0] != xs.shape[0]:
+        raise WorkloadError(
+            f"taps batch {hs.shape[0]} does not match signal batch {xs.shape[0]}"
+        )
+    return np.concatenate([xs, hs], axis=1)
+
+
+def unpack_filtered(outputs: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Filtered signals ``y`` from program outputs."""
+    return np.asarray(outputs)[:, n + m : 2 * n + m].copy()
+
+
+def convolution_python(mem, n: int, m: int) -> None:
+    """The FIR loop verbatim over a flat list-like memory."""
+    for i in range(n):
+        acc = 0.0
+        for j in range(min(m, i + 1)):
+            acc = acc + mem[n + j] * mem[i - j]
+        mem[n + m + i] = acc
+
+
+def convolution_reference(x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Ground truth: causal convolution truncated to the signal length."""
+    xs = np.asarray(x, dtype=np.float64)
+    hs = np.asarray(h, dtype=np.float64)
+    if xs.ndim == 1:
+        return np.convolve(xs, hs)[: xs.size]
+    return np.stack([np.convolve(row, hs)[: xs.shape[1]] for row in xs])
+
+
+def build_convolution(n: int, m: int) -> Program:
+    """Oblivious IR for an ``n``-sample signal through an ``m``-tap filter.
+
+    Boundary handling truncates the tap loop (``j <= i``); the trip count
+    depends only on ``i``, never on data, so the program stays oblivious.
+    """
+    if n <= 0 or m <= 0:
+        raise ProgramError(f"need positive sizes, got n={n}, m={m}")
+    if m > n:
+        raise ProgramError(f"tap count m={m} exceeds signal length n={n}")
+    b = ProgramBuilder(memory_words=2 * n + m, name=f"fir-n{n}-m{m}")
+    b.meta["n"] = n
+    b.meta["m"] = m
+    b.meta["algorithm"] = "convolution"
+    for i in range(n):
+        acc = b.const(0.0)
+        for j in range(min(m, i + 1)):
+            acc = acc + b.load(n + j) * b.load(i - j)
+        b.store(n + m + i, acc)
+    return b.build()

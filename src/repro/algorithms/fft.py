@@ -1,0 +1,149 @@
+"""Iterative radix-2 FFT — the paper's signal-processing motivation.
+
+Section I/III: "the conventional FFT algorithm for n points running in
+O(n log n) time is oblivious.  In practical signal processing, an input
+stream is equally partitioned into many blocks, and the FFT algorithm is
+executed for each block … This is exactly the bulk execution of the FFT."
+
+The program operates on real/imaginary planes (the IR is scalar-typed):
+
+* ``re[i]`` at address ``i`` for ``i = 0..n-1``;
+* ``im[i]`` at address ``n + i``.
+
+Structure: a bit-reversal permutation (fixed addresses ⇒ oblivious)
+followed by ``log₂ n`` butterfly stages whose twiddle factors are
+compile-time constants — every address is a function of the stage and
+butterfly indices only, so the whole transform is oblivious.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_fft",
+    "build_ifft",
+    "fft_reference",
+    "ifft_reference",
+    "pack_complex",
+    "unpack_complex",
+    "bit_reverse_permutation",
+]
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """``perm[i]`` = the bit-reversal of ``i`` in ``log₂ n`` bits."""
+    if n <= 0 or n & (n - 1):
+        raise WorkloadError(f"FFT size must be a positive power of two, got {n}")
+    bits = n.bit_length() - 1
+    perm = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        r = 0
+        x = i
+        for _ in range(bits):
+            r = (r << 1) | (x & 1)
+            x >>= 1
+        perm[i] = r
+    return perm
+
+
+def pack_complex(blocks: np.ndarray) -> np.ndarray:
+    """``(p, n)`` complex blocks → ``(p, 2n)`` real program inputs."""
+    z = np.asarray(blocks, dtype=np.complex128)
+    if z.ndim == 1:
+        z = z[None]
+    if z.ndim != 2:
+        raise WorkloadError(f"expected (p, n) complex blocks, got shape {z.shape}")
+    return np.concatenate([z.real, z.imag], axis=1)
+
+
+def unpack_complex(outputs: np.ndarray, n: int) -> np.ndarray:
+    """``(p, 2n)`` program outputs → ``(p, n)`` complex spectra."""
+    out = np.asarray(outputs)
+    if out.ndim != 2 or out.shape[1] < 2 * n:
+        raise WorkloadError(
+            f"expected outputs with >= {2 * n} words, got shape {out.shape}"
+        )
+    return out[:, :n] + 1j * out[:, n : 2 * n]
+
+
+def fft_reference(blocks: np.ndarray) -> np.ndarray:
+    """Ground truth: NumPy's FFT along the last axis."""
+    return np.fft.fft(np.asarray(blocks, dtype=np.complex128), axis=-1)
+
+
+def ifft_reference(blocks: np.ndarray) -> np.ndarray:
+    """Ground truth: NumPy's inverse FFT along the last axis."""
+    return np.fft.ifft(np.asarray(blocks, dtype=np.complex128), axis=-1)
+
+
+def build_fft(n: int, *, inverse: bool = False) -> Program:
+    """Oblivious IR for the in-place decimation-in-time FFT of ``n`` points.
+
+    ``t = Θ(n log n)`` memory accesses: the bit-reversal swap pass performs
+    ``Θ(n)`` and each of the ``log₂ n`` stages performs ``8·n/2`` (each
+    butterfly reads two complex points and writes them back).
+
+    ``inverse=True`` conjugates the twiddles and scales by ``1/n`` at the
+    end (one extra read-modify-write pass), computing the inverse DFT.
+    """
+    perm = bit_reverse_permutation(n)  # validates n
+    tag = "ifft" if inverse else "fft"
+    b = ProgramBuilder(memory_words=2 * n, name=f"{tag}-n{n}")
+    b.meta["n"] = n
+    b.meta["algorithm"] = tag
+    re, im = 0, n  # plane base addresses
+
+    if n == 1:
+        # The 1-point DFT is the identity; the IR cannot be empty, so emit
+        # the no-op rewrite of the single point.
+        b.store(re, b.load(re))
+        b.store(im, b.load(im))
+        return b.build()
+
+    # Bit-reversal permutation: swap i <-> perm[i] once per pair (i < perm[i]).
+    for i in range(n):
+        j = int(perm[i])
+        if i < j:
+            for base in (re, im):
+                a = b.load(base + i)
+                c = b.load(base + j)
+                b.store(base + i, c)
+                b.store(base + j, a)
+
+    # Butterfly stages.
+    sign = 2.0 if inverse else -2.0
+    stages = n.bit_length() - 1
+    for s in range(1, stages + 1):
+        m = 1 << s
+        half = m >> 1
+        for start in range(0, n, m):
+            for k in range(half):
+                angle = sign * math.pi * k / m
+                wr, wi = math.cos(angle), math.sin(angle)
+                top, bot = start + k, start + k + half
+                ar, ai = b.load(re + top), b.load(im + top)
+                br, bi = b.load(re + bot), b.load(im + bot)
+                # twiddled odd term: (wr + i·wi) · (br + i·bi)
+                tr = br * wr - bi * wi
+                ti = br * wi + bi * wr
+                b.store(re + top, ar + tr)
+                b.store(im + top, ai + ti)
+                b.store(re + bot, ar - tr)
+                b.store(im + bot, ai - ti)
+    if inverse:
+        inv_n = 1.0 / n
+        for i in range(2 * n):
+            b.store(i, b.load(i) * inv_n)
+    return b.build()
+
+
+def build_ifft(n: int) -> Program:
+    """Oblivious IR for the inverse FFT (see :func:`build_fft`)."""
+    return build_fft(n, inverse=True)

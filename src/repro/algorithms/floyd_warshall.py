@@ -1,0 +1,85 @@
+"""Floyd–Warshall all-pairs shortest paths — a third ``Θ(n³)`` DP.
+
+The relaxation ``d[i,j] ← min(d[i,j], d[i,k] + d[k,j])`` touches a fixed
+(i, j, k)-indexed address pattern, so APSP is oblivious — a classic member
+of the paper's "dynamic programming" class with a *different* dependence
+structure from OPT/matrix-chain (in-place over iterations, no triangular
+sweep), which exercises the engine's read-after-write behaviour within a
+step sequence.
+
+Memory layout (``memory_words = k²``): ``d[i, j]`` at ``i·k + j``, updated
+in place.  Missing edges are large-but-finite (``NO_EDGE``) so additions
+never overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "NO_EDGE",
+    "build_floyd_warshall",
+    "floyd_warshall_python",
+    "floyd_warshall_reference",
+    "random_digraph",
+]
+
+#: "No edge" sentinel: big enough to never be chosen, small enough that
+#: sums of a few of them stay finite in float64.
+NO_EDGE = 1e12
+
+
+def random_digraph(
+    rng: np.random.Generator, k: int, p: int, *, density: float = 0.4
+) -> np.ndarray:
+    """``(p, k, k)`` random weighted digraphs with zero diagonals."""
+    if not 0.0 < density <= 1.0:
+        raise WorkloadError(f"density must be in (0, 1], got {density}")
+    weights = rng.uniform(1.0, 10.0, size=(p, k, k))
+    mask = rng.random((p, k, k)) < density
+    d = np.where(mask, weights, NO_EDGE)
+    idx = np.arange(k)
+    d[:, idx, idx] = 0.0
+    return d
+
+
+def floyd_warshall_reference(dist: np.ndarray) -> np.ndarray:
+    """Ground truth APSP for one or a batch of adjacency matrices."""
+    d = np.asarray(dist, dtype=np.float64).copy()
+    batched = d.ndim == 3
+    if not batched:
+        d = d[None]
+    k = d.shape[1]
+    for mid in range(k):
+        np.minimum(d, d[:, :, mid : mid + 1] + d[:, mid : mid + 1, :], out=d)
+    return d if batched else d[0]
+
+
+def floyd_warshall_python(mem, k: int) -> None:
+    """The triple loop verbatim over a flat list-like memory."""
+    from ..bulk.convert import minimum
+
+    for mid in range(k):
+        for i in range(k):
+            for j in range(k):
+                via = mem[i * k + mid] + mem[mid * k + j]
+                mem[i * k + j] = minimum(mem[i * k + j], via)
+
+
+def build_floyd_warshall(k: int) -> Program:
+    """Oblivious IR for APSP on a ``k``-vertex digraph (in place)."""
+    if k <= 0:
+        raise ProgramError(f"vertex count k must be positive, got {k}")
+    b = ProgramBuilder(memory_words=k * k, name=f"floyd-warshall-k{k}")
+    b.meta["n"] = k
+    b.meta["algorithm"] = "floyd-warshall"
+    for mid in range(k):
+        for i in range(k):
+            for j in range(k):
+                via = b.load(i * k + mid) + b.load(mid * k + j)
+                b.store(i * k + j, b.minimum(b.load(i * k + j), via))
+    return b.build()

@@ -1,0 +1,92 @@
+"""Polynomial evaluation by Horner's rule — the "matrix computation /
+numerical kernel" end of the oblivious spectrum.
+
+Evaluates one degree-``d`` polynomial at ``m`` points:
+``y = (((c_d·x + c_{d-1})·x + …)·x + c_0)``.  The coefficient loads walk a
+fixed schedule per point, so the whole evaluation is oblivious with
+``t = Θ(d·m)`` accesses and the *smallest* local-work-per-access ratio in
+the registry — a useful stress case for the bulk engine's dispatch
+overhead.
+
+Memory layout (``memory_words = (d+1) + 2m``):
+
+* ``c_i`` at ``i`` for ``i = 0..d`` (coefficient of ``x^i``);
+* ``x_j`` at ``(d+1) + j`` for ``j = 0..m-1``;
+* ``y_j`` at ``(d+1) + m + j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_horner",
+    "horner_python",
+    "horner_reference",
+    "pack_poly",
+    "unpack_values",
+]
+
+
+def pack_poly(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """``(p, d+1)`` coefficient rows + ``(p, m)`` points → program inputs."""
+    c = np.asarray(coeffs, dtype=np.float64)
+    x = np.asarray(xs, dtype=np.float64)
+    if c.ndim != 2 or x.ndim != 2 or c.shape[0] != x.shape[0]:
+        raise WorkloadError(
+            f"expected matching (p, d+1) and (p, m), got {c.shape}, {x.shape}"
+        )
+    return np.concatenate([c, x], axis=1)
+
+
+def unpack_values(outputs: np.ndarray, d: int, m: int) -> np.ndarray:
+    """The evaluated ``(p, m)`` values ``y``."""
+    base = (d + 1) + m
+    return np.asarray(outputs)[:, base : base + m].copy()
+
+
+def horner_reference(coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Ground truth via :func:`numpy.polynomial.polynomial.polyval`."""
+    c = np.asarray(coeffs, dtype=np.float64)
+    x = np.asarray(xs, dtype=np.float64)
+    out = np.zeros_like(x)
+    for row in range(c.shape[0]):
+        out[row] = np.polynomial.polynomial.polyval(x[row], c[row])
+    return out
+
+
+def horner_python(mem, d: int, m: int) -> None:
+    """Horner's rule verbatim over a flat list-like memory."""
+    x_base = d + 1
+    y_base = d + 1 + m
+    for j in range(m):
+        x = mem[x_base + j]
+        acc = mem[d]
+        for i in range(d - 1, -1, -1):
+            acc = acc * x + mem[i]
+        mem[y_base + j] = acc
+
+
+def build_horner(d: int, m: int) -> Program:
+    """Oblivious IR evaluating a degree-``d`` polynomial at ``m`` points."""
+    if d < 0:
+        raise ProgramError(f"degree must be >= 0, got {d}")
+    if m <= 0:
+        raise ProgramError(f"point count must be positive, got {m}")
+    b = ProgramBuilder(memory_words=(d + 1) + 2 * m, name=f"horner-d{d}-m{m}")
+    b.meta["degree"] = d
+    b.meta["m"] = m
+    b.meta["algorithm"] = "horner"
+    x_base = d + 1
+    y_base = d + 1 + m
+    for j in range(m):
+        x = b.load(x_base + j)
+        acc = b.load(d)
+        for i in range(d - 1, -1, -1):
+            acc = acc * x + b.load(i)
+        b.store(y_base + j, acc)
+    return b.build()

@@ -1,0 +1,82 @@
+"""Binomial coefficients via Pascal's triangle — the simplest 2-D DP.
+
+``C(r, c) = C(r-1, c-1) + C(r-1, c)`` with a fixed row-by-row sweep:
+oblivious with ``t = Θ(rows²)`` accesses.  Small enough to verify against
+:func:`math.comb` exactly (float64 is exact up to ``C(55, 27)``), it serves
+as the registry's "tiny DP" and as a numerically exact correctness anchor
+for the engine's add chains.
+
+Memory layout (``memory_words = rows·(rows+1)/2``): row ``r`` occupies the
+``r+1`` words starting at ``r(r+1)/2`` (triangular packing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ProgramError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_pascal",
+    "pascal_python",
+    "pascal_reference",
+    "row_offset",
+    "memory_words",
+]
+
+
+def row_offset(r: int) -> int:
+    """Start address of triangle row ``r``."""
+    return r * (r + 1) // 2
+
+
+def memory_words(rows: int) -> int:
+    """Words for ``rows`` rows of the triangle."""
+    return row_offset(rows)
+
+
+def pascal_reference(rows: int) -> np.ndarray:
+    """Ground truth: the packed triangle via :func:`math.comb`."""
+    out = np.zeros(memory_words(rows), dtype=np.float64)
+    for r in range(rows):
+        for c in range(r + 1):
+            out[row_offset(r) + c] = math.comb(r, c)
+    return out
+
+
+def pascal_python(mem, rows: int) -> None:
+    """The row sweep verbatim over a flat list-like memory."""
+    mem[0] = 1.0
+    for r in range(1, rows):
+        base, prev = row_offset(r), row_offset(r - 1)
+        mem[base] = 1.0
+        for c in range(1, r):
+            mem[base + c] = mem[prev + c - 1] + mem[prev + c]
+        mem[base + r] = 1.0
+
+
+def build_pascal(rows: int) -> Program:
+    """Oblivious IR filling the first ``rows`` rows of Pascal's triangle.
+
+    Needs no input words — the triangle is generated from constants, which
+    exercises the (otherwise rare) all-scratch-memory path of the bulk
+    machinery.
+    """
+    if rows <= 0:
+        raise ProgramError(f"rows must be positive, got {rows}")
+    b = ProgramBuilder(memory_words=memory_words(rows), name=f"pascal-r{rows}")
+    b.meta["n"] = rows
+    b.meta["algorithm"] = "pascal"
+    one = b.const(1.0)
+    b.store(0, one)
+    for r in range(1, rows):
+        base, prev = row_offset(r), row_offset(r - 1)
+        b.store(base, one)
+        for c in range(1, r):
+            b.store(base + c, b.load(prev + c - 1) + b.load(prev + c))
+        b.store(base + r, one)
+    return b.build()

@@ -1,0 +1,489 @@
+"""Registry of oblivious algorithms for the harness and the model benches.
+
+Every entry packages the same contract: build an IR program for size ``n``,
+generate a ``(p, k)`` batch of program inputs, and verify a bulk run's
+outputs against an independent reference.  The Theorem-2/Theorem-3
+validation benches iterate this registry so the paper's *general* claims are
+exercised on every algorithm class it names, not just the two case studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.ir import Program
+from . import (
+    cipher,
+    convolution,
+    crc,
+    fft,
+    floyd_warshall,
+    horner,
+    lcs,
+    matmul,
+    matrix_chain,
+    pascal,
+    polygon,
+    prefix_sums,
+    sorting,
+    stencil,
+    string_match,
+    transpose,
+)
+
+__all__ = ["AlgorithmSpec", "REGISTRY", "get_spec", "all_specs"]
+
+InputFactory = Callable[[np.random.Generator, int, int], np.ndarray]
+OutputChecker = Callable[[np.ndarray, np.ndarray, int], None]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One oblivious algorithm wired for bulk testing.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    build:
+        ``build(n) -> Program`` for problem size ``n``.
+    make_inputs:
+        ``make_inputs(rng, n, p) -> (p, k)`` program input words.
+    check_outputs:
+        ``check_outputs(inputs, outputs, n)`` — raises ``AssertionError``
+        if the bulk outputs disagree with the independent reference.
+    sizes:
+        Representative problem sizes (small enough for exhaustive tests).
+    complexity:
+        The paper-style ``t(n)`` label, for reports.
+    """
+
+    name: str
+    build: Callable[[int], Program]
+    make_inputs: InputFactory
+    check_outputs: OutputChecker
+    sizes: Tuple[int, ...]
+    complexity: str
+
+
+# -- input factories / checkers -------------------------------------------------
+
+def _prefix_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return rng.uniform(-10.0, 10.0, size=(p, n))
+
+
+def _prefix_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    np.testing.assert_allclose(
+        outputs[:, :n], prefix_sums.prefix_sums_reference(inputs[:, :n]), rtol=1e-9
+    )
+
+
+def make_chord_weights(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    """Random valid chord weight matrices ``(p, n, n)``: symmetric,
+    non-negative, zero on polygon edges (the paper's workload)."""
+    w = rng.uniform(0.0, 100.0, size=(p, n, n))
+    w = (w + np.transpose(w, (0, 2, 1))) / 2.0
+    idx = np.arange(n)
+    w[:, idx, idx] = 0.0
+    w[:, idx[:-1], idx[1:]] = 0.0
+    w[:, idx[1:], idx[:-1]] = 0.0
+    w[:, 0, n - 1] = 0.0
+    w[:, n - 1, 0] = 0.0
+    return w
+
+
+def _opt_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return polygon.pack_weights(make_chord_weights(rng, n, p))
+
+
+def _opt_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    from ..bulk.kernels import opt_bulk
+
+    weights = inputs[:, : n * n].reshape(-1, n, n)
+    np.testing.assert_allclose(
+        polygon.unpack_result(outputs, n), opt_bulk(weights), rtol=1e-9
+    )
+
+
+def _chain_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    dims = rng.integers(1, 30, size=(p, n + 1)).astype(np.float64)
+    return matrix_chain.pack_dims(dims)
+
+
+def _chain_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    got = matrix_chain.unpack_result(outputs, n)
+    want = np.array(
+        [matrix_chain.matrix_chain_reference(row[: n + 1]) for row in inputs]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-9)
+
+
+def _fft_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    z = rng.normal(size=(p, n)) + 1j * rng.normal(size=(p, n))
+    return fft.pack_complex(z)
+
+
+def _fft_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    z = inputs[:, :n] + 1j * inputs[:, n : 2 * n]
+    np.testing.assert_allclose(
+        fft.unpack_complex(outputs, n), fft.fft_reference(z), rtol=1e-8, atol=1e-8
+    )
+
+
+def _sort_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return rng.uniform(-100.0, 100.0, size=(p, n))
+
+
+def _sort_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    np.testing.assert_allclose(
+        outputs[:, :n], sorting.sort_reference(inputs[:, :n]), rtol=0, atol=0
+    )
+
+
+def _matmul_inputs(rng: np.random.Generator, k: int, p: int) -> np.ndarray:
+    a = rng.uniform(-2.0, 2.0, size=(p, k, k))
+    b = rng.uniform(-2.0, 2.0, size=(p, k, k))
+    return matmul.pack_operands(a, b)
+
+
+def _matmul_check(inputs: np.ndarray, outputs: np.ndarray, k: int) -> None:
+    p = inputs.shape[0]
+    a = inputs[:, : k * k].reshape(p, k, k)
+    b = inputs[:, k * k : 2 * k * k].reshape(p, k, k)
+    np.testing.assert_allclose(
+        matmul.unpack_product(outputs, k), matmul.matmul_reference(a, b), rtol=1e-9
+    )
+
+
+_FIR_TAPS = 4
+
+
+def _conv_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    x = rng.uniform(-5.0, 5.0, size=(p, n))
+    h = rng.uniform(-1.0, 1.0, size=(p, _FIR_TAPS))
+    return convolution.pack_signal(x, h)
+
+
+def _conv_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    m = _FIR_TAPS
+    got = convolution.unpack_filtered(outputs, n, m)
+    for row_in, row_out in zip(inputs, got):
+        np.testing.assert_allclose(
+            row_out,
+            convolution.convolution_reference(row_in[:n], row_in[n : n + m]),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+
+_XTEA_KEY = np.array([0x0123, 0x4567, 0x89AB, 0xCDEF], dtype=np.int64)
+
+
+def _xtea_inputs(rng: np.random.Generator, rounds: int, p: int) -> np.ndarray:
+    blocks = rng.integers(0, cipher.MASK32 + 1, size=(p, 2), dtype=np.int64)
+    return cipher.pack_blocks(blocks, _XTEA_KEY)
+
+
+def _xtea_check(inputs: np.ndarray, outputs: np.ndarray, rounds: int) -> None:
+    blocks = inputs[:, :2].astype(np.int64)
+    want = cipher.xtea_encrypt_reference(blocks, _XTEA_KEY, rounds=rounds)
+    np.testing.assert_array_equal(cipher.unpack_blocks(outputs).astype(np.int64), want)
+
+
+def _lcs_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    xs = rng.integers(0, 4, size=(p, n)).astype(np.float64)
+    ys = rng.integers(0, 4, size=(p, n)).astype(np.float64)
+    return lcs.pack_sequences(xs, ys)
+
+
+def _lcs_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    got = lcs.unpack_length(outputs, n, n)
+    want = np.array(
+        [lcs.lcs_reference(row[:n], row[n : 2 * n]) for row in inputs], dtype=np.float64
+    )
+    np.testing.assert_array_equal(got, want)
+
+
+def _fw_inputs(rng: np.random.Generator, k: int, p: int) -> np.ndarray:
+    return floyd_warshall.random_digraph(rng, k, p).reshape(p, -1)
+
+
+def _fw_check(inputs: np.ndarray, outputs: np.ndarray, k: int) -> None:
+    p = inputs.shape[0]
+    dist = inputs.reshape(p, k, k)
+    want = floyd_warshall.floyd_warshall_reference(dist)
+    np.testing.assert_allclose(outputs.reshape(p, k, k), want, rtol=1e-9)
+
+
+def _oes_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return rng.uniform(-100.0, 100.0, size=(p, n))
+
+
+def _oes_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    np.testing.assert_array_equal(outputs[:, :n], sorting.sort_reference(inputs[:, :n]))
+
+
+_HORNER_POINTS = 6
+
+
+def _horner_inputs(rng: np.random.Generator, d: int, p: int) -> np.ndarray:
+    c = rng.uniform(-2.0, 2.0, size=(p, d + 1))
+    x = rng.uniform(-1.5, 1.5, size=(p, _HORNER_POINTS))
+    return horner.pack_poly(c, x)
+
+
+def _horner_check(inputs: np.ndarray, outputs: np.ndarray, d: int) -> None:
+    m = _HORNER_POINTS
+    c = inputs[:, : d + 1]
+    x = inputs[:, d + 1 : d + 1 + m]
+    np.testing.assert_allclose(
+        horner.unpack_values(outputs, d, m),
+        horner.horner_reference(c, x),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+
+
+def _transpose_inputs(rng: np.random.Generator, k: int, p: int) -> np.ndarray:
+    return transpose.pack_matrix(rng.uniform(-5.0, 5.0, size=(p, k, k)))
+
+
+def _transpose_check(inputs: np.ndarray, outputs: np.ndarray, k: int) -> None:
+    p = inputs.shape[0]
+    a = inputs.reshape(p, k, k)
+    np.testing.assert_array_equal(
+        transpose.unpack_transposed(outputs, k), transpose.transpose_reference(a)
+    )
+
+
+_MATCH_PATTERN_LEN = 3
+
+
+def _match_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    texts = rng.integers(0, 2, size=(p, n)).astype(np.float64)
+    patterns = rng.integers(0, 2, size=(p, _MATCH_PATTERN_LEN)).astype(np.float64)
+    return string_match.pack_strings(texts, patterns)
+
+
+def _match_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    m = _MATCH_PATTERN_LEN
+    flags, counts = string_match.unpack_matches(outputs, n, m)
+    for row, f, c in zip(inputs, flags, counts):
+        text, pattern = row[:n], row[n : n + m]
+        assert c == string_match.string_match_reference(text, pattern)
+        assert f.sum() == c
+
+
+def _pascal_inputs(rng: np.random.Generator, rows: int, p: int) -> np.ndarray:
+    return np.zeros((p, 0), dtype=np.float64)  # generated from constants
+
+
+def _pascal_check(inputs: np.ndarray, outputs: np.ndarray, rows: int) -> None:
+    want = pascal.pascal_reference(rows)
+    np.testing.assert_array_equal(outputs, np.broadcast_to(want, outputs.shape))
+
+
+def _ifft_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    z = rng.normal(size=(p, n)) + 1j * rng.normal(size=(p, n))
+    return fft.pack_complex(z)
+
+
+def _ifft_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    z = inputs[:, :n] + 1j * inputs[:, n : 2 * n]
+    np.testing.assert_allclose(
+        fft.unpack_complex(outputs, n), fft.ifft_reference(z), rtol=1e-8, atol=1e-8
+    )
+
+
+_JACOBI_SWEEPS = 3
+
+
+def _jacobi_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return rng.uniform(-1.0, 1.0, size=(p, n))
+
+
+def _jacobi_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    np.testing.assert_allclose(
+        outputs[:, :n],
+        stencil.jacobi_reference(inputs[:, :n], _JACOBI_SWEEPS),
+        rtol=1e-10,
+        atol=1e-12,
+    )
+
+
+def _crc_inputs(rng: np.random.Generator, n: int, p: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(p, n)).astype(np.int64)
+
+
+def _crc_check(inputs: np.ndarray, outputs: np.ndarray, n: int) -> None:
+    for row, got in zip(inputs, outputs[:, n]):
+        assert int(got) == crc.crc32_reference(row[:n])
+
+
+# -- the registry ----------------------------------------------------------------
+
+REGISTRY: Dict[str, AlgorithmSpec] = {
+    "prefix-sums": AlgorithmSpec(
+        name="prefix-sums",
+        build=prefix_sums.build_prefix_sums,
+        make_inputs=_prefix_inputs,
+        check_outputs=_prefix_check,
+        sizes=(1, 4, 32, 64),
+        complexity="t = 2n",
+    ),
+    "opt": AlgorithmSpec(
+        name="opt",
+        build=polygon.build_opt,
+        make_inputs=_opt_inputs,
+        check_outputs=_opt_check,
+        sizes=(4, 6, 8),
+        complexity="t = Θ(n³)",
+    ),
+    "matrix-chain": AlgorithmSpec(
+        name="matrix-chain",
+        build=matrix_chain.build_matrix_chain,
+        make_inputs=_chain_inputs,
+        check_outputs=_chain_check,
+        sizes=(2, 4, 6),
+        complexity="t = Θ(n³)",
+    ),
+    "fft": AlgorithmSpec(
+        name="fft",
+        build=fft.build_fft,
+        make_inputs=_fft_inputs,
+        check_outputs=_fft_check,
+        sizes=(2, 8, 16),
+        complexity="t = Θ(n log n)",
+    ),
+    "bitonic-sort": AlgorithmSpec(
+        name="bitonic-sort",
+        build=sorting.build_bitonic_sort,
+        make_inputs=_sort_inputs,
+        check_outputs=_sort_check,
+        sizes=(2, 8, 16),
+        complexity="t = Θ(n log² n)",
+    ),
+    "matmul": AlgorithmSpec(
+        name="matmul",
+        build=matmul.build_matmul,
+        make_inputs=_matmul_inputs,
+        check_outputs=_matmul_check,
+        sizes=(1, 3, 5),
+        complexity="t = Θ(k³)",
+    ),
+    "convolution": AlgorithmSpec(
+        name="convolution",
+        build=lambda n: convolution.build_convolution(n, _FIR_TAPS),
+        make_inputs=_conv_inputs,
+        check_outputs=_conv_check,
+        sizes=(4, 8, 16),
+        complexity="t = Θ(n·m)",
+    ),
+    "xtea": AlgorithmSpec(
+        name="xtea",
+        build=cipher.build_xtea_encrypt,
+        make_inputs=_xtea_inputs,
+        check_outputs=_xtea_check,
+        sizes=(4, 16, 32),  # sizes are round counts for the cipher
+        complexity="t = Θ(rounds)",
+    ),
+    "lcs": AlgorithmSpec(
+        name="lcs",
+        build=lambda n: lcs.build_lcs(n, n),
+        make_inputs=_lcs_inputs,
+        check_outputs=_lcs_check,
+        sizes=(2, 4, 8),
+        complexity="t = Θ(n·m)",
+    ),
+    "floyd-warshall": AlgorithmSpec(
+        name="floyd-warshall",
+        build=floyd_warshall.build_floyd_warshall,
+        make_inputs=_fw_inputs,
+        check_outputs=_fw_check,
+        sizes=(2, 4, 6),
+        complexity="t = Θ(k³)",
+    ),
+    "odd-even-sort": AlgorithmSpec(
+        name="odd-even-sort",
+        build=sorting.build_odd_even_sort,
+        make_inputs=_oes_inputs,
+        check_outputs=_oes_check,
+        sizes=(1, 5, 12),
+        complexity="t = Θ(n²)",
+    ),
+    "horner": AlgorithmSpec(
+        name="horner",
+        build=lambda d: horner.build_horner(d, _HORNER_POINTS),
+        make_inputs=_horner_inputs,
+        check_outputs=_horner_check,
+        sizes=(0, 3, 7),
+        complexity="t = Θ(d·m)",
+    ),
+    "transpose": AlgorithmSpec(
+        name="transpose",
+        build=transpose.build_transpose,
+        make_inputs=_transpose_inputs,
+        check_outputs=_transpose_check,
+        sizes=(1, 4, 8),
+        complexity="t = Θ(k²)",
+    ),
+    "string-match": AlgorithmSpec(
+        name="string-match",
+        build=lambda n: string_match.build_string_match(n, _MATCH_PATTERN_LEN),
+        make_inputs=_match_inputs,
+        check_outputs=_match_check,
+        sizes=(3, 8, 16),
+        complexity="t = Θ(n·m)",
+    ),
+    "pascal": AlgorithmSpec(
+        name="pascal",
+        build=pascal.build_pascal,
+        make_inputs=_pascal_inputs,
+        check_outputs=_pascal_check,
+        sizes=(1, 8, 16),
+        complexity="t = Θ(rows²)",
+    ),
+    "ifft": AlgorithmSpec(
+        name="ifft",
+        build=fft.build_ifft,
+        make_inputs=_ifft_inputs,
+        check_outputs=_ifft_check,
+        sizes=(2, 8, 16),
+        complexity="t = Θ(n log n)",
+    ),
+    "jacobi": AlgorithmSpec(
+        name="jacobi",
+        build=lambda n: stencil.build_jacobi(n, _JACOBI_SWEEPS),
+        make_inputs=_jacobi_inputs,
+        check_outputs=_jacobi_check,
+        sizes=(3, 8, 16),
+        complexity="t = Θ(sweeps·n)",
+    ),
+    "crc32": AlgorithmSpec(
+        name="crc32",
+        build=crc.build_crc32,
+        make_inputs=_crc_inputs,
+        check_outputs=_crc_check,
+        sizes=(1, 8, 24),
+        complexity="t = n + 1",
+    ),
+}
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """Look up one algorithm by registry key."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown algorithm {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_specs() -> Tuple[AlgorithmSpec, ...]:
+    """Every registered algorithm, in a stable order."""
+    return tuple(REGISTRY[k] for k in sorted(REGISTRY))

@@ -1,0 +1,126 @@
+"""Bitonic sorting network — the paper's "sorting" oblivious class.
+
+Sorting *networks* are the canonical oblivious sorters: the sequence of
+compare-exchange positions is fixed by ``n`` alone.  Batcher's bitonic
+network sorts ``n = 2^k`` keys with ``Θ(n log² n)`` compare-exchanges; each
+compare-exchange is two loads, an oblivious min/max, and two stores.
+
+Memory layout: the keys occupy addresses ``0..n-1`` in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "bitonic_pairs",
+    "build_bitonic_sort",
+    "bitonic_sort_python",
+    "odd_even_pairs",
+    "build_odd_even_sort",
+    "sort_reference",
+]
+
+
+def bitonic_pairs(n: int) -> Iterator[Tuple[int, int, bool]]:
+    """The network's compare-exchange schedule.
+
+    Yields ``(i, j, ascending)`` triples in execution order; ``ascending``
+    says whether the pair is ordered up or down at that point of the
+    merge.  The full network sorts ascending.
+    """
+    if n <= 0 or n & (n - 1):
+        raise WorkloadError(f"bitonic sort size must be a power of two, got {n}")
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    yield (i, partner, ascending)
+            j //= 2
+        k *= 2
+
+
+def build_bitonic_sort(n: int, *, dtype: np.dtype | type = np.float64) -> Program:
+    """Oblivious IR sorting ``n = 2^k`` keys in place (ascending)."""
+    b = ProgramBuilder(memory_words=n, dtype=dtype, name=f"bitonic-sort-n{n}")
+    b.meta["n"] = n
+    b.meta["algorithm"] = "bitonic-sort"
+    emitted = False
+    for i, j, ascending in bitonic_pairs(n):
+        x, y = b.load(i), b.load(j)
+        lo, hi = b.minimum(x, y), b.maximum(x, y)
+        if ascending:
+            b.store(i, lo)
+            b.store(j, hi)
+        else:
+            b.store(i, hi)
+            b.store(j, lo)
+        emitted = True
+    if not emitted:  # n == 1: a single key is already sorted, but the IR
+        # cannot be empty — emit a no-op rewrite of the key.
+        b.store(0, b.load(0))
+    return b.build()
+
+
+def bitonic_sort_python(mem) -> None:
+    """The same network over any list-like memory (mode-polymorphic)."""
+    from ..bulk.convert import maximum, minimum
+
+    n = len(mem)
+    if n & (n - 1):
+        raise ProgramError(f"bitonic sort needs a power-of-two size, got {n}")
+    for i, j, ascending in bitonic_pairs(n):
+        x, y = mem[i], mem[j]
+        lo, hi = minimum(x, y), maximum(x, y)
+        mem[i] = lo if ascending else hi
+        mem[j] = hi if ascending else lo
+
+
+def odd_even_pairs(n: int) -> Iterator[Tuple[int, int]]:
+    """Odd-even transposition network schedule (any ``n``, not just 2^k).
+
+    ``n`` rounds alternating even pairs ``(0,1), (2,3), …`` and odd pairs
+    ``(1,2), (3,4), …`` sort ``n`` keys with ``Θ(n²)`` compare-exchanges —
+    the brick-wall network, the simplest oblivious sorter.
+    """
+    if n <= 0:
+        raise WorkloadError(f"size must be positive, got {n}")
+    for round_idx in range(n):
+        start = round_idx % 2
+        for i in range(start, n - 1, 2):
+            yield (i, i + 1)
+
+
+def build_odd_even_sort(n: int, *, dtype: np.dtype | type = np.float64) -> Program:
+    """Oblivious IR odd-even transposition sort of ``n`` keys (ascending).
+
+    Unlike :func:`build_bitonic_sort` it accepts any ``n``; the trade is
+    ``Θ(n²)`` exchanges against bitonic's ``Θ(n log² n)``.
+    """
+    b = ProgramBuilder(memory_words=n, dtype=dtype, name=f"odd-even-sort-n{n}")
+    b.meta["n"] = n
+    b.meta["algorithm"] = "odd-even-sort"
+    emitted = False
+    for i, j in odd_even_pairs(n):
+        x, y = b.load(i), b.load(j)
+        b.store(i, b.minimum(x, y))
+        b.store(j, b.maximum(x, y))
+        emitted = True
+    if not emitted:  # n == 1
+        b.store(0, b.load(0))
+    return b.build()
+
+
+def sort_reference(values: np.ndarray) -> np.ndarray:
+    """Ground truth: ascending sort along the last axis."""
+    return np.sort(np.asarray(values), axis=-1)

@@ -1,0 +1,118 @@
+"""Naive exact string matching, made oblivious.
+
+The companion HMM paper implements approximate string matching on the
+memory machines; here is the exact-matching core in oblivious form: for
+every alignment ``i`` the pattern is compared position-by-position with no
+early exit (an early exit would make the trace data-dependent), the
+per-alignment hit flag is computed with multiplies of 0/1 equality bits,
+and the total occurrence count accumulates obliviously.
+
+Memory layout (``memory_words = n + m + (n - m + 1) + 1``):
+
+* text ``T[i]`` at ``i`` for ``i = 0..n-1``;
+* pattern ``P[j]`` at ``n + j`` for ``j = 0..m-1``;
+* per-alignment match flags at ``n + m + i`` for ``i = 0..n-m``;
+* total occurrence count at the final word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_string_match",
+    "string_match_python",
+    "string_match_reference",
+    "pack_strings",
+    "unpack_matches",
+    "memory_words",
+    "count_address",
+]
+
+
+def memory_words(n: int, m: int) -> int:
+    """Program memory size for text length ``n``, pattern length ``m``."""
+    return n + m + (n - m + 1) + 1
+
+
+def count_address(n: int, m: int) -> int:
+    """Address of the total occurrence count."""
+    return memory_words(n, m) - 1
+
+
+def pack_strings(texts: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+    """``(p, n)`` texts + ``(p, m)`` patterns → program inputs."""
+    t = np.asarray(texts, dtype=np.float64)
+    q = np.asarray(patterns, dtype=np.float64)
+    if t.ndim != 2 or q.ndim != 2 or t.shape[0] != q.shape[0]:
+        raise WorkloadError(
+            f"expected matching (p, n) and (p, m), got {t.shape}, {q.shape}"
+        )
+    if q.shape[1] > t.shape[1]:
+        raise WorkloadError("pattern longer than text")
+    return np.concatenate([t, q], axis=1)
+
+
+def unpack_matches(outputs: np.ndarray, n: int, m: int):
+    """``(flags, counts)``: per-alignment 0/1 flags and total counts."""
+    out = np.asarray(outputs)
+    base = n + m
+    flags = out[:, base : base + (n - m + 1)].copy()
+    counts = out[:, count_address(n, m)].copy()
+    return flags, counts
+
+
+def string_match_reference(text: np.ndarray, pattern: np.ndarray) -> int:
+    """Ground truth: occurrences of ``pattern`` in ``text`` (may overlap)."""
+    t = list(np.asarray(text).ravel())
+    q = list(np.asarray(pattern).ravel())
+    return sum(
+        1
+        for i in range(len(t) - len(q) + 1)
+        if all(t[i + j] == q[j] for j in range(len(q)))
+    )
+
+
+def string_match_python(mem, n: int, m: int) -> None:
+    """The oblivious matcher over a flat list-like memory."""
+    from ..bulk.convert import equal
+
+    flag_base = n + m
+    total = 0.0
+    for i in range(n - m + 1):
+        hit = 1.0
+        for j in range(m):
+            hit = hit * equal(mem[i + j], mem[n + j])
+        mem[flag_base + i] = hit
+        total = total + hit
+    mem[count_address(n, m)] = total
+
+
+def build_string_match(n: int, m: int) -> Program:
+    """Oblivious IR counting (possibly overlapping) pattern occurrences.
+
+    ``t = Θ(n·m)`` accesses — every alignment compares all ``m`` positions,
+    the price of obliviousness over the early-exit naive matcher.
+    """
+    if m <= 0 or n <= 0:
+        raise ProgramError(f"need positive lengths, got n={n}, m={m}")
+    if m > n:
+        raise ProgramError(f"pattern (m={m}) longer than text (n={n})")
+    b = ProgramBuilder(memory_words=memory_words(n, m), name=f"match-{n}x{m}")
+    b.meta["n"] = n
+    b.meta["m"] = m
+    b.meta["algorithm"] = "string-match"
+    flag_base = n + m
+    total = b.const(0.0)
+    for i in range(n - m + 1):
+        hit = b.const(1.0)
+        for j in range(m):
+            hit = hit * b.load(i + j).eq(b.load(n + j))
+        b.store(flag_base + i, hit)
+        total = total + hit
+    b.store(count_address(n, m), total)
+    return b.build()

@@ -1,0 +1,71 @@
+"""Matrix transpose — the canonical *asymmetric* access pattern.
+
+``B = Aᵀ`` for a ``k × k`` matrix is trivially oblivious, but its trace is
+the textbook coalescing study: reads sweep ``A`` row-major (unit stride)
+while writes sweep ``B`` column-major (stride ``k``) — within a *single
+input*.  Under bulk execution both arrangements behave identically (each
+bulk step is one address across inputs), which is itself an instructive
+consequence of the paper's construction: bulk execution coalesces *across
+inputs*, making the per-input access pattern irrelevant to the UMM cost.
+The analysis tests use this algorithm to demonstrate exactly that.
+
+Memory layout (``memory_words = 2k²``): ``A[i, j]`` at ``i·k + j``;
+``B[i, j]`` at ``k² + i·k + j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError, WorkloadError
+from ..trace.builder import ProgramBuilder
+from ..trace.ir import Program
+
+__all__ = [
+    "build_transpose",
+    "transpose_python",
+    "transpose_reference",
+    "pack_matrix",
+    "unpack_transposed",
+]
+
+
+def pack_matrix(a: np.ndarray) -> np.ndarray:
+    """``(p, k, k)`` matrices → ``(p, k²)`` program inputs."""
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
+        raise WorkloadError(f"expected (p, k, k) matrices, got shape {arr.shape}")
+    return arr.reshape(arr.shape[0], -1)
+
+
+def unpack_transposed(outputs: np.ndarray, k: int) -> np.ndarray:
+    """The ``(p, k, k)`` transposed matrices from program outputs."""
+    out = np.asarray(outputs)
+    return out[:, k * k : 2 * k * k].reshape(out.shape[0], k, k).copy()
+
+
+def transpose_reference(a: np.ndarray) -> np.ndarray:
+    """Ground truth: batched transpose."""
+    return np.transpose(np.asarray(a), (0, 2, 1))
+
+
+def transpose_python(mem, k: int) -> None:
+    """The copy loop verbatim over a flat list-like memory."""
+    b_base = k * k
+    for i in range(k):
+        for j in range(k):
+            mem[b_base + j * k + i] = mem[i * k + j]
+
+
+def build_transpose(k: int) -> Program:
+    """Oblivious IR for one ``k × k`` out-of-place transpose."""
+    if k <= 0:
+        raise ProgramError(f"matrix size k must be positive, got {k}")
+    b = ProgramBuilder(memory_words=2 * k * k, name=f"transpose-k{k}")
+    b.meta["n"] = k
+    b.meta["algorithm"] = "transpose"
+    b_base = k * k
+    for i in range(k):
+        for j in range(k):
+            b.store(b_base + j * k + i, b.load(i * k + j))
+    return b.build()

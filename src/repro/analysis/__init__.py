@@ -1,0 +1,18 @@
+"""Static analysis of oblivious programs: coalescing and trace profiling.
+
+Because oblivious traces are static, everything here is computed without
+running the program — the analysis equivalent of the paper's observation
+that an oblivious algorithm's memory behaviour is knowable in advance.
+"""
+
+from .coalescing import CoalescingReport, analyze_coalescing
+from .profile import Region, RegionProfile, access_density, profile_regions
+
+__all__ = [
+    "CoalescingReport",
+    "analyze_coalescing",
+    "Region",
+    "RegionProfile",
+    "profile_regions",
+    "access_density",
+]

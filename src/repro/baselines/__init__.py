@@ -1,0 +1,6 @@
+"""Baselines the bulk executor is compared against (the paper's CPU side)."""
+
+from .cpu import SequentialBaseline
+from .pure_python import opt_loop, prefix_sums_loop
+
+__all__ = ["SequentialBaseline", "prefix_sums_loop", "opt_loop"]

@@ -1,0 +1,65 @@
+"""Pure-Python per-input baselines.
+
+These are the closest analogue of the paper's compiled C loop on the CPU:
+no IR, no interpreter — just the algorithm over Python floats, executed for
+each input in turn.  They bracket the CPU baseline from the fast side (the
+IR interpreter of :mod:`repro.baselines.cpu` brackets it from the slow
+side); the figures report the IR-based baseline and the ablation bench
+reports both.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..algorithms.polygon import INFINITY_WEIGHT, validate_weights
+from ..errors import WorkloadError
+
+__all__ = ["prefix_sums_loop", "opt_loop"]
+
+
+def prefix_sums_loop(inputs: np.ndarray) -> np.ndarray:
+    """Prefix-sums of each row, one row at a time, in pure Python."""
+    arr = np.asarray(inputs, dtype=np.float64)
+    if arr.ndim != 2:
+        raise WorkloadError(f"expected (p, n) inputs, got shape {arr.shape}")
+    out = np.empty_like(arr)
+    for h, row in enumerate(arr):
+        r = 0.0
+        acc: List[float] = []
+        for x in row.tolist():
+            r += x
+            acc.append(r)
+        out[h] = acc
+    return out
+
+
+def opt_loop(weights: np.ndarray) -> np.ndarray:
+    """Optimal triangulation weight of each polygon, one at a time.
+
+    ``weights`` is ``(p, n, n)``; returns the length-``p`` optimal values.
+    The inner DP is the paper's Algorithm OPT over Python floats, including
+    the oblivious-style two-sided update (kept for faithfulness even though
+    a plain ``min`` would do on a CPU).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 3 or w.shape[1] != w.shape[2]:
+        raise WorkloadError(f"expected (p, n, n) weights, got shape {w.shape}")
+    n = w.shape[1]
+    out = np.empty(w.shape[0], dtype=np.float64)
+    for h in range(w.shape[0]):
+        c = validate_weights(w[h]).tolist()
+        m = [[0.0] * n for _ in range(n)]
+        for i in range(n - 2, 0, -1):
+            mi = m[i]
+            mi1 = m[i + 1]
+            for j in range(i + 1, n):
+                s = INFINITY_WEIGHT
+                for k in range(i, j):
+                    r = mi[k] + m[k + 1][j]
+                    s = r if r < s else s
+                mi[j] = s + c[i - 1][j]
+        out[h] = m[1][n - 1]
+    return out

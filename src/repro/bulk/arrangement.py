@@ -1,0 +1,254 @@
+"""Input arrangements for bulk execution (Section III, Figure 5).
+
+Given ``p`` inputs of ``n`` words each, the paper considers two memory
+layouts of the combined ``p·n`` words:
+
+**row-wise**
+    input ``j`` occupies row ``j`` of a ``p × n`` array: word ``i`` of input
+    ``j`` lives at global address ``j·n + i``.  A bulk step in which every
+    thread touches local address ``a`` hits ``a, a+n, a+2n, ...`` — *one
+    address group per thread* (when ``n ≥ w``), i.e. fully non-coalesced.
+
+**column-wise**
+    input ``j`` occupies column ``j`` of an ``n × p`` array: word ``i`` of
+    input ``j`` lives at global address ``i·p + j``.  A bulk step touches the
+    ``p`` *consecutive* addresses ``a·p .. a·p + p − 1`` — ``p/w`` address
+    groups, i.e. perfectly coalesced.  This is the paper's time-optimal
+    arrangement (Theorems 2–3).
+
+Each arrangement also owns the physical NumPy layout the bulk engine uses,
+chosen so the *cache* behaviour on a CPU mirrors the *coalescing* behaviour
+on the UMM: the column-wise buffer is ``(n, p)`` C-order (a bulk step is a
+unit-stride row), the row-wise buffer is ``(p, n)`` C-order (a bulk step is
+a stride-``n`` gather).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from ..errors import ArrangementError
+
+__all__ = [
+    "Arrangement",
+    "ColumnWise",
+    "RowWise",
+    "PaddedRowWise",
+    "make_arrangement",
+]
+
+
+class Arrangement(ABC):
+    """Maps (local address, input index) to the global address space.
+
+    Parameters
+    ----------
+    words:
+        Words per input instance (the sequential program's memory size ``n``).
+    p:
+        Number of inputs = number of threads.
+    """
+
+    #: Short identifier used by the harness ("row" / "column").
+    name: str = "abstract"
+
+    def __init__(self, words: int, p: int) -> None:
+        if words <= 0:
+            raise ArrangementError(f"words must be positive, got {words}")
+        if p <= 0:
+            raise ArrangementError(f"p must be positive, got {p}")
+        self.words = int(words)
+        self.p = int(p)
+
+    @property
+    def total_words(self) -> int:
+        """Size of the combined global address space, ``p · words``."""
+        return self.words * self.p
+
+    # -- address maps -------------------------------------------------------
+    @abstractmethod
+    def global_address(self, local: Union[int, np.ndarray], j: Union[int, np.ndarray]):
+        """Global address of word ``local`` of input ``j`` (vectorised)."""
+
+    def step_addresses(self, local: int) -> np.ndarray:
+        """Global addresses touched by all ``p`` threads at one bulk step."""
+        return self.global_address(local, np.arange(self.p, dtype=np.int64))
+
+    def trace_addresses(self, local_trace: np.ndarray) -> np.ndarray:
+        """The full ``(t, p)`` bulk address matrix of a sequential trace."""
+        a = np.asarray(local_trace, dtype=np.int64)
+        if a.ndim != 1:
+            raise ArrangementError(f"expected 1-D local trace, got shape {a.shape}")
+        if a.size and (a.min() < 0 or a.max() >= self.words):
+            raise ArrangementError(
+                f"local trace touches addresses outside [0, {self.words})"
+            )
+        return self.global_address(a[:, None], np.arange(self.p, dtype=np.int64)[None, :])
+
+    # -- physical layout for the bulk engine ---------------------------------
+    @abstractmethod
+    def allocate(self, dtype: np.dtype) -> np.ndarray:
+        """A zeroed buffer in this arrangement's physical layout."""
+
+    @abstractmethod
+    def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
+        """Scatter ``(p, k)`` per-input arrays into ``buffer`` (zero-extended)."""
+
+    @abstractmethod
+    def unpack(self, buffer: np.ndarray) -> np.ndarray:
+        """Gather ``buffer`` back into a ``(p, words)`` per-input array."""
+
+    @abstractmethod
+    def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
+        """Read local word ``local`` of every input into ``out`` (length p)."""
+
+    @abstractmethod
+    def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
+        """Write ``values[j]`` to local word ``local`` of every input ``j``."""
+
+    # -- shared validation ----------------------------------------------------
+    def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(inputs)
+        if arr.ndim != 2 or arr.shape[0] != self.p:
+            raise ArrangementError(
+                f"expected inputs of shape (p={self.p}, k<= {self.words}), "
+                f"got {arr.shape}"
+            )
+        if arr.shape[1] > self.words:
+            raise ArrangementError(
+                f"inputs carry {arr.shape[1]} words but the program memory "
+                f"holds only {self.words}"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(words={self.words}, p={self.p})"
+
+
+class ColumnWise(Arrangement):
+    """``b_j[i] ↦ i·p + j`` — coalesced, time-optimal (buffer: ``(n, p)``)."""
+
+    name = "column"
+
+    def global_address(self, local, j):
+        return np.asarray(local, dtype=np.int64) * self.p + np.asarray(j, dtype=np.int64)
+
+    def allocate(self, dtype: np.dtype) -> np.ndarray:
+        return np.zeros((self.words, self.p), dtype=dtype)
+
+    def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
+        arr = self._check_inputs(inputs)
+        buffer[: arr.shape[1], :] = arr.T
+
+    def unpack(self, buffer: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(buffer.T)
+
+    def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
+        np.copyto(out, buffer[local])  # contiguous row: one cache-friendly copy
+
+    def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
+        buffer[local] = values
+
+
+class RowWise(Arrangement):
+    """``b_j[i] ↦ j·n + i`` — non-coalesced (buffer: ``(p, n)``)."""
+
+    name = "row"
+
+    def global_address(self, local, j):
+        return np.asarray(j, dtype=np.int64) * self.words + np.asarray(local, dtype=np.int64)
+
+    def allocate(self, dtype: np.dtype) -> np.ndarray:
+        return np.zeros((self.p, self.words), dtype=dtype)
+
+    def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
+        arr = self._check_inputs(inputs)
+        buffer[:, : arr.shape[1]] = arr
+
+    def unpack(self, buffer: np.ndarray) -> np.ndarray:
+        return buffer.copy()
+
+    def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
+        np.copyto(out, buffer[:, local])  # stride-n gather: one word per cache line
+
+    def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
+        buffer[:, local] = values
+
+
+class PaddedRowWise(Arrangement):
+    """Row-wise with per-row padding: ``b_j[i] ↦ j·(n + pad) + i``.
+
+    The textbook *bank-conflict* fix for shared memory: when ``n`` is a
+    multiple of the width ``w``, plain row-wise puts every thread's step
+    address in the same bank (a ``w``-way DMM conflict); padding each row
+    by ``pad`` words (default 1, making the stride coprime to ``w``) spreads
+    the warp across distinct banks — conflict-free on the **DMM**.
+
+    The instructive negative result (ablation ``abl-padding``): the same
+    trick buys *nothing* on the **UMM**, whose cost counts address groups,
+    not banks — the ``p`` padded addresses still land in ~``p`` different
+    groups.  Coalescing (column-wise) is the only fix for global memory,
+    which is exactly the paper's point.
+    """
+
+    name = "padded-row"
+
+    def __init__(self, words: int, p: int, pad: int = 1) -> None:
+        super().__init__(words, p)
+        if pad < 1:
+            raise ArrangementError(f"pad must be >= 1, got {pad}")
+        self.pad = int(pad)
+
+    @property
+    def stride(self) -> int:
+        """Padded row stride ``n + pad``."""
+        return self.words + self.pad
+
+    @property
+    def total_words(self) -> int:
+        return self.stride * self.p
+
+    def global_address(self, local, j):
+        return np.asarray(j, dtype=np.int64) * self.stride + np.asarray(
+            local, dtype=np.int64
+        )
+
+    def allocate(self, dtype: np.dtype) -> np.ndarray:
+        return np.zeros((self.p, self.stride), dtype=dtype)
+
+    def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
+        arr = self._check_inputs(inputs)
+        buffer[:, : arr.shape[1]] = arr
+
+    def unpack(self, buffer: np.ndarray) -> np.ndarray:
+        return buffer[:, : self.words].copy()
+
+    def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
+        np.copyto(out, buffer[:, local])
+
+    def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
+        buffer[:, local] = values
+
+
+_ARRANGEMENTS = {"column": ColumnWise, "row": RowWise, "padded-row": PaddedRowWise}
+
+
+def make_arrangement(kind: Union[str, Arrangement], words: int, p: int) -> Arrangement:
+    """Resolve an arrangement by name (``"row"`` / ``"column"``) or instance."""
+    if isinstance(kind, Arrangement):
+        if kind.words != words or kind.p != p:
+            raise ArrangementError(
+                f"arrangement geometry ({kind.words}, {kind.p}) does not match "
+                f"requested ({words}, {p})"
+            )
+        return kind
+    try:
+        cls = _ARRANGEMENTS[kind]
+    except KeyError:
+        raise ArrangementError(
+            f"unknown arrangement {kind!r}; expected one of {sorted(_ARRANGEMENTS)}"
+        ) from None
+    return cls(words, p)

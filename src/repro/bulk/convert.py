@@ -1,0 +1,212 @@
+"""Tracing converter: plain Python → oblivious IR.
+
+The paper's conclusion announces "a conversion system that automatically
+converts a sequential program written in C language into a CUDA C program
+for the bulk execution" as future work.  This module implements that idea at
+the Python level: write the sequential algorithm once against a memory
+proxy, and the converter *traces* it — Python loops unroll, arithmetic on
+proxied values emits IR, and data-dependent branching is caught and rejected
+with a pointer to the oblivious substitutes.
+
+The same source function runs in three modes:
+
+1. **concrete** — pass a plain list/array-backed buffer (or a
+   :class:`~repro.trace.recorder.TracingMemory`): ordinary Python execution,
+   usable as the reference semantics;
+2. **tracing** — :func:`convert` passes a symbolic memory whose cells are
+   :class:`~repro.trace.builder.Value` handles, producing a
+   :class:`~repro.trace.ir.Program`;
+3. **bulk** — the produced program runs on the
+   :class:`~repro.bulk.engine.BulkExecutor` for ``p`` inputs at once.
+
+The mode-polymorphic helpers :func:`select`, :func:`minimum` and
+:func:`maximum` keep one source working in all three modes.
+
+Example::
+
+    def prefix_sums(mem):
+        r = 0.0
+        for i in range(len(mem)):
+            r = r + mem[i]
+            mem[i] = r
+
+    program = convert(prefix_sums, memory_words=32)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ObliviousnessError, ProgramError
+from ..trace.builder import ProgramBuilder, Value
+from ..trace.checker import check_program_semantics
+from ..trace.ir import Program
+
+__all__ = [
+    "convert",
+    "convert_and_check",
+    "select",
+    "minimum",
+    "maximum",
+    "equal",
+    "SymbolicMemory",
+]
+
+Cell = Union[Value, float, int]
+
+
+class SymbolicMemory:
+    """The tracing memory proxy handed to the user's algorithm.
+
+    ``mem[i]`` emits a ``Load`` and returns a :class:`Value`; ``mem[i] = x``
+    emits a ``Store``.  Indices must be plain Python integers — an index that
+    is itself a :class:`Value` would make the address data-dependent, which
+    is exactly what obliviousness forbids, so it raises
+    :class:`ObliviousnessError`.
+    """
+
+    __slots__ = ("builder", "_len")
+
+    def __init__(self, builder: ProgramBuilder, length: Optional[int] = None) -> None:
+        self.builder = builder
+        self._len = builder.memory_words if length is None else length
+
+    def _index(self, i) -> int:
+        if isinstance(i, Value):
+            raise ObliviousnessError(
+                "memory index depends on a traced value — data-dependent "
+                "addressing is not oblivious (Section III). Restructure the "
+                "algorithm so every address is a loop-index expression."
+            )
+        if isinstance(i, (bool, np.bool_)) or not isinstance(i, (int, np.integer)):
+            raise ProgramError(f"memory index must be an int, got {i!r}")
+        idx = int(i)
+        if idx < 0:
+            idx += self._len
+        if not 0 <= idx < self._len:
+            raise ProgramError(f"index {i} out of range for memory of {self._len} words")
+        return idx
+
+    def __getitem__(self, i) -> Value:
+        return self.builder.load(self._index(i))
+
+    def __setitem__(self, i, value: Cell) -> None:
+        self.builder.store(self._index(i), value)
+
+    def __len__(self) -> int:
+        return self._len
+
+
+# -- mode-polymorphic helpers ---------------------------------------------------
+
+def _any_value(*xs) -> Optional[Value]:
+    for x in xs:
+        if isinstance(x, Value):
+            return x
+    return None
+
+
+def select(cond, if_true, if_false):
+    """Oblivious conditional: works on traced Values and plain numbers alike.
+
+    In tracing mode this emits a ``Select`` (the paper's
+    ``if r < s then s ← r else s ← s`` device); in concrete mode it is a
+    plain Python conditional expression.
+    """
+    v = _any_value(cond, if_true, if_false)
+    if v is None:
+        return if_true if cond else if_false
+    return v.builder.select(cond, if_true, if_false)
+
+
+def minimum(a, b):
+    """Oblivious ``min`` for both traced and concrete operands."""
+    v = _any_value(a, b)
+    if v is None:
+        return a if a <= b else b
+    return v.builder.minimum(a, b)
+
+
+def maximum(a, b):
+    """Oblivious ``max`` for both traced and concrete operands."""
+    v = _any_value(a, b)
+    if v is None:
+        return a if a >= b else b
+    return v.builder.maximum(a, b)
+
+
+def equal(a, b):
+    """Oblivious equality (0/1) for both traced and concrete operands.
+
+    Traced :class:`Value` objects keep ``==`` as identity (so they stay
+    usable in dicts); this helper is the elementwise comparison that feeds
+    :func:`select`.
+    """
+    v = _any_value(a, b)
+    if v is None:
+        return 1 if a == b else 0
+    if isinstance(a, Value):
+        return a.eq(b)
+    return b.eq(a)
+
+
+# -- the converter ---------------------------------------------------------------
+
+def convert(
+    algorithm: Callable[[SymbolicMemory], None],
+    memory_words: int,
+    *,
+    dtype: np.dtype | type = np.float64,
+    name: Optional[str] = None,
+) -> Program:
+    """Trace ``algorithm`` into an oblivious :class:`Program`.
+
+    ``algorithm(mem)`` mutates ``mem`` in place.  Loops are unrolled by
+    ordinary execution; any attempt to branch on a traced value (``if v:``,
+    ``min(v, u)``, ``v and u`` …) raises :class:`ObliviousnessError` through
+    ``Value.__bool__``.
+    """
+    builder = ProgramBuilder(
+        memory_words, dtype=dtype, name=name or getattr(algorithm, "__name__", "converted")
+    )
+    algorithm(SymbolicMemory(builder))
+    if builder.num_instructions == 0:
+        raise ProgramError(
+            f"algorithm {builder.name!r} performed no memory accesses — "
+            "nothing to convert"
+        )
+    return builder.build()
+
+
+def convert_and_check(
+    algorithm: Callable,
+    memory_words: int,
+    input_factory: Callable[[np.random.Generator], Sequence[float]],
+    *,
+    dtype: np.dtype | type = np.float64,
+    name: Optional[str] = None,
+    trials: int = 6,
+    seed: int = 0,
+) -> Program:
+    """Convert, then self-check the program against concrete execution.
+
+    The same ``algorithm`` is run concretely on a plain mutable buffer and
+    symbolically through the converter; :func:`check_program_semantics`
+    verifies both agree on ``trials`` random inputs drawn from
+    ``input_factory``.  This is the converter's correctness contract.
+    """
+    program = convert(algorithm, memory_words, dtype=dtype, name=name)
+
+    def reference(inp: np.ndarray) -> np.ndarray:
+        buf = np.zeros(memory_words, dtype=program.dtype)
+        buf[: inp.size] = inp
+        cells = list(buf)
+        algorithm(cells)
+        return np.asarray(cells, dtype=program.dtype)
+
+    check_program_semantics(
+        program, reference, input_factory, trials=trials, seed=seed
+    )
+    return program

@@ -1,0 +1,97 @@
+"""Hand-vectorised bulk kernels.
+
+The IR engine pays one Python-level dispatch per instruction.  For the two
+algorithms the paper evaluates we also provide hand-written NumPy
+kernels — the analogue of a hand-tuned CUDA kernel versus compiler-generated
+code.  They serve two purposes:
+
+* independent ground truth for the engine's outputs (integration tests), and
+* the ``abl-vm`` ablation bench quantifying the IR interpretation overhead.
+
+Both kernels work **column-wise**: the bulk axis is the trailing axis of
+every array, so each elementary step is a unit-stride (coalesced) vector
+operation, mirroring the paper's optimal arrangement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+__all__ = ["prefix_sums_bulk", "opt_bulk", "opt_bulk_with_choices"]
+
+
+def prefix_sums_bulk(inputs: np.ndarray) -> np.ndarray:
+    """Prefix-sums of ``p`` arrays at once.
+
+    ``inputs`` is ``(p, n)``; returns the ``(p, n)`` inclusive prefix sums.
+    Internally transposes to the column-wise ``(n, p)`` layout and
+    accumulates along the leading axis, so every step is one contiguous
+    length-``p`` vector add — the coalesced access pattern.
+    """
+    arr = np.asarray(inputs)
+    if arr.ndim != 2:
+        raise ExecutionError(f"expected (p, n) inputs, got shape {arr.shape}")
+    col = arr.T.copy()  # .copy(), not ascontiguousarray: the transpose of a
+    # degenerate (p=1 or n=1) array is already "contiguous" and would alias
+    # the caller's buffer, which the in-place cumsum must not mutate.
+    np.cumsum(col, axis=0, out=col)
+    return np.ascontiguousarray(col.T)
+
+
+def opt_bulk(weights: np.ndarray) -> np.ndarray:
+    """Minimum triangulation weights of ``p`` convex ``n``-gons at once.
+
+    ``weights`` is ``(p, n, n)`` with ``weights[h, i, j]`` the chord weight
+    ``c[i, j]`` of polygon ``h`` (only ``i < j`` entries are read; edges of
+    the polygon conventionally have weight 0 — see
+    :mod:`repro.algorithms.polygon`).  Returns the length-``p`` vector of
+    optimal total weights ``m[1, n-1]``.
+
+    The DP follows Algorithm OPT exactly but vectorises both the inner
+    ``k``-loop and the bulk axis: the table is ``(n, n, p)`` so the
+    reduction over ``k`` is a contiguous ``(span, p)`` block minimum.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 3 or w.shape[1] != w.shape[2]:
+        raise ExecutionError(f"expected (p, n, n) weights, got shape {w.shape}")
+    p, n, _ = w.shape
+    if n < 3:
+        raise ExecutionError(f"a convex polygon needs n >= 3 vertices, got n={n}")
+    c = np.ascontiguousarray(np.transpose(w, (1, 2, 0)))  # (n, n, p) column-wise
+    # M is indexed 1..n-1 like the paper; row/col 0 unused.
+    m = np.zeros((n, n, p), dtype=np.float64)
+    for i in range(n - 2, 0, -1):
+        for j in range(i + 1, n):
+            # min over k in [i, j-1] of M[i,k] + M[k+1,j], plus c[i-1, j]
+            cand = m[i, i:j] + m[i + 1 : j + 1, j]  # (j-i, p)
+            m[i, j] = cand.min(axis=0) + c[i - 1, j]
+    return m[1, n - 1].copy()
+
+
+def opt_bulk_with_choices(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Like :func:`opt_bulk` but also returns the argmin table for
+    triangulation reconstruction.
+
+    Returns ``(values, choices)`` where ``choices[h, i, j]`` is the split
+    vertex ``k`` minimising ``M[i,k] + M[k+1,j]`` for polygon ``h`` (0 where
+    undefined, i.e. ``j <= i+1``).  The paper notes the optimal chord set
+    follows "by a few extra bookkeeping steps"; this is that bookkeeping.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 3 or w.shape[1] != w.shape[2]:
+        raise ExecutionError(f"expected (p, n, n) weights, got shape {w.shape}")
+    p, n, _ = w.shape
+    if n < 3:
+        raise ExecutionError(f"a convex polygon needs n >= 3 vertices, got n={n}")
+    c = np.ascontiguousarray(np.transpose(w, (1, 2, 0)))
+    m = np.zeros((n, n, p), dtype=np.float64)
+    choice = np.zeros((n, n, p), dtype=np.int64)
+    for i in range(n - 2, 0, -1):
+        for j in range(i + 1, n):
+            cand = m[i, i:j] + m[i + 1 : j + 1, j]
+            best = cand.argmin(axis=0)
+            choice[i, j] = best + i
+            m[i, j] = cand[best, np.arange(p)] + c[i - 1, j]
+    return m[1, n - 1].copy(), np.ascontiguousarray(np.transpose(choice, (2, 0, 1)))

@@ -1,0 +1,90 @@
+"""Theorem 3 machinery: the Ω(pt/w + lt) lower bound and optimality checks.
+
+Theorem 3's argument has two independent legs:
+
+* **bandwidth** — the bulk run performs ``p·t`` memory accesses and the
+  machine serves at most ``w`` per time unit (one address group per stage),
+  so any schedule needs ``≥ ⌈pt/w⌉`` time units;
+* **latency** — each thread's ``t`` accesses are serially dependent
+  (a thread may not issue a new request until the previous completes), so
+  any schedule needs ``≥ l·t`` time units.
+
+:func:`check_optimality` packages the paper's headline: the column-wise
+arrangement's *measured* simulator time is within a small constant of the
+bound, i.e. the implementation of Theorem 2 is time-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..machine.cost import lower_bound
+from ..machine.params import MachineParams
+
+__all__ = [
+    "bandwidth_bound",
+    "latency_bound",
+    "OptimalityCheck",
+    "check_optimality",
+]
+
+
+def bandwidth_bound(params: MachineParams, t: int) -> int:
+    """``⌈p·t / w⌉`` — the memory-width leg of Theorem 3."""
+    if t < 0:
+        raise ExecutionError(f"t must be >= 0, got {t}")
+    return -(-params.p * t // params.w)
+
+
+def latency_bound(params: MachineParams, t: int) -> int:
+    """``l·t`` — the serial-dependence leg of Theorem 3."""
+    if t < 0:
+        raise ExecutionError(f"t must be >= 0, got {t}")
+    return params.l * t
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalityCheck:
+    """Measured time vs the Theorem 3 bound for one configuration."""
+
+    params: MachineParams
+    t: int
+    measured: int
+    bound: int
+
+    @property
+    def ratio(self) -> float:
+        """``measured / bound`` — ``>= 1`` always; ``O(1)`` iff optimal."""
+        return self.measured / self.bound if self.bound else float("inf")
+
+    @property
+    def is_legal(self) -> bool:
+        """No simulated schedule may beat the lower bound."""
+        return self.measured >= self.bound
+
+    def is_optimal(self, constant: float = 2.0) -> bool:
+        """Within ``constant`` of the bound (default 2: the additive
+        ``pt/w`` and ``lt`` legs can each dominate, and their sum is at most
+        twice the max)."""
+        return self.is_legal and self.ratio <= constant
+
+
+def check_optimality(
+    params: MachineParams, t: int, measured_time: int, *, constant: float = 2.0
+) -> OptimalityCheck:
+    """Build an :class:`OptimalityCheck`, raising if the bound is violated.
+
+    A measured time *below* the bound can only mean the simulator mis-counts
+    — it is treated as an internal error, not a result.
+    """
+    check = OptimalityCheck(
+        params=params, t=t, measured=measured_time, bound=lower_bound(params, t)
+    )
+    if not check.is_legal:
+        raise ExecutionError(
+            f"simulated time {measured_time} beats the Theorem 3 lower bound "
+            f"{check.bound} for p={params.p}, w={params.w}, l={params.l}, "
+            f"t={t} — the cost accounting is broken"
+        )
+    return check

@@ -1,0 +1,126 @@
+"""Streaming bulk execution: feed inputs as they arrive, drain results.
+
+The paper's FFT motivation is a *stream* "equally partitioned into many
+blocks".  :class:`BulkSession` is the convenience layer for that usage: it
+accumulates inputs until a full batch of ``p`` is available, runs the bulk
+executor, and yields results in arrival order — so a producer/consumer
+pipeline never hand-manages batch boundaries.  ``flush()`` handles the
+final partial batch by padding (idle threads), mirroring a grid whose last
+block is partially full.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..trace.ir import Program
+from .engine import BulkExecutor
+
+__all__ = ["BulkSession"]
+
+
+class BulkSession:
+    """Batch-accumulating front end over a :class:`BulkExecutor`.
+
+    Parameters
+    ----------
+    program:
+        The oblivious program to run.
+    batch:
+        Inputs per bulk round (the executor's ``p``).
+    arrangement:
+        Memory arrangement of each round (default column-wise).
+
+    Example::
+
+        session = BulkSession(build_fft(64), batch=1024)
+        for block in stream_blocks():
+            for spectrum in session.feed(block):
+                consume(spectrum)
+        for spectrum in session.flush():
+            consume(spectrum)
+    """
+
+    def __init__(
+        self, program: Program, batch: int, arrangement: str = "column"
+    ) -> None:
+        if batch <= 0:
+            raise ExecutionError(f"batch must be positive, got {batch}")
+        self.program = program
+        self.batch = int(batch)
+        self._executor = BulkExecutor(program, self.batch, arrangement)
+        self._pending: List[np.ndarray] = []
+        self._input_width: Optional[int] = None
+        self.rounds_run = 0
+        self.inputs_processed = 0
+
+    # -- feeding -----------------------------------------------------------
+    def _coerce(self, item) -> np.ndarray:
+        row = np.asarray(item, dtype=self.program.dtype).ravel()
+        if row.size > self.program.memory_words:
+            raise ExecutionError(
+                f"input of {row.size} words exceeds program memory "
+                f"({self.program.memory_words} words)"
+            )
+        if self._input_width is None:
+            self._input_width = row.size
+        elif row.size != self._input_width:
+            raise ExecutionError(
+                f"inconsistent input width: got {row.size}, session started "
+                f"with {self._input_width}"
+            )
+        return row
+
+    def feed(self, *items) -> Iterator[np.ndarray]:
+        """Add inputs; yield any results completed by full batches.
+
+        Accepts single inputs, several inputs, or 2-D arrays of inputs.
+        Results come back in arrival order, one ``memory_words`` array per
+        input.
+        """
+        for item in items:
+            arr = np.asarray(item)
+            rows = arr if arr.ndim == 2 else [arr]
+            for row in rows:
+                self._pending.append(self._coerce(row))
+                if len(self._pending) == self.batch:
+                    yield from self._run(self._pending)
+                    self._pending = []
+
+    def feed_iter(self, items: Iterable) -> Iterator[np.ndarray]:
+        """Stream from an iterable (generator-friendly :meth:`feed`)."""
+        for item in items:
+            yield from self.feed(item)
+
+    # -- draining -----------------------------------------------------------
+    def flush(self) -> Iterator[np.ndarray]:
+        """Run the final partial batch (if any), padding idle lanes."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        yield from self._run(pending)
+
+    def _run(self, rows: List[np.ndarray]) -> Iterator[np.ndarray]:
+        width = self._input_width or 0
+        block = np.zeros((self.batch, width), dtype=self.program.dtype)
+        for i, row in enumerate(rows):
+            block[i] = row
+        outputs = self._executor.run(block).outputs
+        self.rounds_run += 1
+        self.inputs_processed += len(rows)
+        for i in range(len(rows)):
+            yield outputs[i]
+
+    @property
+    def pending(self) -> int:
+        """Inputs waiting for the next full batch."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BulkSession({self.program.name!r}, batch={self.batch}, "
+            f"pending={self.pending}, rounds={self.rounds_run})"
+        )

@@ -1,0 +1,145 @@
+"""Time-unit simulation of a bulk execution on the UMM (or DMM).
+
+The semantic engine (:mod:`repro.bulk.engine`) computes *results*; this
+module computes *costs* in the paper's model.  Because the program is
+oblivious, the cost depends only on its static address trace ``a(0..t-1)``
+and the arrangement: bulk step ``i`` has thread ``j`` touch
+``arrangement.global_address(a(i), j)``, and the machine prices each step by
+warp/address-group/pipeline occupancy (Section II).
+
+The ``(t, p)`` bulk address matrix can be large (an OPT trace for a 32-gon
+at ``p = 64K`` would be ~10⁹ entries), so the trace is priced in step
+chunks; results are exact and independent of the chunk size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from ..machine.cost import CostBreakdown, lower_bound
+from ..machine.params import MachineParams
+from ..machine.simulator import MemoryMachineSimulator
+from ..machine.umm import UMM
+from ..trace.ir import Program
+from .arrangement import Arrangement, make_arrangement
+
+__all__ = ["BulkSimulationReport", "simulate_bulk", "simulate_trace"]
+
+
+@dataclass(frozen=True)
+class BulkSimulationReport:
+    """Simulated cost of one bulk execution.
+
+    Attributes
+    ----------
+    machine:
+        The priced machine's parameters.
+    arrangement:
+        ``"row"`` or ``"column"``.
+    trace_length:
+        Sequential time ``t`` of the oblivious algorithm.
+    total_time:
+        Simulated running time in UMM/DMM time units.
+    total_stages:
+        Total pipeline stage-items injected (the bandwidth term).
+    theorem3_bound:
+        The ``Ω(pt/w + lt)`` lower bound for this configuration.
+    """
+
+    machine: MachineParams
+    arrangement: str
+    trace_length: int
+    total_time: int
+    total_stages: int
+    theorem3_bound: int
+
+    @property
+    def optimality_ratio(self) -> float:
+        """``total_time / theorem3_bound`` — close to a small constant for
+        the column-wise arrangement (Theorem 3: it is time-optimal)."""
+        return self.total_time / self.theorem3_bound if self.theorem3_bound else float("inf")
+
+    @property
+    def time_per_step(self) -> float:
+        """Average time units per bulk step."""
+        return self.total_time / self.trace_length if self.trace_length else 0.0
+
+    def versus(self, other: "BulkSimulationReport") -> float:
+        """Speedup of ``self`` over ``other`` in simulated time units."""
+        return other.total_time / self.total_time if self.total_time else float("inf")
+
+
+def simulate_trace(
+    local_trace: np.ndarray,
+    arrangement: Arrangement,
+    machine: MemoryMachineSimulator,
+    *,
+    chunk_steps: int = 4096,
+) -> BulkSimulationReport:
+    """Price a raw local address trace under an arrangement on a machine."""
+    if machine.params.p != arrangement.p:
+        raise MachineConfigError(
+            f"machine has p={machine.params.p} threads but the arrangement "
+            f"holds p={arrangement.p} inputs"
+        )
+    if chunk_steps < 1:
+        raise MachineConfigError(f"chunk_steps must be >= 1, got {chunk_steps}")
+    trace = np.asarray(local_trace, dtype=np.int64)
+    total_time = 0
+    total_stages = 0
+    for lo in range(0, trace.size, chunk_steps):
+        chunk = trace[lo : lo + chunk_steps]
+        report = machine.trace_cost(arrangement.trace_addresses(chunk))
+        total_time += report.total_time
+        total_stages += report.total_stages
+    return BulkSimulationReport(
+        machine=machine.params,
+        arrangement=arrangement.name,
+        trace_length=int(trace.size),
+        total_time=total_time,
+        total_stages=total_stages,
+        theorem3_bound=lower_bound(machine.params, int(trace.size)),
+    )
+
+
+def simulate_bulk(
+    program: Program,
+    machine: Union[MemoryMachineSimulator, MachineParams],
+    arrangement: Union[str, Arrangement] = "column",
+    *,
+    chunk_steps: int = 4096,
+) -> BulkSimulationReport:
+    """Simulated UMM running time of ``program`` bulk-executed for ``p`` inputs.
+
+    ``machine`` may be :class:`MachineParams` (priced on the UMM, the paper's
+    machine) or an explicit :class:`UMM`/:class:`DMM` simulator.  The thread
+    count is the machine's ``p``; the arrangement is built to match.
+    """
+    sim = UMM(machine) if isinstance(machine, MachineParams) else machine
+    arr = make_arrangement(arrangement, program.memory_words, sim.params.p)
+    return simulate_trace(
+        program.address_trace(), arr, sim, chunk_steps=chunk_steps
+    )
+
+
+def compare_arrangements(
+    program: Program,
+    machine: Union[MemoryMachineSimulator, MachineParams],
+    *,
+    chunk_steps: int = 4096,
+) -> CostBreakdown:
+    """Row vs column simulated times plus the Theorem 3 bound, in one record."""
+    sim = UMM(machine) if isinstance(machine, MachineParams) else machine
+    row = simulate_bulk(program, sim, "row", chunk_steps=chunk_steps)
+    col = simulate_bulk(program, sim, "column", chunk_steps=chunk_steps)
+    return CostBreakdown(
+        params=sim.params,
+        t=program.trace_length,
+        row_wise=row.total_time,
+        column_wise=col.total_time,
+        bound=row.theorem3_bound,
+    )

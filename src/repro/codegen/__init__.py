@@ -1,0 +1,23 @@
+"""Code generation: oblivious IR → C99 / CUDA C (the conversion system).
+
+The paper's conclusion proposes automatic conversion of sequential C into
+bulk-execution CUDA C.  Combined with :func:`repro.bulk.convert` (Python →
+IR), this package completes the pipeline:
+
+    Python source → oblivious IR → { C99 (compiled & cross-checked here),
+                                     CUDA C (emitted for a GPU toolchain) }
+"""
+
+from .c_emitter import c_symbol_names, emit_c
+from .compile import CompiledProgram, compile_program, have_compiler
+from .cuda_emitter import emit_cuda, launch_snippet
+
+__all__ = [
+    "emit_c",
+    "c_symbol_names",
+    "emit_cuda",
+    "launch_snippet",
+    "compile_program",
+    "CompiledProgram",
+    "have_compiler",
+]

@@ -1,0 +1,145 @@
+"""Compile emitted C and run it through ctypes.
+
+Closes the loop on the conversion system: the same oblivious program runs
+through (a) the Python interpreter, (b) the vectorised bulk engine and
+(c) natively compiled C — and the tests demand bit-agreement between all
+three.  Compilation requires a system C compiler (``cc``); callers should
+guard with :func:`have_compiler` (the tests skip without one).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..trace.ir import Program
+from .c_emitter import c_symbol_names, emit_c
+
+__all__ = ["have_compiler", "compile_program", "CompiledProgram"]
+
+
+def have_compiler() -> bool:
+    """True when a usable C compiler is on PATH."""
+    return shutil.which("cc") is not None or shutil.which("gcc") is not None
+
+
+def _cc() -> str:
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        raise ExecutionError("no C compiler on PATH (install gcc/clang)")
+    return cc
+
+
+@dataclass
+class CompiledProgram:
+    """A program's native functions, loaded via ctypes.
+
+    Keep a reference alive while using the functions — the shared object is
+    unloaded with the owning library handle.
+    """
+
+    program: Program
+    _lib: ctypes.CDLL
+    _workdir: tempfile.TemporaryDirectory
+
+    def __post_init__(self) -> None:
+        names = c_symbol_names(self.program)
+        ptr = (
+            ctypes.POINTER(ctypes.c_int64)
+            if np.issubdtype(self.program.dtype, np.integer)
+            else ctypes.POINTER(ctypes.c_double)
+        )
+        self._run_one = getattr(self._lib, names["run_one"])
+        self._run_one.argtypes = [ptr]
+        self._run_one.restype = None
+        self._bulk = {}
+        for arrangement in ("column", "row"):
+            fn = getattr(self._lib, names[f"bulk_{arrangement}"])
+            fn.argtypes = [ptr, ctypes.c_long]
+            fn.restype = None
+            self._bulk[arrangement] = fn
+
+    # -- execution --------------------------------------------------------
+    def _buffer(self, arr: np.ndarray):
+        ctype = (
+            ctypes.c_int64
+            if np.issubdtype(self.program.dtype, np.integer)
+            else ctypes.c_double
+        )
+        return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+    def run_one(self, input_memory: Optional[np.ndarray] = None) -> np.ndarray:
+        """Native sequential run; mirrors :func:`repro.trace.run_sequential`."""
+        mem = np.zeros(self.program.memory_words, dtype=self.program.dtype)
+        if input_memory is not None:
+            data = np.asarray(input_memory, dtype=self.program.dtype)
+            if data.size > mem.size:
+                raise ExecutionError(
+                    f"input of {data.size} words exceeds program memory "
+                    f"({mem.size} words)"
+                )
+            mem[: data.size] = data
+        self._run_one(self._buffer(mem))
+        return mem
+
+    def run_bulk(
+        self, inputs: np.ndarray, arrangement: str = "column"
+    ) -> np.ndarray:
+        """Native bulk run; mirrors :class:`repro.bulk.BulkExecutor`.
+
+        Returns the ``(p, memory_words)`` outputs regardless of the
+        internal layout.
+        """
+        if arrangement not in self._bulk:
+            raise ExecutionError(f"unknown arrangement {arrangement!r}")
+        arr = np.asarray(inputs, dtype=self.program.dtype)
+        if arr.ndim != 2:
+            raise ExecutionError(f"expected (p, k) inputs, got shape {arr.shape}")
+        p, k = arr.shape
+        words = self.program.memory_words
+        if k > words:
+            raise ExecutionError(f"{k} input words exceed memory ({words})")
+        if arrangement == "column":
+            buf = np.zeros((words, p), dtype=self.program.dtype)
+            buf[:k, :] = arr.T
+        else:
+            buf = np.zeros((p, words), dtype=self.program.dtype)
+            buf[:, :k] = arr
+        self._bulk[arrangement](self._buffer(buf), ctypes.c_long(p))
+        return np.ascontiguousarray(buf.T) if arrangement == "column" else buf
+
+
+def compile_program(
+    program: Program, *, optimize_flag: str = "-O2"
+) -> CompiledProgram:
+    """Emit, compile (shared object) and load ``program``'s C translation."""
+    workdir = tempfile.TemporaryDirectory(prefix="repro-codegen-")
+    src = Path(workdir.name) / "program.c"
+    lib_path = Path(workdir.name) / "program.so"
+    src.write_text(emit_c(program))
+    cmd = [
+        _cc(),
+        "-std=c99",
+        optimize_flag,
+        "-fPIC",
+        "-shared",
+        str(src),
+        "-o",
+        str(lib_path),
+        "-lm",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ExecutionError(
+            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-2000:]}"
+        )
+    lib = ctypes.CDLL(str(lib_path))
+    return CompiledProgram(program=program, _lib=lib, _workdir=workdir)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still
+distinguishing configuration problems from semantic ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MachineConfigError",
+    "ProgramError",
+    "RegisterError",
+    "AddressError",
+    "ObliviousnessError",
+    "ArrangementError",
+    "ExecutionError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class MachineConfigError(ReproError, ValueError):
+    """Invalid machine parameters (``p``, ``w``, ``l``) or memory geometry."""
+
+
+class ProgramError(ReproError, ValueError):
+    """A malformed oblivious program (bad opcode, operand, or structure)."""
+
+
+class RegisterError(ProgramError):
+    """A register operand is out of range, undefined, or used after free."""
+
+
+class AddressError(ProgramError):
+    """A memory operand falls outside the program's declared memory size."""
+
+
+class ObliviousnessError(ReproError):
+    """An algorithm's address trace depends on its input data.
+
+    Raised by the obliviousness checker when two inputs produce different
+    address traces, and by the tracing converter when a Python algorithm
+    branches on a data value (which cannot be expressed obliviously without
+    a ``select``).
+    """
+
+
+class ArrangementError(ReproError, ValueError):
+    """An input arrangement does not match the program or machine geometry."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A bulk or sequential execution failed at run time."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A benchmark workload was requested with inconsistent parameters."""

@@ -1,0 +1,42 @@
+"""Experiment harness: sweeps, timing, fits, and the paper's figures."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    Series,
+    run_ablation,
+    run_fig11,
+    run_fig12,
+    run_grid,
+    run_model_validation,
+)
+from .fit import AffineFit, fit_affine
+from .plot import PlotSeries, ascii_loglog
+from .report import Table, format_ratio, format_seconds
+from .sweep import cap_by_memory, p_sweep
+from .timing import Timing, measure
+from .workloads import opt_inputs, prefix_sum_inputs
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Series",
+    "run_fig11",
+    "run_fig12",
+    "run_model_validation",
+    "run_ablation",
+    "run_grid",
+    "AffineFit",
+    "fit_affine",
+    "PlotSeries",
+    "ascii_loglog",
+    "Table",
+    "format_seconds",
+    "format_ratio",
+    "p_sweep",
+    "cap_by_memory",
+    "Timing",
+    "measure",
+    "prefix_sum_inputs",
+    "opt_inputs",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Regenerates the paper's evaluation artefacts as text tables::
+
+    python -m repro.harness fig11            # Figure 11 (prefix-sums)
+    python -m repro.harness fig12            # Figure 12 (Algorithm OPT)
+    python -m repro.harness model            # Lemma 1 / Thm 2 / Thm 3 / Cor 5
+    python -m repro.harness ablation         # design-choice ablations
+    python -m repro.harness all --quick      # everything, CI-sized
+
+``--out DIR`` additionally writes each experiment's tables to
+``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested experiments, print/write tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's evaluation figures as tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized sweeps (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write <name>.txt result files into",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](quick=args.quick)
+        text = result.render()
+        print(text)
+        print()
+        if args.out is not None:
+            from .json_report import save_result_json
+
+            args.out.mkdir(parents=True, exist_ok=True)
+            path = args.out / f"{result.name}.txt"
+            path.write_text(text + "\n")
+            save_result_json(result, args.out / f"{result.name}.json")
+            print(f"[wrote {path} and {result.name}.json]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

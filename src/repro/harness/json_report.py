@@ -1,0 +1,60 @@
+"""Machine-readable experiment output.
+
+The text tables are for humans; downstream tooling (plotting notebooks,
+regression dashboards) wants the raw numbers.  This module flattens an
+:class:`~repro.harness.experiments.ExperimentResult` into plain
+JSON-serialisable structures and writes them beside the text reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .experiments import ExperimentResult
+
+__all__ = ["result_to_dict", "save_result_json"]
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten tables, series and fits into JSON-serialisable data."""
+    return {
+        "format": "repro-experiment-result",
+        "version": FORMAT_VERSION,
+        "name": result.name,
+        "tables": [
+            {
+                "title": t.title,
+                "columns": list(t.columns),
+                "rows": [list(r) for r in t.rows],
+                "notes": list(t.notes),
+            }
+            for t in result.tables
+        ],
+        "series": {
+            key: {
+                "label": s.label,
+                "p": list(s.p_values),
+                "seconds": list(s.times),
+                "extrapolated": list(s.extrapolated),
+            }
+            for key, s in result.series.items()
+        },
+        "fits": {
+            key: {
+                "intercept_s": fit.intercept,
+                "slope_s_per_p": fit.slope,
+                "r_squared": fit.r_squared,
+                "paper_style": fit.paper_style(),
+            }
+            for key, fit in result.fits.items()
+        },
+    }
+
+
+def save_result_json(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write the flattened result as indented JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=1))

@@ -1,0 +1,127 @@
+"""ASCII log-log plots — the figures of the paper, in a terminal.
+
+The evaluation artefacts are log-log line charts (computing time vs ``p``);
+the tables carry the exact numbers, but the *shapes* — flat-then-linear
+knees, the CPU's straight line, the row/column gap — read best as a
+picture.  This renderer draws multiple series on a shared log-log canvas
+with one marker per series and a legend, producing stable plain text that
+diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+__all__ = ["PlotSeries", "ascii_loglog"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class PlotSeries:
+    """One curve: label plus matching x/y vectors (positive values)."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys) or not self.xs:
+            raise WorkloadError(
+                f"series {self.label!r}: need matching non-empty x/y vectors"
+            )
+        if min(self.xs) <= 0 or min(self.ys) <= 0:
+            raise WorkloadError(
+                f"series {self.label!r}: log-log plots need positive values"
+            )
+
+
+def _log_ticks(lo: float, hi: float, count: int) -> List[float]:
+    llo, lhi = math.log10(lo), math.log10(hi)
+    if lhi == llo:
+        return [lo] * count
+    return [10 ** (llo + (lhi - llo) * i / (count - 1)) for i in range(count)]
+
+
+def _fmt(v: float) -> str:
+    if v >= 1 or v == 0:
+        exp = int(math.floor(math.log10(v))) if v > 0 else 0
+    else:
+        exp = int(math.floor(math.log10(v)))
+    mant = v / 10**exp
+    return f"{mant:.0f}e{exp:+03d}"
+
+
+def ascii_loglog(
+    series: Sequence[PlotSeries],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "p",
+    ylabel: str = "time",
+) -> str:
+    """Render the series on one log-log canvas.
+
+    Overlapping points keep the marker of the *last* series drawn (draw the
+    most important curve last).  Axis ticks are printed in ``NeXX``
+    mantissa-exponent form.
+    """
+    if not series:
+        raise WorkloadError("nothing to plot")
+    if width < 16 or height < 6:
+        raise WorkloadError(f"canvas too small: {width}x{height}")
+    xmin = min(min(s.xs) for s in series)
+    xmax = max(max(s.xs) for s in series)
+    ymin = min(min(s.ys) for s in series)
+    ymax = max(max(s.ys) for s in series)
+
+    def xpos(x: float) -> int:
+        if xmax == xmin:
+            return 0
+        t = (math.log10(x) - math.log10(xmin)) / (math.log10(xmax) - math.log10(xmin))
+        return min(width - 1, max(0, round(t * (width - 1))))
+
+    def ypos(y: float) -> int:
+        if ymax == ymin:
+            return height - 1
+        t = (math.log10(y) - math.log10(ymin)) / (math.log10(ymax) - math.log10(ymin))
+        return min(height - 1, max(0, round((1 - t) * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[Tuple[str, str]] = []
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append((marker, s.label))
+        for x, y in zip(s.xs, s.ys):
+            grid[ypos(y)][xpos(x)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"  {title}")
+    ylab_ticks = _log_ticks(ymin, ymax, 4)[::-1]
+    tick_rows = {round(i * (height - 1) / 3): _fmt(v) for i, v in enumerate(ylab_ticks)}
+    for r in range(height):
+        label = tick_rows.get(r, "")
+        lines.append(f"{label:>8s} |" + "".join(grid[r]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    xticks = _log_ticks(xmin, xmax, 4)
+    positions = [0, width // 3, 2 * width // 3, width - 1]
+    axis = [" "] * (width + 1)
+    for pos, v in zip(positions, xticks):
+        text = _fmt(v)
+        start = min(pos, width - len(text))
+        for k, ch in enumerate(text):
+            axis[start + k] = ch
+    lines.append(" " * 10 + "".join(axis) + f"  ({xlabel}, log)")
+    lines.append(
+        " " * 10
+        + "legend: "
+        + "  ".join(f"{m} = {label}" for m, label in legend)
+        + f"   ({ylabel}, log)"
+    )
+    return "\n".join(lines)

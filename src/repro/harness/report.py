@@ -1,0 +1,85 @@
+"""Paper-style table rendering.
+
+The evaluation figures are line plots; in a terminal reproduction the same
+data reads best as aligned tables — one row per swept ``p``, one column per
+curve (CPU, GPU row-wise, GPU column-wise, speedups).  The renderer is
+deliberately plain text so bench output files diff cleanly run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from ..errors import WorkloadError
+
+__all__ = ["Table", "format_seconds", "format_ratio"]
+
+
+def format_seconds(t: float) -> str:
+    """Human scale: ns/µs/ms/s with 3 significant digits."""
+    if t != t:  # NaN
+        return "-"
+    if t < 1e-6:
+        return f"{t * 1e9:.3g} ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.3g} us"
+    if t < 1.0:
+        return f"{t * 1e3:.3g} ms"
+    return f"{t:.3g} s"
+
+
+def format_ratio(x: float) -> str:
+    """Speedup factor with a trailing ×."""
+    if x != x:
+        return "-"
+    return f"{x:.3g}x"
+
+
+@dataclass
+class Table:
+    """A fixed-schema text table.
+
+    >>> t = Table("demo", ["p", "time"])
+    >>> t.add_row([64, "1.5 us"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row (values are stringified)."""
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise WorkloadError(
+                f"row has {len(row)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The aligned table as a string."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [f"== {self.title} ==", line(headers), sep]
+        parts.extend(line(r) for r in self.rows)
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,54 @@
+"""Parameter sweeps.
+
+The paper sweeps ``p = 64, 128, …`` doubling up to the memory capacity of
+the GTX Titan.  :func:`p_sweep` generates the same geometric grids, and
+:func:`cap_by_memory` derives the largest admissible ``p`` for a program
+from a word budget — the reproduction's analogue of "due to the global
+memory capacity, it is executed for up to p = 256K … when n = 1K".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import WorkloadError
+
+__all__ = ["p_sweep", "cap_by_memory"]
+
+
+def p_sweep(start: int = 64, stop: int = 4096, factor: int = 2) -> List[int]:
+    """Geometric grid ``start, start·factor, … <= stop`` (inclusive)."""
+    if start < 1 or stop < start:
+        raise WorkloadError(f"invalid sweep bounds [{start}, {stop}]")
+    if factor < 2:
+        raise WorkloadError(f"factor must be >= 2, got {factor}")
+    out: List[int] = []
+    p = start
+    while p <= stop:
+        out.append(p)
+        p *= factor
+    return out
+
+
+def cap_by_memory(
+    memory_words: int, word_budget: int = 32_000_000, *, multiple_of: int = 64
+) -> int:
+    """Largest ``p`` (a multiple of ``multiple_of``) with
+    ``p · memory_words <= word_budget``.
+
+    The default budget (32 M words = 256 MB of float64) keeps the largest
+    bulk buffer comfortably in RAM on a laptop-class machine; callers pass a
+    larger budget on bigger hosts.
+    """
+    if memory_words <= 0:
+        raise WorkloadError(f"memory_words must be positive, got {memory_words}")
+    if multiple_of < 1:
+        raise WorkloadError(f"multiple_of must be >= 1, got {multiple_of}")
+    cap = word_budget // memory_words
+    cap -= cap % multiple_of
+    if cap < multiple_of:
+        raise WorkloadError(
+            f"word budget {word_budget} cannot fit even p={multiple_of} inputs "
+            f"of {memory_words} words"
+        )
+    return cap

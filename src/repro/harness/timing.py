@@ -1,0 +1,69 @@
+"""Wall-clock measurement utilities.
+
+The guides' advice applies: measure, don't guess.  :func:`measure` is a
+small, dependency-free timer (``pytest-benchmark`` drives the committed
+benchmark suite; this module serves the sweep harness, which needs hundreds
+of configurations per figure and therefore cheaper timing).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import WorkloadError
+
+__all__ = ["Timing", "measure"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """Summary of repeated timings of one callable (seconds)."""
+
+    best: float
+    mean: float
+    repeats: int
+
+    @property
+    def best_us(self) -> float:
+        """Best time in microseconds (the unit of the paper's small plots)."""
+        return self.best * 1e6
+
+    @property
+    def best_ms(self) -> float:
+        """Best time in milliseconds."""
+        return self.best * 1e3
+
+
+def measure(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    disable_gc: bool = True,
+) -> Timing:
+    """Time ``fn()`` and return best/mean of ``repeats`` runs.
+
+    The *best* of several runs is the standard low-noise estimator for
+    deterministic workloads (timeit's rationale); the mean is reported for
+    context.  A warm-up call absorbs lazy allocation and cache population.
+    """
+    if repeats < 1:
+        raise WorkloadError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    was_enabled = gc.isenabled()
+    if disable_gc:
+        gc.disable()
+    try:
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+    finally:
+        if disable_gc and was_enabled:
+            gc.enable()
+    return Timing(best=min(samples), mean=sum(samples) / len(samples), repeats=repeats)

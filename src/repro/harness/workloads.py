@@ -1,0 +1,38 @@
+"""Workload generators for the paper's experiments.
+
+Inputs are drawn once per configuration from a seeded generator so repeated
+harness runs time identical data.  The generators mirror the paper's
+workloads: float arrays for the prefix-sums figure, random chord weights
+for the OPT figure (the paper does not publish its weight distribution;
+uniform non-negative weights exercise the identical instruction/trace
+stream, which is all that matters for an oblivious algorithm — by
+definition the addresses, and hence the timing, are data-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.polygon import pack_weights
+from ..algorithms.registry import make_chord_weights
+from ..errors import WorkloadError
+
+__all__ = ["prefix_sum_inputs", "opt_inputs", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20140519  # IPPS 2014, Phoenix — a fixed, arbitrary seed
+
+
+def prefix_sum_inputs(n: int, p: int, *, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """``(p, n)`` float arrays for the Figure 11 workload."""
+    if n <= 0 or p <= 0:
+        raise WorkloadError(f"need positive sizes, got n={n}, p={p}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(p, n))
+
+
+def opt_inputs(n: int, p: int, *, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """``(p, 2n²)`` program inputs (packed chord weights) for Figure 12."""
+    if n < 3 or p <= 0:
+        raise WorkloadError(f"need n >= 3 and positive p, got n={n}, p={p}")
+    rng = np.random.default_rng(seed)
+    return pack_weights(make_chord_weights(rng, n, p))

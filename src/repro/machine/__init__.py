@@ -1,0 +1,86 @@
+"""Memory machine models: the DMM / UMM / HMM substrate (paper, Section II).
+
+Public surface:
+
+* :class:`MachineParams` — the ``(p, w, l)`` triple with validation and presets.
+* :class:`UMM` / :class:`DMM` — time-unit cost simulators for the Unified and
+  Discrete Memory Machines.
+* :class:`HMM` — the hierarchical composition (DMM cores + UMM global memory).
+* :class:`BankedMemory` — the interleaved word store.
+* :mod:`repro.machine.cost` — Lemma 1 / Theorem 2 / Theorem 3 / Corollary 5
+  closed forms.
+"""
+
+from .address import (
+    address_group_of,
+    bank_of,
+    conflicts_per_warp,
+    count_distinct_groups,
+    groups_per_warp,
+    max_bank_conflicts,
+)
+from .cost import (
+    CostBreakdown,
+    column_wise_time,
+    corollary5_column_wise,
+    corollary5_row_wise,
+    lemma1_column_wise,
+    lemma1_row_wise,
+    lower_bound,
+    opt_trace_length,
+    prefix_sums_trace_length,
+    row_wise_time,
+    step_time_column_wise,
+    step_time_row_wise,
+)
+from .dmm import DMM
+from .events import EventLog, EventSimulator, WarpEvent
+from .hmm import HMM, HMMParams
+from .memory import BankedMemory
+from .params import PRESETS, MachineParams, preset
+from .pipeline import PipelineModel, batch_cost
+from .simulator import MemoryMachineSimulator, StepReport, TraceCostReport
+from .umm import UMM
+from .visualize import timeline
+from .warp import WarpAccess, active_warp_matrix, plan_dispatch
+
+__all__ = [
+    "MachineParams",
+    "PRESETS",
+    "preset",
+    "UMM",
+    "DMM",
+    "HMM",
+    "EventSimulator",
+    "EventLog",
+    "WarpEvent",
+    "timeline",
+    "HMMParams",
+    "BankedMemory",
+    "MemoryMachineSimulator",
+    "StepReport",
+    "TraceCostReport",
+    "PipelineModel",
+    "batch_cost",
+    "WarpAccess",
+    "plan_dispatch",
+    "active_warp_matrix",
+    "bank_of",
+    "address_group_of",
+    "count_distinct_groups",
+    "max_bank_conflicts",
+    "groups_per_warp",
+    "conflicts_per_warp",
+    "CostBreakdown",
+    "row_wise_time",
+    "column_wise_time",
+    "step_time_row_wise",
+    "step_time_column_wise",
+    "lower_bound",
+    "prefix_sums_trace_length",
+    "opt_trace_length",
+    "lemma1_row_wise",
+    "lemma1_column_wise",
+    "corollary5_row_wise",
+    "corollary5_column_wise",
+]

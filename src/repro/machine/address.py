@@ -1,0 +1,164 @@
+"""Address-group and memory-bank arithmetic (Section II of the paper).
+
+The single address space is interleaved across ``w`` memory banks:
+
+* the word at address ``i`` lives in bank ``B[i mod w]``;
+* the ``j``-th *address group* is ``A[j] = {j*w, j*w+1, ..., (j+1)*w - 1}``.
+
+The **DMM** serialises requests destined for the *same bank*; the **UMM**
+serialises requests destined for *different address groups* (a single set of
+address lines is broadcast to every bank, so one group is served per pipeline
+stage).
+
+All functions are vectorised: they accept scalars or NumPy integer arrays and
+return the same shape, so per-warp conflict accounting over millions of
+threads stays in C.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import MachineConfigError
+
+__all__ = [
+    "bank_of",
+    "address_group_of",
+    "bank_members",
+    "address_group_members",
+    "count_distinct_groups",
+    "max_bank_conflicts",
+    "groups_per_warp",
+    "conflicts_per_warp",
+]
+
+IntLike = Union[int, np.ndarray]
+
+
+def _check_width(w: int) -> None:
+    if w <= 0:
+        raise MachineConfigError(f"width w must be positive, got {w}")
+
+
+def bank_of(addr: IntLike, w: int) -> IntLike:
+    """Bank index ``addr mod w`` holding the word at ``addr``."""
+    _check_width(w)
+    return addr % w
+
+
+def address_group_of(addr: IntLike, w: int) -> IntLike:
+    """Address-group index ``addr // w`` of the word at ``addr``."""
+    _check_width(w)
+    return addr // w
+
+
+def bank_members(j: int, w: int, limit: int) -> np.ndarray:
+    """Addresses ``{j, j+w, j+2w, ...}`` of bank ``B[j]`` below ``limit``."""
+    _check_width(w)
+    if not 0 <= j < w:
+        raise MachineConfigError(f"bank index {j} out of range [0, {w})")
+    return np.arange(j, limit, w, dtype=np.int64)
+
+
+def address_group_members(j: int, w: int) -> np.ndarray:
+    """The ``w`` consecutive addresses of address group ``A[j]``."""
+    _check_width(w)
+    if j < 0:
+        raise MachineConfigError(f"address group index must be >= 0, got {j}")
+    return np.arange(j * w, (j + 1) * w, dtype=np.int64)
+
+
+def count_distinct_groups(addrs: np.ndarray, w: int) -> int:
+    """Number of distinct address groups touched by ``addrs``.
+
+    This is the number of pipeline stages the request set occupies on the
+    UMM: requests in ``k`` different address groups occupy ``k`` stages.
+    """
+    _check_width(w)
+    a = np.asarray(addrs, dtype=np.int64)
+    if a.size == 0:
+        return 0
+    return int(np.unique(a // w).size)
+
+
+def max_bank_conflicts(addrs: np.ndarray, w: int) -> int:
+    """Largest number of *distinct* addresses destined for one bank (DMM cost).
+
+    On the DMM, requests to the same bank are processed sequentially, so a
+    warp access costs ``max_bank_conflicts`` pipeline stages.  Duplicate
+    addresses are combined into one request (broadcast), matching GPU
+    shared-memory semantics; this also preserves the models' power relation
+    — two distinct same-bank addresses always lie in different address
+    groups, so a warp's DMM stage count never exceeds its UMM stage count.
+    """
+    _check_width(w)
+    a = np.unique(np.asarray(addrs, dtype=np.int64))
+    if a.size == 0:
+        return 0
+    counts = np.bincount(a % w, minlength=w)
+    return int(counts.max())
+
+
+def _as_warp_matrix(addrs: np.ndarray, w: int) -> np.ndarray:
+    a = np.asarray(addrs, dtype=np.int64)
+    if a.ndim != 1:
+        raise MachineConfigError(f"expected a 1-D address vector, got shape {a.shape}")
+    if a.size % w != 0:
+        raise MachineConfigError(
+            f"address vector of length {a.size} is not a whole number of "
+            f"warps of width {w}"
+        )
+    return a.reshape(-1, w)
+
+
+def groups_per_warp(addrs: np.ndarray, w: int) -> np.ndarray:
+    """Distinct address-group count for each warp of ``w`` consecutive threads.
+
+    ``addrs`` holds one address per thread, ordered by thread id, with
+    ``len(addrs)`` a multiple of ``w``.  Returns an int64 vector of length
+    ``len(addrs) / w`` whose ``i``-th entry is the number of pipeline stages
+    warp ``W(i)``'s access occupies on the UMM.
+
+    Implementation note: per-row ``np.unique`` would fall back to a Python
+    loop, so instead each row is sorted and adjacent-difference counted —
+    a single vectorised pass regardless of the number of warps.
+    """
+    mat = np.sort(_as_warp_matrix(addrs, w) // w, axis=1)
+    if mat.shape[1] == 1:
+        return np.ones(mat.shape[0], dtype=np.int64)
+    changes = (mat[:, 1:] != mat[:, :-1]).sum(axis=1)
+    return (changes + 1).astype(np.int64)
+
+
+def conflicts_per_warp(addrs: np.ndarray, w: int) -> np.ndarray:
+    """Maximum bank-conflict degree for each warp (DMM stage occupancy).
+
+    Same input convention as :func:`groups_per_warp`.  For each warp, the
+    result is the largest number of that warp's *distinct* requested
+    addresses mapping to a single bank — the number of sequential turns the
+    DMM needs (duplicates are combined; see :func:`max_bank_conflicts`).
+    """
+    mat = np.sort(_as_warp_matrix(addrs, w), axis=1)
+    n_warps, width = mat.shape
+    if width == 1:
+        return np.ones(n_warps, dtype=np.int64)
+    # Duplicate addresses collapse into one request: retag each duplicate
+    # lane with a unique sentinel bank (>= w) so it forms its own length-1
+    # run and can never dominate a real bank's run.
+    bank = mat % w
+    dup = np.zeros_like(bank, dtype=bool)
+    dup[:, 1:] = mat[:, 1:] == mat[:, :-1]
+    sentinel = w + np.broadcast_to(np.arange(width), bank.shape)
+    bank = np.where(dup, sentinel, bank)
+    bank = np.sort(bank, axis=1)
+    # Run-length encode each sorted row: boundaries where the bank changes.
+    boundary = np.ones((n_warps, width), dtype=bool)
+    boundary[:, 1:] = bank[:, 1:] != bank[:, :-1]
+    idx = np.arange(width)
+    starts = np.where(boundary, idx, -1)
+    # forward-fill run-start positions along each row
+    starts = np.maximum.accumulate(starts, axis=1)
+    run_len = idx - starts + 1
+    return run_len.max(axis=1).astype(np.int64)

@@ -1,0 +1,180 @@
+"""Closed-form cost model: Lemma 1, Theorem 2, Theorem 3, Corollary 5.
+
+These are the paper's analytical results, expressed as exact step-level
+formulas (not just asymptotics) so the simulators can be validated against
+them *to the time unit*:
+
+* A bulk step whose ``p`` requests land in ``g`` address groups, dispatched
+  as ``p/w`` warps each spanning ``k_i`` groups, costs ``sum(k_i) + l - 1``.
+* **Row-wise** arrangement: the ``p`` threads access ``a(j), a(j)+n, ...,
+  a(j)+(p-1)n`` — all in different address groups when ``n >= w`` — so a step
+  costs ``p + l - 1`` and a ``t``-step algorithm costs ``(p + l - 1)·t``
+  = ``O(pt + lt)``.
+* **Column-wise** arrangement: the threads access ``a(j)·p, ..., a(j)·p +
+  (p-1)`` — consecutive — so a step costs ``p/w + l - 1`` (aligned case) and
+  the algorithm costs ``(p/w + l - 1)·t = O(pt/w + lt)``.
+* **Lower bound** (Theorem 3): ``pt`` accesses through a width-``w`` memory
+  need ``>= pt/w`` time units, and ``t`` serially-dependent accesses of
+  latency ``l`` need ``>= lt``; hence ``Ω(pt/w + lt)``.
+
+Instantiations: the prefix-sums algorithm performs ``t = 2n`` memory
+accesses (Lemma 1) and Algorithm OPT performs ``t = Θ(n³)`` (Corollary 5);
+:func:`opt_trace_length` counts OPT's accesses exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineConfigError
+from .params import MachineParams
+
+__all__ = [
+    "step_time_row_wise",
+    "step_time_column_wise",
+    "row_wise_time",
+    "column_wise_time",
+    "lower_bound",
+    "prefix_sums_trace_length",
+    "opt_trace_length",
+    "lemma1_row_wise",
+    "lemma1_column_wise",
+    "corollary5_row_wise",
+    "corollary5_column_wise",
+    "CostBreakdown",
+]
+
+
+def _check(params: MachineParams, t: int) -> None:
+    if t < 0:
+        raise MachineConfigError(f"trace length t must be >= 0, got {t}")
+
+
+def step_time_row_wise(params: MachineParams) -> int:
+    """Exact time units of one row-wise bulk step: ``p + l - 1``.
+
+    Assumes the per-input array size ``n >= w`` so that the ``p`` strided
+    addresses fall in ``p`` distinct address groups (the paper's standing
+    assumption).
+    """
+    return params.p + params.l - 1
+
+
+def step_time_column_wise(params: MachineParams) -> int:
+    """Exact time units of one aligned column-wise bulk step: ``p/w + l - 1``.
+
+    The ``p`` consecutive addresses ``a·p .. a·p + p - 1`` with ``p`` a
+    multiple of ``w`` span exactly ``p/w`` address groups when ``a·p`` is
+    group-aligned; an unaligned base adds at most one group (covered by the
+    ``+1`` slack the validation benches allow).
+    """
+    return params.num_warps + params.l - 1
+
+
+def row_wise_time(params: MachineParams, t: int) -> int:
+    """Theorem 2 (row-wise), exact: ``(p + l - 1) · t`` time units."""
+    _check(params, t)
+    return step_time_row_wise(params) * t
+
+
+def column_wise_time(params: MachineParams, t: int) -> int:
+    """Theorem 2 (column-wise), exact aligned case: ``(p/w + l - 1) · t``."""
+    _check(params, t)
+    return step_time_column_wise(params) * t
+
+
+def lower_bound(params: MachineParams, t: int) -> int:
+    """Theorem 3: any bulk execution takes ``>= max(ceil(pt/w), lt)`` time units."""
+    _check(params, t)
+    bandwidth = -(-params.p * t // params.w)  # ceil(p*t / w)
+    latency = params.l * t
+    return max(bandwidth, latency)
+
+
+# -- instantiations -----------------------------------------------------------
+
+def prefix_sums_trace_length(n: int) -> int:
+    """Memory accesses of Algorithm Prefix-sums on an array of ``n`` words.
+
+    One read and one write per element: ``t = 2n`` (the paper's access
+    function ``a(2i) = a(2i+1) = i``).
+    """
+    if n < 0:
+        raise MachineConfigError(f"n must be >= 0, got {n}")
+    return 2 * n
+
+
+def opt_trace_length(n: int) -> int:
+    """Memory accesses of Algorithm OPT on a convex ``n``-gon, exactly.
+
+    The DP table ``M`` is indexed ``1..n-1``.  Per the paper's pseudo-code:
+
+    * the initialisation writes ``M[i,i]`` for ``i = 1..n-1``: ``n-1`` writes;
+    * for every pair ``i < j`` the inner loop reads ``M[i,k]`` and
+      ``M[k+1,j]`` for ``k = i..j-1`` (2 reads each), then reads
+      ``c[i-1,j]`` and writes ``M[i,j]`` (2 accesses).
+
+    Summing over the ``(n-2)(n-1)/2`` pairs with span ``d = j-i``::
+
+        t = (n-1) + Σ_{d=1}^{n-2} (n-1-d) · (2d + 2)
+
+    which is ``Θ(n³)`` — Corollary 5's ``t``.
+    """
+    if n < 3:
+        raise MachineConfigError(f"a convex polygon needs n >= 3 vertices, got {n}")
+    t = n - 1  # initialisation writes
+    for d in range(1, n - 1):
+        t += (n - 1 - d) * (2 * d + 2)
+    return t
+
+
+def lemma1_row_wise(params: MachineParams, n: int) -> int:
+    """Lemma 1: exact row-wise bulk prefix-sums time, ``(p + l - 1)·2n``."""
+    return row_wise_time(params, prefix_sums_trace_length(n))
+
+
+def lemma1_column_wise(params: MachineParams, n: int) -> int:
+    """Lemma 1: exact column-wise bulk prefix-sums time, ``(p/w + l - 1)·2n``."""
+    return column_wise_time(params, prefix_sums_trace_length(n))
+
+
+def corollary5_row_wise(params: MachineParams, n: int) -> int:
+    """Corollary 5: exact row-wise bulk OPT time."""
+    return row_wise_time(params, opt_trace_length(n))
+
+
+def corollary5_column_wise(params: MachineParams, n: int) -> int:
+    """Corollary 5: exact column-wise bulk OPT time."""
+    return column_wise_time(params, opt_trace_length(n))
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """Predicted vs lower-bound costs for one bulk execution configuration."""
+
+    params: MachineParams
+    t: int
+    row_wise: int
+    column_wise: int
+    bound: int
+
+    @classmethod
+    def for_trace(cls, params: MachineParams, t: int) -> "CostBreakdown":
+        """Assemble the full Theorem 2 / Theorem 3 picture for a ``t``-step trace."""
+        return cls(
+            params=params,
+            t=t,
+            row_wise=row_wise_time(params, t),
+            column_wise=column_wise_time(params, t),
+            bound=lower_bound(params, t),
+        )
+
+    @property
+    def column_wise_optimality_ratio(self) -> float:
+        """``column_wise / bound`` — bounded by a small constant (optimality)."""
+        return self.column_wise / self.bound if self.bound else float("inf")
+
+    @property
+    def row_over_column(self) -> float:
+        """Speedup of the column-wise over the row-wise arrangement."""
+        return self.row_wise / self.column_wise if self.column_wise else float("inf")

@@ -1,0 +1,31 @@
+"""The Discrete Memory Machine (DMM) cost simulator.
+
+The DMM gives every memory bank its own address lines, so at each pipeline
+stage the machine can serve **one request per bank** — different banks in
+parallel, same-bank requests in turn.  A warp's request set occupies as many
+stages as its worst *bank conflict*: the largest number of its requests
+mapping to a single bank ``B[j] = {j, j+w, j+2w, ...}``.
+
+This models the CUDA *shared memory*: conflict-free warp accesses cost one
+stage, a ``k``-way bank conflict costs ``k``.  The DMM is strictly more
+powerful than the UMM — a warp access that is single-stage on the UMM
+(one address group) is also single-stage on the DMM (the ``w`` addresses of
+a group hit ``w`` distinct banks), but not vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import conflicts_per_warp
+from .simulator import MemoryMachineSimulator
+
+__all__ = ["DMM"]
+
+
+class DMM(MemoryMachineSimulator):
+    """Discrete Memory Machine: stage occupancy = max bank-conflict degree."""
+
+    def warp_stage_counts(self, warp_addrs: np.ndarray) -> np.ndarray:
+        """Max distinct-address bank conflict per warp (one bank turn/stage)."""
+        return conflicts_per_warp(warp_addrs.reshape(-1), self.params.w)

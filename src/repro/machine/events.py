@@ -1,0 +1,170 @@
+"""Discrete-event simulation of the memory machines, cycle by cycle.
+
+The :class:`~repro.machine.simulator.MemoryMachineSimulator` family prices
+traces with the closed-form batch rule ``K + l − 1``.  This module is its
+*independent implementation*: an event-level machine that models what the
+paper's Figure 4 actually draws — stage-items entering the pipeline one per
+cycle, each draining ``l − 1`` cycles later — and records every warp access
+as an event.  The test suite demands cycle-exact agreement between the two
+on random traces, which is the strongest internal check the cost model has.
+
+Beyond validation, the event log supports timeline queries (pipeline
+occupancy per cycle, utilisation) that the closed form cannot answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from .params import MachineParams
+from .simulator import MemoryMachineSimulator
+from .umm import UMM
+
+__all__ = ["WarpEvent", "EventLog", "EventSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class WarpEvent:
+    """One warp's memory access, as scheduled by the event machine.
+
+    Attributes
+    ----------
+    step:
+        Index of the SIMD step (the sequential algorithm's memory op).
+    warp:
+        Warp id within the machine.
+    stages:
+        Pipeline stage-items this access occupies (address groups on the
+        UMM, conflict degree on the DMM).
+    issue_start:
+        Cycle at which the warp's first stage-item enters the pipeline.
+    complete:
+        Cycle at which the warp's last request reaches the banks.
+    """
+
+    step: int
+    warp: int
+    stages: int
+    issue_start: int
+    complete: int
+
+
+@dataclass
+class EventLog:
+    """The full schedule of a simulated trace."""
+
+    params: MachineParams
+    events: List[WarpEvent] = field(default_factory=list)
+    total_cycles: int = 0
+
+    def occupancy(self, cycle: int) -> int:
+        """Stage-items in flight at ``cycle`` (issued, not yet completed)."""
+        return sum(
+            1
+            for e in self.events
+            for s in range(e.stages)
+            if e.issue_start + s <= cycle < e.issue_start + s + self.params.l
+        )
+
+    @property
+    def total_stage_items(self) -> int:
+        """Stage-items issued over the whole log (the bandwidth term)."""
+        return sum(e.stages for e in self.events)
+
+    @property
+    def utilization(self) -> float:
+        """Issued stage-items per cycle — 1.0 means the bus never idles."""
+        return self.total_stage_items / self.total_cycles if self.total_cycles else 0.0
+
+    def events_for_step(self, step: int) -> List[WarpEvent]:
+        """All warp accesses belonging to SIMD step ``step``."""
+        return [e for e in self.events if e.step == step]
+
+
+class EventSimulator:
+    """Cycle-level scheduler for a machine's bulk trace.
+
+    ``machine`` supplies the per-warp stage counts (so the same event
+    scheduler serves the UMM and the DMM); the scheduler then issues
+    stage-items one per cycle in round-robin warp order, completing each
+    ``l − 1`` cycles after issue, and starts step ``i + 1`` only when step
+    ``i`` has fully completed (threads may not overlap their own accesses).
+    """
+
+    def __init__(self, machine: MemoryMachineSimulator) -> None:
+        self.machine = machine
+        self.params = machine.params
+
+    def simulate_trace(
+        self,
+        addr_matrix: np.ndarray,
+        mask_matrix: Optional[np.ndarray] = None,
+    ) -> EventLog:
+        """Schedule a ``(t, p)`` trace and return the full event log."""
+        a = np.asarray(addr_matrix, dtype=np.int64)
+        if a.ndim != 2 or a.shape[1] != self.params.p:
+            raise MachineConfigError(
+                f"expected trace of shape (t, p={self.params.p}), got {a.shape}"
+            )
+        log = EventLog(params=self.params)
+        clock = 0
+        w = self.params.w
+        for step in range(a.shape[0]):
+            mask = None if mask_matrix is None else np.asarray(mask_matrix[step], bool)
+            step_end = clock
+            issue = clock  # next free issue cycle of the shared pipeline
+            dispatched = False
+            for warp in range(self.params.num_warps):
+                lo, hi = warp * w, (warp + 1) * w
+                lane_addrs = a[step, lo:hi]
+                if mask is not None:
+                    lanes = mask[lo:hi]
+                    if not lanes.any():
+                        continue  # idle warp: never dispatched
+                    fill = lane_addrs[np.argmax(lanes)]
+                    lane_addrs = np.where(lanes, lane_addrs, fill)
+                stages = int(
+                    self.machine.warp_stage_counts(lane_addrs.reshape(1, w))[0]
+                )
+                # stage-items enter back to back, one per cycle
+                start = issue
+                issue += stages
+                complete = issue + self.params.l - 1
+                log.events.append(
+                    WarpEvent(
+                        step=step,
+                        warp=warp,
+                        stages=stages,
+                        issue_start=start,
+                        complete=complete,
+                    )
+                )
+                step_end = max(step_end, complete)
+                dispatched = True
+            clock = step_end if dispatched else clock
+        log.total_cycles = clock
+        return log
+
+
+def crosscheck_against_batch(
+    machine: MemoryMachineSimulator,
+    addr_matrix: np.ndarray,
+    mask_matrix: Optional[np.ndarray] = None,
+) -> EventLog:
+    """Run the event machine and assert agreement with the batch formula.
+
+    Returns the event log; raises ``AssertionError`` on any discrepancy —
+    used by the tests and available for ad-hoc sanity checks.
+    """
+    log = EventSimulator(machine).simulate_trace(addr_matrix, mask_matrix)
+    batch = machine.trace_cost(addr_matrix, mask_matrix)
+    assert log.total_cycles == batch.total_time, (
+        f"event machine says {log.total_cycles} cycles, batch formula "
+        f"{batch.total_time}"
+    )
+    assert log.total_stage_items == batch.total_stages
+    return log

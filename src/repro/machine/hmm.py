@@ -1,0 +1,126 @@
+"""The Hierarchical Memory Machine (HMM) — Section I-B extension.
+
+The paper's companion model (Nakano, 2013) composes the two machines the way
+a real GPU composes its memories: ``d`` streaming multiprocessors, each a
+**DMM** over its private shared memory, all attached to one global memory
+that behaves as a **UMM** shared by every thread.
+
+This module provides a cost-level composition: a bulk execution is split
+into global-memory phases (priced by the UMM over all ``d·p`` threads) and
+shared-memory phases (priced per-DMM, running in parallel, so the batch
+costs the *maximum* over the ``d`` cores).  It is deliberately minimal — the
+paper under reproduction evaluates only the UMM — but it lets the ablation
+benches show where a shared-memory staging step would pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from .dmm import DMM
+from .params import MachineParams
+from .simulator import TraceCostReport
+from .umm import UMM
+
+__all__ = ["HMMParams", "HMM"]
+
+
+@dataclass(frozen=True, slots=True)
+class HMMParams:
+    """Geometry of an HMM: ``d`` DMM cores plus one global UMM.
+
+    Parameters
+    ----------
+    d:
+        Number of DMM cores (streaming multiprocessors).
+    core:
+        Per-core machine parameters (threads per core, shared-memory width
+        and latency).
+    global_width:
+        Width of the global memory (UMM).
+    global_latency:
+        Latency of the global memory — typically much larger than the
+        shared-memory latency.
+    """
+
+    d: int
+    core: MachineParams
+    global_width: int
+    global_latency: int
+
+    def __post_init__(self) -> None:
+        if self.d <= 0:
+            raise MachineConfigError(f"d must be positive, got {self.d}")
+        if (self.core.p * self.d) % self.global_width != 0:
+            raise MachineConfigError(
+                f"total threads {self.core.p * self.d} must be a multiple of "
+                f"the global width {self.global_width}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across all cores, ``d · p``."""
+        return self.d * self.core.p
+
+    @property
+    def global_params(self) -> MachineParams:
+        """The composed UMM seen by all threads at the global memory."""
+        return MachineParams(
+            p=self.total_threads, w=self.global_width, l=self.global_latency
+        )
+
+
+class HMM:
+    """Cost simulator for the hierarchical machine.
+
+    Global-memory traces are priced on the composed UMM; shared-memory traces
+    are priced on each core's DMM with the cores running concurrently.
+    """
+
+    def __init__(self, params: HMMParams) -> None:
+        self.params = params
+        self._umm = UMM(params.global_params)
+        self._dmm = DMM(params.core)
+
+    def global_trace_cost(
+        self,
+        addr_matrix: np.ndarray,
+        mask_matrix: Optional[np.ndarray] = None,
+    ) -> TraceCostReport:
+        """Cost of a ``(t, d·p)`` global-memory trace (all threads together)."""
+        return self._umm.trace_cost(addr_matrix, mask_matrix)
+
+    def shared_trace_cost(
+        self, core_traces: Sequence[np.ndarray]
+    ) -> int:
+        """Cost of per-core shared-memory traces executing concurrently.
+
+        ``core_traces[c]`` is the ``(t_c, p)`` trace of core ``c``; the batch
+        completes when the slowest core finishes, so the cost is the max of
+        the per-core DMM costs (0 if no traces).
+        """
+        if len(core_traces) > self.params.d:
+            raise MachineConfigError(
+                f"got {len(core_traces)} core traces for d={self.params.d} cores"
+            )
+        worst = 0
+        for trace in core_traces:
+            worst = max(worst, self._dmm.trace_cost(trace).total_time)
+        return worst
+
+    def staged_cost(
+        self,
+        load_trace: np.ndarray,
+        core_traces: Sequence[np.ndarray],
+        store_trace: np.ndarray,
+    ) -> int:
+        """Global load → parallel shared-memory compute → global store."""
+        return (
+            self.global_trace_cost(load_trace).total_time
+            + self.shared_trace_cost(core_traces)
+            + self.global_trace_cost(store_trace).total_time
+        )

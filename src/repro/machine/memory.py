@@ -1,0 +1,156 @@
+"""Word-addressed banked memory shared by the DMM and the UMM.
+
+The memory is a single address space of ``size`` words, interleaved across
+``w`` banks (address ``i`` lives in bank ``i mod w``; see
+:mod:`repro.machine.address`).  The store is backed by a NumPy array so bulk
+reads/writes by a whole warp (or by all ``p`` threads of a SIMD step) are
+single vectorised operations.
+
+The class optionally keeps an *access log* — the flat list of addresses
+touched, in program order — which is what the obliviousness checker and the
+cost simulators consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AddressError, MachineConfigError
+
+__all__ = ["BankedMemory"]
+
+
+class BankedMemory:
+    """A word-addressed memory of ``size`` words across ``w`` banks.
+
+    Parameters
+    ----------
+    size:
+        Number of addressable words.
+    w:
+        Interleaving width (number of banks).  Only used for the bank/group
+        views; reads and writes are position-based.
+    dtype:
+        NumPy dtype of each word (default ``float64``).
+    record:
+        When true, every read/write appends its address(es) to
+        :attr:`access_log`.
+    """
+
+    __slots__ = ("_data", "w", "record", "access_log")
+
+    def __init__(
+        self,
+        size: int,
+        w: int = 32,
+        *,
+        dtype: np.dtype | type = np.float64,
+        record: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise MachineConfigError(f"memory size must be positive, got {size}")
+        if w <= 0:
+            raise MachineConfigError(f"width w must be positive, got {w}")
+        self._data = np.zeros(size, dtype=dtype)
+        self.w = int(w)
+        self.record = bool(record)
+        self.access_log: List[np.ndarray] = []
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of addressable words."""
+        return int(self._data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Word dtype."""
+        return self._data.dtype
+
+    @property
+    def num_groups(self) -> int:
+        """Number of (possibly partial) address groups covering the memory."""
+        return -(-self.size // self.w)
+
+    def bank_view(self, j: int) -> np.ndarray:
+        """Strided view of bank ``B[j]`` — addresses ``j, j+w, j+2w, ...``."""
+        if not 0 <= j < self.w:
+            raise AddressError(f"bank {j} out of range [0, {self.w})")
+        return self._data[j :: self.w]
+
+    def group_view(self, j: int) -> np.ndarray:
+        """Contiguous view of address group ``A[j]``."""
+        if not 0 <= j < self.num_groups:
+            raise AddressError(f"address group {j} out of range [0, {self.num_groups})")
+        return self._data[j * self.w : (j + 1) * self.w]
+
+    # -- access ------------------------------------------------------------
+    def _check(self, addrs: np.ndarray) -> np.ndarray:
+        a = np.asarray(addrs, dtype=np.int64)
+        if a.size and (a.min() < 0 or a.max() >= self.size):
+            bad = a[(a < 0) | (a >= self.size)][0]
+            raise AddressError(
+                f"address {int(bad)} out of range [0, {self.size})"
+            )
+        return a
+
+    def read(self, addrs) -> np.ndarray:
+        """Read the words at ``addrs`` (scalar or vector of addresses)."""
+        a = self._check(addrs)
+        if self.record:
+            self.access_log.append(np.atleast_1d(a).copy())
+        return self._data[a]
+
+    def write(self, addrs, values) -> None:
+        """Write ``values`` to ``addrs`` (scalar or vector).
+
+        Concurrent duplicate addresses within one vectorised write follow
+        NumPy fancy-assignment semantics (last writer wins), matching the
+        arbitrary-CRCW convention; bulk executions in this library never
+        issue duplicate addresses in one step, because each thread owns a
+        disjoint input.
+        """
+        a = self._check(addrs)
+        if self.record:
+            self.access_log.append(np.atleast_1d(a).copy())
+        self._data[a] = values
+
+    # -- bulk load/store ----------------------------------------------------
+    def load_array(self, values: Sequence[float] | np.ndarray, offset: int = 0) -> None:
+        """Copy ``values`` into memory starting at ``offset`` (not logged)."""
+        v = np.asarray(values, dtype=self._data.dtype)
+        if offset < 0 or offset + v.size > self.size:
+            raise AddressError(
+                f"load of {v.size} words at offset {offset} exceeds memory "
+                f"size {self.size}"
+            )
+        self._data[offset : offset + v.size] = v
+
+    def dump(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Copy of the words in ``[start, stop)`` (not logged)."""
+        stop = self.size if stop is None else stop
+        if not 0 <= start <= stop <= self.size:
+            raise AddressError(f"dump range [{start}, {stop}) invalid for size {self.size}")
+        return self._data[start:stop].copy()
+
+    def raw(self) -> np.ndarray:
+        """The backing array itself (mutations bypass logging — use in engines)."""
+        return self._data
+
+    def clear_log(self) -> None:
+        """Drop the recorded access log."""
+        self.access_log.clear()
+
+    def flat_log(self) -> np.ndarray:
+        """All logged addresses concatenated in program order."""
+        if not self.access_log:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self.access_log)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BankedMemory(size={self.size}, w={self.w}, dtype={self.dtype}, "
+            f"record={self.record})"
+        )

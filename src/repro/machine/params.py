@@ -1,0 +1,127 @@
+"""Machine parameters for the memory machine models (DMM / UMM / HMM).
+
+The paper characterises both machines by three parameters:
+
+``p``
+    number of threads (each thread is a RAM executing in SIMD fashion),
+``w``
+    the *width*: number of memory banks, and equally the number of threads
+    in a warp,
+``l``
+    the memory access *latency*: a request travels through an ``l``-stage
+    pipeline, so a single access completes after at least ``l`` time units
+    and each thread can have at most one access in flight.
+
+On real CUDA hardware the paper quotes ``w = 32`` for the shared memory,
+``w`` equivalent to 256–384 bits for the global memory, latency of several
+hundred cycles for the global memory, and up to 65 million threads per grid.
+:data:`PRESETS` records a few such configurations for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator
+
+from ..errors import MachineConfigError
+
+__all__ = ["MachineParams", "PRESETS", "preset"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineParams:
+    """Immutable (``p``, ``w``, ``l``) triple describing a memory machine.
+
+    Parameters
+    ----------
+    p:
+        Number of threads. Must be a positive multiple of ``w`` (the paper
+        assumes this; warps are groups of exactly ``w`` threads).
+    w:
+        Memory width — the number of memory banks and the warp size.
+    l:
+        Memory access latency in time units (pipeline depth), ``l >= 1``.
+    """
+
+    p: int
+    w: int
+    l: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.p, int) or self.p <= 0:
+            raise MachineConfigError(f"p must be a positive int, got {self.p!r}")
+        if not isinstance(self.w, int) or self.w <= 0:
+            raise MachineConfigError(f"w must be a positive int, got {self.w!r}")
+        if not isinstance(self.l, int) or self.l < 1:
+            raise MachineConfigError(f"l must be an int >= 1, got {self.l!r}")
+        if self.p % self.w != 0:
+            raise MachineConfigError(
+                f"p ({self.p}) must be a multiple of the width w ({self.w}); "
+                "the paper partitions the p threads into p/w warps of w threads"
+            )
+
+    @property
+    def num_warps(self) -> int:
+        """Number of warps ``p / w``."""
+        return self.p // self.w
+
+    def warp_of(self, thread: int) -> int:
+        """Warp index of ``thread``: ``W(i)`` contains threads ``i*w .. (i+1)*w-1``."""
+        if not 0 <= thread < self.p:
+            raise MachineConfigError(f"thread {thread} out of range [0, {self.p})")
+        return thread // self.w
+
+    def threads_of_warp(self, warp: int) -> range:
+        """The ``range`` of thread ids belonging to warp ``warp``."""
+        if not 0 <= warp < self.num_warps:
+            raise MachineConfigError(f"warp {warp} out of range [0, {self.num_warps})")
+        return range(warp * self.w, (warp + 1) * self.w)
+
+    def warps(self) -> Iterator[range]:
+        """Iterate the thread ranges of all warps in dispatch (round-robin) order."""
+        for i in range(self.num_warps):
+            yield self.threads_of_warp(i)
+
+    def with_threads(self, p: int) -> "MachineParams":
+        """Return a copy with a different thread count (same ``w``, ``l``)."""
+        return replace(self, p=p)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"MemoryMachine(p={self.p} threads, {self.num_warps} warps of "
+            f"w={self.w}, latency l={self.l})"
+        )
+
+
+#: Named parameter presets. ``paper-figure1`` matches the worked example in
+#: the paper's Figure 1 (p=20 is not a multiple of w=4 in the figure's prose,
+#: so we use the nearest valid p=20 -> 20 threads, w=4). ``gtx-titan-like``
+#: approximates the evaluation machine: warp width 32 and a few-hundred-cycle
+#: global-memory latency.
+PRESETS: Dict[str, MachineParams] = {
+    "tiny": MachineParams(p=8, w=4, l=2),
+    "paper-figure1": MachineParams(p=20, w=4, l=5),
+    "default": MachineParams(p=1024, w=32, l=100),
+    "gtx-titan-like": MachineParams(p=2688 // 32 * 32, w=32, l=400),
+    "wide": MachineParams(p=4096, w=128, l=200),
+}
+
+
+def preset(name: str, *, p: int | None = None) -> MachineParams:
+    """Fetch a preset by name, optionally overriding the thread count.
+
+    >>> preset("tiny").w
+    4
+    >>> preset("default", p=64).p
+    64
+    """
+    try:
+        base = PRESETS[name]
+    except KeyError:
+        raise MachineConfigError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+    if p is not None:
+        base = base.with_threads(p)
+    return base

@@ -1,0 +1,100 @@
+"""The ``l``-stage memory access pipeline (Section II, Figure 4).
+
+Requests travel to the memory banks through ``l`` pipeline registers.  Each
+stage can hold the requests destined for **one** address group (UMM) or one
+conflict-free bank pattern (DMM), so a warp whose request set needs ``k``
+stages injects ``k`` items into the pipeline.  A batch of warp accesses that
+injects ``K = k_0 + k_1 + ...`` stage-items completes, per the paper's worked
+example (``3 + 1 + 5 - 1 = 8``), in::
+
+    K + l - 1   time units.
+
+:class:`PipelineModel` exposes both the closed-form batch cost and an
+incremental accumulator that yields per-warp completion times, which the
+cycle-level tests use to cross-check the batch formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import MachineConfigError
+
+__all__ = ["PipelineModel", "batch_cost"]
+
+
+def batch_cost(stage_counts: Sequence[int] | np.ndarray, l: int) -> int:
+    """Completion time of one synchronous batch of warp accesses.
+
+    ``stage_counts[i]`` is the number of pipeline stages warp ``i``'s request
+    set occupies (distinct address groups on the UMM, max bank conflicts on
+    the DMM).  An empty batch costs 0.
+    """
+    if l < 1:
+        raise MachineConfigError(f"latency l must be >= 1, got {l}")
+    counts = np.asarray(stage_counts, dtype=np.int64)
+    if counts.size == 0:
+        return 0
+    if counts.min() < 1:
+        raise MachineConfigError("every dispatched warp occupies at least one stage")
+    return int(counts.sum()) + l - 1
+
+
+@dataclass
+class PipelineModel:
+    """Incremental model of the ``l``-stage access pipeline.
+
+    Warp request sets are fed in dispatch order with :meth:`issue`; the model
+    tracks the cycle at which each injection drains out of the last stage.
+    One stage-item enters the pipeline per cycle, and an item issued at cycle
+    ``c`` reaches the banks at cycle ``c + l - 1`` (1-indexed completion at
+    ``c + l``); we count, like the paper, the total number of time units from
+    the first issue to the last completion.
+    """
+
+    l: int
+    _issue_cycle: int = field(default=0, init=False)
+    _completions: List[int] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.l < 1:
+            raise MachineConfigError(f"latency l must be >= 1, got {self.l}")
+
+    def issue(self, stage_count: int) -> int:
+        """Issue one warp's request set occupying ``stage_count`` stages.
+
+        Returns the cycle (1-indexed) at which this warp's last request
+        completes.
+        """
+        if stage_count < 1:
+            raise MachineConfigError("a dispatched warp occupies at least one stage")
+        # Stage-items enter back-to-back, one per cycle.
+        self._issue_cycle += stage_count
+        done = self._issue_cycle + self.l - 1
+        self._completions.append(done)
+        return done
+
+    def issue_many(self, stage_counts: Iterable[int]) -> int:
+        """Issue a sequence of warps; return the batch completion cycle."""
+        last = 0
+        for k in stage_counts:
+            last = self.issue(int(k))
+        return last if self._completions else 0
+
+    @property
+    def elapsed(self) -> int:
+        """Time units from the first issue until everything issued so far drains."""
+        return self._completions[-1] if self._completions else 0
+
+    @property
+    def completions(self) -> List[int]:
+        """Per-warp completion cycles in issue order."""
+        return list(self._completions)
+
+    def reset(self) -> None:
+        """Forget all issued work (new batch)."""
+        self._issue_cycle = 0
+        self._completions.clear()

@@ -1,0 +1,194 @@
+"""Shared machinery for the DMM and UMM cost simulators.
+
+Both machines execute ``p`` SIMD threads in warps of ``w`` with an
+``l``-stage access pipeline; they differ only in how many pipeline stages a
+warp's request set occupies:
+
+* **UMM** — the number of *distinct address groups* touched (one address is
+  broadcast to all banks per stage);
+* **DMM** — the *maximum bank conflict* degree (each bank serves one request
+  per stage, different banks in parallel).
+
+A *step* is one synchronous memory access by all (active) threads — the bulk
+execution of one memory operation of the underlying sequential algorithm.
+Because a thread may not issue a new request before its previous one
+completes, consecutive steps serialise, and the cost of a trace is the sum
+of its per-step batch costs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from .params import MachineParams
+from .pipeline import PipelineModel, batch_cost
+from .warp import active_warp_matrix, plan_dispatch
+
+__all__ = ["StepReport", "TraceCostReport", "MemoryMachineSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepReport:
+    """Cost breakdown of one SIMD memory step."""
+
+    warps_dispatched: int
+    total_stages: int
+    time_units: int
+
+
+@dataclass(frozen=True, slots=True)
+class TraceCostReport:
+    """Cost breakdown of a full bulk-execution trace.
+
+    Attributes
+    ----------
+    step_times:
+        Per-step time units (length ``t``).
+    step_stages:
+        Per-step total pipeline stage counts.
+    total_time:
+        ``sum(step_times)`` — the machine's running time in time units.
+    """
+
+    step_times: np.ndarray
+    step_stages: np.ndarray
+
+    @property
+    def total_time(self) -> int:
+        """Running time of the whole trace in time units."""
+        return int(self.step_times.sum())
+
+    @property
+    def total_stages(self) -> int:
+        """Total pipeline stage-items injected (the bandwidth term)."""
+        return int(self.step_stages.sum())
+
+    @property
+    def num_steps(self) -> int:
+        """Number of SIMD memory steps priced (= the trace length t)."""
+        return int(self.step_times.size)
+
+
+class MemoryMachineSimulator(ABC):
+    """Base class: time-unit accounting for SIMD memory traces.
+
+    Subclasses implement :meth:`warp_stage_counts`, mapping a ``(k, w)``
+    matrix of per-warp addresses to the per-warp stage occupancy.
+    """
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+
+    # -- machine-specific stage accounting ----------------------------------
+    @abstractmethod
+    def warp_stage_counts(self, warp_addrs: np.ndarray) -> np.ndarray:
+        """Stage occupancy of each warp given its ``(k, w)`` address matrix."""
+
+    # -- single step ---------------------------------------------------------
+    def step_cost(
+        self, addrs: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> StepReport:
+        """Cost of one synchronous memory step.
+
+        ``addrs[j]`` is the address requested by thread ``T(j)``; lanes where
+        ``mask`` is false idle, and fully-idle warps are never dispatched.
+        """
+        mat = active_warp_matrix(self.params, addrs, mask)
+        if mat.size == 0:
+            return StepReport(warps_dispatched=0, total_stages=0, time_units=0)
+        counts = self.warp_stage_counts(mat)
+        return StepReport(
+            warps_dispatched=int(mat.shape[0]),
+            total_stages=int(counts.sum()),
+            time_units=batch_cost(counts, self.params.l),
+        )
+
+    def step_cost_incremental(
+        self, addrs: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> StepReport:
+        """Slow cross-check of :meth:`step_cost` via the event pipeline model.
+
+        Walks the round-robin dispatch warp by warp through
+        :class:`~repro.machine.pipeline.PipelineModel`; used by tests to
+        confirm the closed-form batch cost.
+        """
+        accesses = plan_dispatch(self.params, addrs, mask)
+        pipe = PipelineModel(self.params.l)
+        stages = 0
+        for acc in accesses:
+            k = int(self.warp_stage_counts(acc.addrs.reshape(1, -1) if acc.addrs.size == self.params.w else _pad(acc.addrs, self.params.w))[0])
+            stages += k
+            pipe.issue(k)
+        return StepReport(
+            warps_dispatched=len(accesses),
+            total_stages=stages,
+            time_units=pipe.elapsed,
+        )
+
+    # -- whole trace ---------------------------------------------------------
+    def trace_cost(
+        self,
+        addr_matrix: np.ndarray,
+        mask_matrix: Optional[np.ndarray] = None,
+    ) -> TraceCostReport:
+        """Cost of a ``(t, p)`` trace: one row of thread addresses per step.
+
+        Vectorised over both steps and threads.  When ``mask_matrix`` is
+        given (same shape, boolean), idle lanes and idle warps follow the
+        dispatch rules of :meth:`step_cost`.
+        """
+        a = np.asarray(addr_matrix, dtype=np.int64)
+        if a.ndim != 2 or a.shape[1] != self.params.p:
+            raise MachineConfigError(
+                f"expected trace of shape (t, p={self.params.p}), got {a.shape}"
+            )
+        t = a.shape[0]
+        if t == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return TraceCostReport(step_times=z, step_stages=z)
+        w, l = self.params.w, self.params.l
+        nw = self.params.num_warps
+        if mask_matrix is None:
+            counts = self.warp_stage_counts(a.reshape(t * nw, w))
+            per_step = counts.reshape(t, nw).sum(axis=1)
+            times = per_step + (l - 1)
+        else:
+            m = np.asarray(mask_matrix, dtype=bool)
+            if m.shape != a.shape:
+                raise MachineConfigError(
+                    f"mask shape {m.shape} does not match trace shape {a.shape}"
+                )
+            # Backfill idle lanes warp-wise (vectorised over the whole trace),
+            # then zero out fully-idle warps.
+            aw = a.reshape(t * nw, w)
+            mw = m.reshape(t * nw, w)
+            any_active = mw.any(axis=1)
+            first = np.argmax(mw, axis=1)
+            fill = aw[np.arange(aw.shape[0]), first]
+            aw = np.where(mw, aw, fill[:, None])
+            counts = self.warp_stage_counts(aw)
+            counts = np.where(any_active, counts, 0)
+            per_step = counts.reshape(t, nw).sum(axis=1)
+            # A step with no dispatched warp at all costs nothing.
+            active_step = mw.reshape(t, nw * w).any(axis=1)
+            times = np.where(active_step, per_step + (l - 1), 0)
+        return TraceCostReport(
+            step_times=times.astype(np.int64),
+            step_stages=per_step.astype(np.int64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.params.describe()})"
+
+
+def _pad(addrs: np.ndarray, w: int) -> np.ndarray:
+    """Pad a partial warp's active addresses to width ``w`` without adding
+    groups or conflicts (repeat the first address)."""
+    out = np.full(w, addrs[0], dtype=np.int64)
+    out[: addrs.size] = addrs
+    return out.reshape(1, w)

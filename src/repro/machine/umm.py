@@ -1,0 +1,58 @@
+"""The Unified Memory Machine (UMM) cost simulator.
+
+The UMM broadcasts a single address value to every memory bank, so at each
+pipeline stage the machine can serve the requests falling in **one address
+group** ``A[j] = {j*w, ..., (j+1)*w - 1}``.  A warp whose ``w`` requests span
+``k`` address groups therefore occupies ``k`` pipeline stages; this captures
+the *coalescing* requirement of the CUDA global memory: a warp accessing
+``w`` consecutive, aligned addresses costs a single stage, while a warp
+striding across memory costs up to ``w`` stages.
+
+Example (paper, Figure 4): with ``w = 4`` and ``l = 5``, a warp whose
+requests span 3 address groups followed by a warp confined to one group
+completes in ``3 + 1 + 5 - 1 = 8`` time units::
+
+    >>> from repro.machine import MachineParams, UMM
+    >>> import numpy as np
+    >>> umm = UMM(MachineParams(p=8, w=4, l=5))
+    >>> addrs = np.array([0, 4, 8, 9,   12, 13, 14, 15])
+    >>> umm.step_cost(addrs).time_units
+    8
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import groups_per_warp
+from .params import MachineParams
+from .simulator import MemoryMachineSimulator
+
+__all__ = ["UMM"]
+
+
+class UMM(MemoryMachineSimulator):
+    """Unified Memory Machine: stage occupancy = distinct address groups."""
+
+    def warp_stage_counts(self, warp_addrs: np.ndarray) -> np.ndarray:
+        """Distinct address groups per warp (one broadcast address/stage)."""
+        return groups_per_warp(warp_addrs.reshape(-1), self.params.w)
+
+
+def coalesced_step_time(params: MachineParams) -> int:
+    """Time units of a perfectly coalesced full-machine step.
+
+    All ``p`` threads read consecutive addresses: each of the ``p/w`` warps
+    occupies one stage, so the step costs ``p/w + l - 1``.
+    """
+    return params.num_warps + params.l - 1
+
+
+def uncoalesced_step_time(params: MachineParams) -> int:
+    """Time units of a fully scattered step (one group per thread).
+
+    Every request lands in its own address group: ``p`` stages in total,
+    hence ``p + l - 1`` time units — the row-wise arrangement's per-step
+    cost in the paper's analysis.
+    """
+    return params.p + params.l - 1

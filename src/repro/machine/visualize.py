@@ -1,0 +1,61 @@
+"""ASCII timelines for event logs — Figure 4, drawn from a live schedule.
+
+Renders a :class:`~repro.machine.events.EventLog` as a per-warp timeline:
+one row per warp, one column per cycle, ``#`` while the warp is issuing
+stage-items and ``-`` while its requests drain through the pipeline.  The
+paper's Figure 4 is exactly such a picture; the tests reproduce it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from .events import EventLog
+
+__all__ = ["timeline"]
+
+
+def timeline(
+    log: EventLog,
+    *,
+    max_cycles: int = 120,
+    max_steps: Optional[int] = None,
+) -> str:
+    """Per-warp issue/drain chart of ``log``.
+
+    ``#`` marks cycles where the warp injects a stage-item; ``-`` marks
+    in-flight cycles until its last request completes.  Long logs are
+    truncated at ``max_cycles`` / ``max_steps`` with a note.
+    """
+    if max_cycles < 10:
+        raise WorkloadError(f"max_cycles too small: {max_cycles}")
+    events = log.events
+    if max_steps is not None:
+        events = [e for e in events if e.step < max_steps]
+    if not events:
+        return "(empty event log)"
+    span = min(max(e.complete for e in events), max_cycles)
+    num_warps = log.params.num_warps
+    rows = [[" "] * span for _ in range(num_warps)]
+    for e in events:
+        for s in range(e.stages):
+            c = e.issue_start + s
+            if c < span:
+                rows[e.warp][c] = "#"
+        for c in range(e.issue_start + e.stages, min(e.complete, span)):
+            if rows[e.warp][c] == " ":
+                rows[e.warp][c] = "-"
+    lines: List[str] = [
+        "cycle".ljust(10) + "".join(str(c % 10) for c in range(span)),
+    ]
+    for w in range(num_warps):
+        lines.append(f"W({w})".ljust(10) + "".join(rows[w]))
+    truncated = max(e.complete for e in log.events) > span or (
+        max_steps is not None and any(e.step >= max_steps for e in log.events)
+    )
+    legend = "# = stage-item issued, - = in flight (pipeline latency)"
+    if truncated:
+        legend += f"  [truncated to {span} cycles]"
+    lines.append(legend)
+    return "\n".join(lines)

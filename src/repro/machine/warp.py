@@ -1,0 +1,114 @@
+"""Warp partitioning and round-robin dispatch (Section II).
+
+The ``p`` threads are partitioned into ``p/w`` warps of ``w`` consecutive
+threads; warps are dispatched for memory access in round-robin order, and a
+warp in which *no* thread requests access is skipped entirely.  Threads may
+be individually inactive within a dispatched warp (e.g. a masked-off lane):
+such lanes contribute no request.
+
+This module turns a per-thread address vector (plus an optional activity
+mask) into the ordered list of *warp access descriptors* that the pipeline
+model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from .params import MachineParams
+
+__all__ = ["WarpAccess", "plan_dispatch", "active_warp_matrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class WarpAccess:
+    """One warp's memory request set for a single SIMD step.
+
+    Attributes
+    ----------
+    warp:
+        The warp index ``i`` of ``W(i)``.
+    addrs:
+        The requested addresses of the *active* lanes (length ``<= w``).
+    """
+
+    warp: int
+    addrs: np.ndarray
+
+
+def _validate(params: MachineParams, addrs: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+    a = np.asarray(addrs, dtype=np.int64)
+    if a.shape != (params.p,):
+        raise MachineConfigError(
+            f"expected one address per thread: shape ({params.p},), got {a.shape}"
+        )
+    if mask is not None:
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (params.p,):
+            raise MachineConfigError(
+                f"mask shape {m.shape} does not match thread count {params.p}"
+            )
+    return a
+
+
+def plan_dispatch(
+    params: MachineParams,
+    addrs: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> List[WarpAccess]:
+    """Ordered warp request sets for one SIMD memory step.
+
+    ``addrs[j]`` is the address thread ``T(j)`` requests; lanes where
+    ``mask`` is false are idle.  Warps whose lanes are all idle are skipped
+    (the round-robin dispatcher does not dispatch them), so they cost no
+    pipeline stage.
+    """
+    a = _validate(params, addrs, mask)
+    out: List[WarpAccess] = []
+    for i in range(params.num_warps):
+        lo, hi = i * params.w, (i + 1) * params.w
+        if mask is None:
+            lane_addrs = a[lo:hi]
+        else:
+            m = np.asarray(mask, dtype=bool)[lo:hi]
+            if not m.any():
+                continue
+            lane_addrs = a[lo:hi][m]
+        out.append(WarpAccess(warp=i, addrs=lane_addrs))
+    return out
+
+
+def active_warp_matrix(
+    params: MachineParams,
+    addrs: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Addresses reshaped to ``(num_warps, w)`` with idle lanes backfilled.
+
+    Fully-vectorised companion to :func:`plan_dispatch` used by the fast
+    cost path: idle lanes are filled with the address of the first active
+    lane in the same warp so they never *add* an address group or a bank
+    conflict; fully-idle warps are dropped.
+
+    Returns the ``(k, w)`` int64 matrix of the ``k`` dispatched warps in
+    round-robin order.
+    """
+    a = _validate(params, addrs, mask)
+    mat = a.reshape(params.num_warps, params.w)
+    if mask is None:
+        return mat
+    m = np.asarray(mask, dtype=bool).reshape(params.num_warps, params.w)
+    any_active = m.any(axis=1)
+    mat = mat[any_active]
+    m = m[any_active]
+    if mat.size == 0:
+        return mat
+    # Backfill idle lanes with the warp's first active address.
+    first_active = np.argmax(m, axis=1)
+    fill = mat[np.arange(mat.shape[0]), first_active]
+    mat = np.where(m, mat, fill[:, None])
+    return mat

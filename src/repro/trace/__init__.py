@@ -1,0 +1,68 @@
+"""Oblivious-algorithm framework: IR, builder DSL, interpreter, checkers.
+
+An oblivious sequential algorithm is represented as a straight-line
+:class:`Program` whose memory addresses are compile-time constants — making
+obliviousness structural rather than empirical.  Programs are authored with
+:class:`ProgramBuilder` (or traced from plain Python by
+:mod:`repro.bulk.convert`), executed one input at a time by
+:func:`run_sequential`, and in bulk by :class:`repro.bulk.BulkExecutor`.
+"""
+
+from .builder import ProgramBuilder, Value
+from .checker import (
+    ObliviousnessReport,
+    check_program_semantics,
+    check_python_oblivious,
+)
+from .interpreter import SequentialResult, run_sequential, run_sequential_batch
+from .ir import (
+    Binary,
+    Const,
+    Instruction,
+    Load,
+    Program,
+    Select,
+    Store,
+    Unary,
+    concat_programs,
+    instruction_def,
+    instruction_uses,
+)
+from .ops import BinaryOp, UnaryOp
+from .optimize import optimize
+from .recorder import AccessRecord, TracingMemory
+from .serialize import load_program, program_from_dict, program_to_dict, save_program
+from .regalloc import allocate_registers, live_width
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "Value",
+    "BinaryOp",
+    "UnaryOp",
+    "Const",
+    "Load",
+    "Store",
+    "Binary",
+    "Unary",
+    "Select",
+    "Instruction",
+    "concat_programs",
+    "instruction_uses",
+    "instruction_def",
+    "run_sequential",
+    "run_sequential_batch",
+    "SequentialResult",
+    "TracingMemory",
+    "AccessRecord",
+    "check_python_oblivious",
+    "check_program_semantics",
+    "ObliviousnessReport",
+    "allocate_registers",
+    "live_width",
+    "optimize",
+    "save_program",
+    "load_program",
+    "program_to_dict",
+    "program_from_dict",
+]

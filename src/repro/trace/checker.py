@@ -1,0 +1,157 @@
+"""Obliviousness checking.
+
+Section III: an algorithm is *oblivious* if there is a fixed access function
+``a(i)`` such that on **every** input it touches address ``a(i)`` (or
+nothing) at step ``i``.  Two complementary checks live here:
+
+* :func:`check_python_oblivious` — empirical: run a plain-Python algorithm
+  through :class:`~repro.trace.recorder.TracingMemory` on many random
+  inputs and demand identical traces.  A differing pair is a
+  counterexample; agreement over the trials is (only) strong evidence.
+* :func:`check_program_semantics` — IR programs are oblivious *by
+  construction* (static addresses), so what needs checking is that a built
+  program still computes the same function as the Python original.  This
+  runs both on shared random inputs and compares outputs.
+
+Both are used by the test suite (with Hypothesis generating the inputs) and
+by the tracing converter's self-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ObliviousnessError
+from .interpreter import run_sequential
+from .ir import Program
+from .recorder import TracingMemory
+
+__all__ = [
+    "ObliviousnessReport",
+    "check_python_oblivious",
+    "check_program_semantics",
+]
+
+PythonAlgorithm = Callable[[TracingMemory], None]
+InputFactory = Callable[[np.random.Generator], Sequence[float]]
+
+
+@dataclass(frozen=True)
+class ObliviousnessReport:
+    """Evidence collected by :func:`check_python_oblivious`.
+
+    Attributes
+    ----------
+    trials:
+        Number of random inputs exercised.
+    trace_length:
+        The common sequential time ``t``.
+    address_trace:
+        The common access function ``a(0..t-1)``.
+    """
+
+    trials: int
+    trace_length: int
+    address_trace: np.ndarray
+
+
+def check_python_oblivious(
+    algorithm: PythonAlgorithm,
+    input_factory: InputFactory,
+    *,
+    trials: int = 8,
+    seed: int = 0,
+) -> ObliviousnessReport:
+    """Empirically verify that ``algorithm``'s trace is input-independent.
+
+    ``algorithm`` receives a :class:`TracingMemory` and mutates it in place;
+    ``input_factory(rng)`` produces a fresh input buffer per trial.  Raises
+    :class:`ObliviousnessError` with the first diverging step on failure.
+    """
+    if trials < 2:
+        raise ValueError("need at least 2 trials to compare traces")
+    rng = np.random.default_rng(seed)
+    reference: Optional[np.ndarray] = None
+    ref_writes: Optional[np.ndarray] = None
+    for trial in range(trials):
+        mem = TracingMemory(input_factory(rng))
+        algorithm(mem)
+        trace = mem.address_trace()
+        writes = mem.write_mask()
+        if reference is None:
+            reference, ref_writes = trace, writes
+            continue
+        if trace.shape != reference.shape:
+            raise ObliviousnessError(
+                f"trial {trial}: trace length {trace.size} differs from the "
+                f"reference length {reference.size} — running time depends on "
+                "the input"
+            )
+        diff = np.nonzero(trace != reference)[0]
+        if diff.size:
+            i = int(diff[0])
+            raise ObliviousnessError(
+                f"trial {trial}: address trace diverges at step {i}: "
+                f"a({i}) = {int(reference[i])} on the reference input but "
+                f"{int(trace[i])} here — the algorithm is not oblivious"
+            )
+        kind_diff = np.nonzero(writes != ref_writes)[0]
+        if kind_diff.size:
+            i = int(kind_diff[0])
+            raise ObliviousnessError(
+                f"trial {trial}: access kind diverges at step {i} "
+                "(read on one input, write on another)"
+            )
+    assert reference is not None
+    return ObliviousnessReport(
+        trials=trials,
+        trace_length=int(reference.size),
+        address_trace=reference,
+    )
+
+
+def check_program_semantics(
+    program: Program,
+    reference: Callable[[np.ndarray], np.ndarray],
+    input_factory: InputFactory,
+    *,
+    trials: int = 8,
+    seed: int = 0,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> None:
+    """Verify an IR program computes the same function as ``reference``.
+
+    ``reference(input_array) -> expected_final_memory`` (length may be
+    shorter than ``program.memory_words``; only the prefix is compared).
+    Raises :class:`ObliviousnessError` on the first mismatch — a converted
+    program that disagrees with its source is exactly the failure mode this
+    guards the converter against.
+    """
+    rng = np.random.default_rng(seed)
+    for trial in range(trials):
+        inp = np.asarray(input_factory(rng), dtype=program.dtype)
+        got = run_sequential(program, inp, collect_trace=False).memory
+        want = np.asarray(reference(inp.copy()), dtype=program.dtype)
+        if want.size > got.size:
+            raise ObliviousnessError(
+                f"reference produced {want.size} words but the program memory "
+                f"holds {got.size}"
+            )
+        ok = (
+            np.array_equal(got[: want.size], want)
+            if np.issubdtype(program.dtype, np.integer)
+            else np.allclose(got[: want.size], want, rtol=rtol, atol=atol)
+        )
+        if not ok:
+            bad = np.nonzero(
+                ~np.isclose(got[: want.size], want, rtol=rtol, atol=atol)
+            )[0]
+            i = int(bad[0]) if bad.size else 0
+            raise ObliviousnessError(
+                f"trial {trial}: program output disagrees with the reference "
+                f"at word {i}: program={got[i]!r}, reference={want[i]!r}"
+            )

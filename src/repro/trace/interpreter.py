@@ -1,0 +1,132 @@
+"""Sequential reference interpreter — the paper's single-CPU RAM.
+
+Executes an oblivious :class:`~repro.trace.ir.Program` on **one** input,
+exactly as the paper's sequential baseline does: each thread of the UMM is
+"a Random Access Machine which can execute fundamental operations in a time
+unit", and only memory accesses are charged time.  The interpreter defines
+the library's ground-truth semantics; the bulk engine must agree with it
+input-for-input (tested property-style), and the per-input loop over this
+interpreter *is* the CPU baseline of Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .ir import Binary, Const, Instruction, Load, Program, Select, Store, Unary
+from .ops import BINARY_UFUNCS, UNARY_UFUNCS
+
+__all__ = ["run_sequential", "SequentialResult"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Outcome of one sequential execution.
+
+    Attributes
+    ----------
+    memory:
+        Final memory contents (``memory_words`` array of the program dtype).
+    time_units:
+        Sequential running time ``t`` — the number of memory accesses
+        performed (local computation is free, per the paper's model).
+    address_trace:
+        The addresses touched, in order — equals
+        ``program.address_trace()`` for any input (obliviousness), which the
+        checker asserts.
+    """
+
+    memory: np.ndarray
+    time_units: int
+    address_trace: np.ndarray
+
+
+def run_sequential(
+    program: Program,
+    input_memory: Optional[np.ndarray] = None,
+    *,
+    collect_trace: bool = True,
+) -> SequentialResult:
+    """Run ``program`` on a single input.
+
+    Parameters
+    ----------
+    program:
+        The oblivious program.
+    input_memory:
+        Initial memory image; missing/short images are zero-extended to
+        ``program.memory_words``.  The input is not mutated.
+    collect_trace:
+        Record the dynamic address trace (disable for speed in tight loops —
+        the CPU baseline of the benchmarks does).
+    """
+    mem = np.zeros(program.memory_words, dtype=program.dtype)
+    if input_memory is not None:
+        data = np.asarray(input_memory, dtype=program.dtype)
+        if data.size > program.memory_words:
+            raise ExecutionError(
+                f"input of {data.size} words exceeds program memory "
+                f"({program.memory_words} words)"
+            )
+        mem[: data.size] = data
+
+    regs = np.zeros(program.num_registers, dtype=program.dtype)
+    trace: List[int] = []
+    t = 0
+    py_scalar = program.dtype.type
+
+    for instr in program.instructions:
+        if isinstance(instr, Load):
+            regs[instr.rd] = mem[instr.addr]
+            t += 1
+            if collect_trace:
+                trace.append(instr.addr)
+        elif isinstance(instr, Store):
+            mem[instr.addr] = regs[instr.rs]
+            t += 1
+            if collect_trace:
+                trace.append(instr.addr)
+        elif isinstance(instr, Binary):
+            fn = BINARY_UFUNCS[instr.op]
+            regs[instr.rd] = py_scalar(fn(regs[instr.ra], regs[instr.rb]))
+        elif isinstance(instr, Unary):
+            fn = UNARY_UFUNCS[instr.op]
+            regs[instr.rd] = py_scalar(fn(regs[instr.ra]))
+        elif isinstance(instr, Select):
+            regs[instr.rd] = regs[instr.ra] if regs[instr.rc] != 0 else regs[instr.rb]
+        elif isinstance(instr, Const):
+            regs[instr.rd] = py_scalar(instr.imm)
+        else:  # pragma: no cover - unreachable with a validated program
+            raise ExecutionError(f"unknown instruction: {instr!r}")
+
+    return SequentialResult(
+        memory=mem,
+        time_units=t,
+        address_trace=np.asarray(trace, dtype=np.int64),
+    )
+
+
+def run_sequential_batch(
+    program: Program, inputs: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """The single-CPU bulk baseline: run the program on each input *in turn*.
+
+    ``inputs`` has shape ``(p, k)`` with ``k <= memory_words``; returns the
+    ``(p, memory_words)`` final memories and the total sequential time
+    ``p·t``.  This is exactly how the paper times its CPU numbers ("we have
+    executed Algorithm Prefix-sums p times on the Intel Core i7 CPU").
+    """
+    arr = np.asarray(inputs, dtype=program.dtype)
+    if arr.ndim != 2:
+        raise ExecutionError(f"expected (p, k) inputs, got shape {arr.shape}")
+    out = np.zeros((arr.shape[0], program.memory_words), dtype=program.dtype)
+    total = 0
+    for j in range(arr.shape[0]):
+        res = run_sequential(program, arr[j], collect_trace=False)
+        out[j] = res.memory
+        total += res.time_units
+    return out, total

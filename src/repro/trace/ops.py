@@ -1,0 +1,129 @@
+"""Operator vocabulary of the oblivious IR.
+
+Local (register-only) computation is free in the paper's accounting — only
+memory accesses cost time — but the operators still need well-defined
+semantics for both the sequential reference interpreter (scalars) and the
+bulk engine (NumPy vectors).  Each opcode therefore carries its NumPy ufunc;
+applied to scalars the same ufunc yields the scalar semantics.
+
+Comparison opcodes produce 0/1 in the program dtype so that the result can
+feed :class:`~repro.trace.ir.Select` — the IR's only conditional, which is
+what keeps every program oblivious by construction (the paper's
+``if r < s then s ← r else s ← s`` device).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import ProgramError
+
+__all__ = ["BinaryOp", "UnaryOp", "BINARY_UFUNCS", "UNARY_UFUNCS", "INT_ONLY_OPS"]
+
+
+class BinaryOp(enum.Enum):
+    """Two-operand register operations."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+
+
+class UnaryOp(enum.Enum):
+    """One-operand register operations."""
+
+    NEG = "neg"
+    ABS = "abs"
+    NOT = "not"
+    COPY = "copy"
+
+
+def _cmp(ufunc: np.ufunc) -> Callable[..., np.ndarray]:
+    """Wrap a boolean ufunc so it lands in the program dtype as 0/1."""
+
+    def apply(a, b, out=None):
+        res = ufunc(a, b)
+        if out is not None:
+            # Cast the boolean mask into the destination register.
+            np.copyto(out, res, casting="unsafe")
+            return out
+        if isinstance(a, np.ndarray):
+            return res.astype(a.dtype)
+        return type(a)(res) if not isinstance(res, bool) else (1 if res else 0)
+
+    return apply
+
+
+def _div(a, b, out=None):
+    """Division in the program dtype: true division for floats, floor for ints."""
+    dtype = a.dtype if isinstance(a, np.ndarray) else np.asarray(a).dtype
+    fn = np.floor_divide if np.issubdtype(dtype, np.integer) else np.true_divide
+    return fn(a, b, out=out) if out is not None else fn(a, b)
+
+
+BINARY_UFUNCS: Dict[BinaryOp, Callable[..., np.ndarray]] = {
+    BinaryOp.ADD: np.add,
+    BinaryOp.SUB: np.subtract,
+    BinaryOp.MUL: np.multiply,
+    BinaryOp.DIV: _div,
+    BinaryOp.MOD: np.mod,
+    BinaryOp.MIN: np.minimum,
+    BinaryOp.MAX: np.maximum,
+    BinaryOp.AND: np.bitwise_and,
+    BinaryOp.OR: np.bitwise_or,
+    BinaryOp.XOR: np.bitwise_xor,
+    BinaryOp.SHL: np.left_shift,
+    BinaryOp.SHR: np.right_shift,
+    BinaryOp.LT: _cmp(np.less),
+    BinaryOp.LE: _cmp(np.less_equal),
+    BinaryOp.GT: _cmp(np.greater),
+    BinaryOp.GE: _cmp(np.greater_equal),
+    BinaryOp.EQ: _cmp(np.equal),
+    BinaryOp.NE: _cmp(np.not_equal),
+}
+
+
+def _unary_copy(a, out=None):
+    if out is not None:
+        np.copyto(out, a)
+        return out
+    return np.copy(a) if isinstance(a, np.ndarray) else a
+
+
+UNARY_UFUNCS: Dict[UnaryOp, Callable[..., np.ndarray]] = {
+    UnaryOp.NEG: np.negative,
+    UnaryOp.ABS: np.abs,
+    UnaryOp.NOT: np.invert,
+    UnaryOp.COPY: _unary_copy,
+}
+
+#: Opcodes whose semantics require an integer program dtype.
+INT_ONLY_OPS = frozenset(
+    {BinaryOp.AND, BinaryOp.OR, BinaryOp.XOR, BinaryOp.SHL, BinaryOp.SHR}
+) | frozenset({UnaryOp.NOT})
+
+
+def require_dtype_supports(op, dtype: np.dtype) -> None:
+    """Raise :class:`ProgramError` if ``op`` is bitwise but ``dtype`` is float."""
+    if op in INT_ONLY_OPS and not np.issubdtype(dtype, np.integer):
+        raise ProgramError(
+            f"opcode {op} requires an integer program dtype, got {dtype}"
+        )

@@ -1,0 +1,93 @@
+"""Tracing memory for plain-Python algorithms.
+
+Authors often have an algorithm as ordinary Python over a list-like buffer,
+not as IR.  :class:`TracingMemory` wraps such a buffer and records every
+index it is asked for, yielding the dynamic address trace that the
+obliviousness checker compares across inputs (an algorithm is oblivious iff
+this trace is the same for *every* input; see Section III).
+
+Only integer single-cell indexing is supported deliberately — slices and
+fancy indexing would hide the per-access order the UMM model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from ..errors import AddressError
+
+__all__ = ["TracingMemory", "AccessRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One recorded access: the address and whether it was a write."""
+
+    addr: int
+    is_write: bool
+
+
+class TracingMemory:
+    """A list-like buffer that logs every read and write address.
+
+    >>> mem = TracingMemory([3.0, 1.0, 2.0])
+    >>> mem[0] = mem[0] + mem[1]
+    >>> [(r.addr, r.is_write) for r in mem.records]
+    [(0, False), (1, False), (0, True)]
+    """
+
+    __slots__ = ("_data", "records")
+
+    def __init__(self, initial: Sequence[Any] | np.ndarray) -> None:
+        self._data: List[Any] = list(initial)
+        self.records: List[AccessRecord] = []
+
+    def _index(self, i: Any) -> int:
+        if isinstance(i, (bool, np.bool_)) or not isinstance(i, (int, np.integer)):
+            raise AddressError(
+                f"TracingMemory only supports single integer indices, got {i!r}"
+            )
+        idx = int(i)
+        if not 0 <= idx < len(self._data):
+            raise AddressError(f"address {idx} out of range [0, {len(self._data)})")
+        return idx
+
+    def __getitem__(self, i: Any) -> Any:
+        idx = self._index(i)
+        self.records.append(AccessRecord(idx, is_write=False))
+        return self._data[idx]
+
+    def __setitem__(self, i: Any, value: Any) -> None:
+        idx = self._index(i)
+        self.records.append(AccessRecord(idx, is_write=True))
+        self._data[idx] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def data(self) -> List[Any]:
+        """Current contents (reads not recorded)."""
+        return list(self._data)
+
+    def address_trace(self) -> np.ndarray:
+        """Addresses in access order as int64."""
+        return np.asarray([r.addr for r in self.records], dtype=np.int64)
+
+    def write_mask(self) -> np.ndarray:
+        """Boolean vector flagging which accesses were writes."""
+        return np.asarray([r.is_write for r in self.records], dtype=bool)
+
+    @property
+    def time_units(self) -> int:
+        """Sequential time ``t`` = number of accesses so far."""
+        return len(self.records)
+
+    def reset(self, initial: Sequence[Any] | np.ndarray) -> None:
+        """Reload contents and clear the log (new trial)."""
+        self._data = list(initial)
+        self.records = []

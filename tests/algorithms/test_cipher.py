@@ -1,0 +1,189 @@
+"""XTEA: reference vectors, roundtrip, IR agreement, avalanche, obliviousness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cipher import (
+    DELTA,
+    MASK32,
+    build_xtea_decrypt,
+    build_xtea_encrypt,
+    pack_blocks,
+    unpack_blocks,
+    xtea_decrypt_reference,
+    xtea_encrypt_reference,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+
+
+def independent_xtea(v0, v1, key, rounds=32):
+    """A second, independently-written XTEA for cross-checking (classic
+    formulation straight from the Needham–Wheeler paper)."""
+    s = 0
+    for _ in range(rounds):
+        v0 = (v0 + (((v1 << 4 ^ v1 >> 5) + v1) ^ (s + key[s & 3]))) & MASK32
+        s = (s + DELTA) & MASK32
+        v0 &= MASK32
+        v1 = (v1 + (((v0 << 4 ^ v0 >> 5) + v0) ^ (s + key[s >> 11 & 3]))) & MASK32
+    return v0, v1
+
+
+class TestReference:
+    @given(
+        st.integers(0, MASK32), st.integers(0, MASK32),
+        st.lists(st.integers(0, MASK32), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_against_independent_implementation(self, v0, v1, key):
+        want = independent_xtea(v0, v1, key)
+        got = xtea_encrypt_reference(np.array([[v0, v1]]), np.array(key))[0]
+        assert tuple(got) == want
+
+    @given(
+        st.integers(0, MASK32), st.integers(0, MASK32),
+        st.lists(st.integers(0, MASK32), min_size=4, max_size=4),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decrypt_inverts_encrypt(self, v0, v1, key, rounds):
+        blocks = np.array([[v0, v1]])
+        k = np.array(key)
+        ct = xtea_encrypt_reference(blocks, k, rounds=rounds)
+        pt = xtea_decrypt_reference(ct, k, rounds=rounds)
+        np.testing.assert_array_equal(pt, blocks)
+
+    def test_zero_key_zero_block_differs_from_plaintext(self):
+        ct = xtea_encrypt_reference(np.zeros((1, 2), dtype=np.int64), np.zeros(4))
+        assert tuple(ct[0]) != (0, 0)
+
+    def test_encryption_is_deterministic(self):
+        b = np.array([[1, 2]])
+        k = np.arange(4)
+        np.testing.assert_array_equal(
+            xtea_encrypt_reference(b, k), xtea_encrypt_reference(b, k)
+        )
+
+
+class TestIRPrograms:
+    def test_encrypt_matches_reference(self, rng):
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        blocks = rng.integers(0, MASK32 + 1, (12, 2), dtype=np.int64)
+        out = bulk_run(build_xtea_encrypt(32), pack_blocks(blocks, key))
+        np.testing.assert_array_equal(
+            unpack_blocks(out), xtea_encrypt_reference(blocks, key)
+        )
+
+    @pytest.mark.parametrize("rounds", [1, 2, 8, 32])
+    def test_round_counts(self, rounds, rng):
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        blocks = rng.integers(0, MASK32 + 1, (4, 2), dtype=np.int64)
+        out = bulk_run(build_xtea_encrypt(rounds), pack_blocks(blocks, key))
+        np.testing.assert_array_equal(
+            unpack_blocks(out), xtea_encrypt_reference(blocks, key, rounds=rounds)
+        )
+
+    def test_ir_roundtrip(self, rng):
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        blocks = rng.integers(0, MASK32 + 1, (8, 2), dtype=np.int64)
+        ct = unpack_blocks(
+            bulk_run(build_xtea_encrypt(16), pack_blocks(blocks, key))
+        ).astype(np.int64)
+        pt = unpack_blocks(
+            bulk_run(build_xtea_decrypt(16), pack_blocks(ct, key))
+        ).astype(np.int64)
+        np.testing.assert_array_equal(pt, blocks)
+
+    def test_rounds_validation(self):
+        with pytest.raises(ProgramError):
+            build_xtea_encrypt(0)
+        with pytest.raises(ProgramError):
+            build_xtea_decrypt(-1)
+
+    def test_program_is_oblivious_by_construction(self):
+        """The key index sum&3 is a schedule constant: the trace is static
+        and equal for encrypt programs with the same round count."""
+        a = build_xtea_encrypt(8)
+        b = build_xtea_encrypt(8)
+        np.testing.assert_array_equal(a.address_trace(), b.address_trace())
+        # addresses only touch the block words and the key words
+        assert set(a.address_trace().tolist()) <= {0, 1, 2, 3, 4, 5}
+
+    def test_avalanche(self, rng):
+        """Flipping one plaintext bit flips ~half the ciphertext bits."""
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        base = rng.integers(0, MASK32 + 1, (1, 2), dtype=np.int64)
+        flipped = base.copy()
+        flipped[0, 0] ^= 1
+        ct0 = xtea_encrypt_reference(base, key)[0]
+        ct1 = xtea_encrypt_reference(flipped, key)[0]
+        diff = (int(ct0[0]) ^ int(ct1[0])).bit_count() + (
+            int(ct0[1]) ^ int(ct1[1])
+        ).bit_count()
+        assert 16 <= diff <= 48  # ~32 expected of 64 bits
+
+
+class TestPacking:
+    def test_pack_shape(self, rng):
+        blocks = rng.integers(0, MASK32 + 1, (5, 2), dtype=np.int64)
+        key = np.arange(4, dtype=np.int64)
+        assert pack_blocks(blocks, key).shape == (5, 6)
+
+    def test_pack_validations(self):
+        with pytest.raises(WorkloadError):
+            pack_blocks(np.zeros((2, 3), dtype=np.int64), np.zeros(4))
+        with pytest.raises(WorkloadError):
+            pack_blocks(np.zeros((2, 2), dtype=np.int64), np.zeros(3))
+        with pytest.raises(WorkloadError):
+            pack_blocks(np.full((1, 2), 2**33, dtype=np.int64), np.zeros(4))
+
+
+class TestConverterOnIntegers:
+    """The conversion system on a bitwise/integer program (int64 dtype)."""
+
+    def test_converted_trace_matches_builder(self):
+        from repro.algorithms.cipher import xtea_encrypt_python
+        from repro.bulk import convert
+
+        rounds = 4
+        converted = convert(
+            lambda mem: xtea_encrypt_python(mem, rounds),
+            memory_words=6,
+            dtype=np.int64,
+            name="xtea-converted",
+        )
+        built = build_xtea_encrypt(rounds)
+        np.testing.assert_array_equal(
+            converted.address_trace(), built.address_trace()
+        )
+        assert converted.trace_length == built.trace_length
+
+    def test_converted_program_encrypts_correctly(self, rng):
+        from repro.algorithms.cipher import xtea_encrypt_python
+        from repro.bulk import bulk_run, convert
+
+        rounds = 8
+        converted = convert(
+            lambda mem: xtea_encrypt_python(mem, rounds),
+            memory_words=6,
+            dtype=np.int64,
+        )
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        blocks = rng.integers(0, MASK32 + 1, (10, 2), dtype=np.int64)
+        out = bulk_run(converted, pack_blocks(blocks, key))
+        np.testing.assert_array_equal(
+            unpack_blocks(out).astype(np.int64),
+            xtea_encrypt_reference(blocks, key, rounds=rounds),
+        )
+
+    def test_python_version_concrete_mode(self, rng):
+        from repro.algorithms.cipher import xtea_encrypt_python
+
+        key = [int(x) for x in rng.integers(0, MASK32 + 1, 4)]
+        v0, v1 = (int(x) for x in rng.integers(0, MASK32 + 1, 2))
+        buf = [v0, v1, *key]
+        xtea_encrypt_python(buf, 32)
+        want = xtea_encrypt_reference(np.array([[v0, v1]]), np.array(key))[0]
+        assert (buf[0], buf[1]) == tuple(want)

@@ -1,0 +1,120 @@
+"""FIR convolution: IR vs np.convolve, boundary handling, identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.convolution import (
+    build_convolution,
+    convolution_python,
+    convolution_reference,
+    pack_signal,
+    unpack_filtered,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious
+
+
+class TestProgram:
+    @pytest.mark.parametrize("n,m", [(4, 1), (8, 3), (16, 4), (8, 8)])
+    def test_matches_numpy_convolve(self, n, m, rng):
+        x = rng.uniform(-3, 3, (5, n))
+        h = rng.uniform(-1, 1, m)
+        out = bulk_run(build_convolution(n, m), pack_signal(x, h))
+        got = unpack_filtered(out, n, m)
+        np.testing.assert_allclose(got, convolution_reference(x, h), rtol=1e-9, atol=1e-12)
+
+    def test_unit_impulse_tap_is_identity(self, rng):
+        n = 8
+        x = rng.uniform(-1, 1, (2, n))
+        out = bulk_run(build_convolution(n, 1), pack_signal(x, np.array([1.0])))
+        np.testing.assert_allclose(unpack_filtered(out, n, 1), x, rtol=1e-12)
+
+    def test_delayed_impulse_shifts(self):
+        n = 6
+        x = np.arange(1.0, 7.0)[None, :]
+        h = np.array([0.0, 1.0])  # one-sample delay
+        out = bulk_run(build_convolution(n, 2), pack_signal(x, h))
+        got = unpack_filtered(out, n, 2)[0]
+        np.testing.assert_array_equal(got, [0, 1, 2, 3, 4, 5])
+
+    def test_causal_boundary(self):
+        # y[0] uses only x[0]: zero left padding.
+        n, m = 4, 3
+        x = np.ones((1, n))
+        h = np.ones(m)
+        out = bulk_run(build_convolution(n, m), pack_signal(x, h))
+        np.testing.assert_array_equal(unpack_filtered(out, n, m)[0], [1, 2, 3, 3])
+
+    def test_per_input_taps(self, rng):
+        n, m = 6, 2
+        x = rng.uniform(-1, 1, (3, n))
+        h = rng.uniform(-1, 1, (3, m))
+        out = bulk_run(build_convolution(n, m), pack_signal(x, h))
+        got = unpack_filtered(out, n, m)
+        for i in range(3):
+            np.testing.assert_allclose(
+                got[i], convolution_reference(x[i], h[i]), rtol=1e-9, atol=1e-12
+            )
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_convolution(0, 1)
+        with pytest.raises(ProgramError):
+            build_convolution(4, 5)  # taps longer than signal
+
+    @given(st.integers(0, 9999))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 8, 3
+        h = rng.uniform(-1, 1, m)
+        a = rng.uniform(-1, 1, (1, n))
+        b = rng.uniform(-1, 1, (1, n))
+        prog = build_convolution(n, m)
+
+        def conv(x):
+            return unpack_filtered(bulk_run(prog, pack_signal(x, h)), n, m)
+
+        np.testing.assert_allclose(conv(a + b), conv(a) + conv(b), rtol=1e-8, atol=1e-10)
+
+
+class TestPythonVersion:
+    def test_matches_reference(self, rng):
+        n, m = 8, 3
+        x = rng.uniform(-2, 2, n)
+        h = rng.uniform(-1, 1, m)
+        buf = [0.0] * (2 * n + m)
+        buf[:n] = list(x)
+        buf[n : n + m] = list(h)
+        convolution_python(buf, n, m)
+        np.testing.assert_allclose(
+            buf[n + m :], convolution_reference(x, h), rtol=1e-12
+        )
+
+    def test_oblivious(self):
+        n, m = 6, 3
+
+        def algo(mem):
+            convolution_python(mem, n, m)
+
+        check_python_oblivious(
+            algo, lambda rng: rng.uniform(-1, 1, 2 * n + m), trials=6
+        )
+
+
+class TestPacking:
+    def test_broadcast_taps(self, rng):
+        x = rng.normal(size=(4, 8))
+        h = rng.normal(size=3)
+        assert pack_signal(x, h).shape == (4, 11)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(WorkloadError):
+            pack_signal(np.zeros((4, 8)), np.zeros((3, 2)))
+
+    def test_requires_2d_signal(self):
+        with pytest.raises(WorkloadError):
+            pack_signal(np.zeros(8), np.zeros(2))

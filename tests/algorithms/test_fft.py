@@ -1,0 +1,135 @@
+"""FFT: bit reversal, spectrum vs NumPy, linearity, Parseval, bulk blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.fft import (
+    bit_reverse_permutation,
+    build_fft,
+    fft_reference,
+    pack_complex,
+    unpack_complex,
+)
+from repro.bulk import bulk_run
+from repro.errors import WorkloadError
+from repro.trace import run_sequential
+
+
+class TestBitReversal:
+    def test_n8(self):
+        np.testing.assert_array_equal(
+            bit_reverse_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_n1(self):
+        np.testing.assert_array_equal(bit_reverse_permutation(1), [0])
+
+    def test_involution(self):
+        perm = bit_reverse_permutation(32)
+        np.testing.assert_array_equal(perm[perm], np.arange(32))
+
+    @pytest.mark.parametrize("n", [0, 3, 12])
+    def test_non_power_of_two_rejected(self, n):
+        with pytest.raises(WorkloadError):
+            bit_reverse_permutation(n)
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        z = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        packed = pack_complex(z)
+        assert packed.shape == (3, 16)
+        np.testing.assert_array_equal(unpack_complex(packed, 8), z)
+
+    def test_1d_promoted(self):
+        z = np.array([1 + 2j, 3 - 1j])
+        assert pack_complex(z).shape == (1, 4)
+
+    def test_bad_shapes(self):
+        with pytest.raises(WorkloadError):
+            pack_complex(np.zeros((2, 2, 2), dtype=complex))
+        with pytest.raises(WorkloadError):
+            unpack_complex(np.zeros((2, 3)), 4)
+
+
+class TestSpectrum:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32])
+    def test_matches_numpy(self, n, rng):
+        z = rng.normal(size=(1, n)) + 1j * rng.normal(size=(1, n))
+        prog = build_fft(n)
+        out = run_sequential(prog, pack_complex(z)[0]).memory
+        got = unpack_complex(out[None, :], n)
+        np.testing.assert_allclose(got, np.fft.fft(z, axis=1), rtol=1e-9, atol=1e-9)
+
+    def test_impulse_gives_flat_spectrum(self):
+        n = 8
+        z = np.zeros((1, n), dtype=complex)
+        z[0, 0] = 1.0
+        out = bulk_run(build_fft(n), pack_complex(z))
+        np.testing.assert_allclose(unpack_complex(out, n), np.ones((1, n)), atol=1e-12)
+
+    def test_constant_gives_dc_only(self):
+        n = 8
+        z = np.ones((1, n), dtype=complex)
+        out = bulk_run(build_fft(n), pack_complex(z))
+        spec = unpack_complex(out, n)[0]
+        assert spec[0] == pytest.approx(n)
+        np.testing.assert_allclose(spec[1:], 0, atol=1e-12)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_parseval(self, seed):
+        n = 16
+        rng = np.random.default_rng(seed)
+        z = rng.normal(size=(1, n)) + 1j * rng.normal(size=(1, n))
+        out = bulk_run(build_fft(n), pack_complex(z))
+        spec = unpack_complex(out, n)
+        assert np.sum(np.abs(spec) ** 2) == pytest.approx(n * np.sum(np.abs(z) ** 2))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, seed):
+        n = 8
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(1, n)) + 1j * rng.normal(size=(1, n))
+        b = rng.normal(size=(1, n)) + 1j * rng.normal(size=(1, n))
+        prog = build_fft(n)
+
+        def fft(z):
+            return unpack_complex(bulk_run(prog, pack_complex(z)), n)
+
+        np.testing.assert_allclose(fft(a + b), fft(a) + fft(b), rtol=1e-8, atol=1e-9)
+
+
+class TestBulkBlocks:
+    def test_stream_partitioned_into_blocks(self, rng):
+        """The paper's motivating pipeline: split a stream into blocks and
+        bulk-FFT all blocks at once."""
+        n, p = 16, 24
+        stream = rng.normal(size=n * p)
+        blocks = stream.reshape(p, n).astype(complex)
+        out = bulk_run(build_fft(n), pack_complex(blocks))
+        np.testing.assert_allclose(
+            unpack_complex(out, n), fft_reference(blocks), rtol=1e-8, atol=1e-8
+        )
+
+    def test_trace_length_n_log_n(self):
+        # bit-reversal swaps: 4 accesses per plane per swapped pair;
+        # each butterfly: 4 loads + 4 stores; n/2 butterflies per stage.
+        n = 16
+        prog = build_fft(n)
+        stages = 4
+        swapped_pairs = int((bit_reverse_permutation(n) > np.arange(n)).sum())
+        expected = 8 * swapped_pairs + stages * 8 * (n // 2)
+        assert prog.trace_length == expected
+
+    def test_row_and_column_agree(self, rng):
+        n = 8
+        z = rng.normal(size=(5, n)) + 1j * rng.normal(size=(5, n))
+        prog = build_fft(n)
+        np.testing.assert_array_equal(
+            bulk_run(prog, pack_complex(z), "row"),
+            bulk_run(prog, pack_complex(z), "column"),
+        )

@@ -1,0 +1,130 @@
+"""Floyd–Warshall APSP: vs networkx, triangle inequality, obliviousness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.floyd_warshall import (
+    NO_EDGE,
+    build_floyd_warshall,
+    floyd_warshall_python,
+    floyd_warshall_reference,
+    random_digraph,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious
+
+
+def networkx_apsp(dist: np.ndarray) -> np.ndarray:
+    """Independent ground truth via networkx (treats NO_EDGE as absent)."""
+    k = dist.shape[0]
+    g = nx.DiGraph()
+    g.add_nodes_from(range(k))
+    for i in range(k):
+        for j in range(k):
+            if i != j and dist[i, j] < NO_EDGE:
+                g.add_edge(i, j, weight=float(dist[i, j]))
+    out = np.full((k, k), np.inf)
+    for src, lengths in nx.all_pairs_dijkstra_path_length(g):
+        for dst, d in lengths.items():
+            out[src, dst] = d
+    return out
+
+
+class TestReference:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_matches_networkx(self, k, rng):
+        dist = random_digraph(rng, k, 1)[0]
+        ours = floyd_warshall_reference(dist)
+        truth = networkx_apsp(dist)
+        reachable = np.isfinite(truth)
+        np.testing.assert_allclose(ours[reachable], truth[reachable], rtol=1e-9)
+        # unreachable pairs stay at (multiples of) the sentinel scale
+        assert (ours[~reachable] >= NO_EDGE / 2).all()
+
+    def test_batched(self, rng):
+        dist = random_digraph(rng, 5, 3)
+        batched = floyd_warshall_reference(dist)
+        for h in range(3):
+            np.testing.assert_array_equal(
+                batched[h], floyd_warshall_reference(dist[h])
+            )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        d = floyd_warshall_reference(random_digraph(rng, 5, 1)[0])
+        k = d.shape[0]
+        for i in range(k):
+            for j in range(k):
+                for m in range(k):
+                    assert d[i, j] <= d[i, m] + d[m, j] + 1e-9
+
+    def test_diagonal_zero(self, rng):
+        d = floyd_warshall_reference(random_digraph(rng, 6, 1)[0])
+        np.testing.assert_array_equal(np.diag(d), np.zeros(6))
+
+
+class TestProgram:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_ir_matches_reference(self, k, rng):
+        dist = random_digraph(rng, k, 5)
+        out = bulk_run(build_floyd_warshall(k), dist.reshape(5, -1))
+        np.testing.assert_allclose(
+            out.reshape(5, k, k), floyd_warshall_reference(dist), rtol=1e-9
+        )
+
+    def test_trace_is_cubic(self):
+        # 3 loads + 1 store per (mid, i, j)
+        k = 5
+        assert build_floyd_warshall(k).trace_length == 4 * k**3
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_floyd_warshall(0)
+
+    def test_row_column_agree(self, rng):
+        k = 4
+        dist = random_digraph(rng, k, 3).reshape(3, -1)
+        prog = build_floyd_warshall(k)
+        np.testing.assert_array_equal(
+            bulk_run(prog, dist, "row"), bulk_run(prog, dist, "column")
+        )
+
+
+class TestPythonVersion:
+    def test_oblivious(self):
+        k = 4
+
+        def algo(mem):
+            floyd_warshall_python(mem, k)
+
+        check_python_oblivious(
+            algo,
+            lambda rng: random_digraph(rng, k, 1)[0].ravel(),
+            trials=6,
+        )
+
+    def test_matches_reference(self, rng):
+        k = 4
+        dist = random_digraph(rng, k, 1)[0]
+        buf = list(dist.ravel())
+        floyd_warshall_python(buf, k)
+        np.testing.assert_allclose(
+            np.array(buf).reshape(k, k), floyd_warshall_reference(dist), rtol=1e-12
+        )
+
+
+class TestWorkload:
+    def test_density_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            random_digraph(rng, 4, 1, density=0.0)
+
+    def test_shape_and_diagonal(self, rng):
+        d = random_digraph(rng, 6, 4)
+        assert d.shape == (4, 6, 6)
+        assert (d[:, np.arange(6), np.arange(6)] == 0).all()

@@ -1,0 +1,120 @@
+"""Horner evaluation and the odd-even transposition network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.horner import (
+    build_horner,
+    horner_python,
+    horner_reference,
+    pack_poly,
+    unpack_values,
+)
+from repro.algorithms.sorting import build_odd_even_sort, odd_even_pairs
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious, run_sequential
+
+
+class TestHorner:
+    @pytest.mark.parametrize("d,m", [(0, 1), (1, 3), (5, 4), (10, 2)])
+    def test_matches_polyval(self, d, m, rng):
+        c = rng.uniform(-2, 2, (6, d + 1))
+        x = rng.uniform(-1.5, 1.5, (6, m))
+        out = bulk_run(build_horner(d, m), pack_poly(c, x))
+        np.testing.assert_allclose(
+            unpack_values(out, d, m), horner_reference(c, x), rtol=1e-9, atol=1e-12
+        )
+
+    def test_constant_polynomial(self):
+        c = np.array([[7.0]])
+        x = np.array([[2.0, -3.0]])
+        out = bulk_run(build_horner(0, 2), pack_poly(c, x))
+        np.testing.assert_array_equal(unpack_values(out, 0, 2), [[7.0, 7.0]])
+
+    def test_known_quadratic(self):
+        # y = 1 + 2x + 3x^2 at x = 2 -> 17
+        c = np.array([[1.0, 2.0, 3.0]])
+        x = np.array([[2.0]])
+        out = bulk_run(build_horner(2, 1), pack_poly(c, x))
+        assert unpack_values(out, 2, 1)[0, 0] == 17.0
+
+    def test_trace_length(self):
+        d, m = 5, 3
+        # per point: 1 load of x, d+1 coefficient loads, 1 store
+        assert build_horner(d, m).trace_length == m * (d + 3)
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_horner(-1, 2)
+        with pytest.raises(ProgramError):
+            build_horner(2, 0)
+
+    def test_python_version_matches(self, rng):
+        d, m = 4, 3
+        c = rng.uniform(-1, 1, d + 1)
+        x = rng.uniform(-1, 1, m)
+        buf = [0.0] * ((d + 1) + 2 * m)
+        buf[: d + 1] = list(c)
+        buf[d + 1 : d + 1 + m] = list(x)
+        horner_python(buf, d, m)
+        np.testing.assert_allclose(
+            buf[d + 1 + m :], horner_reference(c[None], x[None])[0], rtol=1e-12
+        )
+
+    def test_python_version_oblivious(self):
+        d, m = 3, 2
+
+        def algo(mem):
+            horner_python(mem, d, m)
+
+        check_python_oblivious(
+            algo, lambda rng: rng.uniform(-1, 1, (d + 1) + 2 * m), trials=6
+        )
+
+    def test_pack_validation(self):
+        with pytest.raises(WorkloadError):
+            pack_poly(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestOddEvenSort:
+    def test_schedule_round_structure(self):
+        # 4 rounds alternating even pairs and odd pairs (the brick wall)
+        assert list(odd_even_pairs(4)) == [
+            (0, 1), (2, 3),   # round 0 (even)
+            (1, 2),           # round 1 (odd)
+            (0, 1), (2, 3),   # round 2 (even)
+            (1, 2),           # round 3 (odd)
+        ]
+
+    def test_schedule_validation(self):
+        with pytest.raises(WorkloadError):
+            list(odd_even_pairs(0))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_sorts_any_size(self, n, rng):
+        """Unlike bitonic sort, any n works — including non-powers of two."""
+        prog = build_odd_even_sort(n)
+        x = rng.uniform(-50, 50, n)
+        out = run_sequential(prog, x).memory
+        np.testing.assert_array_equal(out[:n], np.sort(x))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sorts(self, xs):
+        prog = build_odd_even_sort(len(xs))
+        out = run_sequential(prog, np.array(xs, dtype=np.float64)).memory
+        np.testing.assert_array_equal(out, np.sort(xs))
+
+    def test_bulk(self, rng):
+        n, p = 9, 20
+        inputs = rng.uniform(-5, 5, (p, n))
+        out = bulk_run(build_odd_even_sort(n), inputs)
+        np.testing.assert_array_equal(out, np.sort(inputs, axis=1))
+
+    def test_quadratic_trace(self):
+        n = 10
+        # n rounds, ~n/2 exchanges each, 4 accesses per exchange
+        assert build_odd_even_sort(n).trace_length == 4 * len(list(odd_even_pairs(n)))

@@ -1,0 +1,123 @@
+"""LCS: DP vs brute force, select-heavy obliviousness, bulk agreement."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.lcs import (
+    answer_address,
+    build_lcs,
+    lcs_python,
+    lcs_reference,
+    memory_words,
+    pack_sequences,
+    unpack_length,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious
+
+
+def brute_force_lcs(x, y):
+    """Longest common subsequence by subsequence enumeration (tiny inputs)."""
+    best = 0
+    for r in range(len(x), 0, -1):
+        for sub in itertools.combinations(x, r):
+            it = iter(y)
+            if all(c in it for c in sub):
+                return r
+    return best
+
+
+class TestReference:
+    @given(
+        st.lists(st.integers(0, 3), min_size=0, max_size=7),
+        st.lists(st.integers(0, 3), min_size=0, max_size=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, x, y):
+        assert lcs_reference(np.array(x), np.array(y)) == brute_force_lcs(x, y)
+
+    def test_classic_example(self):
+        assert lcs_reference(np.array(list(b"ABCBDAB")), np.array(list(b"BDCABA"))) == 4
+
+    def test_identical(self):
+        x = np.arange(6)
+        assert lcs_reference(x, x) == 6
+
+    def test_disjoint(self):
+        assert lcs_reference(np.array([1, 1]), np.array([2, 2])) == 0
+
+
+class TestProgram:
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 4), (5, 5), (6, 2)])
+    def test_matches_reference(self, n, m, rng):
+        xs = rng.integers(0, 3, (6, n)).astype(float)
+        ys = rng.integers(0, 3, (6, m)).astype(float)
+        out = bulk_run(build_lcs(n, m), pack_sequences(xs, ys))
+        got = unpack_length(out, n, m)
+        want = [lcs_reference(xs[i], ys[i]) for i in range(6)]
+        np.testing.assert_array_equal(got, want)
+
+    def test_lcs_bounds(self, rng):
+        n, m = 5, 7
+        xs = rng.integers(0, 2, (10, n)).astype(float)
+        ys = rng.integers(0, 2, (10, m)).astype(float)
+        out = bulk_run(build_lcs(n, m), pack_sequences(xs, ys))
+        got = unpack_length(out, n, m)
+        assert (got >= 0).all() and (got <= min(n, m)).all()
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_lcs(0, 3)
+
+    def test_memory_layout(self):
+        n, m = 4, 5
+        prog = build_lcs(n, m)
+        assert prog.memory_words == memory_words(n, m)
+        assert answer_address(n, m) == prog.memory_words - 1
+
+
+class TestObliviousness:
+    def test_python_version_oblivious(self):
+        n = m = 4
+
+        def algo(mem):
+            lcs_python(mem, n, m)
+
+        def factory(rng):
+            buf = np.zeros(memory_words(n, m))
+            buf[: n + m] = rng.integers(0, 3, n + m)
+            return buf
+
+        check_python_oblivious(algo, factory, trials=8)
+
+    def test_python_matches_reference(self, rng):
+        n, m = 5, 4
+        x = rng.integers(0, 3, n).astype(float)
+        y = rng.integers(0, 3, m).astype(float)
+        buf = [0.0] * memory_words(n, m)
+        buf[:n] = list(x)
+        buf[n : n + m] = list(y)
+        lcs_python(buf, n, m)
+        assert buf[answer_address(n, m)] == lcs_reference(x, y)
+
+    def test_trace_static_across_sequence_content(self):
+        # same-shape programs have identical traces regardless of data
+        a = build_lcs(3, 4).address_trace()
+        b = build_lcs(3, 4).address_trace()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPacking:
+    def test_shapes(self, rng):
+        xs = rng.integers(0, 2, (3, 4)).astype(float)
+        ys = rng.integers(0, 2, (3, 6)).astype(float)
+        assert pack_sequences(xs, ys).shape == (3, 10)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(WorkloadError):
+            pack_sequences(np.zeros((2, 3)), np.zeros((3, 3)))

@@ -1,0 +1,96 @@
+"""Matrix multiplication: IR vs NumPy, algebraic identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.matmul import (
+    build_matmul,
+    matmul_python,
+    matmul_reference,
+    pack_operands,
+    unpack_product,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious
+
+
+class TestProgram:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_matches_numpy(self, k, rng):
+        a = rng.uniform(-2, 2, (4, k, k))
+        b = rng.uniform(-2, 2, (4, k, k))
+        out = bulk_run(build_matmul(k), pack_operands(a, b))
+        np.testing.assert_allclose(unpack_product(out, k), a @ b, rtol=1e-9)
+
+    def test_identity(self, rng):
+        k = 4
+        a = rng.uniform(-1, 1, (1, k, k))
+        eye = np.broadcast_to(np.eye(k), (1, k, k))
+        out = bulk_run(build_matmul(k), pack_operands(a, eye))
+        np.testing.assert_allclose(unpack_product(out, k), a, rtol=1e-12)
+
+    def test_zero(self):
+        k = 3
+        z = np.zeros((1, k, k))
+        out = bulk_run(build_matmul(k), pack_operands(z, z))
+        np.testing.assert_array_equal(unpack_product(out, k), z)
+
+    def test_trace_length_cubic(self):
+        # per output cell: k loads of A, k loads of B, 1 store
+        k = 4
+        assert build_matmul(k).trace_length == k * k * (2 * k + 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ProgramError):
+            build_matmul(0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_associativity_with_engine(self, seed):
+        """(AB)C == A(BC) computed entirely through the bulk engine."""
+        rng = np.random.default_rng(seed)
+        k = 3
+        a, b, c = (rng.uniform(-1, 1, (1, k, k)) for _ in range(3))
+        prog = build_matmul(k)
+
+        def mm(x, y):
+            return unpack_product(bulk_run(prog, pack_operands(x, y)), k)
+
+        np.testing.assert_allclose(mm(mm(a, b), c), mm(a, mm(b, c)), rtol=1e-8)
+
+
+class TestPythonVersion:
+    def test_matches_numpy(self, rng):
+        k = 3
+        a = rng.uniform(-2, 2, (k, k))
+        b = rng.uniform(-2, 2, (k, k))
+        buf = [0.0] * (3 * k * k)
+        buf[: k * k] = list(a.ravel())
+        buf[k * k : 2 * k * k] = list(b.ravel())
+        matmul_python(buf, k)
+        got = np.array(buf[2 * k * k :]).reshape(k, k)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-12)
+
+    def test_oblivious(self):
+        k = 3
+
+        def algo(mem):
+            matmul_python(mem, k)
+
+        check_python_oblivious(
+            algo, lambda rng: rng.uniform(-1, 1, 3 * k * k), trials=6
+        )
+
+
+class TestPacking:
+    def test_mismatched_operands(self):
+        with pytest.raises(WorkloadError):
+            pack_operands(np.zeros((2, 3, 3)), np.zeros((2, 4, 4)))
+
+    def test_reference_is_batched(self, rng):
+        a = rng.normal(size=(5, 2, 2))
+        b = rng.normal(size=(5, 2, 2))
+        np.testing.assert_allclose(matmul_reference(a, b), a @ b)

@@ -1,0 +1,133 @@
+"""Matrix-chain DP: reference vs exhaustive parenthesisations and IR."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.matrix_chain import (
+    answer_address,
+    build_matrix_chain,
+    matrix_chain_python,
+    matrix_chain_reference,
+    memory_words,
+    pack_dims,
+    unpack_result,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import TracingMemory, check_python_oblivious
+
+
+def brute_force_chain(dims):
+    """Exhaustive minimum over all parenthesisations (exponential)."""
+
+    def rec(i, j):
+        if i == j:
+            return 0
+        return min(
+            rec(i, k) + rec(k + 1, j) + dims[i - 1] * dims[k] * dims[j]
+            for k in range(i, j)
+        )
+
+    return rec(1, len(dims) - 1)
+
+
+class TestReference:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_matches_brute_force(self, n, rng):
+        dims = rng.integers(1, 20, n + 1).astype(float)
+        assert matrix_chain_reference(dims) == pytest.approx(brute_force_chain(dims))
+
+    def test_clrs_example(self):
+        # CLRS 15.2: dims (30, 35, 15, 5, 10, 20, 25) -> 15125.
+        dims = np.array([30, 35, 15, 5, 10, 20, 25], dtype=float)
+        assert matrix_chain_reference(dims) == 15125
+
+    def test_single_matrix_free(self):
+        assert matrix_chain_reference(np.array([3.0, 7.0])) == 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(WorkloadError):
+            matrix_chain_reference(np.array([3.0]))
+
+
+class TestProgram:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_ir_matches_reference(self, n, rng):
+        dims = rng.integers(1, 15, (6, n + 1)).astype(float)
+        out = bulk_run(build_matrix_chain(n), pack_dims(dims))
+        got = unpack_result(out, n)
+        want = [matrix_chain_reference(d) for d in dims]
+        np.testing.assert_allclose(got, want)
+
+    def test_build_validation(self):
+        with pytest.raises(ProgramError):
+            build_matrix_chain(0)
+
+    def test_memory_layout(self):
+        n = 4
+        prog = build_matrix_chain(n)
+        assert prog.memory_words == memory_words(n)
+        assert answer_address(n) < prog.memory_words
+
+    def test_cubic_trace_growth(self):
+        t8 = build_matrix_chain(8).trace_length
+        t16 = build_matrix_chain(16).trace_length
+        assert 5 < t16 / t8 < 9
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_row_column_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        dims = rng.integers(1, 9, (3, n + 1)).astype(float)
+        prog = build_matrix_chain(n)
+        np.testing.assert_array_equal(
+            bulk_run(prog, pack_dims(dims), "row"),
+            bulk_run(prog, pack_dims(dims), "column"),
+        )
+
+
+class TestObliviousness:
+    def test_python_version_oblivious(self):
+        n = 4
+
+        def algo(mem):
+            matrix_chain_python(mem, n)
+
+        def factory(rng):
+            buf = np.zeros(memory_words(n))
+            buf[: n + 1] = rng.integers(1, 20, n + 1)
+            return buf
+
+        check_python_oblivious(algo, factory, trials=6)
+
+    def test_python_trace_equals_ir(self, rng):
+        n = 3
+        buf = np.zeros(memory_words(n))
+        buf[: n + 1] = rng.integers(1, 10, n + 1)
+        mem = TracingMemory(buf)
+        matrix_chain_python(mem, n)
+        np.testing.assert_array_equal(
+            mem.address_trace(), build_matrix_chain(n).address_trace()
+        )
+
+    def test_python_matches_reference(self, rng):
+        n = 4
+        dims = rng.integers(1, 12, n + 1).astype(float)
+        buf = [0.0] * memory_words(n)
+        buf[: n + 1] = list(dims)
+        matrix_chain_python(buf, n)
+        assert buf[answer_address(n)] == pytest.approx(matrix_chain_reference(dims))
+
+
+class TestPacking:
+    def test_pack_1d(self):
+        assert pack_dims(np.arange(5.0)).shape == (1, 5)
+
+    def test_pack_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            pack_dims(np.zeros((2, 2, 2)))

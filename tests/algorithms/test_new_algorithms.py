@@ -1,0 +1,190 @@
+"""Transpose, string matching, and Pascal's triangle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pascal import (
+    build_pascal,
+    memory_words as pascal_words,
+    pascal_python,
+    pascal_reference,
+    row_offset,
+)
+from repro.algorithms.string_match import (
+    build_string_match,
+    count_address,
+    pack_strings,
+    string_match_python,
+    string_match_reference,
+    unpack_matches,
+)
+from repro.algorithms.transpose import (
+    build_transpose,
+    pack_matrix,
+    transpose_python,
+    transpose_reference,
+    unpack_transposed,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious, run_sequential
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_matches_numpy(self, k, rng):
+        a = rng.uniform(-5, 5, (6, k, k))
+        out = bulk_run(build_transpose(k), pack_matrix(a))
+        np.testing.assert_array_equal(
+            unpack_transposed(out, k), transpose_reference(a)
+        )
+
+    def test_double_transpose_is_identity(self, rng):
+        k = 5
+        a = rng.uniform(-1, 1, (2, k, k))
+        prog = build_transpose(k)
+        once = unpack_transposed(bulk_run(prog, pack_matrix(a)), k)
+        twice = unpack_transposed(bulk_run(prog, pack_matrix(once)), k)
+        np.testing.assert_array_equal(twice, a)
+
+    def test_trace_length(self):
+        k = 6
+        assert build_transpose(k).trace_length == 2 * k * k
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_transpose(0)
+        with pytest.raises(WorkloadError):
+            pack_matrix(np.zeros((2, 3, 4)))
+
+    def test_python_version(self, rng):
+        k = 4
+        a = rng.uniform(-1, 1, (k, k))
+        buf = [0.0] * (2 * k * k)
+        buf[: k * k] = list(a.ravel())
+        transpose_python(buf, k)
+        np.testing.assert_array_equal(
+            np.array(buf[k * k :]).reshape(k, k), a.T
+        )
+
+    def test_oblivious(self):
+        k = 3
+
+        def algo(mem):
+            transpose_python(mem, k)
+
+        check_python_oblivious(
+            algo, lambda rng: rng.uniform(-1, 1, 2 * k * k), trials=6
+        )
+
+
+class TestStringMatch:
+    @given(
+        st.lists(st.integers(0, 1), min_size=3, max_size=12),
+        st.lists(st.integers(0, 1), min_size=1, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, text, pattern):
+        n, m = len(text), len(pattern)
+        inputs = pack_strings(
+            np.array([text], dtype=float), np.array([pattern], dtype=float)
+        )
+        out = bulk_run(build_string_match(n, m), inputs)
+        flags, counts = unpack_matches(out, n, m)
+        assert counts[0] == string_match_reference(text, pattern)
+        # flags mark exactly the matching alignments
+        for i in range(n - m + 1):
+            expected = 1.0 if text[i : i + m] == pattern else 0.0
+            assert flags[0, i] == expected
+
+    def test_overlapping_occurrences_counted(self):
+        text = np.array([[1, 1, 1, 1]], dtype=float)
+        pattern = np.array([[1, 1]], dtype=float)
+        out = bulk_run(build_string_match(4, 2), pack_strings(text, pattern))
+        _, counts = unpack_matches(out, 4, 2)
+        assert counts[0] == 3
+
+    def test_no_match(self):
+        text = np.array([[0, 0, 0]], dtype=float)
+        pattern = np.array([[1]], dtype=float)
+        out = bulk_run(build_string_match(3, 1), pack_strings(text, pattern))
+        flags, counts = unpack_matches(out, 3, 1)
+        assert counts[0] == 0 and flags.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_string_match(2, 3)
+        with pytest.raises(ProgramError):
+            build_string_match(0, 0)
+        with pytest.raises(WorkloadError):
+            pack_strings(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_python_version_oblivious(self):
+        n, m = 6, 2
+
+        def algo(mem):
+            string_match_python(mem, n, m)
+
+        def factory(rng):
+            from repro.algorithms.string_match import memory_words
+
+            buf = np.zeros(memory_words(n, m))
+            buf[: n + m] = rng.integers(0, 2, n + m)
+            return buf
+
+        check_python_oblivious(algo, factory, trials=8)
+
+    def test_python_matches_ir_trace(self, rng):
+        from repro.algorithms.string_match import memory_words
+        from repro.trace import TracingMemory
+
+        n, m = 5, 2
+        buf = np.zeros(memory_words(n, m))
+        buf[: n + m] = rng.integers(0, 2, n + m)
+        mem = TracingMemory(buf)
+        string_match_python(mem, n, m)
+        np.testing.assert_array_equal(
+            mem.address_trace(), build_string_match(n, m).address_trace()
+        )
+
+
+class TestPascal:
+    @pytest.mark.parametrize("rows", [1, 2, 5, 10, 20])
+    def test_matches_math_comb(self, rows):
+        out = run_sequential(build_pascal(rows)).memory
+        np.testing.assert_array_equal(out, pascal_reference(rows))
+
+    def test_exact_binomials(self):
+        rows = 20
+        out = run_sequential(build_pascal(rows)).memory
+        assert out[row_offset(19) + 9] == math.comb(19, 9)
+
+    def test_bulk_all_inputs_identical(self):
+        rows, p = 8, 16
+        out = bulk_run(build_pascal(rows), np.zeros((p, 0)))
+        want = pascal_reference(rows)
+        for row in out:
+            np.testing.assert_array_equal(row, want)
+
+    def test_row_sums_are_powers_of_two(self):
+        rows = 12
+        out = run_sequential(build_pascal(rows)).memory
+        for r in range(rows):
+            assert out[row_offset(r) : row_offset(r + 1)].sum() == 2**r
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_pascal(0)
+
+    def test_memory_words(self):
+        assert pascal_words(4) == 10
+
+    def test_python_version(self):
+        rows = 6
+        buf = [0.0] * pascal_words(rows)
+        pascal_python(buf, rows)
+        np.testing.assert_array_equal(buf, pascal_reference(rows))

@@ -1,0 +1,222 @@
+"""Algorithm OPT: DP vs exhaustive Catalan enumeration, obliviousness,
+chord reconstruction, and the paper's 8-gon structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.polygon import (
+    INFINITY_WEIGHT,
+    answer_address,
+    brute_force_opt,
+    build_opt,
+    catalan_number,
+    enumerate_triangulations,
+    opt_python,
+    opt_reference,
+    pack_weights,
+    reconstruct_chords,
+    unpack_result,
+    validate_weights,
+)
+from repro.algorithms.registry import make_chord_weights
+from repro.bulk import bulk_run
+from repro.bulk.kernels import opt_bulk_with_choices
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import TracingMemory, check_python_oblivious, run_sequential
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,count", [(3, 1), (4, 2), (5, 5), (6, 14), (8, 132)])
+    def test_triangulation_count_is_catalan(self, n, count):
+        # #triangulations of an n-gon = Catalan(n - 2).
+        tris = enumerate_triangulations(n=n)
+        assert len(tris) == count == catalan_number(n - 2)
+
+    def test_triangulations_distinct(self):
+        tris = enumerate_triangulations(n=7)
+        assert len({frozenset(t) for t in tris}) == len(tris)
+
+    def test_chord_count(self):
+        # Every triangulation of an n-gon has exactly n-3 chords.
+        for tri in enumerate_triangulations(n=7):
+            assert len(tri) == 4
+
+    def test_chords_are_not_edges(self):
+        n = 6
+        for tri in enumerate_triangulations(n=n):
+            for (i, j) in tri:
+                assert j - i >= 2
+                assert not (i == 0 and j == n - 1)
+
+    def test_catalan_values(self):
+        assert [catalan_number(k) for k in range(7)] == [1, 1, 2, 5, 14, 42, 132]
+
+    def test_catalan_negative(self):
+        with pytest.raises(WorkloadError):
+            catalan_number(-1)
+
+    def test_enumeration_requires_bounds(self):
+        with pytest.raises(WorkloadError):
+            enumerate_triangulations(0)
+
+
+class TestWeights:
+    def test_validate_accepts_generator_output(self, rng):
+        w = make_chord_weights(rng, 8, 2)
+        validate_weights(w[0])
+
+    def test_nonzero_edge_rejected(self):
+        w = np.zeros((4, 4))
+        w[0, 1] = 1.0
+        with pytest.raises(WorkloadError, match="edge"):
+            validate_weights(w)
+
+    def test_nonzero_wrap_edge_rejected(self):
+        w = np.zeros((4, 4))
+        w[0, 3] = 1.0
+        with pytest.raises(WorkloadError, match="v0"):
+            validate_weights(w)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_weights(np.zeros((3, 4)))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_weights(np.zeros((2, 2)))
+
+    def test_pack_shapes(self, rng):
+        w = make_chord_weights(rng, 5, 3)
+        assert pack_weights(w).shape == (3, 25)
+        assert pack_weights(w[0]).shape == (1, 25)
+
+    def test_unpack_requires_full_memory(self):
+        with pytest.raises(WorkloadError):
+            unpack_result(np.zeros((2, 10)), 4)
+
+
+class TestDPCorrectness:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_dp_matches_brute_force(self, n, rng):
+        for _ in range(3):
+            w = make_chord_weights(rng, n, 1)[0]
+            dp = opt_reference(w)
+            bf, _ = brute_force_opt(w)
+            assert dp == pytest.approx(bf)
+
+    def test_triangle_is_free(self):
+        assert opt_reference(np.zeros((3, 3))) == 0.0
+
+    def test_square_picks_cheaper_diagonal(self):
+        w = np.zeros((4, 4))
+        w[0, 2] = w[2, 0] = 5.0
+        w[1, 3] = w[3, 1] = 3.0
+        assert opt_reference(w) == 3.0
+
+    def test_ir_program_matches_reference(self, rng):
+        n = 6
+        w = make_chord_weights(rng, n, 4)
+        prog = build_opt(n)
+        out = bulk_run(prog, pack_weights(w))
+        got = unpack_result(out, n)
+        want = [opt_reference(w[h]) for h in range(4)]
+        np.testing.assert_allclose(got, want)
+
+    def test_min_variant_matches_select_variant(self, rng):
+        n = 6
+        w = make_chord_weights(rng, n, 3)
+        sel = bulk_run(build_opt(n, use_select=True), pack_weights(w))
+        mn = bulk_run(build_opt(n, use_select=False), pack_weights(w))
+        np.testing.assert_array_equal(
+            unpack_result(sel, n), unpack_result(mn, n)
+        )
+
+    def test_answer_address(self):
+        n = 5
+        assert answer_address(n) == n * n + n + (n - 1)
+
+    def test_build_requires_triangle(self):
+        with pytest.raises(ProgramError):
+            build_opt(2)
+
+    @given(st.integers(4, 7), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_dp_never_exceeds_any_triangulation(self, n, seed):
+        """The DP optimum lower-bounds every explicit triangulation's cost."""
+        rng = np.random.default_rng(seed)
+        w = make_chord_weights(rng, n, 1)[0]
+        opt = opt_reference(w)
+        for tri in enumerate_triangulations(n=n):
+            assert opt <= sum(w[i, j] for (i, j) in tri) + 1e-9
+
+
+class TestObliviousness:
+    def test_opt_python_is_oblivious(self):
+        n = 5
+
+        def algo(mem):
+            opt_python(mem, n)
+
+        def factory(rng):
+            buf = np.zeros(2 * n * n)
+            buf[: n * n] = make_chord_weights(rng, n, 1)[0].ravel()
+            return buf
+
+        report = check_python_oblivious(algo, factory, trials=6)
+        assert report.trace_length == build_opt(n).trace_length
+
+    def test_python_trace_equals_ir_trace(self, rng):
+        n = 5
+        buf = np.zeros(2 * n * n)
+        buf[: n * n] = make_chord_weights(rng, n, 1)[0].ravel()
+        mem = TracingMemory(buf)
+        opt_python(mem, n)
+        np.testing.assert_array_equal(
+            mem.address_trace(), build_opt(n).address_trace()
+        )
+
+    def test_infinity_sentinel_never_survives(self, rng):
+        n = 6
+        w = make_chord_weights(rng, n, 2)
+        out = bulk_run(build_opt(n), pack_weights(w))
+        assert (unpack_result(out, n) < INFINITY_WEIGHT / 2).all()
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_reconstructed_chords_form_optimal_triangulation(self, n, rng):
+        w = make_chord_weights(rng, n, 3)
+        vals, choices = opt_bulk_with_choices(w)
+        tris = {frozenset(t) for t in enumerate_triangulations(n=n)}
+        for h in range(3):
+            chords = reconstruct_chords(choices[h], n)
+            assert frozenset(chords) in tris, "not a valid triangulation"
+            total = sum(w[h, i, j] for (i, j) in chords)
+            assert total == pytest.approx(vals[h])
+
+    def test_chord_count_is_n_minus_3(self, rng):
+        n = 8
+        w = make_chord_weights(rng, n, 1)
+        _, choices = opt_bulk_with_choices(w)
+        # ties can yield any optimal triangulation, but always n-3 chords
+        assert len(reconstruct_chords(choices[0], n)) == n - 3
+
+    def test_triangle_has_no_chords(self):
+        w = np.zeros((1, 3, 3))
+        _, choices = opt_bulk_with_choices(w)
+        assert reconstruct_chords(choices[0], 3) == set()
+
+
+class TestSequentialEightGon:
+    def test_paper_style_8gon(self, rng):
+        """The paper's running example size: full pipeline on an 8-gon."""
+        n = 8
+        w = make_chord_weights(rng, n, 1)
+        prog = build_opt(n)
+        inp = pack_weights(w)
+        seq = run_sequential(prog, inp[0]).memory
+        val = seq[answer_address(n)]
+        bf, _ = brute_force_opt(w[0])
+        assert val == pytest.approx(bf)

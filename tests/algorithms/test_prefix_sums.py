@@ -1,0 +1,101 @@
+"""Algorithm Prefix-sums: semantics, trace, obliviousness, bulk agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.prefix_sums import (
+    build_prefix_sums,
+    prefix_sums_python,
+    prefix_sums_reference,
+)
+from repro.bulk import bulk_run, convert
+from repro.errors import ProgramError
+from repro.trace import TracingMemory, check_python_oblivious, run_sequential
+
+
+class TestProgram:
+    def test_trace_length_is_2n(self):
+        for n in (1, 7, 32):
+            assert build_prefix_sums(n).trace_length == 2 * n
+
+    def test_access_function_paper(self):
+        # a(2i) = a(2i+1) = i
+        prog = build_prefix_sums(5)
+        np.testing.assert_array_equal(
+            prog.address_trace(), np.repeat(np.arange(5), 2)
+        )
+
+    def test_write_pattern(self):
+        prog = build_prefix_sums(3)
+        np.testing.assert_array_equal(
+            prog.write_mask(), [False, True] * 3
+        )
+
+    def test_invalid_size(self):
+        with pytest.raises(ProgramError):
+            build_prefix_sums(0)
+
+    def test_meta(self):
+        prog = build_prefix_sums(4)
+        assert prog.meta["algorithm"] == "prefix-sums"
+        assert prog.meta["n"] == 4
+
+    def test_two_registers_suffice(self):
+        assert build_prefix_sums(64).num_registers <= 2
+
+    def test_int_dtype(self):
+        prog = build_prefix_sums(4, dtype=np.int64)
+        res = run_sequential(prog, np.array([1, 2, 3, 4]))
+        np.testing.assert_array_equal(res.memory, [1, 3, 6, 10])
+
+
+class TestSemantics:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_cumsum(self, xs):
+        prog = build_prefix_sums(len(xs))
+        res = run_sequential(prog, np.array(xs))
+        np.testing.assert_allclose(
+            res.memory, prefix_sums_reference(np.array(xs)), rtol=1e-9, atol=1e-9
+        )
+
+    def test_python_source_matches_reference(self, rng):
+        data = rng.uniform(-1, 1, 16)
+        buf = list(data)
+        prefix_sums_python(buf)
+        np.testing.assert_allclose(buf, np.cumsum(data))
+
+    @given(st.integers(1, 32), st.integers(1, 16), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_matches_reference(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.uniform(-10, 10, size=(p, n))
+        prog = build_prefix_sums(n)
+        for arrangement in ("row", "column"):
+            out = bulk_run(prog, inputs, arrangement)
+            np.testing.assert_allclose(out, np.cumsum(inputs, axis=1), rtol=1e-9)
+
+
+class TestObliviousness:
+    def test_python_version_is_oblivious(self):
+        check_python_oblivious(
+            prefix_sums_python, lambda rng: rng.uniform(-9, 9, 12), trials=8
+        )
+
+    def test_converted_matches_builder(self):
+        built = build_prefix_sums(8)
+        converted = convert(prefix_sums_python, memory_words=8)
+        np.testing.assert_array_equal(
+            built.address_trace(), converted.address_trace()
+        )
+        assert built.trace_length == converted.trace_length
+
+    def test_trace_independent_of_values(self, rng):
+        traces = []
+        for _ in range(3):
+            mem = TracingMemory(rng.uniform(-5, 5, 10))
+            prefix_sums_python(mem)
+            traces.append(tuple(mem.address_trace()))
+        assert len(set(traces)) == 1

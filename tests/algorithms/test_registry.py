@@ -1,0 +1,68 @@
+"""Registry-wide cross-checks: every algorithm × every size × both
+arrangements agrees with its independent reference and the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import REGISTRY, all_specs, get_spec
+from repro.baselines import SequentialBaseline
+from repro.bulk import bulk_run
+from repro.errors import WorkloadError
+
+ALL = [(spec.name, n) for spec in all_specs() for n in spec.sizes]
+
+
+class TestRegistryShape:
+    def test_lookup(self):
+        assert get_spec("prefix-sums").name == "prefix-sums"
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError, match="unknown"):
+            get_spec("quantum-sort")
+
+    def test_all_specs_sorted_and_complete(self):
+        specs = all_specs()
+        assert [s.name for s in specs] == sorted(REGISTRY)
+        assert len(specs) >= 9
+
+    def test_every_spec_has_sizes_and_complexity(self):
+        for spec in all_specs():
+            assert spec.sizes
+            assert "t" in spec.complexity
+
+
+@pytest.mark.parametrize("name,n", ALL)
+class TestEveryAlgorithmEverySize:
+    def test_bulk_column_matches_reference(self, name, n):
+        spec = get_spec(name)
+        rng = np.random.default_rng(hash((name, n)) % 2**32)
+        prog = spec.build(n)
+        inputs = spec.make_inputs(rng, n, 6)
+        out = bulk_run(prog, inputs, "column")
+        spec.check_outputs(inputs, out, n)
+
+    def test_bulk_row_matches_reference(self, name, n):
+        spec = get_spec(name)
+        rng = np.random.default_rng(hash((name, n, "row")) % 2**32)
+        prog = spec.build(n)
+        inputs = spec.make_inputs(rng, n, 6)
+        out = bulk_run(prog, inputs, "row")
+        spec.check_outputs(inputs, out, n)
+
+    def test_sequential_baseline_agrees_with_bulk(self, name, n):
+        spec = get_spec(name)
+        rng = np.random.default_rng(hash((name, n, "seq")) % 2**32)
+        prog = spec.build(n)
+        inputs = spec.make_inputs(rng, n, 4)
+        bulk = bulk_run(prog, inputs, "column")
+        seq = SequentialBaseline(prog).run(inputs)
+        np.testing.assert_allclose(bulk, seq, rtol=1e-9, atol=1e-9)
+
+    def test_program_is_structurally_valid(self, name, n):
+        prog = get_spec(name).build(n)
+        prog.validate()
+        trace = prog.address_trace()
+        assert prog.trace_length == trace.size
+        if trace.size:
+            assert trace.min() >= 0
+            assert trace.max() < prog.memory_words

@@ -1,0 +1,109 @@
+"""Bitonic sorting network: schedule structure and sorting correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sorting import (
+    bitonic_pairs,
+    bitonic_sort_python,
+    build_bitonic_sort,
+    sort_reference,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious, run_sequential
+
+
+class TestSchedule:
+    def test_pair_count(self):
+        # n/2 * log(n) * (log(n)+1) / 2 compare-exchanges
+        for k in range(1, 6):
+            n = 2**k
+            pairs = list(bitonic_pairs(n))
+            assert len(pairs) == (n // 2) * k * (k + 1) // 2
+
+    def test_pairs_in_range(self):
+        for i, j, _ in bitonic_pairs(16):
+            assert 0 <= i < j < 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(bitonic_pairs(6))
+
+    def test_schedule_is_data_independent(self):
+        assert list(bitonic_pairs(8)) == list(bitonic_pairs(8))
+
+
+class TestProgram:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32])
+    def test_sorts_random(self, n, rng):
+        prog = build_bitonic_sort(n)
+        x = rng.uniform(-100, 100, n)
+        res = run_sequential(prog, x)
+        np.testing.assert_array_equal(res.memory[:n], np.sort(x))
+
+    def test_sorts_descending_input(self):
+        n = 16
+        x = np.arange(n, 0, -1, dtype=np.float64)
+        out = run_sequential(build_bitonic_sort(n), x).memory
+        np.testing.assert_array_equal(out, np.arange(1, n + 1))
+
+    def test_duplicates(self):
+        x = np.array([3.0, 1.0, 3.0, 1.0])
+        out = run_sequential(build_bitonic_sort(4), x).memory
+        np.testing.assert_array_equal(out, [1, 1, 3, 3])
+
+    def test_single_key(self):
+        out = run_sequential(build_bitonic_sort(1), np.array([5.0])).memory
+        assert out[0] == 5.0
+
+    def test_int_dtype(self, rng):
+        prog = build_bitonic_sort(8, dtype=np.int64)
+        x = rng.integers(-50, 50, 8)
+        out = run_sequential(prog, x).memory
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=8, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sorts(self, xs):
+        out = run_sequential(build_bitonic_sort(8), np.array(xs)).memory
+        np.testing.assert_array_equal(out, np.sort(xs))
+
+    @given(st.permutations(list(range(16))))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_property(self, perm):
+        """Output is the sorted multiset of the input — a network can only
+        permute, so sortedness + multiset equality is full correctness."""
+        x = np.array(perm, dtype=np.float64)
+        out = run_sequential(build_bitonic_sort(16), x).memory
+        np.testing.assert_array_equal(out, np.arange(16))
+
+
+class TestBulkAndObliviousness:
+    def test_bulk_sorts_batch(self, rng):
+        n, p = 16, 20
+        inputs = rng.uniform(-5, 5, (p, n))
+        out = bulk_run(build_bitonic_sort(n), inputs)
+        np.testing.assert_array_equal(out, sort_reference(inputs))
+
+    def test_python_version_oblivious(self):
+        check_python_oblivious(
+            bitonic_sort_python, lambda rng: rng.uniform(-9, 9, 8), trials=8
+        )
+
+    def test_python_version_sorts(self, rng):
+        x = list(rng.uniform(-5, 5, 16))
+        buf = list(x)
+        bitonic_sort_python(buf)
+        assert buf == sorted(x)
+
+    def test_python_version_power_of_two_only(self):
+        with pytest.raises(ProgramError):
+            bitonic_sort_python([1.0, 2.0, 3.0])
+
+    def test_trace_is_static(self):
+        prog = build_bitonic_sort(8)
+        # every compare-exchange: 2 loads + 2 stores
+        assert prog.trace_length == 4 * len(list(bitonic_pairs(8)))

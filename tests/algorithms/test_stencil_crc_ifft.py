@@ -1,0 +1,170 @@
+"""Jacobi stencil, CRC-32 and the inverse FFT."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.crc import POLY, build_crc32, crc32_python, crc32_reference
+from repro.algorithms.fft import (
+    build_fft,
+    build_ifft,
+    ifft_reference,
+    pack_complex,
+    unpack_complex,
+)
+from repro.algorithms.stencil import (
+    DEFAULT_ALPHA,
+    build_jacobi,
+    jacobi_python,
+    jacobi_reference,
+)
+from repro.bulk import bulk_run
+from repro.errors import ProgramError, WorkloadError
+from repro.trace import check_python_oblivious, run_sequential
+
+
+class TestJacobi:
+    @pytest.mark.parametrize("sweeps", [1, 2, 3, 5])
+    def test_matches_reference(self, sweeps, rng):
+        n = 12
+        u = rng.uniform(-1, 1, (4, n))
+        out = bulk_run(build_jacobi(n, sweeps), u)
+        np.testing.assert_allclose(
+            out[:, :n], jacobi_reference(u, sweeps), rtol=1e-12
+        )
+
+    def test_boundaries_fixed(self, rng):
+        n = 10
+        u = rng.uniform(-1, 1, (3, n))
+        out = bulk_run(build_jacobi(n, 4), u)
+        np.testing.assert_array_equal(out[:, 0], u[:, 0])
+        np.testing.assert_array_equal(out[:, n - 1], u[:, n - 1])
+
+    def test_diffusion_smooths(self):
+        # an impulse spreads and its peak decays
+        n = 11
+        u = np.zeros((1, n))
+        u[0, 5] = 1.0
+        out = bulk_run(build_jacobi(n, 6), u)[:, :n]
+        assert out[0, 5] < 1.0
+        assert out[0, 4] > 0 and out[0, 6] > 0
+
+    def test_steady_state_is_fixed_point(self):
+        # a linear profile between the boundaries is invariant
+        n = 9
+        u = np.linspace(0.0, 1.0, n)[None, :]
+        out = bulk_run(build_jacobi(n, 8), u)[:, :n]
+        np.testing.assert_allclose(out, u, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_jacobi(2, 1)
+        with pytest.raises(ProgramError):
+            build_jacobi(5, 0)
+        with pytest.raises(WorkloadError):
+            build_jacobi(5, 1, alpha=0.9)
+
+    def test_python_version(self, rng):
+        n, sweeps = 8, 3
+        u = rng.uniform(-1, 1, n)
+        buf = [0.0] * (2 * n)
+        buf[:n] = list(u)
+        jacobi_python(buf, n, sweeps)
+        np.testing.assert_allclose(
+            buf[:n], jacobi_reference(u, sweeps), rtol=1e-12
+        )
+
+    def test_python_version_oblivious(self):
+        n, sweeps = 6, 2
+
+        def algo(mem):
+            jacobi_python(mem, n, sweeps)
+
+        check_python_oblivious(
+            algo, lambda rng: rng.uniform(-1, 1, 2 * n), trials=6
+        )
+
+    def test_odd_sweeps_copy_back(self, rng):
+        """After odd sweep counts the result must still land in [0, n)."""
+        n = 8
+        u = rng.uniform(-1, 1, (2, n))
+        out = bulk_run(build_jacobi(n, 3), u)
+        np.testing.assert_allclose(out[:, :n], jacobi_reference(u, 3), rtol=1e-12)
+
+
+class TestCRC32:
+    @given(st.binary(min_size=1, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_zlib(self, data):
+        n = len(data)
+        inputs = np.frombuffer(data, dtype=np.uint8).astype(np.int64)[None, :]
+        out = bulk_run(build_crc32(n), inputs)
+        assert int(out[0, n]) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_known_vector(self):
+        # CRC32("123456789") = 0xCBF43926, the check value of IEEE CRC-32
+        data = b"123456789"
+        inputs = np.frombuffer(data, dtype=np.uint8).astype(np.int64)[None, :]
+        out = bulk_run(build_crc32(9), inputs)
+        assert int(out[0, 9]) == 0xCBF43926
+
+    def test_reference_helper(self):
+        assert crc32_reference(b"hello") == zlib.crc32(b"hello") & 0xFFFFFFFF
+        arr = np.frombuffer(b"hello", dtype=np.uint8)
+        assert crc32_reference(arr) == crc32_reference(b"hello")
+
+    def test_python_version_oblivious(self):
+        n = 6
+
+        def algo(mem):
+            crc32_python(mem, n)
+
+        # cells must be Python ints: the CRC is a bitwise algorithm
+        check_python_oblivious(
+            algo,
+            lambda rng: [int(x) for x in rng.integers(0, 256, n)] + [0],
+            trials=6,
+        )
+
+    def test_trace_is_one_read_per_byte(self):
+        prog = build_crc32(16)
+        assert prog.trace_length == 17
+
+    def test_validation(self):
+        with pytest.raises(ProgramError):
+            build_crc32(0)
+
+    def test_polynomial_constant(self):
+        assert POLY == 0xEDB88320
+
+
+class TestInverseFFT:
+    @pytest.mark.parametrize("n", [1, 2, 8, 16])
+    def test_matches_numpy_ifft(self, n, rng):
+        z = rng.normal(size=(3, n)) + 1j * rng.normal(size=(3, n))
+        out = bulk_run(build_ifft(n), pack_complex(z))
+        np.testing.assert_allclose(
+            unpack_complex(out, n), ifft_reference(z), rtol=1e-9, atol=1e-9
+        )
+
+    def test_fft_ifft_roundtrip(self, rng):
+        n = 16
+        z = rng.normal(size=(4, n)) + 1j * rng.normal(size=(4, n))
+        spec = unpack_complex(bulk_run(build_fft(n), pack_complex(z)), n)
+        back = unpack_complex(bulk_run(build_ifft(n), pack_complex(spec)), n)
+        np.testing.assert_allclose(back, z, atol=1e-9)
+
+    def test_ifft_trace_longer_by_scaling_pass(self):
+        n = 8
+        assert build_ifft(n).trace_length == build_fft(n).trace_length + 4 * n
+
+    def test_sequential_agrees_with_bulk(self, rng):
+        n = 8
+        z = rng.normal(size=(1, n)) + 1j * rng.normal(size=(1, n))
+        inp = pack_complex(z)
+        seq = run_sequential(build_ifft(n), inp[0]).memory
+        blk = bulk_run(build_ifft(n), inp)[0]
+        np.testing.assert_array_equal(seq, blk)

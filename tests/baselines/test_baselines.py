@@ -1,0 +1,55 @@
+"""Baselines: sequential IR loop and pure-Python per-input loops."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.algorithms.registry import make_chord_weights
+from repro.baselines import SequentialBaseline, opt_loop, prefix_sums_loop
+from repro.bulk import bulk_run
+from repro.bulk.kernels import opt_bulk
+from repro.errors import ExecutionError, WorkloadError
+
+
+class TestSequentialBaseline:
+    def test_matches_bulk(self, rng):
+        prog = build_prefix_sums(8)
+        inputs = rng.uniform(-1, 1, (5, 8))
+        np.testing.assert_allclose(
+            SequentialBaseline(prog).run(inputs), bulk_run(prog, inputs)
+        )
+
+    def test_run_one(self, rng):
+        prog = build_prefix_sums(6)
+        x = rng.uniform(-1, 1, 6)
+        np.testing.assert_allclose(
+            SequentialBaseline(prog).run_one(x), np.cumsum(x)
+        )
+
+    def test_model_time_linear_in_p(self):
+        base = SequentialBaseline(build_prefix_sums(16))
+        assert base.model_time_units(10) == 10 * 32
+        assert base.model_time_units(0) == 0
+
+    def test_model_time_negative_rejected(self):
+        base = SequentialBaseline(build_prefix_sums(4))
+        with pytest.raises(ExecutionError):
+            base.model_time_units(-1)
+
+
+class TestPurePython:
+    def test_prefix_loop(self, rng):
+        x = rng.uniform(-2, 2, (7, 9))
+        np.testing.assert_allclose(prefix_sums_loop(x), np.cumsum(x, axis=1))
+
+    def test_prefix_loop_shape(self):
+        with pytest.raises(WorkloadError):
+            prefix_sums_loop(np.zeros(4))
+
+    def test_opt_loop_matches_kernel(self, rng):
+        w = make_chord_weights(rng, 7, 4)
+        np.testing.assert_allclose(opt_loop(w), opt_bulk(w))
+
+    def test_opt_loop_shape(self):
+        with pytest.raises(WorkloadError):
+            opt_loop(np.zeros((3, 3)))

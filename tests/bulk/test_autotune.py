@@ -1,0 +1,73 @@
+"""Arrangement autotuning: model argmin and measured trials."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import (
+    best_arrangement_measured,
+    best_arrangement_model,
+    bulk_run,
+)
+from repro.errors import ExecutionError
+from repro.machine import MachineParams
+
+
+class TestModelChoice:
+    def test_column_always_wins_on_umm(self):
+        """Theorem 2, as a selection: for w > 1 column-wise is chosen."""
+        program = build_prefix_sums(64)
+        choice = best_arrangement_model(program, MachineParams(p=256, w=32, l=10))
+        assert choice.winner == "column"
+        assert choice.mode == "model"
+        assert choice.scores["column"] < choice.scores["row"]
+
+    def test_width_one_is_a_tie(self):
+        program = build_prefix_sums(64)
+        choice = best_arrangement_model(program, MachineParams(p=16, w=1, l=5))
+        assert choice.scores["column"] == choice.scores["row"]
+        assert choice.margin == 1.0
+
+    def test_margin(self):
+        program = build_prefix_sums(64)
+        choice = best_arrangement_model(program, MachineParams(p=256, w=32, l=1))
+        assert choice.margin > 5.0  # bandwidth-bound: near-w separation
+
+    def test_custom_candidates(self):
+        program = build_prefix_sums(64)
+        choice = best_arrangement_model(
+            program, MachineParams(p=64, w=8, l=5), candidates=("row",)
+        )
+        assert choice.winner == "row"
+
+    def test_no_candidates(self):
+        program = build_prefix_sums(4)
+        with pytest.raises(ExecutionError):
+            best_arrangement_model(program, MachineParams(p=8, w=4, l=1), ())
+
+
+class TestMeasuredChoice:
+    def test_returns_a_valid_winner(self, rng):
+        program = build_prefix_sums(32)
+        inputs = rng.uniform(-1, 1, (256, 32))
+        choice = best_arrangement_measured(program, inputs, trials=1)
+        assert choice.winner in ("row", "column")
+        assert choice.mode == "measured"
+        assert set(choice.scores) == {"row", "column"}
+        assert all(v > 0 for v in choice.scores.values())
+
+    def test_winner_is_usable(self, rng):
+        program = build_prefix_sums(16)
+        inputs = rng.uniform(-1, 1, (64, 16))
+        choice = best_arrangement_measured(program, inputs, trials=1)
+        out = bulk_run(program, inputs, choice.winner)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+    def test_validation(self, rng):
+        program = build_prefix_sums(8)
+        with pytest.raises(ExecutionError):
+            best_arrangement_measured(program, np.zeros(8))
+        with pytest.raises(ExecutionError):
+            best_arrangement_measured(program, np.zeros((4, 8)), trials=0)
+        with pytest.raises(ExecutionError):
+            best_arrangement_measured(program, np.zeros((4, 8)), ())

@@ -1,0 +1,166 @@
+"""The tracing converter: Python → IR, self-check, obliviousness rejection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import prefix_sums_python
+from repro.bulk import bulk_run
+from repro.bulk.convert import (
+    SymbolicMemory,
+    convert,
+    convert_and_check,
+    equal,
+    maximum,
+    minimum,
+    select,
+)
+from repro.errors import ObliviousnessError, ProgramError
+from repro.trace import ProgramBuilder, run_sequential
+
+
+def uniform_factory(n):
+    def factory(rng):
+        return rng.uniform(-5.0, 5.0, size=n)
+    return factory
+
+
+class TestConvert:
+    def test_prefix_sums_converts(self):
+        prog = convert(prefix_sums_python, memory_words=8)
+        res = run_sequential(prog, np.ones(8))
+        np.testing.assert_array_equal(res.memory, np.arange(1.0, 9.0))
+        assert prog.name == "prefix_sums_python"
+        assert prog.trace_length == 16
+
+    def test_converted_program_runs_in_bulk(self, rng):
+        prog = convert(prefix_sums_python, memory_words=8)
+        inputs = rng.uniform(-1, 1, size=(16, 8))
+        out = bulk_run(prog, inputs)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+    def test_loops_unroll(self):
+        def doubler(mem):
+            for _ in range(3):
+                for i in range(len(mem)):
+                    mem[i] = mem[i] * 2.0
+
+        prog = convert(doubler, memory_words=4)
+        assert prog.trace_length == 3 * 4 * 2
+        res = run_sequential(prog, np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(res.memory, [8, 16, 24, 32])
+
+    def test_empty_algorithm_rejected(self):
+        with pytest.raises(ProgramError, match="no memory accesses"):
+            convert(lambda mem: None, memory_words=4)
+
+    def test_custom_name(self):
+        prog = convert(prefix_sums_python, memory_words=4, name="psum")
+        assert prog.name == "psum"
+
+    def test_helpers_make_oblivious_minimum(self):
+        def running_min(mem):
+            m = mem[0]
+            for i in range(1, len(mem)):
+                m = minimum(m, mem[i])
+            mem[0] = m
+
+        prog = convert(running_min, memory_words=5)
+        res = run_sequential(prog, np.array([4.0, -1.0, 3.0, 0.0, 2.0]))
+        assert res.memory[0] == -1.0
+
+    def test_select_helper(self):
+        def clamp(mem):
+            for i in range(len(mem)):
+                v = mem[i]
+                mem[i] = select(v < 0.0, 0.0, v)
+
+        prog = convert(clamp, memory_words=3)
+        res = run_sequential(prog, np.array([-2.0, 5.0, -0.5]))
+        np.testing.assert_array_equal(res.memory, [0, 5, 0])
+
+
+class TestRejection:
+    def test_branch_on_data_rejected(self):
+        def leaky(mem):
+            if mem[0] > 0:  # data-dependent control flow
+                mem[1] = 1.0
+
+        with pytest.raises(ObliviousnessError):
+            convert(leaky, memory_words=4)
+
+    def test_builtin_min_rejected(self):
+        def leaky(mem):
+            mem[0] = min(mem[0], mem[1])
+
+        with pytest.raises(ObliviousnessError):
+            convert(leaky, memory_words=4)
+
+    def test_data_dependent_index_rejected(self):
+        def leaky(mem):
+            mem[0] = mem[int(0)] + 0.0
+            _ = mem[mem[0]]  # Value used as address
+
+        with pytest.raises(ObliviousnessError, match="addressing"):
+            convert(leaky, memory_words=4)
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(ProgramError, match="int"):
+            convert(lambda mem: mem.__getitem__(1.5), memory_words=4)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ProgramError, match="range"):
+            convert(lambda mem: mem.__getitem__(9), memory_words=4)
+
+    def test_negative_index_wraps_pythonically(self):
+        def last(mem):
+            mem[-1] = mem[0]
+
+        prog = convert(last, memory_words=4)
+        res = run_sequential(prog, np.array([7.0]))
+        assert res.memory[3] == 7.0
+
+
+class TestModePolymorphicHelpers:
+    def test_concrete_select(self):
+        assert select(True, 1, 2) == 1
+        assert select(False, 1, 2) == 2
+
+    def test_concrete_min_max(self):
+        assert minimum(3, 5) == 3
+        assert maximum(3, 5) == 5
+
+    def test_concrete_equal(self):
+        assert equal(2, 2) == 1
+        assert equal(2, 3) == 0
+
+    def test_symbolic_equal_both_orders(self):
+        b = ProgramBuilder(4)
+        x = b.load(0)
+        for cond in (equal(x, 2.0), equal(2.0, x)):
+            b.store(1, select(cond, 10.0, 20.0))
+        prog = b.build()
+        assert run_sequential(prog, np.array([2.0])).memory[1] == 10.0
+        assert run_sequential(prog, np.array([3.0])).memory[1] == 20.0
+
+    def test_same_source_runs_concretely(self):
+        buf = [3.0, 1.0, 2.0]
+        prefix_sums_python(buf)
+        assert buf == [3.0, 4.0, 6.0]
+
+
+class TestConvertAndCheck:
+    def test_passes_for_correct_algorithm(self):
+        prog = convert_and_check(
+            prefix_sums_python, memory_words=8, input_factory=uniform_factory(8)
+        )
+        assert prog.trace_length == 16
+
+    def test_self_check_exercises_scratch_words(self):
+        def square_into_scratch(mem):
+            n = len(mem) // 2
+            for i in range(n):
+                mem[n + i] = mem[i] * mem[i]
+
+        convert_and_check(
+            square_into_scratch, memory_words=8, input_factory=uniform_factory(4)
+        )

@@ -1,0 +1,82 @@
+"""Grid (time-shared) execution: geometry, semantics, cost shape."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import GridConfig, GridExecutor, bulk_run, grid_time_units
+from repro.errors import ExecutionError, MachineConfigError
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = GridConfig(block_size=64, resident_blocks=4)
+        assert cfg.resident_threads == 256
+        assert cfg.num_blocks(1000) == 16
+        assert cfg.num_rounds(1000) == 4
+        assert cfg.num_rounds(256) == 1
+        assert cfg.num_rounds(257) == 2
+
+    def test_validation(self):
+        with pytest.raises(MachineConfigError):
+            GridConfig(block_size=0, resident_blocks=1)
+        with pytest.raises(MachineConfigError):
+            GridConfig(block_size=64, resident_blocks=0)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("p", [32, 256, 300, 1000])
+    def test_grid_equals_flat_bulk(self, p, rng):
+        """Time sharing is semantically invisible — same results as one
+        giant bulk run."""
+        n = 8
+        prog = build_prefix_sums(n)
+        inputs = rng.uniform(-1, 1, (p, n))
+        grid = GridExecutor(prog, GridConfig(block_size=64, resident_blocks=4))
+        np.testing.assert_array_equal(grid.run(inputs), bulk_run(prog, inputs))
+
+    def test_partial_last_round_padding_discarded(self, rng):
+        prog = build_prefix_sums(4)
+        cfg = GridConfig(block_size=8, resident_blocks=2)  # resident = 16
+        inputs = rng.uniform(-1, 1, (21, 4))  # 2 rounds, last partial
+        out = GridExecutor(prog, cfg).run(inputs)
+        assert out.shape == (21, 4)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+    def test_requires_2d(self):
+        prog = build_prefix_sums(4)
+        with pytest.raises(ExecutionError):
+            GridExecutor(prog, GridConfig(4, 2)).run(np.zeros(4))
+
+    def test_row_arrangement_supported(self, rng):
+        prog = build_prefix_sums(4)
+        inputs = rng.uniform(-1, 1, (20, 4))
+        out = GridExecutor(prog, GridConfig(8, 1), "row").run(inputs)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+
+class TestCostShape:
+    def test_flat_then_linear(self):
+        """The Figure 11/12 curve shape: constant until the machine is
+        full, then proportional to the number of rounds."""
+        prog = build_prefix_sums(32)
+        cfg = GridConfig(block_size=64, resident_blocks=4)  # 256 threads
+        t64 = grid_time_units(prog, 64, cfg, machine_width=32, machine_latency=100)
+        t256 = grid_time_units(prog, 256, cfg, machine_width=32, machine_latency=100)
+        t512 = grid_time_units(prog, 512, cfg, machine_width=32, machine_latency=100)
+        t2048 = grid_time_units(prog, 2048, cfg, machine_width=32, machine_latency=100)
+        assert t64 == t256  # flat region: same single round
+        assert t512 == 2 * t256  # two rounds
+        assert t2048 == 8 * t256  # linear region
+
+    def test_row_costs_more_than_column(self):
+        prog = build_prefix_sums(32)
+        cfg = GridConfig(block_size=64, resident_blocks=4)
+        col = grid_time_units(prog, 1024, cfg, 32, 100, "column")
+        row = grid_time_units(prog, 1024, cfg, 32, 100, "row")
+        assert col < row
+
+    def test_invalid_p(self):
+        prog = build_prefix_sums(4)
+        with pytest.raises(ExecutionError):
+            grid_time_units(prog, 0, GridConfig(64, 1), 32, 10)

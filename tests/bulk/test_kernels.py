@@ -1,0 +1,97 @@
+"""Hand-vectorised kernels vs references and vs the IR engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.polygon import (
+    brute_force_opt,
+    build_opt,
+    opt_reference,
+    pack_weights,
+    unpack_result,
+)
+from repro.algorithms.registry import make_chord_weights
+from repro.bulk import bulk_run
+from repro.bulk.kernels import opt_bulk, opt_bulk_with_choices, prefix_sums_bulk
+from repro.errors import ExecutionError
+
+
+class TestPrefixKernel:
+    def test_matches_cumsum(self, rng):
+        x = rng.uniform(-1, 1, size=(13, 37))
+        np.testing.assert_allclose(prefix_sums_bulk(x), np.cumsum(x, axis=1))
+
+    def test_input_not_mutated(self, rng):
+        x = rng.uniform(-1, 1, size=(3, 5))
+        orig = x.copy()
+        prefix_sums_bulk(x)
+        np.testing.assert_array_equal(x, orig)
+
+    def test_shape_check(self):
+        with pytest.raises(ExecutionError):
+            prefix_sums_bulk(np.zeros(5))
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 99))
+    @settings(max_examples=30)
+    def test_random_shapes(self, p, n, seed):
+        x = np.random.default_rng(seed).normal(size=(p, n))
+        np.testing.assert_allclose(prefix_sums_bulk(x), np.cumsum(x, axis=1))
+
+
+class TestOptKernel:
+    def test_matches_scalar_reference(self, rng):
+        w = make_chord_weights(rng, 7, 5)
+        got = opt_bulk(w)
+        want = [opt_reference(w[h]) for h in range(5)]
+        np.testing.assert_allclose(got, want)
+
+    def test_matches_brute_force(self, rng):
+        w = make_chord_weights(rng, 6, 4)
+        got = opt_bulk(w)
+        for h in range(4):
+            val, _ = brute_force_opt(w[h])
+            assert got[h] == pytest.approx(val)
+
+    def test_matches_ir_engine(self, rng):
+        n, p = 6, 8
+        w = make_chord_weights(rng, n, p)
+        prog = build_opt(n)
+        out = bulk_run(prog, pack_weights(w))
+        np.testing.assert_allclose(unpack_result(out, n), opt_bulk(w))
+
+    def test_triangle_costs_nothing(self):
+        w = np.zeros((1, 3, 3))
+        assert opt_bulk(w)[0] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ExecutionError):
+            opt_bulk(np.zeros((2, 3, 4)))
+        with pytest.raises(ExecutionError):
+            opt_bulk(np.zeros((2, 2, 2)))
+
+
+class TestOptChoices:
+    def test_values_agree_with_plain_kernel(self, rng):
+        w = make_chord_weights(rng, 8, 6)
+        vals, _ = opt_bulk_with_choices(w)
+        np.testing.assert_allclose(vals, opt_bulk(w))
+
+    def test_choices_shape(self, rng):
+        w = make_chord_weights(rng, 6, 3)
+        _, choices = opt_bulk_with_choices(w)
+        assert choices.shape == (3, 6, 6)
+
+    def test_choice_k_in_range(self, rng):
+        w = make_chord_weights(rng, 7, 4)
+        _, choices = opt_bulk_with_choices(w)
+        n = 7
+        for i in range(1, n - 1):
+            for j in range(i + 2, n):
+                ks = choices[:, i, j]
+                assert (ks >= i).all() and (ks < j).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ExecutionError):
+            opt_bulk_with_choices(np.zeros((1, 2, 2)))

@@ -1,0 +1,66 @@
+"""Theorem 3 machinery: legs, legality, and the optimality certificate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk.lower_bound import (
+    OptimalityCheck,
+    bandwidth_bound,
+    check_optimality,
+    latency_bound,
+)
+from repro.errors import ExecutionError
+from repro.machine import MachineParams
+from repro.machine.cost import lower_bound
+
+P = MachineParams(p=64, w=8, l=5)
+
+
+class TestLegs:
+    def test_bandwidth(self):
+        assert bandwidth_bound(P, 10) == 80
+
+    def test_bandwidth_exactly_divisible(self):
+        # p is always a multiple of w, so pt/w is integral: the ceiling in
+        # the formula never rounds for a valid machine.
+        params = MachineParams(p=24, w=8, l=1)
+        assert bandwidth_bound(params, 3) == 9
+        assert bandwidth_bound(params, 7) == 21
+
+    def test_latency(self):
+        assert latency_bound(P, 10) == 50
+
+    def test_negative_t(self):
+        with pytest.raises(ExecutionError):
+            bandwidth_bound(P, -1)
+        with pytest.raises(ExecutionError):
+            latency_bound(P, -1)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_lower_bound_is_max_of_legs(self, t):
+        assert lower_bound(P, t) == max(bandwidth_bound(P, t), latency_bound(P, t))
+
+
+class TestOptimalityCheck:
+    def test_legal_measurement(self):
+        chk = check_optimality(P, 10, measured_time=200)
+        assert chk.is_legal
+        assert chk.bound == lower_bound(P, 10)
+        assert chk.ratio == 200 / chk.bound
+
+    def test_illegal_measurement_raises(self):
+        with pytest.raises(ExecutionError, match="beats"):
+            check_optimality(P, 10, measured_time=1)
+
+    def test_is_optimal_constant(self):
+        bound = lower_bound(P, 10)
+        assert OptimalityCheck(P, 10, bound, bound).is_optimal()
+        assert OptimalityCheck(P, 10, 2 * bound, bound).is_optimal()
+        assert not OptimalityCheck(P, 10, 3 * bound, bound).is_optimal()
+        assert OptimalityCheck(P, 10, 3 * bound, bound).is_optimal(constant=4.0)
+
+    def test_zero_bound(self):
+        chk = OptimalityCheck(P, 0, measured=0, bound=0)
+        assert chk.ratio == float("inf")

@@ -1,0 +1,73 @@
+"""BulkSession: streaming batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import BulkSession
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def session():
+    return BulkSession(build_prefix_sums(4), batch=8)
+
+
+class TestFeeding:
+    def test_no_output_until_batch_full(self, session, rng):
+        got = list(session.feed(*rng.uniform(-1, 1, (7, 4))))
+        assert got == []
+        assert session.pending == 7
+
+    def test_full_batch_emits_in_order(self, session, rng):
+        inputs = rng.uniform(-1, 1, (8, 4))
+        got = list(session.feed(inputs))
+        assert len(got) == 8
+        np.testing.assert_allclose(np.stack(got), np.cumsum(inputs, axis=1))
+        assert session.pending == 0
+        assert session.rounds_run == 1
+
+    def test_streaming_across_batches(self, session, rng):
+        inputs = rng.uniform(-1, 1, (20, 4))
+        got = list(session.feed_iter(inputs))
+        assert len(got) == 16  # two full batches
+        got.extend(session.flush())
+        assert len(got) == 20
+        np.testing.assert_allclose(np.stack(got), np.cumsum(inputs, axis=1))
+        assert session.inputs_processed == 20
+        assert session.rounds_run == 3
+
+    def test_flush_empty_is_noop(self, session):
+        assert list(session.flush()) == []
+        assert session.rounds_run == 0
+
+    def test_single_item_feed(self, session):
+        outs = list(session.feed(np.ones(4)))
+        assert outs == [] and session.pending == 1
+
+    def test_short_rows_zero_extended(self):
+        session = BulkSession(build_prefix_sums(4), batch=2)
+        got = list(session.feed(np.array([1.0]), np.array([2.0])))
+        np.testing.assert_array_equal(got[0], [1, 1, 1, 1])
+        np.testing.assert_array_equal(got[1], [2, 2, 2, 2])
+
+
+class TestValidation:
+    def test_bad_batch(self):
+        with pytest.raises(ExecutionError):
+            BulkSession(build_prefix_sums(4), batch=0)
+
+    def test_oversized_input(self, session):
+        with pytest.raises(ExecutionError, match="exceeds"):
+            list(session.feed(np.zeros(5)))
+
+    def test_inconsistent_width(self, session):
+        list(session.feed(np.zeros(4)))
+        with pytest.raises(ExecutionError, match="inconsistent"):
+            list(session.feed(np.zeros(3)))
+
+    def test_row_arrangement(self, rng):
+        session = BulkSession(build_prefix_sums(4), batch=4, arrangement="row")
+        inputs = rng.uniform(-1, 1, (4, 4))
+        got = np.stack(list(session.feed(inputs)))
+        np.testing.assert_allclose(got, np.cumsum(inputs, axis=1))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_params() -> MachineParams:
+    """The smallest convenient machine: 8 threads, 2 warps of 4, l=2."""
+    return MachineParams(p=8, w=4, l=2)
+
+
+@pytest.fixture
+def paper_params() -> MachineParams:
+    """Figure-4-like machine: w=4, l=5."""
+    return MachineParams(p=8, w=4, l=5)
+
+
+@pytest.fixture
+def default_params() -> MachineParams:
+    """A realistic mid-size machine."""
+    return MachineParams(p=128, w=32, l=100)

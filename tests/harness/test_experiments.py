@@ -1,0 +1,190 @@
+"""Quick-mode experiment runs: structure, shapes, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.harness.__main__ import main
+from repro.harness.experiments import (
+    run_ablation,
+    run_fig11,
+    run_fig12,
+    run_model_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_fig11(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_fig12(quick=True)
+
+
+class TestFig11:
+    def test_series_present(self, fig11):
+        keys = set(fig11.series)
+        assert any(k.endswith("/cpu") for k in keys)
+        assert any(k.endswith("/col") for k in keys)
+        assert any(k.endswith("/row") for k in keys)
+
+    def test_headline_shape_column_beats_cpu_at_scale(self, fig11):
+        """The paper's Figure 11(2) claim, scaled: at the largest swept p
+        the column-wise bulk run beats the per-input CPU loop by a wide
+        margin."""
+        for name, cpu in fig11.series.items():
+            if not name.endswith("/cpu"):
+                continue
+            col = fig11.series[name.replace("/cpu", "/col")]
+            assert cpu.times[-1] / col.times[-1] > 10
+
+    def test_column_never_slower_than_row_at_scale(self, fig11):
+        for name, col in fig11.series.items():
+            if not name.endswith("/col"):
+                continue
+            row = fig11.series[name.replace("/col", "/row")]
+            assert col.times[-1] <= row.times[-1] * 1.10  # 10% noise margin
+
+    def test_cpu_is_linear(self, fig11):
+        # the paper: "the computing time by the CPU is proportional to p";
+        # quick mode measures only a couple of points, so allow some noise
+        for name, cpu in fig11.series.items():
+            if name.endswith("/cpu"):
+                fit = cpu.fit()
+                assert fit.r_squared > 0.9, (name, fit)
+
+    def test_tables_rendered(self, fig11):
+        text = fig11.render()
+        assert "computing time" in text
+        assert "speedup" in text
+        assert "affine fits" in text
+
+
+class TestFig12:
+    def test_same_shape_claims(self, fig12):
+        for name, cpu in fig12.series.items():
+            if not name.endswith("/cpu"):
+                continue
+            col = fig12.series[name.replace("/cpu", "/col")]
+            assert cpu.times[-1] / col.times[-1] > 5
+
+    def test_gpu_flat_then_linear(self, fig12):
+        """Doubling small p must grow the bulk time sublinearly (the flat
+        region of the paper's log-log plots).  Averaged geometrically over
+        the first doublings to ride out single-point timing noise."""
+        import math
+
+        for name, col in fig12.series.items():
+            if not name.endswith("/col") or len(col.times) < 3:
+                continue
+            k = min(3, len(col.times) - 1)
+            growth = (col.times[k] / col.times[0]) ** (1 / k)
+            assert growth < 1.8, (name, col.times)  # linear would be ~2.0
+
+
+class TestModelValidation:
+    def test_tables(self):
+        res = run_model_validation(quick=True)
+        text = res.render()
+        assert "Theorem 2" in text
+        assert "Lemma 1" in text
+
+    def test_every_registered_algorithm_appears(self):
+        from repro.algorithms.registry import all_specs
+
+        res = run_model_validation(quick=True)
+        text = res.render()
+        for spec in all_specs():
+            assert spec.name in text
+
+
+class TestAblation:
+    def test_tables(self):
+        res = run_ablation(quick=True)
+        text = res.render()
+        for marker in ("abl-width", "abl-latency", "abl-dmm", "abl-vm"):
+            assert marker in text
+
+    def test_width_monotone(self):
+        res = run_ablation(quick=True)
+        width_tab = next(t for t in res.tables if "abl-width" in t.title)
+        col_times = [int(r[1]) for r in width_tab.rows]
+        ws = [int(r[0]) for r in width_tab.rows]
+        # larger width never increases column-wise time units
+        for (w1, t1), (w2, t2) in zip(zip(ws, col_times), zip(ws[1:], col_times[1:])):
+            assert t2 <= t1
+
+
+class TestGrid:
+    def test_flat_then_linear_in_time_units(self):
+        from repro.harness.experiments import run_grid
+
+        res = run_grid(quick=True)
+        tab = res.tables[0]
+        rows = [(int(r[0]), int(r[1]), int(r[2])) for r in tab.rows]
+        # while rounds == 1, grid cost is constant; beyond, proportional
+        one_round = [c for p, rounds, c in rows if rounds == 1]
+        assert len(set(one_round)) == 1
+        base = one_round[0]
+        for p, rounds, c in rows:
+            assert c == rounds * base
+
+    def test_row_costs_more(self):
+        from repro.harness.experiments import run_grid
+
+        res = run_grid(quick=True)
+        for r in res.tables[0].rows:
+            assert int(r[2]) < int(r[3])
+
+
+class TestCLI:
+    def test_cli_model_quick(self, capsys):
+        assert main(["model", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+
+    def test_cli_writes_files(self, tmp_path, capsys):
+        assert main(["ablation", "--quick", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "ablation.txt").exists()
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+
+class TestJsonReport:
+    def test_roundtrips_through_json(self, fig11, tmp_path):
+        import json
+
+        from repro.harness.json_report import result_to_dict, save_result_json
+
+        doc = result_to_dict(fig11)
+        assert doc["name"] == "fig11"
+        assert doc["tables"] and doc["series"]
+        # every series row count matches
+        for key, s in doc["series"].items():
+            assert len(s["p"]) == len(s["seconds"]) == len(s["extrapolated"])
+        path = tmp_path / "fig11.json"
+        save_result_json(fig11, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        assert main(["coalescing", "--quick", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "coalescing.json").exists()
+        assert (tmp_path / "coalescing.txt").exists()
+
+
+class TestCoalescingExperiment:
+    def test_every_algorithm_column_wise_fully_coalesced(self):
+        from repro.harness.experiments import run_coalescing
+
+        res = run_coalescing(quick=True)
+        tab = res.tables[0]
+        for row in tab.rows:
+            assert row[3] == "100%", row  # column coalesced fraction
+            # row-wise is never coalesced — except for degenerate 1-word
+            # memories, where "rows" are single words and hence contiguous
+            if row[5] == "100%":
+                assert int(row[1]) <= 1, row

@@ -1,0 +1,81 @@
+"""Affine fitting: recovery, clamping, crossover, paper-style rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.harness.fit import fit_affine
+
+
+class TestRecovery:
+    def test_exact_affine_recovered(self):
+        p = np.array([64, 128, 256, 512, 1024])
+        t = 1e-5 + 2e-9 * p
+        fit = fit_affine(p, t)
+        assert fit.intercept == pytest.approx(1e-5, rel=1e-6)
+        assert fit.slope == pytest.approx(2e-9, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(
+        st.floats(1e-7, 1e-2),
+        st.floats(1e-10, 1e-6),
+        st.integers(0, 999),
+    )
+    @settings(max_examples=40)
+    def test_noisy_recovery_within_tolerance(self, a, b, seed):
+        from hypothesis import assume
+
+        p = np.array([2**k for k in range(6, 16)], dtype=float)
+        # the slope is only identifiable when the linear term rises above
+        # the 1% measurement noise on the intercept
+        assume(b * p[-1] > 0.2 * a)
+        rng = np.random.default_rng(seed)
+        t = a + b * p
+        t = t * (1 + rng.normal(0, 0.01, p.size))
+        fit = fit_affine(p, t)
+        assert fit.slope == pytest.approx(b, rel=0.2)
+
+    def test_pure_linear_clamps_intercept(self):
+        p = np.array([1, 2, 4, 8], dtype=float)
+        t = 3e-9 * p - 1e-9  # noise-induced negative intercept
+        fit = fit_affine(p, t)
+        assert fit.intercept == 0.0
+        assert fit.slope > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            fit_affine([1], [1.0])
+        with pytest.raises(WorkloadError):
+            fit_affine([1, 2], [1.0])
+
+
+class TestDerived:
+    def test_crossover(self):
+        fit = fit_affine(
+            np.array([1, 10, 100, 1000]), 1e-4 + 1e-6 * np.array([1, 10, 100, 1000])
+        )
+        assert fit.crossover_p == pytest.approx(100, rel=1e-3)
+
+    def test_crossover_huge_for_flat(self):
+        # A flat curve has (numerically) zero slope: the knee is never hit
+        # in any realistic sweep.
+        p = np.array([1.0, 2.0, 3.0])
+        fit = fit_affine(p, np.full(3, 5.0))
+        assert fit.crossover_p > 1e12
+
+    def test_predict(self):
+        p = np.array([1, 2, 4, 8], dtype=float)
+        fit = fit_affine(p, 2.0 + 3.0 * p)
+        assert fit.predict(16.0) == pytest.approx(50.0)
+
+    def test_paper_style_units(self):
+        fit = fit_affine(
+            np.array([1e3, 1e4, 1e5, 1e6]),
+            14e-6 + 1.35e-9 * np.array([1e3, 1e4, 1e5, 1e6]),
+        )
+        text = fit.paper_style()
+        assert "us" in text and "ns" in text
+        # the paper's own column-wise prefix-sums law: 14 us + (1.35 p) ns
+        assert "14" in text and "1.35" in text

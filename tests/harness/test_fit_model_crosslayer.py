@@ -1,0 +1,65 @@
+"""Cross-layer check: the affine fit recovers the exact model law.
+
+At fixed ``(w, l)`` the column-wise simulated time is *exactly* affine in
+``p``: ``T(p) = (p/w + l − 1)·t = (l − 1)·t + (t/w)·p``.  Feeding simulated
+sweeps into :func:`fit_affine` must therefore recover intercept ``(l−1)·t``
+and slope ``t/w`` to machine precision — tying together the simulator, the
+closed forms, and the paper-style fitting machinery in one assertion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import simulate_bulk
+from repro.harness.fit import fit_affine
+from repro.machine import MachineParams
+
+
+@pytest.mark.parametrize("w,l", [(8, 5), (32, 100), (16, 1)])
+class TestExactRecovery:
+    def test_column_wise_law(self, w, l):
+        program = build_prefix_sums(64)
+        t = program.trace_length
+        ps = [w * k for k in (2, 4, 8, 16, 32)]
+        times = [
+            simulate_bulk(program, MachineParams(p=p, w=w, l=l), "column").total_time
+            for p in ps
+        ]
+        fit = fit_affine(ps, [float(x) for x in times])
+        assert fit.intercept == pytest.approx((l - 1) * t, rel=1e-9, abs=1e-6)
+        assert fit.slope == pytest.approx(t / w, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_row_wise_law(self, w, l):
+        # row-wise (n >= w): T(p) = (p + l - 1)·t -> slope t, intercept (l-1)t
+        program = build_prefix_sums(64)
+        t = program.trace_length
+        ps = [w * k for k in (2, 4, 8, 16)]
+        times = [
+            float(
+                simulate_bulk(program, MachineParams(p=p, w=w, l=l), "row").total_time
+            )
+            for p in ps
+        ]
+        fit = fit_affine(ps, times)
+        assert fit.slope == pytest.approx(t, rel=1e-9)
+        assert fit.intercept == pytest.approx((l - 1) * t, rel=1e-9, abs=1e-6)
+
+    def test_crossover_matches_model(self, w, l):
+        """The fitted knee sits at p* = w(l−1) — the latency/bandwidth
+        balance point of the model."""
+        if l == 1:
+            pytest.skip("no latency term, no knee")
+        program = build_prefix_sums(64)
+        ps = [w * k for k in (2, 4, 8, 16, 32)]
+        times = [
+            float(
+                simulate_bulk(
+                    program, MachineParams(p=p, w=w, l=l), "column"
+                ).total_time
+            )
+            for p in ps
+        ]
+        fit = fit_affine(ps, times)
+        assert fit.crossover_p == pytest.approx(w * (l - 1), rel=1e-6)

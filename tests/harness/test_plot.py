@@ -1,0 +1,93 @@
+"""ASCII log-log renderer."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.plot import PlotSeries, ascii_loglog
+
+
+def series(label="s", xs=(1, 10, 100), ys=(1e-3, 1e-2, 1e-1)):
+    return PlotSeries(label=label, xs=list(xs), ys=list(ys))
+
+
+class TestValidation:
+    def test_empty_series_rejected(self):
+        with pytest.raises(WorkloadError):
+            PlotSeries(label="x", xs=[], ys=[])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(WorkloadError):
+            PlotSeries(label="x", xs=[1, 2], ys=[1.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(WorkloadError, match="positive"):
+            PlotSeries(label="x", xs=[0, 1], ys=[1, 1])
+
+    def test_no_series(self):
+        with pytest.raises(WorkloadError):
+            ascii_loglog([])
+
+    def test_tiny_canvas(self):
+        with pytest.raises(WorkloadError):
+            ascii_loglog([series()], width=4, height=2)
+
+
+class TestRendering:
+    def test_markers_and_legend(self):
+        text = ascii_loglog([series("cpu"), series("gpu", ys=(1e-4, 1e-4, 1e-3))])
+        assert "o = cpu" in text and "x = gpu" in text
+        assert "o" in text and "x" in text
+
+    def test_title(self):
+        text = ascii_loglog([series()], title="Fig 11")
+        assert text.splitlines()[0].strip() == "Fig 11"
+
+    def test_dimensions(self):
+        text = ascii_loglog([series()], width=40, height=10, title="t")
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in rows)
+
+    def test_monotone_series_descends_on_canvas(self):
+        # larger y must appear on a higher row (smaller row index)
+        text = ascii_loglog([series()], width=30, height=9)
+        rows = [i for i, l in enumerate(text.splitlines()) if "o" in l and "|" in l]
+        assert rows == sorted(rows)
+
+    def test_axis_labels_present(self):
+        text = ascii_loglog([series()], xlabel="p", ylabel="seconds")
+        assert "(p, log)" in text
+        assert "(seconds, log)" in text
+
+    def test_single_point_series(self):
+        text = ascii_loglog([PlotSeries("dot", [5.0], [2.0])])
+        assert "o" in text
+
+    def test_flat_series(self):
+        text = ascii_loglog([PlotSeries("flat", [1, 10, 100], [3.0, 3.0, 3.0])])
+        assert text.count("o") >= 3
+
+
+class TestExperimentIntegration:
+    def test_fig_result_renders_plot(self):
+        from repro.harness.experiments import ExperimentResult, Series
+
+        res = ExperimentResult(name="demo")
+        for label in ("cpu", "row", "col"):
+            s = Series(label=label)
+            for p, t in ((64, 1e-3), (128, 2e-3)):
+                s.add(p, t)
+            res.series[f"n8/{label}"] = s
+        text = res.render()
+        assert "log-log" in text
+        assert "legend" in text
+
+    def test_plots_can_be_disabled(self):
+        from repro.harness.experiments import ExperimentResult, Series
+
+        res = ExperimentResult(name="demo")
+        s = Series(label="cpu")
+        s.add(64, 1e-3)
+        res.series["n8/cpu"] = s
+        res.series["n8/col"] = s
+        assert "log-log" not in res.render(plots=False)

@@ -1,0 +1,128 @@
+"""Harness utilities: sweeps, timing, workloads, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.report import Table, format_ratio, format_seconds
+from repro.harness.sweep import cap_by_memory, p_sweep
+from repro.harness.timing import measure
+from repro.harness.workloads import opt_inputs, prefix_sum_inputs
+
+
+class TestSweep:
+    def test_doubling_grid(self):
+        assert p_sweep(64, 512) == [64, 128, 256, 512]
+
+    def test_inclusive_stop(self):
+        assert p_sweep(64, 500) == [64, 128, 256]
+
+    def test_factor(self):
+        assert p_sweep(1, 100, factor=10) == [1, 10, 100]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            p_sweep(0, 10)
+        with pytest.raises(WorkloadError):
+            p_sweep(10, 5)
+        with pytest.raises(WorkloadError):
+            p_sweep(1, 10, factor=1)
+
+    def test_cap_by_memory(self):
+        assert cap_by_memory(1000, 1_000_000, multiple_of=64) == 960
+
+    def test_cap_exact(self):
+        assert cap_by_memory(100, 6400, multiple_of=64) == 64
+
+    def test_cap_too_small(self):
+        with pytest.raises(WorkloadError):
+            cap_by_memory(1_000_000, 1000)
+
+    def test_cap_validation(self):
+        with pytest.raises(WorkloadError):
+            cap_by_memory(0)
+
+
+class TestTiming:
+    def test_measure_returns_positive(self):
+        t = measure(lambda: sum(range(1000)), repeats=2)
+        assert t.best > 0
+        assert t.mean >= t.best
+        assert t.repeats == 2
+
+    def test_measure_units(self):
+        t = measure(lambda: None, repeats=1)
+        assert t.best_us == pytest.approx(t.best * 1e6)
+        assert t.best_ms == pytest.approx(t.best * 1e3)
+
+    def test_measure_validation(self):
+        with pytest.raises(WorkloadError):
+            measure(lambda: None, repeats=0)
+
+    def test_warmup_runs(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+
+class TestWorkloads:
+    def test_prefix_inputs_deterministic(self):
+        a = prefix_sum_inputs(8, 4)
+        b = prefix_sum_inputs(8, 4)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (4, 8)
+
+    def test_prefix_inputs_seed_varies(self):
+        a = prefix_sum_inputs(8, 4, seed=1)
+        b = prefix_sum_inputs(8, 4, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_opt_inputs_shape(self):
+        # inputs carry only the weight region c (n^2 words); the DP table
+        # region is scratch, zero-initialised by the engine.
+        x = opt_inputs(6, 3)
+        assert x.shape == (3, 36)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            prefix_sum_inputs(0, 4)
+        with pytest.raises(WorkloadError):
+            opt_inputs(2, 4)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "t,expect",
+        [(5e-10, "ns"), (5e-6, "us"), (5e-3, "ms"), (5.0, "s")],
+    )
+    def test_format_seconds_scales(self, t, expect):
+        assert expect in format_seconds(t)
+
+    def test_format_nan(self):
+        assert format_seconds(float("nan")) == "-"
+        assert format_ratio(float("nan")) == "-"
+
+    def test_format_ratio(self):
+        assert format_ratio(151.2) == "151x"
+
+
+class TestTable:
+    def test_render_aligns(self):
+        t = Table("demo", ["p", "time"])
+        t.add_row([64, "1.5 us"])
+        t.add_row([1048576, "42 ms"])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/sep/rows aligned
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(WorkloadError):
+            t.add_row([1])
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add_row([1])
+        t.add_note("scaled down")
+        assert "note: scaled down" in t.render()

@@ -1,0 +1,107 @@
+"""The ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("prefix-sums", "opt", "fft", "xtea"):
+            assert name in out
+
+
+class TestDisasm:
+    def test_listing(self, capsys):
+        assert main(["disasm", "prefix-sums", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "t=8" in out and "m[0]" in out
+
+    def test_limit(self, capsys):
+        assert main(["disasm", "opt", "8", "--limit", "5"]) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_unknown_algorithm_is_clean_error(self, capsys):
+        assert main(["disasm", "nope", "4"]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_prices_both_arrangements(self, capsys):
+        assert main(["simulate", "opt", "8", "--p", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "row" in out and "column" in out and "bound" in out
+
+    def test_invalid_machine_is_clean_error(self, capsys):
+        assert main(["simulate", "opt", "8", "--p", "100", "--w", "32"]) == 1
+        assert "multiple" in capsys.readouterr().err
+
+    def test_dmm_option(self, capsys):
+        assert main(["simulate", "prefix-sums", "64", "--p", "128",
+                     "--machine", "dmm"]) == 0
+        assert "DMM" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_column_summary(self, capsys):
+        assert main(["analyze", "prefix-sums", "64", "--p", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out and "histogram" in out
+
+    def test_timeline_option(self, capsys):
+        assert main(["analyze", "prefix-sums", "8", "--p", "8", "--w", "4",
+                     "--l", "5", "--timeline", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "event schedule" in out and "W(0)" in out
+
+
+class TestExport:
+    def test_writes_loadable_json(self, tmp_path, capsys):
+        path = tmp_path / "prog.json"
+        assert main(["export", "fft", "8", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-oblivious-program"
+
+        from repro.trace.serialize import load_program
+
+        assert load_program(path).name == "fft-n8"
+
+
+class TestCodegen:
+    def test_cuda_to_stdout(self, capsys):
+        assert main(["codegen", "prefix-sums", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+
+    def test_c_to_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.c"
+        assert main(["codegen", "fft", "8", "--target", "c", "-o", str(path)]) == 0
+        assert "void fft_n8_run_one" in path.read_text()
+
+    def test_launch_code_appended(self, capsys):
+        assert main(["codegen", "opt", "6", "--launch"]) == 0
+        out = capsys.readouterr().out
+        assert "cudaMalloc" in out
+
+    def test_row_arrangement(self, capsys):
+        assert main(["codegen", "prefix-sums", "8", "--arrangement", "row"]) == 0
+        assert "(size_t)j * 8" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_and_verifies(self, capsys):
+        assert main(["run", "bitonic-sort", "8", "--p", "16"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_row_arrangement(self, capsys):
+        assert main(["run", "prefix-sums", "4", "--p", "8",
+                     "--arrangement", "row"]) == 0
+        assert "row-wise" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,74 @@
+"""Program composition: concat_programs as a staged-construction tool."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_run, simulate_bulk
+from repro.errors import ProgramError
+from repro.machine import MachineParams, UMM
+from repro.trace import ProgramBuilder, concat_programs, run_sequential
+
+
+def stage_scale(n, factor):
+    b = ProgramBuilder(n, name=f"scale{factor}")
+    for i in range(n):
+        b.store(i, b.load(i) * float(factor))
+    return b.build()
+
+
+def stage_prefix(n):
+    b = ProgramBuilder(n, name="prefix")
+    r = b.const(0.0)
+    for i in range(n):
+        r = r + b.load(i)
+        b.store(i, r)
+    return b.build()
+
+
+class TestStagedConstruction:
+    def test_two_stage_pipeline(self, rng):
+        """scale-then-prefix built as two programs, fused by concatenation."""
+        n = 8
+        fused = concat_programs([stage_scale(n, 3), stage_prefix(n)], name="fused")
+        x = rng.uniform(-1, 1, n)
+        out = run_sequential(fused, x).memory
+        np.testing.assert_allclose(out, np.cumsum(3.0 * x))
+
+    def test_fused_trace_is_concatenation(self):
+        n = 4
+        a, b = stage_scale(n, 2), stage_prefix(n)
+        fused = concat_programs([a, b])
+        np.testing.assert_array_equal(
+            fused.address_trace(),
+            np.concatenate([a.address_trace(), b.address_trace()]),
+        )
+        assert fused.trace_length == a.trace_length + b.trace_length
+
+    def test_fused_cost_is_sum_of_stage_costs(self):
+        """The simulator's additivity carries to composed programs."""
+        n = 8
+        params = MachineParams(p=32, w=8, l=5)
+        a, b = stage_scale(n, 2), stage_prefix(n)
+        fused = concat_programs([a, b])
+        whole = simulate_bulk(fused, params, "column").total_time
+        parts = (
+            simulate_bulk(a, params, "column").total_time
+            + simulate_bulk(b, params, "column").total_time
+        )
+        assert whole == parts
+
+    def test_bulk_execution_of_fused_program(self, rng):
+        n, p = 6, 16
+        fused = concat_programs([stage_scale(n, -1), stage_prefix(n)])
+        inputs = rng.uniform(-2, 2, (p, n))
+        out = bulk_run(fused, inputs)
+        np.testing.assert_allclose(out, np.cumsum(-inputs, axis=1), rtol=1e-12)
+
+    def test_single_program_concat_identity(self, rng):
+        n = 5
+        a = stage_prefix(n)
+        fused = concat_programs([a])
+        x = rng.uniform(-1, 1, n)
+        np.testing.assert_array_equal(
+            run_sequential(a, x).memory, run_sequential(fused, x).memory
+        )

@@ -1,0 +1,87 @@
+"""Cross-layer integration: converter → engine → simulator → baselines."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BulkExecutor,
+    MachineParams,
+    SequentialBaseline,
+    bulk_run,
+    convert_and_check,
+    simulate_bulk,
+)
+from repro.algorithms.polygon import build_opt, pack_weights, unpack_result
+from repro.algorithms.prefix_sums import prefix_sums_python
+from repro.algorithms.registry import make_chord_weights
+from repro.baselines import opt_loop, prefix_sums_loop
+from repro.bulk.kernels import opt_bulk, prefix_sums_bulk
+
+
+class TestFullPipelinePrefixSums:
+    def test_convert_execute_simulate(self, rng):
+        """The README's end-to-end story in one test: author in Python,
+        convert, check, bulk-run, price on the UMM."""
+        n, p = 16, 64
+        program = convert_and_check(
+            prefix_sums_python,
+            memory_words=n,
+            input_factory=lambda r: r.uniform(-5, 5, n),
+        )
+        inputs = rng.uniform(-5, 5, (p, n))
+        out = bulk_run(program, inputs)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+        params = MachineParams(p=p, w=8, l=20)
+        col = simulate_bulk(program, params, "column")
+        row = simulate_bulk(program, params, "row")
+        assert col.total_time < row.total_time
+        assert col.optimality_ratio <= 2.0
+
+    def test_three_implementations_agree(self, rng):
+        n, p = 12, 32
+        inputs = rng.uniform(-1, 1, (p, n))
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        program = build_prefix_sums(n)
+        engine = bulk_run(program, inputs)
+        kernel = prefix_sums_bulk(inputs)
+        loop = prefix_sums_loop(inputs)
+        np.testing.assert_allclose(engine, kernel)
+        np.testing.assert_allclose(engine, loop)
+
+
+class TestFullPipelineOPT:
+    def test_four_implementations_agree(self, rng):
+        n, p = 8, 16
+        w = make_chord_weights(rng, n, p)
+        program = build_opt(n)
+        engine = unpack_result(bulk_run(program, pack_weights(w)), n)
+        kernel = opt_bulk(w)
+        loop = opt_loop(w)
+        seq = unpack_result(
+            SequentialBaseline(program).run(pack_weights(w)), n
+        )
+        np.testing.assert_allclose(engine, kernel)
+        np.testing.assert_allclose(engine, loop)
+        np.testing.assert_allclose(engine, seq)
+
+
+class TestExecutorScaling:
+    @pytest.mark.parametrize("p", [1, 2, 64, 257])
+    def test_any_batch_size(self, p, rng):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        program = build_prefix_sums(8)
+        inputs = rng.uniform(-1, 1, (p, 8))
+        out = BulkExecutor(program, p).run(inputs).outputs
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+
+    def test_simulation_requires_warp_multiple(self):
+        """The UMM model needs p % w == 0; the engine itself does not."""
+        from repro.algorithms.prefix_sums import build_prefix_sums
+        from repro.errors import MachineConfigError
+
+        program = build_prefix_sums(8)
+        with pytest.raises(MachineConfigError):
+            simulate_bulk(program, MachineParams(p=64, w=8, l=5).with_threads(8 * 8 + 1), "row")

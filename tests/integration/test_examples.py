@@ -1,0 +1,26 @@
+"""Every committed example must run clean (they assert internally)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least 3 examples"
+    assert any(p.stem == "quickstart" for p in EXAMPLES)

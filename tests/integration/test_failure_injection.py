@@ -1,0 +1,143 @@
+"""Failure injection: hostile inputs, IEEE edge values, mis-configuration.
+
+The engine, interpreter and simulators must either produce well-defined
+results (IEEE semantics propagate) or fail loudly with the library's typed
+errors — never silently corrupt.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cipher import (
+    MASK32,
+    build_xtea_encrypt,
+    pack_blocks,
+    unpack_blocks,
+    xtea_encrypt_reference,
+)
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import BulkExecutor, bulk_run, simulate_bulk
+from repro.errors import (
+    ExecutionError,
+    MachineConfigError,
+    ObliviousnessError,
+    ProgramError,
+    ReproError,
+)
+from repro.machine import MachineParams
+from repro.trace import ProgramBuilder, optimize, run_sequential
+
+
+@pytest.mark.filterwarnings("ignore:invalid value encountered")
+class TestIEEEPropagation:
+    def test_nan_inputs_propagate_not_crash(self):
+        prog = build_prefix_sums(4)
+        inputs = np.array([[1.0, np.nan, 1.0, 1.0]])
+        out = bulk_run(prog, inputs)
+        assert np.isnan(out[0, 1:]).all()
+        assert out[0, 0] == 1.0
+
+    def test_inf_inputs(self):
+        prog = build_prefix_sums(3)
+        out = bulk_run(prog, np.array([[np.inf, 1.0, -np.inf]]))
+        assert out[0, 0] == np.inf
+        assert np.isnan(out[0, 2])  # inf + (-inf)
+
+    def test_nan_in_select_condition_is_falsey(self):
+        # NaN != 0 is True in IEEE, so select takes the true arm — the
+        # engine and the interpreter must agree on this corner.
+        b = ProgramBuilder(3)
+        b.store(2, b.select(b.load(0), b.load(1), 99.0))
+        prog = b.build()
+        inp = np.array([[np.nan, 7.0]])
+        bulk = bulk_run(prog, inp)[0, 2]
+        seq = run_sequential(prog, inp[0]).memory[2]
+        assert bulk == seq == 7.0
+
+    def test_engine_interpreter_agree_on_extreme_magnitudes(self):
+        prog = build_prefix_sums(4)
+        inp = np.array([[1e308, 1e308, -1e308, 0.0]])
+        np.testing.assert_array_equal(
+            bulk_run(prog, inp)[0], run_sequential(prog, inp[0]).memory
+        )
+
+
+class TestIntegerEdges:
+    def test_xtea_extreme_words(self):
+        key = np.array([MASK32, 0, MASK32, 0], dtype=np.int64)
+        blocks = np.array([[MASK32, MASK32], [0, 0]], dtype=np.int64)
+        out = bulk_run(build_xtea_encrypt(32), pack_blocks(blocks, key))
+        np.testing.assert_array_equal(
+            unpack_blocks(out).astype(np.int64),
+            xtea_encrypt_reference(blocks, key),
+        )
+
+    def test_optimizer_preserves_cipher_exactly(self, rng):
+        """Constant folding must respect int64 wrap/mask semantics."""
+        key = rng.integers(0, MASK32 + 1, 4, dtype=np.int64)
+        blocks = rng.integers(0, MASK32 + 1, (6, 2), dtype=np.int64)
+        base = build_xtea_encrypt(8)
+        inputs = pack_blocks(blocks, key)
+        want = unpack_blocks(bulk_run(base, inputs))
+        for level in (1, 2):
+            got = unpack_blocks(bulk_run(optimize(base, level=level), inputs))
+            np.testing.assert_array_equal(got, want)
+
+
+class TestTypedFailures:
+    def test_every_library_error_is_reproerror(self):
+        for exc in (
+            ExecutionError,
+            MachineConfigError,
+            ObliviousnessError,
+            ProgramError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_shape_mismatch_is_execution_error(self):
+        ex = BulkExecutor(build_prefix_sums(4), p=4)
+        with pytest.raises(ExecutionError):
+            ex.run(np.zeros((3, 4)))
+
+    def test_machine_misconfig_is_machine_error(self):
+        with pytest.raises(MachineConfigError):
+            simulate_bulk(
+                build_prefix_sums(4), MachineParams(p=64, w=32, l=1).with_threads(63)
+            )
+
+    def test_program_error_on_bad_build(self):
+        b = ProgramBuilder(4)
+        with pytest.raises(ProgramError):
+            b.load(100)
+
+    def test_catch_all_family(self):
+        """A caller catching ReproError sees every library failure."""
+        try:
+            MachineParams(p=3, w=2, l=1)
+        except ReproError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("MachineConfigError escaped the ReproError family")
+
+
+class TestDataIndependenceUnderHostileData:
+    def test_simulated_cost_is_data_free(self, rng):
+        """Obliviousness, adversarially: the UMM cost comes from the static
+        trace, so *any* input data — NaNs included — prices identically."""
+        prog = build_prefix_sums(16)
+        params = MachineParams(p=64, w=8, l=7)
+        a = simulate_bulk(prog, params, "column").total_time
+        b = simulate_bulk(prog, params, "column").total_time
+        assert a == b  # no data enters the costing path at all
+
+    def test_outputs_independent_across_lanes(self, rng):
+        """One input's pathological values must not leak into neighbours."""
+        prog = build_prefix_sums(8)
+        inputs = rng.uniform(-1, 1, (8, 8))
+        inputs[3] = np.nan
+        out = bulk_run(prog, inputs)
+        clean = np.delete(inputs, 3, axis=0)
+        np.testing.assert_allclose(
+            np.delete(out, 3, axis=0), np.cumsum(clean, axis=1)
+        )
+        assert np.isnan(out[3]).all()

@@ -1,0 +1,158 @@
+"""Address-group / bank arithmetic, including the vectorised per-warp paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigError
+from repro.machine.address import (
+    address_group_members,
+    address_group_of,
+    bank_members,
+    bank_of,
+    conflicts_per_warp,
+    count_distinct_groups,
+    groups_per_warp,
+    max_bank_conflicts,
+)
+
+
+class TestScalarMaps:
+    def test_bank_interleaving(self):
+        # Paper: address i lives in bank i mod w.
+        assert [bank_of(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_address_groups_figure2(self):
+        # Figure 2, w=4: A[0] = {0,1,2,3}, A[1] = {4,5,6,7}, ...
+        assert [address_group_of(i, 4) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_vectorised(self):
+        a = np.arange(16)
+        np.testing.assert_array_equal(bank_of(a, 4), a % 4)
+        np.testing.assert_array_equal(address_group_of(a, 4), a // 4)
+
+    def test_bank_members(self):
+        np.testing.assert_array_equal(bank_members(1, 4, 16), [1, 5, 9, 13])
+
+    def test_bank_members_bad_index(self):
+        with pytest.raises(MachineConfigError):
+            bank_members(4, 4, 16)
+
+    def test_group_members(self):
+        np.testing.assert_array_equal(address_group_members(2, 4), [8, 9, 10, 11])
+
+    def test_group_members_negative(self):
+        with pytest.raises(MachineConfigError):
+            address_group_members(-1, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(MachineConfigError):
+            bank_of(3, 0)
+
+
+class TestAggregate:
+    def test_count_distinct_groups(self):
+        assert count_distinct_groups(np.array([0, 1, 2, 3]), 4) == 1
+        assert count_distinct_groups(np.array([0, 4, 8, 12]), 4) == 4
+        assert count_distinct_groups(np.array([3, 4]), 4) == 2
+        assert count_distinct_groups(np.array([], dtype=np.int64), 4) == 0
+
+    def test_max_bank_conflicts(self):
+        assert max_bank_conflicts(np.array([0, 1, 2, 3]), 4) == 1
+        assert max_bank_conflicts(np.array([0, 4, 8, 12]), 4) == 4
+        # Duplicates are combined (broadcast): no conflict.
+        assert max_bank_conflicts(np.array([0, 0, 1, 2]), 4) == 1
+        assert max_bank_conflicts(np.array([0, 0, 4, 2]), 4) == 2
+        assert max_bank_conflicts(np.array([], dtype=np.int64), 4) == 0
+
+    def test_group_vs_bank_duality(self):
+        # One address group = w distinct banks: 1 stage on both machines.
+        group = address_group_members(3, 8)
+        assert count_distinct_groups(group, 8) == 1
+        assert max_bank_conflicts(group, 8) == 1
+        # One bank = every address in a different group.
+        bank = bank_members(2, 8, 64)
+        assert max_bank_conflicts(bank, 8) == bank.size
+        assert count_distinct_groups(bank, 8) == bank.size
+
+
+class TestPerWarp:
+    def test_groups_per_warp_basic(self):
+        # Two warps of w=4: first coalesced, second scattered.
+        addrs = np.array([0, 1, 2, 3, 0, 4, 8, 12])
+        np.testing.assert_array_equal(groups_per_warp(addrs, 4), [1, 4])
+
+    def test_groups_per_warp_figure4(self):
+        # Paper Figure 4: W(0) spans 3 address groups, W(1) spans 1.
+        addrs = np.array([0, 4, 8, 9, 12, 13, 14, 15])
+        np.testing.assert_array_equal(groups_per_warp(addrs, 4), [3, 1])
+
+    def test_conflicts_per_warp_basic(self):
+        addrs = np.array([0, 1, 2, 3, 0, 4, 8, 12])
+        np.testing.assert_array_equal(conflicts_per_warp(addrs, 4), [1, 4])
+
+    def test_conflicts_per_warp_partial_conflict(self):
+        # banks: 0,0,1,2 -> max run 2
+        addrs = np.array([0, 4, 1, 2])
+        np.testing.assert_array_equal(conflicts_per_warp(addrs, 4), [2])
+
+    def test_width_one(self):
+        addrs = np.array([5, 7, 7])
+        np.testing.assert_array_equal(groups_per_warp(addrs, 1), [1, 1, 1])
+        np.testing.assert_array_equal(conflicts_per_warp(addrs, 1), [1, 1, 1])
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises(MachineConfigError):
+            groups_per_warp(np.array([0, 1, 2]), 4)
+        with pytest.raises(MachineConfigError):
+            conflicts_per_warp(np.array([0, 1, 2]), 4)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(MachineConfigError):
+            groups_per_warp(np.zeros((2, 4), dtype=np.int64), 4)
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=4, max_size=64).filter(
+            lambda xs: len(xs) % 4 == 0
+        )
+    )
+    @settings(max_examples=60)
+    def test_groups_matches_per_warp_unique(self, xs):
+        """The vectorised group count equals a per-warp np.unique loop."""
+        addrs = np.asarray(xs, dtype=np.int64)
+        got = groups_per_warp(addrs, 4)
+        want = [
+            count_distinct_groups(addrs[i : i + 4], 4)
+            for i in range(0, addrs.size, 4)
+        ]
+        np.testing.assert_array_equal(got, want)
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=4, max_size=64).filter(
+            lambda xs: len(xs) % 4 == 0
+        )
+    )
+    @settings(max_examples=60)
+    def test_conflicts_matches_per_warp_bincount(self, xs):
+        """The vectorised conflict count equals a per-warp bincount loop."""
+        addrs = np.asarray(xs, dtype=np.int64)
+        got = conflicts_per_warp(addrs, 4)
+        want = [
+            max_bank_conflicts(addrs[i : i + 4], 4)
+            for i in range(0, addrs.size, 4)
+        ]
+        np.testing.assert_array_equal(got, want)
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda nw: st.lists(
+                st.integers(0, 500), min_size=8 * nw, max_size=8 * nw
+            )
+        )
+    )
+    @settings(max_examples=40)
+    def test_umm_weaker_than_dmm(self, xs):
+        """Stage occupancy on the UMM >= on the DMM (UMM is less powerful)."""
+        addrs = np.asarray(xs, dtype=np.int64)
+        assert (groups_per_warp(addrs, 8) >= conflicts_per_warp(addrs, 8)).all()

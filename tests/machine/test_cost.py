@@ -1,0 +1,161 @@
+"""Closed-form cost model: Lemma 1, Theorem 2, Theorem 3, Corollary 5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigError
+from repro.machine import MachineParams
+from repro.machine.cost import (
+    CostBreakdown,
+    column_wise_time,
+    corollary5_column_wise,
+    corollary5_row_wise,
+    lemma1_column_wise,
+    lemma1_row_wise,
+    lower_bound,
+    opt_trace_length,
+    prefix_sums_trace_length,
+    row_wise_time,
+    step_time_column_wise,
+    step_time_row_wise,
+)
+
+P = MachineParams(p=64, w=8, l=5)
+
+
+class TestStepTimes:
+    def test_row_wise_step(self):
+        assert step_time_row_wise(P) == 64 + 5 - 1
+
+    def test_column_wise_step(self):
+        assert step_time_column_wise(P) == 8 + 5 - 1
+
+    def test_column_cheaper_iff_w_gt_1(self):
+        assert step_time_column_wise(P) < step_time_row_wise(P)
+        p1 = MachineParams(p=8, w=1, l=3)
+        assert step_time_column_wise(p1) == step_time_row_wise(p1)
+
+
+class TestTheorem2:
+    def test_row_wise_formula(self):
+        assert row_wise_time(P, 10) == (64 + 4) * 10
+
+    def test_column_wise_formula(self):
+        assert column_wise_time(P, 10) == (8 + 4) * 10
+
+    def test_zero_trace(self):
+        assert row_wise_time(P, 0) == 0
+        assert column_wise_time(P, 0) == 0
+
+    def test_negative_trace_rejected(self):
+        with pytest.raises(MachineConfigError):
+            row_wise_time(P, -1)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_column_never_exceeds_row(self, t):
+        assert column_wise_time(P, t) <= row_wise_time(P, t)
+
+
+class TestTheorem3:
+    def test_bandwidth_leg(self):
+        # pt/w dominates when l is small.
+        params = MachineParams(p=64, w=8, l=1)
+        assert lower_bound(params, 10) == 64 * 10 // 8
+
+    def test_latency_leg(self):
+        # lt dominates for a big latency.
+        params = MachineParams(p=8, w=8, l=1000)
+        assert lower_bound(params, 10) == 10_000
+
+    def test_ceiling_division(self):
+        params = MachineParams(p=6, w=6, l=1)
+        assert lower_bound(params, 1) == 1
+        params = MachineParams(p=10, w=5, l=1)
+        # 10*3/5 = 6
+        assert lower_bound(params, 3) == 6
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda k: st.tuples(st.just(2**k), st.integers(1, k))
+        ),
+        st.integers(1, 64),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=80)
+    def test_column_wise_is_optimal_within_2x(self, pw, l, t):
+        """Theorem 2's column-wise time is within 2x of Theorem 3's bound."""
+        p, wexp = pw
+        w = 2**wexp if 2**wexp <= p else p
+        params = MachineParams(p=p, w=w, l=l)
+        col = column_wise_time(params, t)
+        bound = lower_bound(params, t)
+        assert col >= bound
+        if t > 0:
+            assert col <= 2 * bound
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_bound_below_both_arrangements(self, t):
+        assert lower_bound(P, t) <= column_wise_time(P, t) <= row_wise_time(P, t)
+
+
+class TestInstantiations:
+    def test_prefix_trace_length(self):
+        # a(2i) = a(2i+1) = i: one read + one write per element.
+        assert prefix_sums_trace_length(8) == 16
+        assert prefix_sums_trace_length(0) == 0
+
+    def test_prefix_negative_rejected(self):
+        with pytest.raises(MachineConfigError):
+            prefix_sums_trace_length(-1)
+
+    def test_opt_trace_length_small(self):
+        # n=3: init 2 writes; pair (1,2): k=1 -> 2 reads, + read c + write M.
+        assert opt_trace_length(3) == 2 + (2 + 2)
+
+    def test_opt_trace_length_matches_built_program(self):
+        from repro.algorithms.polygon import build_opt
+
+        for n in (3, 4, 5, 8):
+            assert build_opt(n).trace_length == opt_trace_length(n)
+
+    def test_opt_trace_cubic_growth(self):
+        # Doubling n multiplies t by ~8 asymptotically.
+        ratio = opt_trace_length(64) / opt_trace_length(32)
+        assert 6.0 < ratio < 9.0
+
+    def test_opt_needs_triangle(self):
+        with pytest.raises(MachineConfigError):
+            opt_trace_length(2)
+
+    def test_lemma1(self):
+        n = 32
+        assert lemma1_row_wise(P, n) == (64 + 4) * 64
+        assert lemma1_column_wise(P, n) == (8 + 4) * 64
+
+    def test_corollary5(self):
+        n = 8
+        t = opt_trace_length(n)
+        assert corollary5_row_wise(P, n) == (64 + 4) * t
+        assert corollary5_column_wise(P, n) == (8 + 4) * t
+
+
+class TestCostBreakdown:
+    def test_for_trace(self):
+        cb = CostBreakdown.for_trace(P, 100)
+        assert cb.row_wise == row_wise_time(P, 100)
+        assert cb.column_wise == column_wise_time(P, 100)
+        assert cb.bound == lower_bound(P, 100)
+
+    def test_ratios(self):
+        cb = CostBreakdown.for_trace(P, 100)
+        assert cb.column_wise_optimality_ratio == cb.column_wise / cb.bound
+        assert cb.row_over_column == cb.row_wise / cb.column_wise
+        assert cb.row_over_column > 1.0
+
+    def test_zero_trace_ratios(self):
+        cb = CostBreakdown.for_trace(P, 0)
+        assert cb.column_wise_optimality_ratio == float("inf")
+        assert cb.row_over_column == float("inf")

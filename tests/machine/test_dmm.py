@@ -1,0 +1,79 @@
+"""DMM simulator: bank-conflict pricing and the DMM/UMM power relation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DMM, UMM, MachineParams
+
+
+@pytest.fixture
+def dmm():
+    return DMM(MachineParams(p=8, w=4, l=5))
+
+
+class TestStepCost:
+    def test_conflict_free_warp(self, dmm):
+        # Distinct banks: 1 stage per warp.
+        rep = dmm.step_cost(np.arange(8))
+        assert rep.total_stages == 2
+        assert rep.time_units == 2 + 5 - 1
+
+    def test_full_conflict(self, dmm):
+        # All 4 lanes of each warp hit bank 0.
+        addrs = np.array([0, 4, 8, 12, 16, 20, 24, 28])
+        rep = dmm.step_cost(addrs)
+        assert rep.total_stages == 8
+        assert rep.time_units == 8 + 5 - 1
+
+    def test_strided_conflict_free(self, dmm):
+        # Stride 5 with w=4: banks 0,1,2,3 (5 mod 4 = 1) — conflict free.
+        addrs = np.arange(8) * 5
+        rep = dmm.step_cost(addrs)
+        assert rep.total_stages == 2
+
+    def test_same_address_broadcast_combined(self, dmm):
+        # Duplicate addresses are combined (broadcast): one stage per warp.
+        rep = dmm.step_cost(np.zeros(8, dtype=np.int64))
+        assert rep.total_stages == 2
+
+    def test_distinct_same_bank_still_conflicts(self, dmm):
+        # Two distinct addresses in one bank serialise even with duplicates.
+        rep = dmm.step_cost(np.array([0, 0, 4, 4, 1, 1, 5, 5]))
+        assert rep.total_stages == 4  # each warp: 2 distinct addrs in one bank
+
+    def test_incremental_crosscheck(self, dmm):
+        addrs = np.array([0, 4, 1, 2, 3, 7, 11, 15])
+        assert (
+            dmm.step_cost(addrs).time_units
+            == dmm.step_cost_incremental(addrs).time_units
+        )
+
+
+class TestPowerRelation:
+    @given(st.lists(st.integers(0, 511), min_size=8, max_size=8))
+    @settings(max_examples=60)
+    def test_dmm_never_slower_than_umm(self, xs):
+        """The UMM is less powerful: same access costs >= on the UMM."""
+        params = MachineParams(p=8, w=4, l=5)
+        addrs = np.asarray(xs, dtype=np.int64)
+        dmm_t = DMM(params).step_cost(addrs).time_units
+        umm_t = UMM(params).step_cost(addrs).time_units
+        assert dmm_t <= umm_t
+
+    def test_umm_friendly_equals_dmm(self):
+        """A coalesced (single-group) access is optimal on both machines."""
+        params = MachineParams(p=8, w=4, l=2)
+        addrs = np.arange(8)
+        assert (
+            DMM(params).step_cost(addrs).time_units
+            == UMM(params).step_cost(addrs).time_units
+        )
+
+    def test_dmm_strictly_faster_case(self):
+        """Stride-w access: conflict-free on DMM, one group per lane on UMM."""
+        params = MachineParams(p=8, w=4, l=2)
+        addrs = np.arange(8) * 5  # distinct banks AND distinct groups
+        assert DMM(params).step_cost(addrs).total_stages == 2
+        assert UMM(params).step_cost(addrs).total_stages == 8

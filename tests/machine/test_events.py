@@ -1,0 +1,105 @@
+"""Event-level machine vs the closed-form batch accounting.
+
+Cycle-exact agreement between two independent implementations of the
+Section II rules is the strongest internal check of the cost model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.polygon import build_opt
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import make_arrangement
+from repro.machine import DMM, UMM, MachineParams
+from repro.machine.events import EventSimulator, crosscheck_against_batch
+
+
+@pytest.fixture
+def params():
+    return MachineParams(p=8, w=4, l=5)
+
+
+class TestAgreement:
+    @given(st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_traces_umm(self, t, seed):
+        params = MachineParams(p=8, w=4, l=3)
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 128, size=(t, 8))
+        crosscheck_against_batch(UMM(params), trace)
+
+    @given(st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_traces_dmm(self, t, seed):
+        params = MachineParams(p=8, w=4, l=2)
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 128, size=(t, 8))
+        crosscheck_against_batch(DMM(params), trace)
+
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_masked_traces(self, t, seed):
+        params = MachineParams(p=8, w=4, l=4)
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 64, size=(t, 8))
+        mask = rng.random((t, 8)) < 0.7
+        mask[:, 0] = True  # keep every step non-empty
+        crosscheck_against_batch(UMM(params), trace, mask)
+
+    def test_real_bulk_traces(self):
+        params = MachineParams(p=32, w=8, l=7)
+        for program in (build_prefix_sums(16), build_opt(5)):
+            for arrangement in ("row", "column"):
+                arr = make_arrangement(arrangement, program.memory_words, 32)
+                trace = arr.trace_addresses(program.address_trace())
+                crosscheck_against_batch(UMM(params), trace)
+
+
+class TestEventStructure:
+    def test_figure4_schedule(self, params):
+        # W(0): 3 groups, W(1): 1 group, l=5 -> completes at cycle 8.
+        trace = np.array([[0, 4, 8, 9, 12, 13, 14, 15]])
+        log = EventSimulator(UMM(params)).simulate_trace(trace)
+        assert log.total_cycles == 8
+        e0, e1 = log.events
+        assert (e0.stages, e1.stages) == (3, 1)
+        assert e0.issue_start == 0
+        assert e1.issue_start == 3  # issues right after W(0)'s stage-items
+        assert e0.complete == 3 + params.l - 1 - 1 + 1  # = 7
+        assert e1.complete == 8
+
+    def test_steps_serialise(self, params):
+        trace = np.array([[0, 1, 2, 3, 4, 5, 6, 7]] * 3)
+        log = EventSimulator(UMM(params)).simulate_trace(trace)
+        per_step = [max(e.complete for e in log.events_for_step(s)) for s in range(3)]
+        starts = [min(e.issue_start for e in log.events_for_step(s)) for s in range(3)]
+        assert starts[1] == per_step[0]
+        assert starts[2] == per_step[1]
+
+    def test_idle_warp_absent_from_log(self, params):
+        trace = np.array([[0, 1, 2, 3, 4, 5, 6, 7]])
+        mask = np.array([[True] * 4 + [False] * 4])
+        log = EventSimulator(UMM(params)).simulate_trace(trace, mask)
+        assert len(log.events) == 1
+        assert log.events[0].warp == 0
+
+    def test_occupancy_and_utilization(self, params):
+        trace = np.array([[0, 1, 2, 3, 4, 5, 6, 7]])  # 2 coalesced warps
+        log = EventSimulator(UMM(params)).simulate_trace(trace)
+        # two stage-items issued at cycles 0 and 1; both in flight at cycle 1
+        assert log.occupancy(1) == 2
+        assert log.total_stage_items == 2
+        assert 0 < log.utilization <= 1.0
+
+    def test_wrong_shape(self, params):
+        with pytest.raises(Exception):
+            EventSimulator(UMM(params)).simulate_trace(np.zeros((2, 7), dtype=int))
+
+    def test_empty_trace(self, params):
+        log = EventSimulator(UMM(params)).simulate_trace(
+            np.zeros((0, 8), dtype=np.int64)
+        )
+        assert log.total_cycles == 0
+        assert log.events == []

@@ -1,0 +1,90 @@
+"""HMM composition: geometry and staged cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import DMM, HMM, HMMParams, MachineParams
+
+
+@pytest.fixture
+def hmm_params():
+    return HMMParams(
+        d=2,
+        core=MachineParams(p=8, w=4, l=1),
+        global_width=8,
+        global_latency=10,
+    )
+
+
+class TestParams:
+    def test_total_threads(self, hmm_params):
+        assert hmm_params.total_threads == 16
+
+    def test_global_params(self, hmm_params):
+        g = hmm_params.global_params
+        assert (g.p, g.w, g.l) == (16, 8, 10)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(MachineConfigError):
+            HMMParams(d=0, core=MachineParams(p=8, w=4, l=1),
+                      global_width=8, global_latency=10)
+
+    def test_thread_width_mismatch(self):
+        with pytest.raises(MachineConfigError):
+            HMMParams(d=1, core=MachineParams(p=4, w=4, l=1),
+                      global_width=8, global_latency=10)
+
+
+class TestCosts:
+    def test_global_trace_priced_as_umm(self, hmm_params):
+        hmm = HMM(hmm_params)
+        trace = np.arange(16)[None, :]  # coalesced across all threads
+        rep = hmm.global_trace_cost(trace)
+        # 16 threads / width 8 = 2 warps, 1 group each: 2 + 10 - 1.
+        assert rep.total_time == 2 + 10 - 1
+
+    def test_shared_traces_run_concurrently(self, hmm_params):
+        hmm = HMM(hmm_params)
+        dmm = DMM(hmm_params.core)
+        fast = np.arange(8)[None, :]
+        slow = (np.arange(8) * 4)[None, :]  # full bank conflicts
+        cost = hmm.shared_trace_cost([fast, slow])
+        assert cost == dmm.trace_cost(slow).total_time
+        assert cost > dmm.trace_cost(fast).total_time
+
+    def test_shared_traces_empty(self, hmm_params):
+        assert HMM(hmm_params).shared_trace_cost([]) == 0
+
+    def test_too_many_cores_rejected(self, hmm_params):
+        hmm = HMM(hmm_params)
+        t = np.arange(8)[None, :]
+        with pytest.raises(MachineConfigError):
+            hmm.shared_trace_cost([t, t, t])
+
+    def test_staged_cost_is_sum(self, hmm_params):
+        hmm = HMM(hmm_params)
+        load = np.arange(16)[None, :]
+        store = np.arange(16)[None, :]
+        core = np.arange(8)[None, :]
+        total = hmm.staged_cost(load, [core, core], store)
+        assert total == (
+            hmm.global_trace_cost(load).total_time
+            + hmm.shared_trace_cost([core, core])
+            + hmm.global_trace_cost(store).total_time
+        )
+
+    def test_staging_can_beat_direct_global(self, hmm_params):
+        """Shared-memory compute phases dodge the global latency — the HMM
+        rationale: load once, iterate on-chip, store once."""
+        hmm = HMM(hmm_params)
+        step = np.arange(16)
+        iters = 20
+        direct = hmm.global_trace_cost(np.tile(step, (iters, 1))).total_time
+        core_step = np.arange(8)
+        staged = hmm.staged_cost(
+            step[None, :],
+            [np.tile(core_step, (iters, 1))] * 2,
+            step[None, :],
+        )
+        assert staged < direct

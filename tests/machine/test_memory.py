@@ -1,0 +1,127 @@
+"""BankedMemory: geometry, access, logging, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, MachineConfigError
+from repro.machine import BankedMemory
+
+
+class TestGeometry:
+    def test_size_and_dtype(self):
+        mem = BankedMemory(16, w=4)
+        assert mem.size == 16
+        assert mem.dtype == np.float64
+
+    def test_custom_dtype(self):
+        mem = BankedMemory(8, w=4, dtype=np.int64)
+        assert mem.dtype == np.int64
+
+    def test_invalid_size(self):
+        with pytest.raises(MachineConfigError):
+            BankedMemory(0, w=4)
+
+    def test_invalid_width(self):
+        with pytest.raises(MachineConfigError):
+            BankedMemory(8, w=0)
+
+    def test_num_groups_rounds_up(self):
+        assert BankedMemory(10, w=4).num_groups == 3
+        assert BankedMemory(8, w=4).num_groups == 2
+
+    def test_bank_view_strided(self):
+        mem = BankedMemory(16, w=4)
+        mem.load_array(np.arange(16.0))
+        np.testing.assert_array_equal(mem.bank_view(1), [1, 5, 9, 13])
+
+    def test_bank_view_is_view(self):
+        mem = BankedMemory(16, w=4)
+        mem.bank_view(0)[0] = 7.0
+        assert mem.read(0) == 7.0
+
+    def test_bank_view_bad_index(self):
+        with pytest.raises(AddressError):
+            BankedMemory(16, w=4).bank_view(4)
+
+    def test_group_view_contiguous(self):
+        mem = BankedMemory(16, w=4)
+        mem.load_array(np.arange(16.0))
+        np.testing.assert_array_equal(mem.group_view(2), [8, 9, 10, 11])
+
+    def test_group_view_bad_index(self):
+        with pytest.raises(AddressError):
+            BankedMemory(16, w=4).group_view(4)
+
+
+class TestAccess:
+    def test_scalar_roundtrip(self):
+        mem = BankedMemory(8)
+        mem.write(3, 2.5)
+        assert mem.read(3) == 2.5
+
+    def test_vector_roundtrip(self):
+        mem = BankedMemory(8)
+        mem.write(np.array([1, 3, 5]), np.array([1.0, 3.0, 5.0]))
+        np.testing.assert_array_equal(mem.read(np.array([5, 3, 1])), [5.0, 3.0, 1.0])
+
+    def test_out_of_range_read(self):
+        with pytest.raises(AddressError, match="out of range"):
+            BankedMemory(8).read(8)
+
+    def test_negative_address(self):
+        with pytest.raises(AddressError):
+            BankedMemory(8).read(-1)
+
+    def test_out_of_range_vector_write(self):
+        with pytest.raises(AddressError):
+            BankedMemory(8).write(np.array([0, 9]), np.array([1.0, 2.0]))
+
+    def test_load_array_offset(self):
+        mem = BankedMemory(8)
+        mem.load_array([1.0, 2.0], offset=3)
+        np.testing.assert_array_equal(mem.dump(), [0, 0, 0, 1, 2, 0, 0, 0])
+
+    def test_load_array_overflow(self):
+        with pytest.raises(AddressError):
+            BankedMemory(4).load_array(np.zeros(5))
+
+    def test_dump_range(self):
+        mem = BankedMemory(8)
+        mem.load_array(np.arange(8.0))
+        np.testing.assert_array_equal(mem.dump(2, 5), [2, 3, 4])
+
+    def test_dump_invalid_range(self):
+        with pytest.raises(AddressError):
+            BankedMemory(8).dump(5, 3)
+
+    def test_dump_is_copy(self):
+        mem = BankedMemory(4)
+        d = mem.dump()
+        d[0] = 99.0
+        assert mem.read(0) == 0.0
+
+
+class TestLogging:
+    def test_no_logging_by_default(self):
+        mem = BankedMemory(8)
+        mem.read(0)
+        assert mem.flat_log().size == 0
+
+    def test_reads_and_writes_logged_in_order(self):
+        mem = BankedMemory(8, record=True)
+        mem.read(2)
+        mem.write(5, 1.0)
+        mem.read(np.array([0, 1]))
+        np.testing.assert_array_equal(mem.flat_log(), [2, 5, 0, 1])
+
+    def test_clear_log(self):
+        mem = BankedMemory(8, record=True)
+        mem.read(1)
+        mem.clear_log()
+        assert mem.flat_log().size == 0
+
+    def test_bulk_helpers_not_logged(self):
+        mem = BankedMemory(8, record=True)
+        mem.load_array([1.0, 2.0])
+        mem.dump()
+        assert mem.flat_log().size == 0

@@ -1,0 +1,109 @@
+"""MachineParams: validation, warp geometry, presets."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import PRESETS, MachineParams, preset
+
+
+class TestValidation:
+    def test_valid_triple(self):
+        m = MachineParams(p=64, w=32, l=5)
+        assert (m.p, m.w, m.l) == (64, 32, 5)
+
+    def test_p_not_multiple_of_w_rejected(self):
+        with pytest.raises(MachineConfigError, match="multiple"):
+            MachineParams(p=10, w=4, l=1)
+
+    @pytest.mark.parametrize("p", [0, -1])
+    def test_nonpositive_p_rejected(self, p):
+        with pytest.raises(MachineConfigError):
+            MachineParams(p=p, w=1, l=1)
+
+    @pytest.mark.parametrize("w", [0, -4])
+    def test_nonpositive_w_rejected(self, w):
+        with pytest.raises(MachineConfigError):
+            MachineParams(p=8, w=w, l=1)
+
+    @pytest.mark.parametrize("l", [0, -1])
+    def test_latency_below_one_rejected(self, l):
+        with pytest.raises(MachineConfigError):
+            MachineParams(p=8, w=4, l=l)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineParams(p=8.0, w=4, l=1)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        m = MachineParams(p=8, w=4, l=1)
+        with pytest.raises(AttributeError):
+            m.p = 16  # type: ignore[misc]
+
+
+class TestWarpGeometry:
+    def test_num_warps(self):
+        assert MachineParams(p=64, w=16, l=1).num_warps == 4
+
+    def test_single_warp_machine(self):
+        assert MachineParams(p=4, w=4, l=1).num_warps == 1
+
+    def test_warp_of_thread(self):
+        m = MachineParams(p=12, w=4, l=1)
+        assert [m.warp_of(t) for t in range(12)] == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_warp_of_out_of_range(self):
+        m = MachineParams(p=8, w=4, l=1)
+        with pytest.raises(MachineConfigError):
+            m.warp_of(8)
+        with pytest.raises(MachineConfigError):
+            m.warp_of(-1)
+
+    def test_threads_of_warp(self):
+        m = MachineParams(p=12, w=4, l=1)
+        assert list(m.threads_of_warp(1)) == [4, 5, 6, 7]
+
+    def test_threads_of_warp_out_of_range(self):
+        m = MachineParams(p=8, w=4, l=1)
+        with pytest.raises(MachineConfigError):
+            m.threads_of_warp(2)
+
+    def test_warps_iterates_all_threads_once(self):
+        m = MachineParams(p=20, w=4, l=1)
+        seen = [t for warp in m.warps() for t in warp]
+        assert seen == list(range(20))
+
+    def test_warps_partition_matches_paper(self):
+        # W(i) = {T(i*w), ..., T((i+1)*w - 1)}
+        m = MachineParams(p=8, w=4, l=3)
+        warps = list(m.warps())
+        assert list(warps[0]) == [0, 1, 2, 3]
+        assert list(warps[1]) == [4, 5, 6, 7]
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, m in PRESETS.items():
+            assert m.p % m.w == 0, name
+
+    def test_preset_lookup(self):
+        assert preset("tiny").p == 8
+
+    def test_preset_thread_override(self):
+        m = preset("default", p=64)
+        assert m.p == 64 and m.w == PRESETS["default"].w
+
+    def test_unknown_preset(self):
+        with pytest.raises(MachineConfigError, match="unknown preset"):
+            preset("nope")
+
+    def test_with_threads(self):
+        m = MachineParams(p=8, w=4, l=2).with_threads(16)
+        assert (m.p, m.w, m.l) == (16, 4, 2)
+
+    def test_with_threads_still_validates(self):
+        with pytest.raises(MachineConfigError):
+            MachineParams(p=8, w=4, l=2).with_threads(10)
+
+    def test_describe_mentions_all_parameters(self):
+        text = MachineParams(p=64, w=16, l=7).describe()
+        assert "64" in text and "16" in text and "7" in text

@@ -1,0 +1,90 @@
+"""The l-stage pipeline: closed-form batch cost vs the incremental model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigError
+from repro.machine.pipeline import PipelineModel, batch_cost
+
+
+class TestBatchCost:
+    def test_paper_worked_example(self):
+        # Figure 4: stage counts (3, 1), l = 5 -> 3 + 1 + 5 - 1 = 8.
+        assert batch_cost([3, 1], l=5) == 8
+
+    def test_single_coalesced_warp(self):
+        # One warp, one address group: 1 + l - 1 = l time units.
+        assert batch_cost([1], l=7) == 7
+
+    def test_empty_batch_is_free(self):
+        assert batch_cost([], l=10) == 0
+
+    def test_latency_one(self):
+        assert batch_cost([2, 2], l=1) == 4
+
+    def test_invalid_latency(self):
+        with pytest.raises(MachineConfigError):
+            batch_cost([1], l=0)
+
+    def test_zero_stage_warp_rejected(self):
+        with pytest.raises(MachineConfigError):
+            batch_cost([1, 0], l=2)
+
+    def test_accepts_ndarray(self):
+        assert batch_cost(np.array([2, 3]), l=4) == 8
+
+
+class TestPipelineModel:
+    def test_single_issue(self):
+        pipe = PipelineModel(l=5)
+        assert pipe.issue(3) == 7  # 3 stage-items, last enters at cycle 3, +l-1
+
+    def test_elapsed_matches_batch_cost(self):
+        pipe = PipelineModel(l=5)
+        pipe.issue_many([3, 1])
+        assert pipe.elapsed == batch_cost([3, 1], l=5)
+
+    def test_completions_monotone(self):
+        pipe = PipelineModel(l=4)
+        pipe.issue_many([2, 1, 5])
+        comp = pipe.completions
+        assert comp == sorted(comp)
+
+    def test_reset(self):
+        pipe = PipelineModel(l=3)
+        pipe.issue(4)
+        pipe.reset()
+        assert pipe.elapsed == 0
+        assert pipe.completions == []
+
+    def test_issue_zero_rejected(self):
+        with pytest.raises(MachineConfigError):
+            PipelineModel(l=2).issue(0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(MachineConfigError):
+            PipelineModel(l=0)
+
+    def test_empty_issue_many(self):
+        assert PipelineModel(l=5).issue_many([]) == 0
+
+    @given(
+        st.lists(st.integers(1, 10), min_size=1, max_size=20),
+        st.integers(1, 50),
+    )
+    @settings(max_examples=80)
+    def test_incremental_equals_closed_form(self, counts, l):
+        """The event model and the closed form agree on every batch."""
+        pipe = PipelineModel(l=l)
+        pipe.issue_many(counts)
+        assert pipe.elapsed == batch_cost(counts, l=l)
+
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=20), st.integers(1, 20))
+    @settings(max_examples=50)
+    def test_latency_lower_bounds_elapsed(self, counts, l):
+        pipe = PipelineModel(l=l)
+        pipe.issue_many(counts)
+        assert pipe.elapsed >= l
+        assert pipe.elapsed >= sum(counts)

@@ -1,0 +1,95 @@
+"""Simulator edge paths: incremental cross-check with masks, partial warps,
+trace additivity, and the Figure-1 preset geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DMM, UMM, MachineParams, preset
+from repro.machine.umm import coalesced_step_time, uncoalesced_step_time
+
+
+class TestIncrementalWithMasks:
+    @given(
+        st.lists(st.integers(0, 127), min_size=8, max_size=8),
+        st.lists(st.booleans(), min_size=8, max_size=8).filter(any),
+    )
+    @settings(max_examples=60)
+    def test_masked_incremental_agrees_with_batch(self, xs, mask):
+        umm = UMM(MachineParams(p=8, w=4, l=3))
+        addrs = np.asarray(xs, dtype=np.int64)
+        m = np.asarray(mask, dtype=bool)
+        fast = umm.step_cost(addrs, m)
+        slow = umm.step_cost_incremental(addrs, m)
+        assert fast.time_units == slow.time_units
+        assert fast.total_stages == slow.total_stages
+        assert fast.warps_dispatched == slow.warps_dispatched
+
+    @given(
+        st.lists(st.integers(0, 127), min_size=8, max_size=8),
+        st.lists(st.booleans(), min_size=8, max_size=8).filter(any),
+    )
+    @settings(max_examples=40)
+    def test_dmm_masked_incremental(self, xs, mask):
+        dmm = DMM(MachineParams(p=8, w=4, l=2))
+        addrs = np.asarray(xs, dtype=np.int64)
+        m = np.asarray(mask, dtype=bool)
+        assert (
+            dmm.step_cost(addrs, m).time_units
+            == dmm.step_cost_incremental(addrs, m).time_units
+        )
+
+    def test_single_active_lane(self):
+        umm = UMM(MachineParams(p=8, w=4, l=5))
+        mask = np.zeros(8, dtype=bool)
+        mask[3] = True
+        rep = umm.step_cost(np.arange(8) * 16, mask)
+        assert rep.warps_dispatched == 1
+        assert rep.total_stages == 1
+        assert rep.time_units == 5  # 1 stage + l - 1
+
+
+class TestTraceAdditivity:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 4000))
+    @settings(max_examples=40)
+    def test_cost_is_additive_over_concatenation(self, t1, t2, seed):
+        """Steps serialise, so cost(A ++ B) = cost(A) + cost(B) — the
+        property that justifies chunked simulation and concat_programs."""
+        params = MachineParams(p=8, w=4, l=3)
+        umm = UMM(params)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 64, size=(t1, 8))
+        b = rng.integers(0, 64, size=(t2, 8))
+        whole = umm.trace_cost(np.concatenate([a, b])).total_time
+        parts = umm.trace_cost(a).total_time + umm.trace_cost(b).total_time
+        assert whole == parts
+
+
+class TestStepTimeHelpers:
+    def test_coalesced_and_uncoalesced_bracket_everything(self):
+        params = MachineParams(p=16, w=4, l=6)
+        umm = UMM(params)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            cost = umm.step_cost(rng.integers(0, 256, 16)).time_units
+            assert coalesced_step_time(params) <= cost <= uncoalesced_step_time(params)
+
+    def test_helper_values(self):
+        params = MachineParams(p=16, w=4, l=6)
+        assert coalesced_step_time(params) == 4 + 5
+        assert uncoalesced_step_time(params) == 16 + 5
+
+
+class TestPresetGeometry:
+    def test_paper_figure1_preset(self):
+        m = preset("paper-figure1")
+        assert m.w == 4
+        assert m.p % m.w == 0
+        assert m.num_warps == m.p // 4
+
+    def test_gtx_titan_like(self):
+        m = preset("gtx-titan-like")
+        assert m.w == 32
+        assert m.p % 32 == 0
+        assert m.l >= 100  # global memory: hundreds of cycles

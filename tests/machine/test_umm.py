@@ -1,0 +1,128 @@
+"""UMM simulator: step costs, traces, masks, and the paper's examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineConfigError
+from repro.machine import UMM, MachineParams
+from repro.machine.umm import coalesced_step_time, uncoalesced_step_time
+
+
+@pytest.fixture
+def umm_fig4():
+    return UMM(MachineParams(p=8, w=4, l=5))
+
+
+class TestStepCost:
+    def test_figure4_worked_example(self, umm_fig4):
+        # W(0) spans 3 address groups, W(1) spans 1: 3 + 1 + 5 - 1 = 8.
+        addrs = np.array([0, 4, 8, 9, 12, 13, 14, 15])
+        rep = umm_fig4.step_cost(addrs)
+        assert rep.time_units == 8
+        assert rep.total_stages == 4
+        assert rep.warps_dispatched == 2
+
+    def test_fully_coalesced(self, umm_fig4):
+        rep = umm_fig4.step_cost(np.arange(8))
+        assert rep.time_units == coalesced_step_time(umm_fig4.params)  # 2 + 4
+
+    def test_fully_scattered(self, umm_fig4):
+        rep = umm_fig4.step_cost(np.arange(8) * 4)  # one group per thread
+        assert rep.time_units == uncoalesced_step_time(umm_fig4.params)  # 8 + 4
+
+    def test_broadcast_single_address(self, umm_fig4):
+        # All threads read the same word: one group per warp.
+        rep = umm_fig4.step_cost(np.zeros(8, dtype=np.int64))
+        assert rep.total_stages == 2
+        assert rep.time_units == 2 + 5 - 1
+
+    def test_idle_warp_costs_nothing(self, umm_fig4):
+        mask = np.array([True] * 4 + [False] * 4)
+        rep = umm_fig4.step_cost(np.arange(8), mask)
+        assert rep.warps_dispatched == 1
+        assert rep.time_units == 1 + 5 - 1
+
+    def test_all_idle(self, umm_fig4):
+        rep = umm_fig4.step_cost(np.arange(8), np.zeros(8, dtype=bool))
+        assert rep.time_units == 0
+
+    def test_incremental_crosscheck(self, umm_fig4):
+        addrs = np.array([0, 4, 8, 9, 12, 13, 14, 15])
+        fast = umm_fig4.step_cost(addrs)
+        slow = umm_fig4.step_cost_incremental(addrs)
+        assert fast.time_units == slow.time_units
+        assert fast.total_stages == slow.total_stages
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    @settings(max_examples=60)
+    def test_incremental_always_agrees(self, xs):
+        umm = UMM(MachineParams(p=8, w=4, l=3))
+        addrs = np.asarray(xs, dtype=np.int64)
+        assert (
+            umm.step_cost(addrs).time_units
+            == umm.step_cost_incremental(addrs).time_units
+        )
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    @settings(max_examples=40)
+    def test_step_cost_bounds(self, xs):
+        """l <= step cost <= p + l - 1 for any full-machine access."""
+        umm = UMM(MachineParams(p=8, w=4, l=6))
+        cost = umm.step_cost(np.asarray(xs, dtype=np.int64)).time_units
+        assert 6 <= cost <= 8 + 6 - 1
+
+
+class TestTraceCost:
+    def test_trace_is_sum_of_steps(self, umm_fig4):
+        traces = np.array([[0, 1, 2, 3, 4, 5, 6, 7],
+                           [0, 4, 8, 9, 12, 13, 14, 15]])
+        rep = umm_fig4.trace_cost(traces)
+        per_step = [umm_fig4.step_cost(row).time_units for row in traces]
+        np.testing.assert_array_equal(rep.step_times, per_step)
+        assert rep.total_time == sum(per_step)
+        assert rep.num_steps == 2
+
+    def test_empty_trace(self, umm_fig4):
+        rep = umm_fig4.trace_cost(np.zeros((0, 8), dtype=np.int64))
+        assert rep.total_time == 0 and rep.num_steps == 0
+
+    def test_wrong_width_rejected(self, umm_fig4):
+        with pytest.raises(MachineConfigError):
+            umm_fig4.trace_cost(np.zeros((2, 7), dtype=np.int64))
+
+    def test_masked_trace_matches_masked_steps(self, umm_fig4):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 64, size=(5, 8))
+        mask = rng.random((5, 8)) < 0.6
+        rep = umm_fig4.trace_cost(trace, mask)
+        per_step = [
+            umm_fig4.step_cost(trace[i], mask[i]).time_units for i in range(5)
+        ]
+        np.testing.assert_array_equal(rep.step_times, per_step)
+
+    def test_mask_shape_mismatch(self, umm_fig4):
+        with pytest.raises(MachineConfigError):
+            umm_fig4.trace_cost(
+                np.zeros((2, 8), dtype=np.int64), np.ones((3, 8), dtype=bool)
+            )
+
+    def test_fully_masked_step_free(self, umm_fig4):
+        trace = np.zeros((2, 8), dtype=np.int64)
+        mask = np.stack([np.zeros(8, dtype=bool), np.ones(8, dtype=bool)])
+        rep = umm_fig4.trace_cost(trace, mask)
+        assert rep.step_times[0] == 0
+        assert rep.step_times[1] > 0
+
+    @given(st.integers(1, 6), st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_trace_cost_random_agrees_with_steps(self, t, l):
+        params = MachineParams(p=8, w=4, l=l)
+        umm = UMM(params)
+        rng = np.random.default_rng(t * 100 + l)
+        trace = rng.integers(0, 128, size=(t, 8))
+        rep = umm.trace_cost(trace)
+        assert rep.total_time == sum(
+            umm.step_cost(row).time_units for row in trace
+        )

@@ -1,0 +1,53 @@
+"""Event-log timelines: the Figure 4 picture, rendered."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine import MachineParams, UMM, timeline
+from repro.machine.events import EventLog, EventSimulator
+
+
+def fig4_log():
+    umm = UMM(MachineParams(p=8, w=4, l=5))
+    trace = np.array([[0, 4, 8, 9, 12, 13, 14, 15]])
+    return EventSimulator(umm).simulate_trace(trace)
+
+
+class TestTimeline:
+    def test_figure4_shape(self):
+        text = timeline(fig4_log())
+        lines = text.splitlines()
+        w0 = next(l for l in lines if l.startswith("W(0)"))
+        w1 = next(l for l in lines if l.startswith("W(1)"))
+        # W(0): 3 issue cycles then drain; W(1): 1 issue at cycle 3
+        assert w0[10:].rstrip() == "###----"
+        assert w1[10:].rstrip() == "   #----"
+
+    def test_issue_counts_match_stages(self):
+        log = fig4_log()
+        rows = [l for l in timeline(log).splitlines() if l.startswith("W(")]
+        assert sum(r.count("#") for r in rows) == log.total_stage_items
+
+    def test_empty_log(self):
+        log = EventLog(params=MachineParams(p=8, w=4, l=5))
+        assert "empty" in timeline(log)
+
+    def test_truncation_note(self):
+        umm = UMM(MachineParams(p=8, w=4, l=5))
+        trace = np.tile(np.arange(8) * 4, (40, 1))  # long scattered trace
+        log = EventSimulator(umm).simulate_trace(trace)
+        text = timeline(log, max_cycles=30)
+        assert "truncated" in text
+
+    def test_max_steps_filter(self):
+        umm = UMM(MachineParams(p=8, w=4, l=5))
+        trace = np.tile(np.arange(8), (5, 1))
+        log = EventSimulator(umm).simulate_trace(trace)
+        rows = [l for l in timeline(log, max_steps=1).splitlines()
+                if l.startswith("W(")]
+        assert sum(r.count("#") for r in rows) == 2  # one step, two warps
+
+    def test_canvas_validation(self):
+        with pytest.raises(WorkloadError):
+            timeline(fig4_log(), max_cycles=5)

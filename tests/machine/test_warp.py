@@ -1,0 +1,73 @@
+"""Warp dispatch planning and the vectorised active-warp matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import MachineParams
+from repro.machine.warp import active_warp_matrix, plan_dispatch
+
+
+class TestPlanDispatch:
+    def test_all_active(self, tiny_params):
+        addrs = np.arange(8)
+        plan = plan_dispatch(tiny_params, addrs)
+        assert [acc.warp for acc in plan] == [0, 1]
+        np.testing.assert_array_equal(plan[0].addrs, [0, 1, 2, 3])
+        np.testing.assert_array_equal(plan[1].addrs, [4, 5, 6, 7])
+
+    def test_idle_warp_skipped(self, tiny_params):
+        # Paper: "If no thread in a warp needs the memory access, such warp
+        # is not dispatched."
+        mask = np.array([False] * 4 + [True] * 4)
+        plan = plan_dispatch(tiny_params, np.arange(8), mask)
+        assert [acc.warp for acc in plan] == [1]
+
+    def test_partially_active_warp(self, tiny_params):
+        mask = np.array([True, False, True, False] + [False] * 4)
+        plan = plan_dispatch(tiny_params, np.arange(8), mask)
+        assert len(plan) == 1
+        np.testing.assert_array_equal(plan[0].addrs, [0, 2])
+
+    def test_wrong_shape_rejected(self, tiny_params):
+        with pytest.raises(MachineConfigError):
+            plan_dispatch(tiny_params, np.arange(7))
+
+    def test_wrong_mask_shape_rejected(self, tiny_params):
+        with pytest.raises(MachineConfigError):
+            plan_dispatch(tiny_params, np.arange(8), np.ones(4, dtype=bool))
+
+    def test_round_robin_order(self):
+        params = MachineParams(p=16, w=4, l=1)
+        plan = plan_dispatch(params, np.zeros(16, dtype=np.int64))
+        assert [acc.warp for acc in plan] == [0, 1, 2, 3]
+
+
+class TestActiveWarpMatrix:
+    def test_no_mask_reshape(self, tiny_params):
+        mat = active_warp_matrix(tiny_params, np.arange(8))
+        assert mat.shape == (2, 4)
+        np.testing.assert_array_equal(mat[1], [4, 5, 6, 7])
+
+    def test_idle_warps_dropped(self, tiny_params):
+        mask = np.array([True] * 4 + [False] * 4)
+        mat = active_warp_matrix(tiny_params, np.arange(8), mask)
+        assert mat.shape == (1, 4)
+
+    def test_backfill_does_not_add_groups(self, tiny_params):
+        # Active lanes touch one group; idle lanes must not add another.
+        addrs = np.array([0, 1, 99, 98, 4, 5, 6, 7])
+        mask = np.array([True, True, False, False] + [True] * 4)
+        mat = active_warp_matrix(tiny_params, addrs, mask)
+        # idle lanes replaced by the first active lane's address (0)
+        np.testing.assert_array_equal(mat[0], [0, 1, 0, 0])
+
+    def test_backfill_uses_first_active_lane(self, tiny_params):
+        addrs = np.array([42, 7, 99, 98, 0, 1, 2, 3])
+        mask = np.array([False, True, False, False] + [True] * 4)
+        mat = active_warp_matrix(tiny_params, addrs, mask)
+        np.testing.assert_array_equal(mat[0], [7, 7, 7, 7])
+
+    def test_all_idle_empty(self, tiny_params):
+        mat = active_warp_matrix(tiny_params, np.arange(8), np.zeros(8, dtype=bool))
+        assert mat.size == 0

@@ -1,0 +1,23 @@
+"""Execute the docstring examples shipped in the library modules."""
+
+import doctest
+
+import pytest
+
+import repro.harness.report
+import repro.machine.params
+import repro.machine.umm
+import repro.trace.recorder
+
+MODULES = [
+    repro.machine.params,
+    repro.machine.umm,
+    repro.trace.recorder,
+    repro.harness.report,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"

@@ -1,0 +1,201 @@
+"""ProgramBuilder DSL: emission, operators, obliviousness guard, build."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObliviousnessError, ProgramError
+from repro.trace import BinaryOp, ProgramBuilder, UnaryOp, run_sequential
+
+
+def run(builder, inp=None):
+    return run_sequential(builder.build(), inp)
+
+
+class TestEmission:
+    def test_minimal_program(self):
+        b = ProgramBuilder(4)
+        b.store(0, b.const(3.5))
+        res = run(b)
+        assert res.memory[0] == 3.5
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ProgramError, match="empty"):
+            ProgramBuilder(4).build()
+
+    def test_invalid_memory_size(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder(0)
+
+    def test_load_store_roundtrip(self):
+        b = ProgramBuilder(4)
+        b.store(2, b.load(1))
+        res = run(b, np.array([0.0, 7.0]))
+        assert res.memory[2] == 7.0
+
+    def test_address_bounds_checked_at_build_time(self):
+        b = ProgramBuilder(4)
+        with pytest.raises(ProgramError, match="out of range"):
+            b.load(4)
+        with pytest.raises(ProgramError):
+            b.store(-1, b.const(0.0))
+
+    def test_const_dedup(self):
+        b = ProgramBuilder(4)
+        v1, v2 = b.const(5.0), b.const(5.0)
+        assert v1 is v2
+        v3 = b.const(6.0)
+        assert v3 is not v1
+
+    def test_const_dedup_int_float_equal(self):
+        b = ProgramBuilder(4)
+        assert b.const(1) is b.const(1.0)
+
+    def test_foreign_value_rejected(self):
+        b1, b2 = ProgramBuilder(4), ProgramBuilder(4)
+        v = b1.const(1.0)
+        with pytest.raises(ProgramError, match="different"):
+            b2.store(0, v)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (lambda b, x, y: x + y, 5.0),
+            (lambda b, x, y: x - y, 1.0),
+            (lambda b, x, y: x * y, 6.0),
+            (lambda b, x, y: x / y, 1.5),
+            (lambda b, x, y: x % y, 1.0),
+            (lambda b, x, y: -x, -3.0),
+            (lambda b, x, y: abs(-x), 3.0),
+            (lambda b, x, y: b.minimum(x, y), 2.0),
+            (lambda b, x, y: b.maximum(x, y), 3.0),
+            (lambda b, x, y: x < y, 0.0),
+            (lambda b, x, y: x <= y, 0.0),
+            (lambda b, x, y: x > y, 1.0),
+            (lambda b, x, y: x >= y, 1.0),
+            (lambda b, x, y: x.eq(y), 0.0),
+            (lambda b, x, y: x.ne(y), 1.0),
+        ],
+    )
+    def test_float_ops(self, expr, expected):
+        b = ProgramBuilder(4)
+        x, y = b.load(0), b.load(1)
+        b.store(2, expr(b, x, y))
+        res = run(b, np.array([3.0, 2.0]))
+        assert res.memory[2] == expected
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (lambda x, y: x & y, 0b1000),
+            (lambda x, y: x | y, 0b1110),
+            (lambda x, y: x ^ y, 0b0110),
+            (lambda x, y: x << 1, 0b11000),
+            (lambda x, y: x >> 2, 0b11),
+            (lambda x, y: ~x, ~0b1100),
+        ],
+    )
+    def test_int_ops(self, expr, expected):
+        b = ProgramBuilder(4, dtype=np.int64)
+        x, y = b.load(0), b.load(1)
+        b.store(2, expr(x, y))
+        res = run(b, np.array([0b1100, 0b1010]))
+        assert res.memory[2] == expected
+
+    def test_reflected_scalar_ops(self):
+        b = ProgramBuilder(4)
+        x = b.load(0)
+        b.store(1, 10.0 - x)
+        b.store(2, 2.0 + x)
+        b.store(3, 6.0 / x)
+        res = run(b, np.array([3.0]))
+        assert list(res.memory[1:]) == [7.0, 5.0, 2.0]
+
+    def test_int_division_floors(self):
+        b = ProgramBuilder(4, dtype=np.int64)
+        b.store(2, b.load(0) / b.load(1))
+        res = run(b, np.array([7, 2]))
+        assert res.memory[2] == 3
+
+    def test_bitwise_on_float_builder_rejected(self):
+        b = ProgramBuilder(4)
+        x = b.load(0)
+        with pytest.raises(ProgramError, match="integer"):
+            _ = x & x
+
+    def test_select(self):
+        b = ProgramBuilder(4)
+        x, y = b.load(0), b.load(1)
+        b.store(2, b.select(x < y, x, y))  # min via select
+        res = run(b, np.array([9.0, 4.0]))
+        assert res.memory[2] == 4.0
+
+
+class TestObliviousnessGuard:
+    def test_bool_coercion_raises(self):
+        b = ProgramBuilder(4)
+        x = b.load(0)
+        with pytest.raises(ObliviousnessError, match="select"):
+            if x:  # pragma: no cover - raises immediately
+                pass
+
+    def test_python_min_raises(self):
+        b = ProgramBuilder(4)
+        x, y = b.load(0), b.load(1)
+        with pytest.raises(ObliviousnessError):
+            min(x, y)
+
+    def test_chained_comparison_raises(self):
+        b = ProgramBuilder(4)
+        x = b.load(0)
+        with pytest.raises(ObliviousnessError):
+            bool(0 < x < 2)
+
+
+class TestBuild:
+    def test_build_allocates_registers(self):
+        b = ProgramBuilder(8)
+        r = b.const(0.0)
+        for i in range(8):
+            r = r + b.load(i)
+        b.store(0, r)
+        prog = b.build()
+        # SSA would need ~17 registers; the live width here is 2.
+        assert prog.num_registers <= 3
+
+    def test_build_without_allocation_keeps_ssa(self):
+        b = ProgramBuilder(8)
+        r = b.const(0.0)
+        for i in range(8):
+            r = r + b.load(i)
+        b.store(0, r)
+        prog = b.build(allocate=False)
+        assert prog.num_registers >= 17
+
+    def test_build_results_agree_with_and_without_allocation(self, rng):
+        def make(allocate):
+            b = ProgramBuilder(6, name="x")
+            acc = b.const(1.0)
+            for i in range(6):
+                acc = acc * b.maximum(b.load(i), 0.5)
+                b.store(i, acc)
+            return b.build(allocate=allocate)
+
+        inp = rng.uniform(-1, 1, 6)
+        out_a = run_sequential(make(True), inp).memory
+        out_b = run_sequential(make(False), inp).memory
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_meta_propagates(self):
+        b = ProgramBuilder(4, name="named")
+        b.meta["n"] = 4
+        b.store(0, b.const(0.0))
+        prog = b.build()
+        assert prog.name == "named"
+        assert prog.meta["n"] == 4
+
+    def test_built_program_validates(self):
+        b = ProgramBuilder(4)
+        b.store(0, b.select(b.load(0) < 1.0, b.const(1.0), b.const(2.0)))
+        b.build().validate()  # no raise

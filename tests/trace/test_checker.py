@@ -1,0 +1,117 @@
+"""Obliviousness checking: witnesses and counterexamples."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix_sums import prefix_sums_python
+from repro.errors import ObliviousnessError
+from repro.trace import (
+    ProgramBuilder,
+    check_program_semantics,
+    check_python_oblivious,
+)
+
+
+def uniform_factory(n):
+    def factory(rng):
+        return rng.uniform(-5.0, 5.0, size=n)
+    return factory
+
+
+class TestPythonChecker:
+    def test_prefix_sums_is_oblivious(self):
+        report = check_python_oblivious(prefix_sums_python, uniform_factory(8))
+        assert report.trace_length == 16
+        np.testing.assert_array_equal(
+            report.address_trace, np.repeat(np.arange(8), 2)
+        )
+
+    def test_data_dependent_address_caught(self):
+        def leaky(mem):
+            # touches address 0 or 1 depending on the data: NOT oblivious
+            idx = 0 if mem[0] > 0 else 1
+            mem[idx] = 1.0
+
+        with pytest.raises(ObliviousnessError, match="diverges"):
+            check_python_oblivious(leaky, uniform_factory(4), trials=16)
+
+    def test_data_dependent_length_caught(self):
+        def leaky(mem):
+            count = 1 if mem[0] > 0 else 2
+            for i in range(count):
+                mem[i] = 0.0
+
+        with pytest.raises(ObliviousnessError, match="length"):
+            check_python_oblivious(leaky, uniform_factory(4), trials=16)
+
+    def test_read_vs_write_divergence_caught(self):
+        def leaky(mem):
+            if mem[0] > 0:
+                mem[1] = 1.0
+            else:
+                _ = mem[1]
+
+        with pytest.raises(ObliviousnessError):
+            check_python_oblivious(leaky, uniform_factory(4), trials=16)
+
+    def test_needs_two_trials(self):
+        with pytest.raises(ValueError):
+            check_python_oblivious(prefix_sums_python, uniform_factory(4), trials=1)
+
+    def test_selection_sort_is_not_oblivious(self):
+        """The canonical non-oblivious example: comparison-driven swaps."""
+
+        def selection_sort(mem):
+            n = len(mem)
+            for i in range(n):
+                m = i
+                for j in range(i + 1, n):
+                    if mem[j] < mem[m]:
+                        m = j
+                mem[i], mem[m] = mem[m], mem[i]
+
+        with pytest.raises(ObliviousnessError):
+            check_python_oblivious(selection_sort, uniform_factory(6), trials=16)
+
+
+class TestProgramSemantics:
+    def test_matching_program_passes(self):
+        n = 6
+        b = ProgramBuilder(n)
+        r = b.const(0.0)
+        for i in range(n):
+            r = r + b.load(i)
+            b.store(i, r)
+        check_program_semantics(
+            b.build(), lambda inp: np.cumsum(inp), uniform_factory(n)
+        )
+
+    def test_mismatch_detected(self):
+        b = ProgramBuilder(2)
+        b.store(0, b.load(0) + 1.0)
+        with pytest.raises(ObliviousnessError, match="disagrees"):
+            check_program_semantics(
+                b.build(), lambda inp: inp + 2.0, uniform_factory(2)
+            )
+
+    def test_reference_longer_than_memory(self):
+        b = ProgramBuilder(2)
+        b.store(0, b.load(0))
+        with pytest.raises(ObliviousnessError, match="words"):
+            check_program_semantics(
+                b.build(), lambda inp: np.zeros(5), uniform_factory(2)
+            )
+
+    def test_integer_exact_comparison(self):
+        b = ProgramBuilder(2, dtype=np.int64)
+        b.store(1, b.load(0) << 1)
+
+        def ref(inp):
+            out = np.zeros(2, dtype=np.int64)
+            out[0] = inp[0]
+            out[1] = inp[0] * 2
+            return out
+
+        check_program_semantics(
+            b.build(), ref, lambda rng: rng.integers(0, 100, size=1)
+        )

@@ -1,0 +1,101 @@
+"""Sequential interpreter: semantics, trace accounting, batch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.trace import ProgramBuilder, run_sequential, run_sequential_batch
+from repro.trace.interpreter import SequentialResult
+
+
+def build_prefix(n):
+    b = ProgramBuilder(n)
+    r = b.const(0.0)
+    for i in range(n):
+        r = r + b.load(i)
+        b.store(i, r)
+    return b.build()
+
+
+class TestRunSequential:
+    def test_prefix_sums_semantics(self):
+        prog = build_prefix(4)
+        res = run_sequential(prog, np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(res.memory, [1, 3, 6, 10])
+
+    def test_zero_extension(self):
+        prog = build_prefix(4)
+        res = run_sequential(prog, np.array([5.0]))
+        np.testing.assert_array_equal(res.memory, [5, 5, 5, 5])
+
+    def test_no_input_all_zero(self):
+        prog = build_prefix(3)
+        res = run_sequential(prog)
+        np.testing.assert_array_equal(res.memory, [0, 0, 0])
+
+    def test_oversized_input_rejected(self):
+        prog = build_prefix(2)
+        with pytest.raises(ExecutionError, match="exceeds"):
+            run_sequential(prog, np.zeros(3))
+
+    def test_input_not_mutated(self):
+        prog = build_prefix(3)
+        inp = np.array([1.0, 1.0, 1.0])
+        run_sequential(prog, inp)
+        np.testing.assert_array_equal(inp, [1, 1, 1])
+
+    def test_time_units_is_memory_accesses(self):
+        prog = build_prefix(5)
+        res = run_sequential(prog, np.ones(5))
+        assert res.time_units == 10 == prog.trace_length
+
+    def test_dynamic_trace_matches_static(self):
+        prog = build_prefix(5)
+        res = run_sequential(prog, np.arange(5.0))
+        np.testing.assert_array_equal(res.address_trace, prog.address_trace())
+
+    def test_trace_collection_optional(self):
+        prog = build_prefix(3)
+        res = run_sequential(prog, np.ones(3), collect_trace=False)
+        assert res.address_trace.size == 0
+        assert res.time_units == 6  # still counted
+
+    def test_paper_access_function(self):
+        # a(2i) = a(2i+1) = i for the prefix-sums algorithm.
+        prog = build_prefix(4)
+        trace = run_sequential(prog, np.ones(4)).address_trace
+        np.testing.assert_array_equal(trace, [0, 0, 1, 1, 2, 2, 3, 3])
+
+    def test_select_semantics(self):
+        b = ProgramBuilder(3)
+        x, y = b.load(0), b.load(1)
+        b.store(2, b.select(x < y, x, y))
+        assert run_sequential(b.build(), np.array([2.0, 7.0])).memory[2] == 2.0
+        assert run_sequential(b.build(), np.array([9.0, 7.0])).memory[2] == 7.0
+
+    def test_int_dtype_execution(self):
+        b = ProgramBuilder(3, dtype=np.int64)
+        b.store(2, (b.load(0) << 2) ^ b.load(1))
+        res = run_sequential(b.build(), np.array([3, 5]))
+        assert res.memory[2] == (3 << 2) ^ 5
+        assert res.memory.dtype == np.int64
+
+
+class TestBatch:
+    def test_batch_runs_each_input(self, rng):
+        prog = build_prefix(4)
+        inputs = rng.uniform(-1, 1, size=(6, 4))
+        out, total = run_sequential_batch(prog, inputs)
+        np.testing.assert_allclose(out, np.cumsum(inputs, axis=1))
+        assert total == 6 * prog.trace_length
+
+    def test_batch_requires_2d(self):
+        prog = build_prefix(4)
+        with pytest.raises(ExecutionError):
+            run_sequential_batch(prog, np.zeros(4))
+
+    def test_batch_empty(self):
+        prog = build_prefix(4)
+        out, total = run_sequential_batch(prog, np.zeros((0, 4)))
+        assert out.shape == (0, 4)
+        assert total == 0

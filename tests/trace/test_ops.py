@@ -1,0 +1,110 @@
+"""Opcode semantics: scalar/vector agreement and dtype policing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.trace.ops import (
+    BINARY_UFUNCS,
+    INT_ONLY_OPS,
+    UNARY_UFUNCS,
+    BinaryOp,
+    UnaryOp,
+    require_dtype_supports,
+)
+
+FLOAT_BINOPS = [op for op in BinaryOp if op not in INT_ONLY_OPS]
+
+
+class TestCoverage:
+    def test_every_binary_op_has_ufunc(self):
+        assert set(BINARY_UFUNCS) == set(BinaryOp)
+
+    def test_every_unary_op_has_ufunc(self):
+        assert set(UNARY_UFUNCS) == set(UnaryOp)
+
+
+class TestComparisonsLandInDtype:
+    @pytest.mark.parametrize("op", [BinaryOp.LT, BinaryOp.LE, BinaryOp.GT,
+                                    BinaryOp.GE, BinaryOp.EQ, BinaryOp.NE])
+    def test_vector_result_dtype(self, op):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 2.0, 2.0])
+        res = BINARY_UFUNCS[op](a, b)
+        assert res.dtype == a.dtype
+        assert set(np.unique(res)) <= {0.0, 1.0}
+
+    def test_out_parameter(self):
+        a = np.array([1.0, 3.0])
+        out = np.empty(2)
+        res = BINARY_UFUNCS[BinaryOp.LT](a, np.array([2.0, 2.0]), out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, [1.0, 0.0])
+
+
+class TestDivision:
+    def test_float_true_division(self):
+        res = BINARY_UFUNCS[BinaryOp.DIV](np.array([7.0]), np.array([2.0]))
+        assert res[0] == 3.5
+
+    def test_int_floor_division(self):
+        res = BINARY_UFUNCS[BinaryOp.DIV](np.array([7]), np.array([2]))
+        assert res[0] == 3
+
+    def test_div_with_out(self):
+        out = np.empty(1)
+        BINARY_UFUNCS[BinaryOp.DIV](np.array([9.0]), np.array([4.0]), out=out)
+        assert out[0] == 2.25
+
+
+class TestCopy:
+    def test_copy_returns_equal_array(self):
+        a = np.array([1.0, 2.0])
+        res = UNARY_UFUNCS[UnaryOp.COPY](a)
+        np.testing.assert_array_equal(res, a)
+        assert res is not a
+
+    def test_copy_with_out(self):
+        a = np.array([1.0, 2.0])
+        out = np.zeros(2)
+        UNARY_UFUNCS[UnaryOp.COPY](a, out=out)
+        np.testing.assert_array_equal(out, a)
+
+
+class TestDtypePolicy:
+    @pytest.mark.parametrize("op", sorted(INT_ONLY_OPS, key=str))
+    def test_bitwise_needs_int(self, op):
+        with pytest.raises(ProgramError):
+            require_dtype_supports(op, np.dtype(np.float64))
+        require_dtype_supports(op, np.dtype(np.int64))  # no raise
+
+    @pytest.mark.parametrize("op", FLOAT_BINOPS)
+    def test_arithmetic_allows_float(self, op):
+        require_dtype_supports(op, np.dtype(np.float64))
+
+
+class TestScalarVectorAgreement:
+    @given(
+        st.sampled_from(FLOAT_BINOPS),
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(-100, 100, allow_nan=False).filter(lambda x: abs(x) > 1e-6),
+    )
+    @settings(max_examples=120)
+    def test_binary_scalar_matches_vector(self, op, a, b):
+        """Applying the ufunc to scalars and to 1-vectors must agree —
+        this is what ties the sequential interpreter to the bulk engine."""
+        fn = BINARY_UFUNCS[op]
+        scalar = float(fn(np.float64(a), np.float64(b)))
+        vector = float(fn(np.array([a]), np.array([b]))[0])
+        assert scalar == vector or (np.isnan(scalar) and np.isnan(vector))
+
+    @given(
+        st.sampled_from([UnaryOp.NEG, UnaryOp.ABS, UnaryOp.COPY]),
+        st.floats(-100, 100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_unary_scalar_matches_vector(self, op, a):
+        fn = UNARY_UFUNCS[op]
+        assert float(fn(np.float64(a))) == float(fn(np.array([a]))[0])

@@ -1,0 +1,288 @@
+"""Optimiser passes: semantics preservation and the trace contract.
+
+Level 1 must keep the access trace byte-identical (so every cost result
+still applies); level 2 may shorten it but must keep the final memory
+image.  Both are property-tested against the interpreter on random
+programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.polygon import build_opt
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.errors import ProgramError
+from repro.trace import ProgramBuilder, optimize, run_sequential
+from repro.trace.ir import Const, Load, Store, Unary
+from repro.trace.optimize import (
+    eliminate_dead_code,
+    eliminate_dead_stores,
+    fold_constants,
+    forward_stores,
+)
+
+
+def build_random_program(seed: int):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    b = ProgramBuilder(n)
+    live = [b.const(float(rng.integers(-3, 4)))]
+    for _ in range(int(rng.integers(5, 40))):
+        k = int(rng.integers(0, 6))
+        if k == 0:
+            live.append(b.load(int(rng.integers(0, n))))
+        elif k == 1:
+            b.store(int(rng.integers(0, n)), live[int(rng.integers(0, len(live)))])
+        elif k == 2:
+            live.append(b.const(float(rng.integers(-3, 4))))
+        elif k == 3 and len(live) >= 2:
+            x, y = (live[int(rng.integers(0, len(live)))] for _ in range(2))
+            live.append(x + y * 2.0)
+        elif k == 4 and len(live) >= 3:
+            c, x, y = (live[int(rng.integers(0, len(live)))] for _ in range(3))
+            live.append(b.select(c, x, y))
+        else:
+            live.append(b.minimum(live[-1], 1.0))
+        live = live[-5:]
+    b.store(0, live[-1])
+    return b, n
+
+
+class TestLevels:
+    def test_invalid_level(self):
+        with pytest.raises(ProgramError):
+            optimize(build_prefix_sums(4), level=3)
+
+    def test_level1_preserves_trace_exactly(self):
+        prog = build_opt(6)
+        opt = optimize(prog, level=1)
+        np.testing.assert_array_equal(prog.address_trace(), opt.address_trace())
+        np.testing.assert_array_equal(prog.write_mask(), opt.write_mask())
+
+    def test_level1_folds_opt_constant_init(self):
+        # OPT stores constant zeros and +inf sentinels; folding should not
+        # grow the instruction count.
+        prog = build_opt(6)
+        opt = optimize(prog, level=1)
+        assert opt.num_instructions <= prog.num_instructions
+
+    def test_level2_shortens_redundant_loads(self):
+        # Loading the value just stored is forwarded away.
+        b = ProgramBuilder(4)
+        v = b.load(0) + 1.0
+        b.store(1, v)
+        w = b.load(1) * 2.0  # forwardable
+        b.store(2, w)
+        prog = b.build()
+        opt = optimize(prog, level=2)
+        assert opt.trace_length == prog.trace_length - 1
+
+    def test_level2_drops_dead_stores(self):
+        b = ProgramBuilder(4)
+        b.store(1, b.load(0))
+        b.store(1, b.load(2))  # overwrites with no read between
+        prog = b.build()
+        opt = optimize(prog, level=2)
+        assert opt.trace_length < prog.trace_length
+        inp = np.array([5.0, 0.0, 7.0])
+        np.testing.assert_array_equal(
+            run_sequential(prog, inp).memory, run_sequential(opt, inp).memory
+        )
+
+    def test_optimized_name_tagged(self):
+        assert optimize(build_prefix_sums(4), level=2).name.endswith("+O2")
+
+    def test_fully_dead_program_becomes_noop(self):
+        b = ProgramBuilder(2)
+        x = b.const(3.0)
+        _ = x + 1.0  # never stored
+        b.store(0, b.const(0.0))
+        prog = b.build()
+        opt = optimize(prog, level=2)
+        opt.validate()
+        assert opt.num_instructions >= 1
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_both_levels_preserve_final_memory(self, seed):
+        builder, n = build_random_program(seed)
+        prog = builder.build()
+        rng = np.random.default_rng(seed ^ 0xDEAD)
+        inp = rng.integers(-4, 5, size=n).astype(np.float64)
+        want = run_sequential(prog, inp).memory
+        for level in (1, 2):
+            got = run_sequential(optimize(prog, level=level), inp).memory
+            np.testing.assert_array_equal(got, want, err_msg=f"level {level}")
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_level1_trace_identical_random(self, seed):
+        prog = build_random_program(seed)[0].build()
+        opt = optimize(prog, level=1)
+        np.testing.assert_array_equal(prog.address_trace(), opt.address_trace())
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_level2_never_longer(self, seed):
+        prog = build_random_program(seed)[0].build()
+        opt = optimize(prog, level=2)
+        assert opt.trace_length <= prog.trace_length
+        assert opt.num_instructions <= prog.num_instructions
+
+
+class TestBuildTimeOptimisation:
+    """opt_level on ProgramBuilder.build runs the passes at SSA, where
+    store-to-load forwarding sees every value."""
+
+    def test_opt2_shortens_opt_trace_dramatically(self):
+        base = build_opt(12)
+        fast = build_opt(12, opt_level=2)
+        assert fast.trace_length < base.trace_length / 2
+        # the trade: forwarded values must stay live in registers
+        assert fast.num_registers > base.num_registers
+
+    def test_opt1_preserves_trace(self):
+        base = build_opt(8)
+        o1 = build_opt(8, opt_level=1)
+        np.testing.assert_array_equal(base.address_trace(), o1.address_trace())
+
+    def test_invalid_level(self):
+        with pytest.raises(ProgramError):
+            build_opt(6, opt_level=7)
+
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_build_time_opt_preserves_semantics(self, seed, level):
+        """Building the same SSA with opt_level set must not change the
+        final memory on any input (random programs, both levels)."""
+        builder, n = build_random_program(seed)
+        base = builder.build()
+        optimised = builder.build(opt_level=level)
+        rng = np.random.default_rng(seed ^ 0xBEEF)
+        inp = rng.integers(-4, 5, size=n).astype(np.float64)
+        want = run_sequential(base, inp).memory
+        got = run_sequential(optimised, inp).memory
+        np.testing.assert_array_equal(got, want)
+
+    def test_opt2_results_match_base_on_opt_dp(self, rng):
+        from repro.algorithms.polygon import pack_weights, unpack_result
+        from repro.algorithms.registry import make_chord_weights
+        from repro.bulk import bulk_run
+
+        n = 8
+        w = make_chord_weights(rng, n, 6)
+        base = unpack_result(bulk_run(build_opt(n), pack_weights(w)), n)
+        fast = unpack_result(
+            bulk_run(build_opt(n, opt_level=2), pack_weights(w)), n
+        )
+        np.testing.assert_allclose(fast, base)
+
+
+class TestIdempotence:
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([1, 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_optimize_is_idempotent(self, seed, level):
+        """A second optimisation pass finds nothing more to do."""
+        prog = build_random_program(seed)[0].build()
+        once = optimize(prog, level=level)
+        twice = optimize(once, level=level)
+        assert once.instructions == twice.instructions
+
+    def test_opt_dp_idempotent(self):
+        once = optimize(build_opt(8), level=2)
+        twice = optimize(once, level=2)
+        assert once.instructions == twice.instructions
+
+
+class TestIndividualPasses:
+    def test_fold_binary_constants(self):
+        instrs = [
+            Const(0, 2.0),
+            Const(1, 3.0),
+        ]
+        from repro.trace.ir import Binary
+        from repro.trace.ops import BinaryOp
+
+        instrs.append(Binary(BinaryOp.MUL, 2, 0, 1))
+        instrs.append(Store(0, 2))
+        out = fold_constants(instrs, np.dtype(np.float64))
+        assert isinstance(out[2], Const) and out[2].imm == 6.0
+
+    def test_fold_respects_int_dtype(self):
+        from repro.trace.ir import Binary
+        from repro.trace.ops import BinaryOp
+
+        instrs = [
+            Const(0, 7.0),
+            Const(1, 2.0),
+            Binary(BinaryOp.DIV, 2, 0, 1),
+            Store(0, 2),
+        ]
+        out = fold_constants(instrs, np.dtype(np.int64))
+        assert out[2].imm == 3  # floor division in the program dtype
+
+    def test_fold_select_constant_condition(self):
+        from repro.trace.ir import Select
+
+        instrs = [
+            Const(0, 1.0),
+            Load(1, 0),
+            Load(2, 1),
+            Select(3, 0, 1, 2),
+            Store(2, 3),
+        ]
+        out = fold_constants(instrs, np.dtype(np.float64))
+        sel = out[3]
+        assert isinstance(sel, Unary)  # collapsed to COPY of the taken arm
+        assert sel.ra == 1
+
+    def test_dce_keeps_loads_by_default(self):
+        instrs = [Load(0, 0), Const(1, 1.0), Store(1, 1)]
+        out = eliminate_dead_code(instrs)
+        assert any(isinstance(i, Load) for i in out)
+
+    def test_dce_removes_dead_loads_when_asked(self):
+        instrs = [Load(0, 0), Const(1, 1.0), Store(1, 1)]
+        out = eliminate_dead_code(instrs, remove_dead_loads=True)
+        assert not any(isinstance(i, Load) for i in out)
+
+    def test_forwarding_invalidated_by_register_redefinition(self):
+        # store r0 -> cell 1; redefine r0; load cell 1 must NOT be forwarded
+        instrs = [
+            Load(0, 0),
+            Store(1, 0),
+            Const(0, 9.0),  # clobbers r0
+            Load(2, 1),
+            Store(2, 2),
+        ]
+        out = forward_stores(instrs)
+        assert any(isinstance(i, Load) and i.addr == 1 for i in out)
+
+    def test_forwarding_same_register_elides_copy(self):
+        instrs = [
+            Load(0, 0),
+            Store(1, 0),
+            Load(0, 1),  # same register already holds the value
+            Store(2, 0),
+        ]
+        out = forward_stores(instrs)
+        # second load disappears entirely
+        assert sum(isinstance(i, Load) for i in out) == 1
+
+    def test_dead_store_keeps_last_write(self):
+        instrs = [Const(0, 1.0), Store(2, 0), Const(1, 2.0), Store(2, 1)]
+        out = eliminate_dead_stores(instrs)
+        stores = [i for i in out if isinstance(i, Store)]
+        assert len(stores) == 1 and stores[0].rs == 1
+
+    def test_dead_store_spared_by_read(self):
+        instrs = [
+            Const(0, 1.0),
+            Store(2, 0),
+            Load(1, 2),  # reads the first store
+            Store(2, 1),
+        ]
+        out = eliminate_dead_stores(instrs)
+        assert sum(isinstance(i, Store) for i in out) == 2

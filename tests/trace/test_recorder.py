@@ -1,0 +1,66 @@
+"""TracingMemory: access logging for plain-Python algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.trace import TracingMemory
+
+
+class TestAccess:
+    def test_reads_logged(self):
+        mem = TracingMemory([1.0, 2.0, 3.0])
+        _ = mem[1]
+        assert mem.time_units == 1
+        assert mem.records[0].addr == 1
+        assert not mem.records[0].is_write
+
+    def test_writes_logged(self):
+        mem = TracingMemory([0.0])
+        mem[0] = 9.0
+        assert mem.records[0].is_write
+        assert mem.data == [9.0]
+
+    def test_mixed_order(self):
+        mem = TracingMemory([3.0, 1.0, 2.0])
+        mem[0] = mem[0] + mem[1]
+        np.testing.assert_array_equal(mem.address_trace(), [0, 1, 0])
+        np.testing.assert_array_equal(mem.write_mask(), [False, False, True])
+
+    def test_len(self):
+        assert len(TracingMemory([1, 2, 3])) == 3
+
+    def test_out_of_range(self):
+        mem = TracingMemory([1.0])
+        with pytest.raises(AddressError):
+            _ = mem[1]
+        with pytest.raises(AddressError):
+            mem[-1] = 0.0
+
+    def test_slice_rejected(self):
+        mem = TracingMemory([1.0, 2.0])
+        with pytest.raises(AddressError, match="integer"):
+            _ = mem[0:1]
+
+    def test_bool_index_rejected(self):
+        mem = TracingMemory([1.0, 2.0])
+        with pytest.raises(AddressError):
+            _ = mem[True]
+
+    def test_numpy_integer_index_accepted(self):
+        mem = TracingMemory([4.0, 5.0])
+        assert mem[np.int64(1)] == 5.0
+
+    def test_reset(self):
+        mem = TracingMemory([1.0])
+        _ = mem[0]
+        mem.reset([2.0, 3.0])
+        assert mem.time_units == 0
+        assert len(mem) == 2
+        assert mem.data == [2.0, 3.0]
+
+    def test_data_returns_copy(self):
+        mem = TracingMemory([1.0])
+        d = mem.data
+        d[0] = 99.0
+        assert mem[0] == 1.0

@@ -1,0 +1,125 @@
+"""Program serialisation: roundtrips, versioning, corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import all_specs
+from repro.errors import ProgramError
+from repro.trace import run_sequential
+from repro.trace.serialize import (
+    FORMAT_VERSION,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+from .test_optimize import build_random_program
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_every_registry_program_roundtrips(self, spec):
+        program = spec.build(spec.sizes[0])
+        clone = program_from_dict(program_to_dict(program))
+        assert clone.instructions == program.instructions
+        assert clone.num_registers == program.num_registers
+        assert clone.memory_words == program.memory_words
+        assert clone.dtype == program.dtype
+        assert clone.name == program.name
+        assert clone.meta == program.meta
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        program = build_prefix_sums(16)
+        path = tmp_path / "prog.json"
+        save_program(program, path)
+        clone = load_program(path)
+        inp = rng.uniform(-1, 1, 16)
+        np.testing.assert_array_equal(
+            run_sequential(program, inp).memory,
+            run_sequential(clone, inp).memory,
+        )
+
+    def test_int_dtype_roundtrips(self):
+        from repro.algorithms.cipher import build_xtea_encrypt
+
+        program = build_xtea_encrypt(4)
+        clone = program_from_dict(program_to_dict(program))
+        assert clone.dtype == np.int64
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_program_semantics_roundtrip(self, seed):
+        builder, n = build_random_program(seed)
+        program = builder.build()
+        clone = program_from_dict(program_to_dict(program))
+        rng = np.random.default_rng(seed)
+        inp = rng.integers(-3, 4, n).astype(np.float64)
+        np.testing.assert_array_equal(
+            run_sequential(program, inp).memory,
+            run_sequential(clone, inp).memory,
+        )
+
+    def test_document_is_json_serialisable(self):
+        from repro.algorithms.polygon import build_opt
+
+        doc = program_to_dict(build_opt(6))
+        json.dumps(doc)  # must not raise
+
+
+class TestRejection:
+    def test_not_a_document(self):
+        with pytest.raises(ProgramError, match="not an oblivious-program"):
+            program_from_dict({"foo": 1})
+
+    def test_wrong_version(self):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        doc = program_to_dict(build_prefix_sums(4))
+        doc["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ProgramError, match="version"):
+            program_from_dict(doc)
+
+    def test_unknown_opcode(self):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        doc = program_to_dict(build_prefix_sums(4))
+        doc["instructions"][0] = {"op": "teleport"}
+        with pytest.raises(ProgramError, match="unknown opcode"):
+            program_from_dict(doc)
+
+    def test_malformed_instruction(self):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        doc = program_to_dict(build_prefix_sums(4))
+        del doc["instructions"][1]["addr"]
+        with pytest.raises(ProgramError, match="malformed"):
+            program_from_dict(doc)
+
+    def test_corrupted_register_fails_validation(self):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        doc = program_to_dict(build_prefix_sums(4))
+        doc["instructions"][1]["rd"] = 999  # out of the register file
+        with pytest.raises(ProgramError):
+            program_from_dict(doc)
+
+    def test_corrupted_address_fails_validation(self):
+        from repro.algorithms.prefix_sums import build_prefix_sums
+
+        doc = program_to_dict(build_prefix_sums(4))
+        doc["instructions"][1]["addr"] = 10_000
+        with pytest.raises(ProgramError):
+            program_from_dict(doc)
+
+    def test_not_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ProgramError, match="JSON"):
+            load_program(path)
