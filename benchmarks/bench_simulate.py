@@ -1,0 +1,121 @@
+"""Cost-engine pricing methods head to head: chunked vs memoized vs analytic.
+
+The acceptance workload is the Figure 12 flagship: an OPT 32-gon trace
+(t = 10,881 steps over <= 2·32² distinct addresses) priced for p = 8192
+threads.  The chunked oracle materialises and prices ~89M addresses; the
+memoized engine prices each distinct address once; the analytic kernel
+prices nothing per-thread at all.
+
+Standalone run (writes ``results/bench_simulate.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_simulate.py
+
+pytest-benchmark mode (smaller grid)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_simulate.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.polygon import build_opt
+from repro.bulk import make_arrangement, simulate_trace
+from repro.machine import UMM, MachineParams
+
+try:
+    from conftest import run_pedantic
+except ImportError:  # standalone `python benchmarks/bench_simulate.py` run
+    run_pedantic = None
+
+METHODS = ("chunked", "memoized", "analytic")
+
+
+def _grid(n: int, p: int, arrangement: str):
+    program = build_opt(n)
+    params = MachineParams(p=p, w=32, l=100)
+    machine = UMM(params)
+    arr = make_arrangement(arrangement, program.memory_words, p)
+    trace = program.address_trace()
+    return trace, arr, machine
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("arrangement", ["row", "column"])
+def bench_price_opt16(benchmark, method, arrangement):
+    """OPT 16-gon, p = 2048: the three pricing methods on one trace."""
+    trace, arr, machine = _grid(16, 2048, arrangement)
+    rep = run_pedantic(
+        benchmark, lambda: simulate_trace(trace, arr, machine, method=method)
+    )
+    benchmark.extra_info["total_time_units"] = rep.total_time
+
+
+# -- standalone comparison ----------------------------------------------------
+
+def _time_method(trace, arr, machine, method: str, repeats: int) -> tuple:
+    best = float("inf")
+    rep = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rep = simulate_trace(trace, arr, machine, method=method)
+        best = min(best, time.perf_counter() - t0)
+    return best, rep
+
+
+def main(out_path: Path | None = None) -> str:
+    import numpy as np
+
+    n, p = 32, 8192
+    lines = [
+        f"bench_simulate: pricing an OPT {n}-gon bulk trace at p={p} "
+        "(UMM, w=32, l=100)",
+        "",
+    ]
+    program = build_opt(n)
+    trace = program.address_trace()
+    distinct = int(np.unique(trace).size)
+    lines.append(
+        f"trace: t={trace.size} steps, {distinct} distinct local addresses, "
+        f"{trace.size * p:,} priced (address, thread) pairs on the chunked path"
+    )
+    lines.append("")
+    header = f"{'arrangement':<12} {'method':<10} {'seconds':>10} {'speedup':>9}  {'time units':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for arrangement in ("column", "row"):
+        params = MachineParams(p=p, w=32, l=100)
+        machine = UMM(params)
+        arr = make_arrangement(arrangement, program.memory_words, p)
+        baseline = None
+        totals = set()
+        for method in METHODS:
+            repeats = 1 if method == "chunked" else 3
+            secs, rep = _time_method(trace, arr, machine, method, repeats)
+            if baseline is None:
+                baseline = secs
+            totals.add((rep.total_time, rep.total_stages))
+            lines.append(
+                f"{arrangement:<12} {method:<10} {secs:>10.4f} "
+                f"{baseline / secs:>8.1f}x  {rep.total_time:>14,}"
+            )
+        assert len(totals) == 1, f"methods disagree on {arrangement}: {totals}"
+        lines.append("")
+    lines.append(
+        "all methods bit-identical per arrangement; speedups are vs the "
+        "chunked reference oracle (best-of-run timings)"
+    )
+    text = "\n".join(lines)
+    if out_path is not None:
+        out_path.write_text(text + "\n")
+    return text
+
+
+if __name__ == "__main__":
+    out = Path(__file__).resolve().parent.parent / "results" / "bench_simulate.txt"
+    print(main(out))
+    print(f"\n[wrote {out}]", file=sys.stderr)

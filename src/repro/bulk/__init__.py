@@ -41,6 +41,7 @@ from .lower_bound import (
 )
 from .session import BulkSession
 from .simulate import (
+    SIMULATION_METHODS,
     BulkSimulationReport,
     compare_arrangements,
     simulate_bulk,
@@ -67,6 +68,7 @@ __all__ = [
     "simulate_trace",
     "compare_arrangements",
     "BulkSimulationReport",
+    "SIMULATION_METHODS",
     "convert",
     "convert_and_check",
     "SymbolicMemory",

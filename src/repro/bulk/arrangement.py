@@ -62,6 +62,8 @@ class Arrangement(ABC):
             raise ArrangementError(f"p must be positive, got {p}")
         self.words = int(words)
         self.p = int(p)
+        #: Thread-id vector ``0..p-1``, shared by every address-map call.
+        self._threads = np.arange(self.p, dtype=np.int64)
 
     @property
     def total_words(self) -> int:
@@ -75,10 +77,9 @@ class Arrangement(ABC):
 
     def step_addresses(self, local: int) -> np.ndarray:
         """Global addresses touched by all ``p`` threads at one bulk step."""
-        return self.global_address(local, np.arange(self.p, dtype=np.int64))
+        return self.global_address(local, self._threads)
 
-    def trace_addresses(self, local_trace: np.ndarray) -> np.ndarray:
-        """The full ``(t, p)`` bulk address matrix of a sequential trace."""
+    def _check_trace(self, local_trace: np.ndarray) -> np.ndarray:
         a = np.asarray(local_trace, dtype=np.int64)
         if a.ndim != 1:
             raise ArrangementError(f"expected 1-D local trace, got shape {a.shape}")
@@ -86,7 +87,47 @@ class Arrangement(ABC):
             raise ArrangementError(
                 f"local trace touches addresses outside [0, {self.words})"
             )
-        return self.global_address(a[:, None], np.arange(self.p, dtype=np.int64)[None, :])
+        return a
+
+    def trace_addresses(self, local_trace: np.ndarray) -> np.ndarray:
+        """The full ``(t, p)`` bulk address matrix of a sequential trace."""
+        a = self._check_trace(local_trace)
+        out = np.empty((a.size, self.p), dtype=np.int64)
+        self._fill_trace(a, out)
+        return out
+
+    def trace_addresses_into(
+        self, local_trace: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``trace_addresses`` into a caller-owned buffer (no allocation).
+
+        ``out`` must be a C-contiguous int64 array of shape ``(m, p)`` with
+        ``m >= len(local_trace)``; the filled ``(t, p)`` leading view is
+        returned.  The chunked cost path uses this to price arbitrarily long
+        traces with one reusable buffer.
+        """
+        a = self._check_trace(local_trace)
+        if (
+            out.ndim != 2
+            or out.shape[1] != self.p
+            or out.shape[0] < a.size
+            or out.dtype != np.int64
+        ):
+            raise ArrangementError(
+                f"need an int64 buffer of shape (>= {a.size}, {self.p}), "
+                f"got {out.dtype} {out.shape}"
+            )
+        view = out[: a.size]
+        self._fill_trace(a, view)
+        return view
+
+    def _fill_trace(self, local_trace: np.ndarray, out: np.ndarray) -> None:
+        """Fill ``out`` (shape ``(t, p)``) with the bulk address matrix.
+
+        Subclasses override with in-place broadcasting fills; this generic
+        fallback materialises the map through :meth:`global_address`.
+        """
+        out[:] = self.global_address(local_trace[:, None], self._threads[None, :])
 
     # -- physical layout for the bulk engine ---------------------------------
     @abstractmethod
@@ -136,6 +177,10 @@ class ColumnWise(Arrangement):
     def global_address(self, local, j):
         return np.asarray(local, dtype=np.int64) * self.p + np.asarray(j, dtype=np.int64)
 
+    def _fill_trace(self, local_trace: np.ndarray, out: np.ndarray) -> None:
+        out[:] = self._threads  # broadcast the j row, then add a(i)·p per row
+        out += (local_trace * self.p)[:, None]
+
     def allocate(self, dtype: np.dtype) -> np.ndarray:
         return np.zeros((self.words, self.p), dtype=dtype)
 
@@ -160,6 +205,10 @@ class RowWise(Arrangement):
 
     def global_address(self, local, j):
         return np.asarray(j, dtype=np.int64) * self.words + np.asarray(local, dtype=np.int64)
+
+    def _fill_trace(self, local_trace: np.ndarray, out: np.ndarray) -> None:
+        out[:] = local_trace[:, None]  # broadcast a(i), then add the j·n row
+        out += (self._threads * self.words)[None, :]
 
     def allocate(self, dtype: np.dtype) -> np.ndarray:
         return np.zeros((self.p, self.words), dtype=dtype)
@@ -215,6 +264,10 @@ class PaddedRowWise(Arrangement):
         return np.asarray(j, dtype=np.int64) * self.stride + np.asarray(
             local, dtype=np.int64
         )
+
+    def _fill_trace(self, local_trace: np.ndarray, out: np.ndarray) -> None:
+        out[:] = local_trace[:, None]
+        out += (self._threads * self.stride)[None, :]
 
     def allocate(self, dtype: np.dtype) -> np.ndarray:
         return np.zeros((self.p, self.stride), dtype=dtype)

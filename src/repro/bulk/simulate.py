@@ -7,19 +7,38 @@ and the arrangement: bulk step ``i`` has thread ``j`` touch
 ``arrangement.global_address(a(i), j)``, and the machine prices each step by
 warp/address-group/pipeline occupancy (Section II).
 
-The ``(t, p)`` bulk address matrix can be large (an OPT trace for a 32-gon
-at ``p = 64K`` would be ~10⁹ entries), so the trace is priced in step
-chunks; results are exact and independent of the chunk size.
+Obliviousness also makes pricing *cheap*: a bulk step's cost is a pure
+function of its local address (given the arrangement and machine), and a
+program touches at most ``memory_words`` distinct addresses — ``n²`` for
+OPT against ``t = O(n³)`` steps.  Three pricing methods exploit this, all
+exact and mutually bit-identical:
+
+``"chunked"``
+    The reference oracle: materialise the ``(t, p)`` bulk address matrix in
+    step chunks (one reusable buffer) and price every step — O(t·p) work.
+``"memoized"``
+    Price each *distinct* local address once (``np.unique``), then weight
+    the per-address costs by their occurrence counts (``bincount``) —
+    O(n·p + t) work.
+``"analytic"``
+    Closed-form stage tables from :mod:`repro.machine.analytic` for the
+    library arrangements on the UMM/DMM — O(t + w) work, no per-thread
+    factor at all.
+
+``method="auto"`` (the default) selects analytic when a closed form exists
+for the (arrangement, machine) pair and memoized otherwise; the analytic
+tables are cross-checked against ``machine.step_cost`` at construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
 from ..errors import MachineConfigError
+from ..machine.analytic import analytic_kernel
 from ..machine.cost import CostBreakdown, lower_bound
 from ..machine.params import MachineParams
 from ..machine.simulator import MemoryMachineSimulator
@@ -27,7 +46,16 @@ from ..machine.umm import UMM
 from ..trace.ir import Program
 from .arrangement import Arrangement, make_arrangement
 
-__all__ = ["BulkSimulationReport", "simulate_bulk", "simulate_trace"]
+__all__ = [
+    "SIMULATION_METHODS",
+    "BulkSimulationReport",
+    "simulate_bulk",
+    "simulate_trace",
+    "compare_arrangements",
+]
+
+#: Valid ``method=`` values, in resolution-priority order.
+SIMULATION_METHODS = ("auto", "analytic", "memoized", "chunked")
 
 
 @dataclass(frozen=True)
@@ -48,6 +76,8 @@ class BulkSimulationReport:
         Total pipeline stage-items injected (the bandwidth term).
     theorem3_bound:
         The ``Ω(pt/w + lt)`` lower bound for this configuration.
+    method:
+        The pricing method that actually ran (``"auto"`` resolved).
     """
 
     machine: MachineParams
@@ -56,6 +86,7 @@ class BulkSimulationReport:
     total_time: int
     total_stages: int
     theorem3_bound: int
+    method: str = "chunked"
 
     @property
     def optimality_ratio(self) -> float:
@@ -73,14 +104,96 @@ class BulkSimulationReport:
         return other.total_time / self.total_time if self.total_time else float("inf")
 
 
+def _totals_chunked(
+    trace: np.ndarray,
+    arrangement: Arrangement,
+    machine: MemoryMachineSimulator,
+    chunk_steps: int,
+) -> Tuple[int, int]:
+    """Reference pricing: every step of the ``(t, p)`` matrix, chunked.
+
+    One ``(chunk_steps, p)`` buffer is allocated up front and refilled in
+    place per chunk (no fresh matrix per iteration); totals are exact and
+    independent of the chunk size.
+    """
+    total_time = 0
+    total_stages = 0
+    if trace.size == 0:
+        return total_time, total_stages
+    buf = np.empty((min(chunk_steps, trace.size), arrangement.p), dtype=np.int64)
+    for lo in range(0, trace.size, chunk_steps):
+        chunk = trace[lo : lo + chunk_steps]
+        report = machine.trace_cost(arrangement.trace_addresses_into(chunk, buf))
+        total_time += report.total_time
+        total_stages += report.total_stages
+    return total_time, total_stages
+
+
+def _totals_memoized(
+    trace: np.ndarray,
+    arrangement: Arrangement,
+    machine: MemoryMachineSimulator,
+    chunk_steps: int,
+) -> Tuple[int, int]:
+    """Distinct-address pricing: each local address is costed exactly once.
+
+    The cost of a bulk step depends only on its local address, so pricing
+    the ``d <= memory_words`` distinct addresses and weighting by their
+    multiplicities reproduces the chunked totals bit for bit in
+    O(d·p + t) work.
+    """
+    if trace.size == 0:
+        return 0, 0
+    uniq, inverse = np.unique(trace, return_inverse=True)
+    times = np.empty(uniq.size, dtype=np.int64)
+    stages = np.empty(uniq.size, dtype=np.int64)
+    buf = np.empty((min(chunk_steps, uniq.size), arrangement.p), dtype=np.int64)
+    for lo in range(0, uniq.size, chunk_steps):
+        chunk = uniq[lo : lo + chunk_steps]
+        report = machine.trace_cost(arrangement.trace_addresses_into(chunk, buf))
+        times[lo : lo + chunk.size] = report.step_times
+        stages[lo : lo + chunk.size] = report.step_stages
+    counts = np.bincount(inverse, minlength=uniq.size)
+    return int(counts @ times), int(counts @ stages)
+
+
+def _resolve_method(
+    method: str, arrangement: Arrangement, machine: MemoryMachineSimulator
+):
+    """``(resolved_name, kernel_or_None)`` for a requested pricing method."""
+    if method not in SIMULATION_METHODS:
+        raise MachineConfigError(
+            f"unknown simulation method {method!r}; "
+            f"expected one of {SIMULATION_METHODS}"
+        )
+    if method in ("auto", "analytic"):
+        kernel = analytic_kernel(arrangement, machine)
+        if kernel is not None:
+            return "analytic", kernel
+        if method == "analytic":
+            raise MachineConfigError(
+                f"no analytic kernel for ({type(arrangement).__name__}, "
+                f"{type(machine).__name__}); use method='auto' to fall back "
+                "to memoized pricing"
+            )
+        return "memoized", None
+    return method, None
+
+
 def simulate_trace(
     local_trace: np.ndarray,
     arrangement: Arrangement,
     machine: MemoryMachineSimulator,
     *,
+    method: str = "auto",
     chunk_steps: int = 4096,
 ) -> BulkSimulationReport:
-    """Price a raw local address trace under an arrangement on a machine."""
+    """Price a raw local address trace under an arrangement on a machine.
+
+    ``method`` selects the pricing strategy (see the module docstring); all
+    strategies return identical totals.  ``chunk_steps`` bounds the address
+    matrix working set for the chunked and memoized paths.
+    """
     if machine.params.p != arrangement.p:
         raise MachineConfigError(
             f"machine has p={machine.params.p} threads but the arrangement "
@@ -89,13 +202,17 @@ def simulate_trace(
     if chunk_steps < 1:
         raise MachineConfigError(f"chunk_steps must be >= 1, got {chunk_steps}")
     trace = np.asarray(local_trace, dtype=np.int64)
-    total_time = 0
-    total_stages = 0
-    for lo in range(0, trace.size, chunk_steps):
-        chunk = trace[lo : lo + chunk_steps]
-        report = machine.trace_cost(arrangement.trace_addresses(chunk))
-        total_time += report.total_time
-        total_stages += report.total_stages
+    resolved, kernel = _resolve_method(method, arrangement, machine)
+    if resolved == "analytic":
+        total_time, total_stages = kernel.price_trace(trace)
+    elif resolved == "memoized":
+        total_time, total_stages = _totals_memoized(
+            trace, arrangement, machine, chunk_steps
+        )
+    else:
+        total_time, total_stages = _totals_chunked(
+            trace, arrangement, machine, chunk_steps
+        )
     return BulkSimulationReport(
         machine=machine.params,
         arrangement=arrangement.name,
@@ -103,6 +220,7 @@ def simulate_trace(
         total_time=total_time,
         total_stages=total_stages,
         theorem3_bound=lower_bound(machine.params, int(trace.size)),
+        method=resolved,
     )
 
 
@@ -111,6 +229,7 @@ def simulate_bulk(
     machine: Union[MemoryMachineSimulator, MachineParams],
     arrangement: Union[str, Arrangement] = "column",
     *,
+    method: str = "auto",
     chunk_steps: int = 4096,
 ) -> BulkSimulationReport:
     """Simulated UMM running time of ``program`` bulk-executed for ``p`` inputs.
@@ -122,7 +241,7 @@ def simulate_bulk(
     sim = UMM(machine) if isinstance(machine, MachineParams) else machine
     arr = make_arrangement(arrangement, program.memory_words, sim.params.p)
     return simulate_trace(
-        program.address_trace(), arr, sim, chunk_steps=chunk_steps
+        program.address_trace(), arr, sim, method=method, chunk_steps=chunk_steps
     )
 
 
@@ -130,12 +249,13 @@ def compare_arrangements(
     program: Program,
     machine: Union[MemoryMachineSimulator, MachineParams],
     *,
+    method: str = "auto",
     chunk_steps: int = 4096,
 ) -> CostBreakdown:
     """Row vs column simulated times plus the Theorem 3 bound, in one record."""
     sim = UMM(machine) if isinstance(machine, MachineParams) else machine
-    row = simulate_bulk(program, sim, "row", chunk_steps=chunk_steps)
-    col = simulate_bulk(program, sim, "column", chunk_steps=chunk_steps)
+    row = simulate_bulk(program, sim, "row", method=method, chunk_steps=chunk_steps)
+    col = simulate_bulk(program, sim, "column", method=method, chunk_steps=chunk_steps)
     return CostBreakdown(
         params=sim.params,
         t=program.trace_length,

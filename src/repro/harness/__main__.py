@@ -15,6 +15,7 @@ Regenerates the paper's evaluation artefacts as text tables::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
@@ -43,11 +44,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory to write <name>.txt result files into",
     )
+    parser.add_argument(
+        "--method",
+        choices=["auto", "analytic", "memoized", "chunked"],
+        default="auto",
+        help="cost-simulation pricing method (experiments that price traces); "
+        "'chunked' is the O(t*p) reference oracle",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = EXPERIMENTS[name](quick=args.quick)
+        runner = EXPERIMENTS[name]
+        kwargs = {"quick": args.quick}
+        if "method" in inspect.signature(runner).parameters:
+            kwargs["method"] = args.method
+        result = runner(**kwargs)
         text = result.render()
         print(text)
         print()

@@ -9,8 +9,11 @@ Public surface:
 * :class:`BankedMemory` — the interleaved word store.
 * :mod:`repro.machine.cost` — Lemma 1 / Theorem 2 / Theorem 3 / Corollary 5
   closed forms.
+* :mod:`repro.machine.analytic` — closed-form per-step stage tables for the
+  library arrangements (the cost engine's fastest pricing path).
 """
 
+from .analytic import AnalyticKernel, analytic_kernel
 from .address import (
     address_group_of,
     bank_of,
@@ -45,6 +48,8 @@ from .visualize import timeline
 from .warp import WarpAccess, active_warp_matrix, plan_dispatch
 
 __all__ = [
+    "AnalyticKernel",
+    "analytic_kernel",
     "MachineParams",
     "PRESETS",
     "preset",

@@ -1,0 +1,189 @@
+"""Closed-form per-step pricing of bulk traces (the analytic fast path).
+
+For the arrangements of Section III the per-step cost of a bulk access is
+not just *memoizable* — it is a closed form in the machine parameters and
+(at most) the local address' residue ``a mod w``:
+
+**column-wise, UMM or DMM**
+    Step ``a`` touches the ``p`` consecutive addresses ``a·p .. a·p+p−1``.
+    Because ``p`` is a multiple of ``w`` (a :class:`MachineParams`
+    invariant), every warp's ``w`` addresses form exactly one aligned
+    address group — one UMM stage — and hit ``w`` distinct banks — one DMM
+    stage.  Every step costs ``p/w + l − 1``, independent of ``a``.
+
+**row-wise (stride ``s``), UMM**
+    Warp ``i`` touches ``b_i, b_i+s, …, b_i+(w−1)s`` with
+    ``b_i = a + i·w·s ≡ a (mod w)``, so its group count
+    ``|{⌊(r + k·s)/w⌋ : 0 ≤ k < w}|`` depends only on ``r = a mod w`` —
+    the same for every warp.  (With ``s ≥ w`` it is always ``w``, the
+    fully-serialised case of Theorem 2.)
+
+**row-wise (stride ``s``), DMM**
+    The warp's ``w`` distinct addresses map to banks ``(r + k·s) mod w``;
+    each attained bank is hit exactly ``gcd(s, w)`` times, so the conflict
+    degree is ``gcd(s, w)`` for *every* step — the classic reason a pad
+    making ``s`` coprime to ``w`` is conflict-free.
+
+An :class:`AnalyticKernel` captures the resulting stage table (length 1 or
+``w``); pricing a trace of ``t`` steps is then one ``bincount`` over the
+address residues — O(t) work with no per-thread factor at all.  Kernels are
+cross-checked at construction against :meth:`MemoryMachineSimulator.step_cost`
+on one representative address per residue class, so any drift between the
+closed forms and the simulator's accounting raises immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MachineConfigError
+from .dmm import DMM
+from .params import MachineParams
+from .simulator import MemoryMachineSimulator
+from .umm import UMM
+
+__all__ = [
+    "AnalyticKernel",
+    "analytic_kernel",
+    "column_wise_stage_table",
+    "row_wise_stage_table",
+]
+
+
+@dataclass(frozen=True)
+class AnalyticKernel:
+    """Closed-form step prices for one (arrangement × machine) pair.
+
+    Attributes
+    ----------
+    machine_kind:
+        ``"UMM"`` or ``"DMM"``.
+    arrangement:
+        The arrangement's ``name`` (``"column"`` / ``"row"`` / ``"padded-row"``).
+    params:
+        The priced machine's parameters.
+    period:
+        Length of the stage table: 1 when the step cost is address-free,
+        ``w`` when it depends on ``a mod w``.
+    stage_table:
+        ``stage_table[a % period]`` is the total pipeline stage count of the
+        bulk step at local address ``a`` (all ``p/w`` warps summed).
+    """
+
+    machine_kind: str
+    arrangement: str
+    params: MachineParams
+    period: int
+    stage_table: np.ndarray
+
+    def step_stages(self, local: int) -> int:
+        """Total pipeline stages of the bulk step at local address ``local``."""
+        return int(self.stage_table[local % self.period])
+
+    def step_time(self, local: int) -> int:
+        """Time units of the bulk step at local address ``local``."""
+        return self.step_stages(local) + self.params.l - 1
+
+    def price_trace(self, local_trace: np.ndarray) -> Tuple[int, int]:
+        """``(total_time, total_stages)`` of a whole local trace, exactly.
+
+        Each step costs ``stages + l − 1`` time units (every warp is active,
+        so every step dispatches); the total is a residue ``bincount`` away.
+        """
+        a = np.asarray(local_trace, dtype=np.int64)
+        t = int(a.size)
+        if t == 0:
+            return 0, 0
+        if self.period == 1:
+            total_stages = int(self.stage_table[0]) * t
+        else:
+            counts = np.bincount(a % self.period, minlength=self.period)
+            total_stages = int(counts @ self.stage_table)
+        return total_stages + (self.params.l - 1) * t, total_stages
+
+
+def column_wise_stage_table(params: MachineParams) -> np.ndarray:
+    """Stage table of a column-wise step on either machine: ``[p/w]``."""
+    return np.array([params.num_warps], dtype=np.int64)
+
+
+def row_wise_stage_table(
+    params: MachineParams, stride: int, machine_kind: str
+) -> np.ndarray:
+    """Stage table (indexed by ``a mod w``) of a stride-``s`` row-wise step."""
+    if stride < 1:
+        raise MachineConfigError(f"row stride must be >= 1, got {stride}")
+    w, nw = params.w, params.num_warps
+    if machine_kind == "DMM":
+        return np.full(w, nw * gcd(stride, w), dtype=np.int64)
+    k = np.arange(w, dtype=np.int64)
+    groups_of = lambda r: np.unique((r + k * stride) // w).size  # noqa: E731
+    return np.array([nw * groups_of(r) for r in range(w)], dtype=np.int64)
+
+
+def analytic_kernel(
+    arrangement,
+    machine: MemoryMachineSimulator,
+    *,
+    verify: bool = True,
+) -> Optional[AnalyticKernel]:
+    """Closed-form kernel for ``(arrangement, machine)``, or ``None``.
+
+    Only the exact library types are matched (``ColumnWise`` / ``RowWise`` /
+    ``PaddedRowWise`` on ``UMM`` / ``DMM``): a subclass may redefine the
+    address map or the stage accounting, in which case no closed form is
+    known and the caller must fall back to memoized pricing.
+
+    With ``verify`` (the default), the table is cross-checked against
+    :meth:`~MemoryMachineSimulator.step_cost` on one representative address
+    per residue class — ≤ ``w`` step evaluations — before being returned.
+    """
+    # Imported lazily: repro.bulk depends on repro.machine, not vice versa.
+    from ..bulk.arrangement import ColumnWise, PaddedRowWise, RowWise
+
+    if type(machine) is UMM:
+        kind = "UMM"
+    elif type(machine) is DMM:
+        kind = "DMM"
+    else:
+        return None
+    params = machine.params
+    if type(arrangement) is ColumnWise:
+        period, table = 1, column_wise_stage_table(params)
+    elif type(arrangement) is RowWise:
+        period = params.w
+        table = row_wise_stage_table(params, arrangement.words, kind)
+    elif type(arrangement) is PaddedRowWise:
+        period = params.w
+        table = row_wise_stage_table(params, arrangement.stride, kind)
+    else:
+        return None
+    kernel = AnalyticKernel(
+        machine_kind=kind,
+        arrangement=arrangement.name,
+        params=params,
+        period=period,
+        stage_table=table,
+    )
+    if verify:
+        _cross_check(kernel, arrangement, machine)
+    return kernel
+
+
+def _cross_check(kernel: AnalyticKernel, arrangement, machine) -> None:
+    """Assert the closed forms agree with the simulator on representatives."""
+    for r in range(min(kernel.period, arrangement.words)):
+        report = machine.step_cost(arrangement.step_addresses(r))
+        if (
+            report.total_stages != kernel.step_stages(r)
+            or report.time_units != kernel.step_time(r)
+        ):  # pragma: no cover - defensive: the closed forms are exact
+            raise MachineConfigError(
+                f"analytic kernel disagrees with {kernel.machine_kind}."
+                f"step_cost at local address {r}: "
+                f"{kernel.step_stages(r)} stages vs {report.total_stages}"
+            )

@@ -184,12 +184,20 @@ class Program:
 
         Obliviousness makes this a *static* property: the addresses are read
         straight off the ``Load``/``Store`` instructions, no execution needed.
+        The vector is computed once per program and cached (instructions are
+        immutable); the returned array is shared and marked read-only — copy
+        it before mutating.
         """
-        return np.fromiter(
-            (i.addr for i in self.instructions if isinstance(i, _MEMORY_INSTRS)),
-            dtype=np.int64,
-            count=self.trace_length,
-        )
+        cached = self.__dict__.get("_address_trace")
+        if cached is None:
+            cached = np.fromiter(
+                (i.addr for i in self.instructions if isinstance(i, _MEMORY_INSTRS)),
+                dtype=np.int64,
+                count=self.trace_length,
+            )
+            cached.setflags(write=False)
+            object.__setattr__(self, "_address_trace", cached)
+        return cached
 
     def write_mask(self) -> np.ndarray:
         """Boolean vector: ``True`` where memory step ``i`` is a ``Store``."""

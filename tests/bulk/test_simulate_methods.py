@@ -1,0 +1,196 @@
+"""Pricing-method equivalence: memoized == chunked == analytic == oracle.
+
+The tentpole property of the memoized cost engine: obliviousness makes a
+bulk step's cost a pure function of its local address, so the three pricing
+strategies (and the warp-by-warp pipeline oracle underneath them) must agree
+*bit for bit* — across machines, arrangements, widths, non-power-of-two
+warp counts, memories not a multiple of ``w``, and masked steps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.polygon import build_opt
+from repro.algorithms.prefix_sums import build_prefix_sums
+from repro.bulk import (
+    PaddedRowWise,
+    make_arrangement,
+    simulate_bulk,
+    simulate_trace,
+)
+from repro.errors import MachineConfigError
+from repro.machine import DMM, UMM, MachineParams
+
+MACHINES = [UMM, DMM]
+
+
+def _arrangements(words, p):
+    yield make_arrangement("row", words, p)
+    yield make_arrangement("column", words, p)
+    yield PaddedRowWise(words, p, pad=1)
+    yield PaddedRowWise(words, p, pad=3)
+
+
+@st.composite
+def trace_configs(draw):
+    """Machine geometry + local trace: w in 1..8, p a (non-power-of-two)
+    multiple of w, words deliberately not always a multiple of w."""
+    w = draw(st.sampled_from([1, 2, 3, 4, 8]))
+    p = w * draw(st.sampled_from([1, 2, 3, 5, 6]))
+    l = draw(st.integers(1, 20))
+    words = draw(st.integers(1, 20))
+    trace = draw(
+        st.lists(st.integers(0, words - 1), min_size=0, max_size=50).map(
+            lambda xs: np.array(xs, dtype=np.int64)
+        )
+    )
+    return MachineParams(p=p, w=w, l=l), words, trace
+
+
+class TestMethodEquivalence:
+    @given(trace_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_methods_bit_identical(self, cfg):
+        params, words, trace = cfg
+        for machine_cls in MACHINES:
+            machine = machine_cls(params)
+            for arr in _arrangements(words, params.p):
+                reports = {
+                    m: simulate_trace(trace, arr, machine, method=m)
+                    for m in ("chunked", "memoized", "analytic", "auto")
+                }
+                totals = {
+                    m: (r.total_time, r.total_stages) for m, r in reports.items()
+                }
+                assert len(set(totals.values())) == 1, (params, arr, totals)
+                # the library arrangements all have closed forms -> auto=analytic
+                assert reports["auto"].method == "analytic"
+
+    @given(trace_configs(), st.integers(1, 17))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_size_invariance_survives(self, cfg, chunk):
+        params, words, trace = cfg
+        machine = UMM(params)
+        arr = make_arrangement("row", words, params.p)
+        base = simulate_trace(trace, arr, machine, method="chunked")
+        for m in ("chunked", "memoized"):
+            rep = simulate_trace(trace, arr, machine, method=m, chunk_steps=chunk)
+            assert rep.total_time == base.total_time
+            assert rep.total_stages == base.total_stages
+
+    @given(trace_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_step_pipeline_oracle(self, cfg):
+        """The warp-by-warp incremental pipeline walk (the slowest, most
+        literal reading of Section II) prices each step identically."""
+        params, words, trace = cfg
+        for machine_cls in MACHINES:
+            machine = machine_cls(params)
+            arr = make_arrangement("row", words, params.p)
+            want_time = want_stages = 0
+            for a in trace:
+                step = machine.step_cost_incremental(arr.step_addresses(int(a)))
+                want_time += step.time_units
+                want_stages += step.total_stages
+            rep = simulate_trace(trace, arr, machine, method="memoized")
+            assert rep.total_time == want_time
+            assert rep.total_stages == want_stages
+
+
+class TestMaskedSteps:
+    """Partially idle steps: the vectorised trace pricing must match the
+    per-step dispatch rules (idle lanes contribute nothing, fully idle
+    warps are skipped, fully idle steps cost zero)."""
+
+    @given(trace_configs(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_cost_equals_step_cost_and_oracle(self, cfg, rnd):
+        params, words, trace = cfg
+        arr = make_arrangement("row", words, params.p)
+        matrix = arr.trace_addresses(trace)
+        mask = np.array(
+            [[rnd.random() < 0.6 for _ in range(params.p)] for _ in trace],
+            dtype=bool,
+        ).reshape(matrix.shape)
+        for machine_cls in MACHINES:
+            machine = machine_cls(params)
+            report = machine.trace_cost(matrix, mask)
+            for i in range(len(trace)):
+                batch = machine.step_cost(matrix[i], mask[i])
+                oracle = machine.step_cost_incremental(matrix[i], mask[i])
+                assert report.step_times[i] == batch.time_units == oracle.time_units
+                assert (
+                    report.step_stages[i]
+                    == batch.total_stages
+                    == oracle.total_stages
+                )
+
+
+class TestMethodSelection:
+    def test_unknown_method_rejected(self):
+        params = MachineParams(p=8, w=4, l=2)
+        prog = build_prefix_sums(4)
+        with pytest.raises(MachineConfigError, match="unknown simulation method"):
+            simulate_bulk(prog, params, "column", method="fast")
+
+    def test_analytic_refused_without_kernel(self):
+        class OddColumn(make_arrangement("column", 8, 8).__class__):
+            pass
+
+        params = MachineParams(p=8, w=4, l=2)
+        arr = OddColumn(words=8, p=8)
+        with pytest.raises(MachineConfigError, match="no analytic kernel"):
+            simulate_trace(np.array([0, 1]), arr, UMM(params), method="analytic")
+
+    def test_auto_falls_back_to_memoized(self):
+        class OddColumn(make_arrangement("column", 8, 8).__class__):
+            pass
+
+        params = MachineParams(p=8, w=4, l=2)
+        arr = OddColumn(words=8, p=8)
+        rep = simulate_trace(np.array([0, 1]), arr, UMM(params), method="auto")
+        assert rep.method == "memoized"
+        chunked = simulate_trace(np.array([0, 1]), arr, UMM(params), method="chunked")
+        assert rep.total_time == chunked.total_time
+
+    def test_report_records_resolved_method(self):
+        params = MachineParams(p=8, w=4, l=2)
+        prog = build_prefix_sums(4)
+        assert simulate_bulk(prog, params, "row").method == "analytic"
+        assert (
+            simulate_bulk(prog, params, "row", method="memoized").method
+            == "memoized"
+        )
+        assert (
+            simulate_bulk(prog, params, "row", method="chunked").method == "chunked"
+        )
+
+
+class TestFigureConfigurations:
+    """Acceptance guard: method='auto' is bit-identical to the chunked
+    reference on the Figure 11/12 configuration grids (results/fig11.json,
+    results/fig12.json use these n × p sweeps with w=32, l=100)."""
+
+    @pytest.mark.parametrize("n", [32, 1024])
+    @pytest.mark.parametrize("p", [64, 512])
+    def test_fig11_prefix_sums_grid(self, n, p):
+        prog = build_prefix_sums(n)
+        params = MachineParams(p=p, w=32, l=100)
+        for arrangement in ("row", "column"):
+            auto = simulate_bulk(prog, params, arrangement, method="auto")
+            ref = simulate_bulk(prog, params, arrangement, method="chunked")
+            assert auto.total_time == ref.total_time
+            assert auto.total_stages == ref.total_stages
+
+    @pytest.mark.parametrize("n", [8, 16])
+    @pytest.mark.parametrize("p", [64, 256])
+    def test_fig12_opt_grid(self, n, p):
+        prog = build_opt(n)
+        params = MachineParams(p=p, w=32, l=100)
+        for arrangement in ("row", "column"):
+            auto = simulate_bulk(prog, params, arrangement, method="auto")
+            ref = simulate_bulk(prog, params, arrangement, method="chunked")
+            assert auto.total_time == ref.total_time
+            assert auto.total_stages == ref.total_stages

@@ -1,0 +1,58 @@
+"""Fast-path smoke test: the memoized engine must beat the chunked oracle.
+
+A deliberately repetitive trace (t = 10⁴ steps over 256 distinct addresses,
+p = 4096 threads) gives the memoized path a ~40× work advantage; asserting
+only >= 5x leaves a wide margin for noisy CI machines.  Set
+``REPRO_SKIP_PERF_TESTS=1`` to skip under emulation-slow environments.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bulk import make_arrangement, simulate_trace
+from repro.machine import UMM, MachineParams
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_TESTS") == "1",
+    reason="REPRO_SKIP_PERF_TESTS=1: timing assertions disabled",
+)
+
+
+def _best_of(fn, repeats=2):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_memoized_beats_chunked_by_5x():
+    t_steps, p, words = 10_000, 4096, 256
+    params = MachineParams(p=p, w=32, l=100)
+    machine = UMM(params)
+    arr = make_arrangement("row", words, p)
+    rng = np.random.default_rng(20140519)
+    trace = rng.integers(0, words, size=t_steps)
+
+    # Warm both code paths (imports, first-touch allocations) off the clock.
+    simulate_trace(trace[:64], arr, machine, method="chunked")
+    simulate_trace(trace[:64], arr, machine, method="memoized")
+
+    chunked_s, ref = _best_of(
+        lambda: simulate_trace(trace, arr, machine, method="chunked"), repeats=1
+    )
+    memo_s, fast = _best_of(
+        lambda: simulate_trace(trace, arr, machine, method="memoized"), repeats=3
+    )
+    assert fast.total_time == ref.total_time  # exactness first
+    assert fast.total_stages == ref.total_stages
+    speedup = chunked_s / memo_s
+    assert speedup >= 5.0, (
+        f"memoized path only {speedup:.1f}x faster than chunked "
+        f"({memo_s * 1e3:.1f} ms vs {chunked_s * 1e3:.1f} ms)"
+    )

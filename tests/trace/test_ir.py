@@ -56,6 +56,23 @@ class TestDerivedQuantities:
         assert len(mem_ops) == 2
         assert isinstance(mem_ops[0], Load) and isinstance(mem_ops[1], Store)
 
+    def test_address_trace_cached_and_read_only(self):
+        """The trace is computed once (same object back) and is immutable."""
+        prog = make_program([Load(0, 5), Store(2, 0), Load(1, 7)])
+        first = prog.address_trace()
+        assert prog.address_trace() is first
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 99
+        np.testing.assert_array_equal(first, [5, 2, 7])
+
+    def test_address_trace_cache_per_instance(self):
+        """Equal programs do not share the cache (it lives per instance)."""
+        a = make_program([Load(0, 1)])
+        b = make_program([Load(0, 1)])
+        assert a == b
+        assert a.address_trace() is not b.address_trace()
+
 
 class TestUsesDefs:
     def test_uses(self):
