@@ -123,10 +123,24 @@ def cmd_run(args) -> int:
     program = spec.build(args.n)
     rng = np.random.default_rng(args.seed)
     inputs = spec.make_inputs(rng, args.n, args.p)
-    outputs = BulkExecutor(program, args.p, args.arrangement).run(inputs).outputs
+    executor = BulkExecutor(
+        program, args.p, args.arrangement, backend=args.backend
+    )
+    outputs = executor.run(inputs).outputs
     spec.check_outputs(inputs, outputs, args.n)
     print(f"bulk-ran {spec.name} (n={args.n}) for p={args.p} inputs "
-          f"[{args.arrangement}-wise]: outputs verified against the reference")
+          f"[{args.arrangement}-wise, {executor.backend} backend]: "
+          f"outputs verified against the reference")
+    return 0
+
+
+def cmd_codegen_cache(args) -> int:
+    from .codegen import cache_stats, clear_cache
+
+    if args.clear:
+        removed = clear_cache()
+        print(f"cleared {removed} cached kernel(s)")
+    print(cache_stats().describe())
     return 0
 
 
@@ -199,7 +213,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--p", type=int, default=64)
     p.add_argument("--arrangement", choices=["row", "column"], default="column")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=["numpy", "native", "auto"],
+        default="numpy",
+        help="execution backend: fused NumPy engine, compiled C bulk "
+        "kernel, or auto (native when a compiler is available)",
+    )
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "codegen-cache",
+        help="inspect or clear the compiled-kernel cache",
+    )
+    p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.add_argument(
+        "--stats", action="store_true", help="print statistics (the default)"
+    )
+    p.set_defaults(fn=cmd_codegen_cache)
 
     args = parser.parse_args(argv)
     try:

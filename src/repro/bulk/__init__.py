@@ -30,7 +30,8 @@ from .convert import (
     minimum,
     select,
 )
-from .engine import BulkExecutor, BulkResult, bulk_run
+from .engine import BACKENDS, BulkExecutor, BulkResult, bulk_run, resolve_backend
+from .fusion import FusedProgram, FusionStats, compile_fused
 from .grid import GridConfig, GridExecutor, grid_time_units
 from .kernels import opt_bulk, opt_bulk_with_choices, prefix_sums_bulk
 from .lower_bound import (
@@ -52,6 +53,11 @@ __all__ = [
     "BulkExecutor",
     "BulkResult",
     "bulk_run",
+    "BACKENDS",
+    "resolve_backend",
+    "FusionStats",
+    "FusedProgram",
+    "compile_fused",
     "GridConfig",
     "GridExecutor",
     "grid_time_units",

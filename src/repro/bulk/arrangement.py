@@ -26,7 +26,7 @@ a stride-``n`` gather).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -138,6 +138,40 @@ class Arrangement(ABC):
     def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
         """Scatter ``(p, k)`` per-input arrays into ``buffer`` (zero-extended)."""
 
+    def load_inputs(
+        self,
+        inputs: np.ndarray,
+        buffer: np.ndarray,
+        zero_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> None:
+        """Reset ``buffer`` to the packed image of ``inputs``.
+
+        Equivalent to zeroing the whole buffer and then :meth:`pack`, but
+        only clears the region ``pack`` does not overwrite — at large ``p``
+        the buffer is tens of MB and the blanket zero is measurable.
+
+        ``zero_ranges`` optionally narrows the clearing further, to the
+        given half-open local-address ranges: the caller (the engine) knows
+        which scratch words the program stores before ever loading, and
+        those need no zeroing at all.
+        """
+        arr = self._check_inputs(inputs)
+        if zero_ranges is None:
+            self._clear_tail(buffer, arr.shape[1])
+        else:
+            for start, stop in zero_ranges:
+                if stop > start:
+                    self._clear_words(buffer, start, stop)
+        self.pack(arr, buffer)
+
+    def _clear_tail(self, buffer: np.ndarray, k: int) -> None:
+        """Zero the part of ``buffer`` not overwritten by a ``k``-word pack."""
+        buffer[...] = 0  # conservative fallback; subclasses narrow this
+
+    def _clear_words(self, buffer: np.ndarray, start: int, stop: int) -> None:
+        """Zero local words ``[start, stop)`` for every input."""
+        self._clear_tail(buffer, 0)  # conservative; subclasses narrow this
+
     @abstractmethod
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
         """Gather ``buffer`` back into a ``(p, words)`` per-input array."""
@@ -149,6 +183,17 @@ class Arrangement(ABC):
     @abstractmethod
     def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
         """Write ``values[j]`` to local word ``local`` of every input ``j``."""
+
+    def step_view(self, buffer: np.ndarray, local: int):
+        """A writable length-``p`` *view* of local word ``local`` across all
+        inputs, or ``None`` when the layout cannot expose one.
+
+        The fusion pass uses these views to elide loads/stores: reading a
+        register bound to a view touches the buffer in place instead of
+        copying the row.  Arrangements without a viewable layout return
+        ``None`` and the engine falls back to :meth:`read_step` copies.
+        """
+        return None
 
     # -- shared validation ----------------------------------------------------
     def _check_inputs(self, inputs: np.ndarray) -> np.ndarray:
@@ -174,6 +219,14 @@ class ColumnWise(Arrangement):
 
     name = "column"
 
+    #: Cache-blocking tile sizes for the pack/unpack transposes.  A naive
+    #: ``buffer[:k] = inputs.T`` walks one axis at a maximally cache-hostile
+    #: stride; tiling keeps both source and destination tiles resident and
+    #: is ~2-3x faster at large ``p`` (values tuned on the eval host).
+    _PACK_COLS = 64
+    _UNPACK_ROWS = 256
+    _UNPACK_COLS = 128
+
     def global_address(self, local, j):
         return np.asarray(local, dtype=np.int64) * self.p + np.asarray(j, dtype=np.int64)
 
@@ -186,16 +239,33 @@ class ColumnWise(Arrangement):
 
     def pack(self, inputs: np.ndarray, buffer: np.ndarray) -> None:
         arr = self._check_inputs(inputs)
-        buffer[: arr.shape[1], :] = arr.T
+        k, B = arr.shape[1], self._PACK_COLS
+        for j0 in range(0, self.p, B):
+            buffer[:k, j0 : j0 + B] = arr[j0 : j0 + B].T
 
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
-        return np.ascontiguousarray(buffer.T)
+        out = np.empty((self.p, self.words), dtype=buffer.dtype)
+        Bi, Bj = self._UNPACK_ROWS, self._UNPACK_COLS
+        for i0 in range(0, self.words, Bi):
+            block = buffer[i0 : i0 + Bi]
+            for j0 in range(0, self.p, Bj):
+                out[j0 : j0 + Bj, i0 : i0 + Bi] = block[:, j0 : j0 + Bj].T
+        return out
+
+    def _clear_tail(self, buffer: np.ndarray, k: int) -> None:
+        buffer[k:] = 0  # rows [0, k) are fully overwritten by pack
+
+    def _clear_words(self, buffer: np.ndarray, start: int, stop: int) -> None:
+        buffer[start:stop] = 0
 
     def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
         np.copyto(out, buffer[local])  # contiguous row: one cache-friendly copy
 
     def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
         buffer[local] = values
+
+    def step_view(self, buffer: np.ndarray, local: int):
+        return buffer[local]  # contiguous (n, p) row
 
 
 class RowWise(Arrangement):
@@ -225,6 +295,15 @@ class RowWise(Arrangement):
 
     def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
         buffer[:, local] = values
+
+    def step_view(self, buffer: np.ndarray, local: int):
+        return buffer[:, local]  # stride-n column view
+
+    def _clear_tail(self, buffer: np.ndarray, k: int) -> None:
+        buffer[:, k:] = 0  # columns [0, k) are fully overwritten by pack
+
+    def _clear_words(self, buffer: np.ndarray, start: int, stop: int) -> None:
+        buffer[:, start:stop] = 0
 
 
 class PaddedRowWise(Arrangement):
@@ -284,6 +363,15 @@ class PaddedRowWise(Arrangement):
 
     def write_step(self, buffer: np.ndarray, local: int, values: np.ndarray) -> None:
         buffer[:, local] = values
+
+    def step_view(self, buffer: np.ndarray, local: int):
+        return buffer[:, local]  # stride-(n+pad) column view
+
+    def _clear_tail(self, buffer: np.ndarray, k: int) -> None:
+        buffer[:, k:] = 0  # data tail plus the padding columns
+
+    def _clear_words(self, buffer: np.ndarray, start: int, stop: int) -> None:
+        buffer[:, start:stop] = 0
 
 
 _ARRANGEMENTS = {"column": ColumnWise, "row": RowWise, "padded-row": PaddedRowWise}

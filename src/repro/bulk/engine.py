@@ -24,7 +24,7 @@ allocation in hot loops; use ``out=``/views, not copies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -32,8 +32,64 @@ from ..errors import ExecutionError
 from ..trace.ir import Binary, Const, Load, Program, Select, Store, Unary
 from ..trace.ops import BINARY_UFUNCS, UNARY_UFUNCS
 from .arrangement import Arrangement, make_arrangement
+from .fusion import FusionStats, compile_fused
 
-__all__ = ["BulkExecutor", "BulkResult", "bulk_run"]
+__all__ = ["BulkExecutor", "BulkResult", "bulk_run", "BACKENDS", "resolve_backend"]
+
+#: Accepted values for the ``backend=`` argument.
+BACKENDS = ("numpy", "native", "auto")
+
+
+def _stored_first_words(program: Program) -> frozenset:
+    """Local addresses whose *first* memory access is a ``Store``.
+
+    Those words are overwritten (for every lane — stores are unconditional
+    in the IR) before any load sees them, so ``load()`` need not zero them.
+    Words never accessed at all still require zeroing: they appear verbatim
+    in the unpacked output image.
+    """
+    first: dict = {}
+    for instr in program.instructions:
+        if isinstance(instr, (Load, Store)):
+            first.setdefault(instr.addr, isinstance(instr, Store))
+    return frozenset(addr for addr, stored in first.items() if stored)
+
+
+def resolve_backend(
+    backend: str, program: Program, arrangement: Arrangement
+) -> str:
+    """Resolve ``backend`` to a concrete engine (``"numpy"`` / ``"native"``).
+
+    ``"auto"`` picks the compiled C kernel when a C compiler is available
+    and the program/arrangement pair is supported, and silently falls back
+    to the NumPy engine otherwise.  An *explicit* ``"native"`` request with
+    no compiler raises, so callers never get silently different machinery
+    than they asked for.
+    """
+    if backend not in BACKENDS:
+        raise ExecutionError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "numpy":
+        return "numpy"
+    from ..codegen.compile import have_compiler, native_supported
+
+    if backend == "native":
+        if not have_compiler():
+            raise ExecutionError(
+                "backend='native' requires a C compiler (cc/gcc/clang) on "
+                "PATH; use backend='auto' to fall back to NumPy"
+            )
+        if not native_supported(program, arrangement):
+            raise ExecutionError(
+                f"backend='native' does not support program dtype "
+                f"{program.dtype} with arrangement {arrangement.name!r}"
+            )
+        return "native"
+    # auto
+    if have_compiler() and native_supported(program, arrangement):
+        return "native"
+    return "numpy"
 
 
 @dataclass(frozen=True)
@@ -68,6 +124,14 @@ class BulkExecutor:
     arrangement:
         ``"column"`` (coalesced, the paper's optimal choice), ``"row"``, or
         an :class:`Arrangement` instance.
+    backend:
+        ``"numpy"`` (default), ``"native"`` (compiled C bulk kernel, needs a
+        C compiler) or ``"auto"`` (native when possible, else NumPy).
+    fuse:
+        NumPy backend only: run the IR fusion pass (load/store elision,
+        compare+select fusion — see :mod:`repro.bulk.fusion`).  ``False``
+        reproduces the seed one-NumPy-call-per-instruction interpreter;
+        outputs are bit-identical either way.
     """
 
     def __init__(
@@ -75,16 +139,42 @@ class BulkExecutor:
         program: Program,
         p: int,
         arrangement: Union[str, Arrangement] = "column",
+        backend: str = "numpy",
+        fuse: bool = True,
     ) -> None:
         self.program = program
         self.arrangement = make_arrangement(arrangement, program.memory_words, p)
         self.p = int(p)
+        self.backend = resolve_backend(backend, program, self.arrangement)
+        self.fuse = bool(fuse)
         dtype = program.dtype
         self._mem = self.arrangement.allocate(dtype)
+        self._stored_first = _stored_first_words(program)
+        self._zero_ranges_cache: dict = {}
+        self._native = None
+        self._fused = None
+        self._steps: Optional[List[Callable[[], None]]] = None
+        if self.backend == "native":
+            from ..codegen.compile import compile_bulk
+
+            self._native = compile_bulk(program, self.arrangement)
+            return
         self._regs = np.zeros((program.num_registers, self.p), dtype=dtype)
         self._mask = np.empty(self.p, dtype=bool)
         self._tmp = np.empty(self.p, dtype=dtype)
-        self._steps = self._compile()
+        if self.fuse:
+            self._mask2 = np.empty(self.p, dtype=bool)
+            self._fused = compile_fused(
+                program, self.arrangement, self._mem, self._regs,
+                self._mask, self._mask2,
+            )
+        else:
+            self._steps = self._compile()
+
+    @property
+    def fusion_stats(self) -> Optional[FusionStats]:
+        """What the fusion pass did (``None`` on unfused/native paths)."""
+        return self._fused.stats if self._fused is not None else None
 
     # -- compilation -----------------------------------------------------------
     def _compile(self) -> List[Callable[[], None]]:
@@ -158,6 +248,63 @@ class BulkExecutor:
         return steps
 
     # -- execution ---------------------------------------------------------------
+    def load(self, inputs: np.ndarray) -> None:
+        """Validate ``inputs`` and pack them into the arranged buffer.
+
+        All validation happens *before* the shared preallocated buffers are
+        touched: a call that raises leaves the executor exactly as the last
+        successful run left it.
+        """
+        arr = np.asarray(inputs, dtype=self.program.dtype)
+        if arr.ndim != 2 or arr.shape[0] != self.p:
+            raise ExecutionError(
+                f"expected inputs of shape (p={self.p}, k), got {arr.shape}"
+            )
+        if arr.shape[1] > self.program.memory_words:
+            raise ExecutionError(
+                f"inputs carry {arr.shape[1]} words but the program memory "
+                f"holds only {self.program.memory_words}"
+            )
+        self.arrangement.load_inputs(
+            arr, self._mem, zero_ranges=self._tail_zero_ranges(arr.shape[1])
+        )
+
+    def _tail_zero_ranges(self, k: int) -> list:
+        """Half-open ranges of ``[k, memory_words)`` that must be zeroed —
+        everything except the scratch words the program stores first."""
+        ranges = self._zero_ranges_cache.get(k)
+        if ranges is None:
+            ranges = []
+            start = None
+            for addr in range(k, self.program.memory_words):
+                if addr in self._stored_first:
+                    if start is not None:
+                        ranges.append((start, addr))
+                        start = None
+                elif start is None:
+                    start = addr
+            if start is not None:
+                ranges.append((start, self.program.memory_words))
+            self._zero_ranges_cache[k] = ranges
+        return ranges
+
+    def execute(self) -> None:
+        """Run the program over the currently loaded buffer (the engine
+        phase proper — what the backends differ in; benchmarks time this)."""
+        if self._native is not None:
+            self._native.run_bulk(self._mem)
+        else:
+            self._regs[...] = 0
+            if self._fused is not None:
+                self._fused.run()
+            else:
+                for step in self._steps:
+                    step()
+
+    def outputs(self) -> np.ndarray:
+        """Unpack the buffer into per-input ``(p, memory_words)`` images."""
+        return self.arrangement.unpack(self._mem)
+
     def run(self, inputs: np.ndarray) -> BulkResult:
         """Execute the program for ``inputs`` of shape ``(p, k)``.
 
@@ -165,18 +312,10 @@ class BulkExecutor:
         at zero (scratch space / DP tables).  Returns every input's final
         memory image.
         """
-        arr = np.asarray(inputs, dtype=self.program.dtype)
-        if arr.ndim != 2 or arr.shape[0] != self.p:
-            raise ExecutionError(
-                f"expected inputs of shape (p={self.p}, k), got {arr.shape}"
-            )
-        self._mem[...] = 0
-        self.arrangement.pack(arr, self._mem)
-        self._regs[...] = 0
-        for step in self._steps:
-            step()
+        self.load(inputs)
+        self.execute()
         return BulkResult(
-            outputs=self.arrangement.unpack(self._mem),
+            outputs=self.outputs(),
             p=self.p,
             trace_length=self.program.trace_length,
         )
@@ -188,7 +327,8 @@ class BulkExecutor:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BulkExecutor({self.program.name!r}, p={self.p}, "
-            f"arrangement={self.arrangement.name!r})"
+            f"arrangement={self.arrangement.name!r}, "
+            f"backend={self.backend!r})"
         )
 
 
@@ -196,6 +336,8 @@ def bulk_run(
     program: Program,
     inputs: np.ndarray,
     arrangement: Union[str, Arrangement] = "column",
+    backend: str = "numpy",
+    fuse: bool = True,
 ) -> np.ndarray:
     """One-shot convenience: build a :class:`BulkExecutor` and run it.
 
@@ -204,4 +346,8 @@ def bulk_run(
     arr = np.asarray(inputs)
     if arr.ndim != 2:
         raise ExecutionError(f"expected 2-D inputs (p, k), got shape {arr.shape}")
-    return BulkExecutor(program, arr.shape[0], arrangement).run(arr).outputs
+    return (
+        BulkExecutor(program, arr.shape[0], arrangement, backend=backend, fuse=fuse)
+        .run(arr)
+        .outputs
+    )

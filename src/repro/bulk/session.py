@@ -33,6 +33,11 @@ class BulkSession:
         Inputs per bulk round (the executor's ``p``).
     arrangement:
         Memory arrangement of each round (default column-wise).
+    backend:
+        Execution backend of the underlying executor (``"numpy"``,
+        ``"native"`` or ``"auto"`` — see :class:`BulkExecutor`).
+    fuse:
+        NumPy backend only: run the IR fusion pass (default on).
 
     Example::
 
@@ -45,13 +50,20 @@ class BulkSession:
     """
 
     def __init__(
-        self, program: Program, batch: int, arrangement: str = "column"
+        self,
+        program: Program,
+        batch: int,
+        arrangement: str = "column",
+        backend: str = "numpy",
+        fuse: bool = True,
     ) -> None:
         if batch <= 0:
             raise ExecutionError(f"batch must be positive, got {batch}")
         self.program = program
         self.batch = int(batch)
-        self._executor = BulkExecutor(program, self.batch, arrangement)
+        self._executor = BulkExecutor(
+            program, self.batch, arrangement, backend=backend, fuse=fuse
+        )
         self._pending: List[np.ndarray] = []
         self._input_width: Optional[int] = None
         self.rounds_run = 0
@@ -111,8 +123,9 @@ class BulkSession:
         outputs = self._executor.run(block).outputs
         self.rounds_run += 1
         self.inputs_processed += len(rows)
-        for i in range(len(rows)):
-            yield outputs[i]
+        # Trim to the real input count before yielding: a padded partial
+        # batch never leaks its idle-lane rows to the consumer.
+        yield from outputs[: len(rows)]
 
     @property
     def pending(self) -> int:

@@ -8,16 +8,33 @@ IR), this package completes the pipeline:
                                      CUDA C (emitted for a GPU toolchain) }
 """
 
-from .c_emitter import c_symbol_names, emit_c
-from .compile import CompiledProgram, compile_program, have_compiler
+from .c_emitter import BULK_KERNEL_SYMBOL, c_symbol_names, emit_bulk_c, emit_c
+from .cache import CacheStats, cache_dir, cache_stats, clear_cache
+from .compile import (
+    CompiledBulkKernel,
+    CompiledProgram,
+    compile_bulk,
+    compile_program,
+    have_compiler,
+    native_supported,
+)
 from .cuda_emitter import emit_cuda, launch_snippet
 
 __all__ = [
     "emit_c",
+    "emit_bulk_c",
     "c_symbol_names",
+    "BULK_KERNEL_SYMBOL",
     "emit_cuda",
     "launch_snippet",
     "compile_program",
     "CompiledProgram",
+    "compile_bulk",
+    "CompiledBulkKernel",
     "have_compiler",
+    "native_supported",
+    "cache_dir",
+    "cache_stats",
+    "clear_cache",
+    "CacheStats",
 ]

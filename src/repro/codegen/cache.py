@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache for compiled kernels.
+
+Compiling the bulk kernel of a large program (e.g. Algorithm OPT at n = 32,
+~26k straight-line instructions) takes the C compiler a minute or more —
+far longer than every run it will ever serve.  Since the emitted source is
+a pure function of the program and the kernel shape, the build is perfectly
+memoisable: the cache key is the SHA-256 of the *source text plus the exact
+compiler flags*, so any change to either lands on a different key and stale
+artefacts are impossible by construction.
+
+Layout: one ``<key>.so`` per entry under :func:`cache_dir` (default
+``~/.cache/repro/codegen``, override with ``REPRO_CACHE_DIR``).  Population
+is concurrency-safe without locks: each producer compiles to a unique
+temporary file in the cache directory and publishes it with an atomic
+``os.replace`` — racing processes simply overwrite each other with an
+identical artefact.
+
+``cache_stats()`` exposes process-level hit/miss counters plus the on-disk
+entry count and byte total; ``clear_cache()`` empties the directory (the
+CLI surfaces both as ``repro codegen-cache --stats|--clear``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ExecutionError
+
+__all__ = [
+    "cache_dir",
+    "cache_key",
+    "cached_library",
+    "cache_stats",
+    "clear_cache",
+    "CacheStats",
+]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+# Process-level counters: how often cached_library() was served from disk
+# vs had to invoke the compiler.
+_hits = 0
+_misses = 0
+
+
+def cache_dir() -> Path:
+    """The cache directory (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/codegen``)."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "codegen"
+
+
+def cache_key(source: str, flags: Sequence[str]) -> str:
+    """SHA-256 over the compiler flags and the full source text."""
+    h = hashlib.sha256()
+    h.update("\x1f".join(flags).encode())
+    h.update(b"\x00")
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+def cached_library(source: str, flags: Sequence[str], cc: str) -> Path:
+    """Path to the compiled shared object for ``source``; compiles on miss.
+
+    ``flags`` is the complete compiler invocation between ``cc`` and the
+    input/output paths.  On a hit no compiler runs at all.
+    """
+    global _hits, _misses
+    directory = cache_dir()
+    path = directory / f"{cache_key(source, flags)}.so"
+    if path.is_file():
+        _hits += 1
+        return path
+    _misses += 1
+    directory.mkdir(parents=True, exist_ok=True)
+    src_fd, src_name = tempfile.mkstemp(suffix=".c", dir=directory)
+    tmp_fd, tmp_name = tempfile.mkstemp(suffix=".so.tmp", dir=directory)
+    os.close(tmp_fd)
+    try:
+        with os.fdopen(src_fd, "w") as fh:
+            fh.write(source)
+        cmd = [cc, *flags, src_name, "-o", tmp_name, "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise ExecutionError(
+                f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-2000:]}"
+            )
+        # Atomic publish: concurrent writers race benignly (same bytes).
+        os.replace(tmp_name, path)
+    finally:
+        for leftover in (src_name, tmp_name):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return path
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Observability snapshot of the compilation cache."""
+
+    hits: int  # this process: servings that skipped the compiler
+    misses: int  # this process: compiler invocations
+    entries: int  # on disk, shared across processes
+    size_bytes: int  # total size of the cached shared objects
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses this process; "
+            f"{self.entries} entries, {self.size_bytes:,} bytes on disk "
+            f"({cache_dir()})"
+        )
+
+
+def cache_stats() -> CacheStats:
+    """Hit/miss counters plus the current on-disk entry count and size."""
+    entries = 0
+    size = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for entry in directory.glob("*.so"):
+            try:
+                size += entry.stat().st_size
+                entries += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+    return CacheStats(hits=_hits, misses=_misses, entries=entries, size_bytes=size)
+
+
+def clear_cache() -> int:
+    """Delete all cached shared objects; returns how many were removed."""
+    removed = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for entry in directory.glob("*.so"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+    return removed

@@ -5,25 +5,49 @@ through (a) the Python interpreter, (b) the vectorised bulk engine and
 (c) natively compiled C — and the tests demand bit-agreement between all
 three.  Compilation requires a system C compiler (``cc``); callers should
 guard with :func:`have_compiler` (the tests skip without one).
+
+All builds go through the content-addressed cache in
+:mod:`repro.codegen.cache`: the second compilation of the same source with
+the same flags is a disk lookup, shared across processes.  This matters
+most for :func:`compile_bulk`, whose flagship kernels take the compiler
+a minute while every later session loads them in milliseconds.
 """
 
 from __future__ import annotations
 
 import ctypes
 import shutil
-import subprocess
-import tempfile
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ProgramError
 from ..trace.ir import Program
-from .c_emitter import c_symbol_names, emit_c
+from .c_emitter import (
+    BULK_KERNEL_SYMBOL,
+    _ctype,
+    c_symbol_names,
+    emit_bulk_c,
+    emit_c,
+)
+from .cache import cached_library
 
-__all__ = ["have_compiler", "compile_program", "CompiledProgram"]
+__all__ = [
+    "have_compiler",
+    "compile_program",
+    "CompiledProgram",
+    "compile_bulk",
+    "CompiledBulkKernel",
+    "native_supported",
+]
+
+#: Flags for the bulk kernels: ``-O1`` keeps compile time linear in the
+#: (large, straight-line) program while ``-ftree-vectorize`` restores the
+#: SIMD codegen that matters; ``-march=native`` unlocks the host's vector
+#: width.  ``-std=c99`` keeps FP contraction off, preserving bit-equality
+#: with the NumPy engine.
+_BULK_FLAGS = ("-std=c99", "-O1", "-ftree-vectorize", "-march=native", "-fPIC", "-shared")
 
 
 def have_compiler() -> bool:
@@ -38,6 +62,11 @@ def _cc() -> str:
     return cc
 
 
+def _load(source: str, flags: Sequence[str]) -> ctypes.CDLL:
+    """Compile (or fetch from cache) and load a translation unit."""
+    return ctypes.CDLL(str(cached_library(source, flags, _cc())))
+
+
 @dataclass
 class CompiledProgram:
     """A program's native functions, loaded via ctypes.
@@ -48,7 +77,6 @@ class CompiledProgram:
 
     program: Program
     _lib: ctypes.CDLL
-    _workdir: tempfile.TemporaryDirectory
 
     def __post_init__(self) -> None:
         names = c_symbol_names(self.program)
@@ -120,26 +148,98 @@ class CompiledProgram:
 def compile_program(
     program: Program, *, optimize_flag: str = "-O2"
 ) -> CompiledProgram:
-    """Emit, compile (shared object) and load ``program``'s C translation."""
-    workdir = tempfile.TemporaryDirectory(prefix="repro-codegen-")
-    src = Path(workdir.name) / "program.c"
-    lib_path = Path(workdir.name) / "program.so"
-    src.write_text(emit_c(program))
-    cmd = [
-        _cc(),
-        "-std=c99",
-        optimize_flag,
-        "-fPIC",
-        "-shared",
-        str(src),
-        "-o",
-        str(lib_path),
-        "-lm",
-    ]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        raise ExecutionError(
-            f"C compilation failed ({' '.join(cmd)}):\n{proc.stderr[-2000:]}"
+    """Emit, compile (shared object, cached) and load ``program``'s C."""
+    source = emit_c(program)
+    flags = ("-std=c99", optimize_flag, "-fPIC", "-shared")
+    return CompiledProgram(program=program, _lib=_load(source, flags))
+
+
+def native_supported(program: Program, arrangement) -> bool:
+    """Can :func:`compile_bulk` handle this program/arrangement pair?"""
+    try:
+        _ctype(program)
+    except ProgramError:
+        return False
+    return getattr(arrangement, "name", None) in ("column", "row", "padded-row")
+
+
+@dataclass
+class CompiledBulkKernel:
+    """A compiled whole-program bulk kernel bound to one buffer geometry.
+
+    :meth:`run_bulk` mutates the arranged buffer in place — pack before,
+    unpack after, exactly like the NumPy engine's execute phase.
+    """
+
+    program: Program
+    p: int
+    total_words: int
+    _lib: ctypes.CDLL
+
+    def __post_init__(self) -> None:
+        ptr = (
+            ctypes.POINTER(ctypes.c_int64)
+            if np.issubdtype(self.program.dtype, np.integer)
+            else ctypes.POINTER(ctypes.c_double)
         )
-    lib = ctypes.CDLL(str(lib_path))
-    return CompiledProgram(program=program, _lib=lib, _workdir=workdir)
+        self._kernel = getattr(self._lib, BULK_KERNEL_SYMBOL)
+        self._kernel.argtypes = [ptr]
+        self._kernel.restype = None
+
+    def run_bulk(self, buffer: np.ndarray) -> None:
+        """Run the whole program over the arranged ``buffer`` in place."""
+        if buffer.dtype != self.program.dtype:
+            raise ExecutionError(
+                f"buffer dtype {buffer.dtype} != program dtype "
+                f"{self.program.dtype}"
+            )
+        if buffer.size != self.total_words or not buffer.flags["C_CONTIGUOUS"]:
+            raise ExecutionError(
+                f"need a C-contiguous buffer of {self.total_words} words, "
+                f"got {buffer.shape} ({buffer.size} words)"
+            )
+        ctype = (
+            ctypes.c_int64
+            if np.issubdtype(self.program.dtype, np.integer)
+            else ctypes.c_double
+        )
+        self._kernel(buffer.ctypes.data_as(ctypes.POINTER(ctype)))
+
+
+def compile_bulk(
+    program: Program, arrangement, *, chunk: int = 64, tile: int = 512
+) -> CompiledBulkKernel:
+    """Compile the native bulk kernel for ``program`` on ``arrangement``.
+
+    The arrangement fixes the layout *and* ``p`` — both are baked into the
+    source as constants (that is what lets the compiler vectorise, see
+    :func:`repro.codegen.c_emitter.emit_bulk_c`), so one kernel serves one
+    ``(program, layout, p)`` triple.  Builds are content-addressed: the
+    first call pays the compiler, every later call (any process) loads the
+    cached shared object.
+    """
+    if not native_supported(program, arrangement):
+        raise ExecutionError(
+            f"no native bulk kernel for dtype {program.dtype} on "
+            f"arrangement {getattr(arrangement, 'name', arrangement)!r}"
+        )
+    if arrangement.name == "column":
+        layout, stride = "column", 0
+    else:
+        layout = "row"
+        stride = getattr(arrangement, "stride", arrangement.words)
+    source = emit_bulk_c(
+        program, layout, p=arrangement.p, stride=stride, chunk=chunk, tile=tile
+    )
+    try:
+        lib = _load(source, _BULK_FLAGS)
+    except ExecutionError:
+        # Some toolchains lack -march=native; retry with portable flags.
+        fallback = tuple(f for f in _BULK_FLAGS if f != "-march=native")
+        lib = _load(source, fallback)
+    return CompiledBulkKernel(
+        program=program,
+        p=arrangement.p,
+        total_words=arrangement.total_words,
+        _lib=lib,
+    )

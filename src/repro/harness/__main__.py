@@ -51,14 +51,24 @@ def main(argv: list[str] | None = None) -> int:
         help="cost-simulation pricing method (experiments that price traces); "
         "'chunked' is the O(t*p) reference oracle",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", "native", "auto"],
+        default="numpy",
+        help="bulk-execution backend for wall-clock experiments: the fused "
+        "NumPy engine, compiled C bulk kernels, or auto-selection",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = EXPERIMENTS[name]
         kwargs = {"quick": args.quick}
-        if "method" in inspect.signature(runner).parameters:
+        params = inspect.signature(runner).parameters
+        if "method" in params:
             kwargs["method"] = args.method
+        if "backend" in params:
+            kwargs["backend"] = args.backend
         result = runner(**kwargs)
         text = result.render()
         print(text)

@@ -168,12 +168,13 @@ def _gpu_series(
     arrangement: str,
     *,
     repeats: int,
+    backend: str = "numpy",
 ) -> Series:
-    """Measure the vectorised bulk executor for one arrangement."""
+    """Measure the bulk executor for one arrangement and backend."""
     series = Series(label=f"gpu-{arrangement}")
     for p in ps:
         inputs = make_inputs(p)
-        ex = BulkExecutor(program, p, arrangement)
+        ex = BulkExecutor(program, p, arrangement, backend=backend)
         t = measure(lambda: ex.run(inputs), repeats=repeats).best
         series.add(p, t)
     return series
@@ -222,13 +223,15 @@ def run_fig11(
     cpu_cap: int = 1024,
     repeats: int = 3,
     quick: bool = False,
+    backend: str = "numpy",
 ) -> ExperimentResult:
     """Figure 11: bulk prefix-sums — CPU vs GPU row-wise vs GPU column-wise.
 
     Paper scale: ``n ∈ {32, 1K, 32K}``, ``p`` up to 8M on a GTX Titan.  Here
     ``n`` defaults to {32, 1K, 8K} and ``p`` is capped by ``word_budget``
     (both documented in EXPERIMENTS.md); ``quick=True`` shrinks everything
-    for CI.
+    for CI.  ``backend`` selects the bulk engine (``--backend native``
+    reruns the GPU curves on the compiled C kernels).
     """
     if quick:
         ns = tuple(n for n in ns if n <= 1024) or (32,)
@@ -245,12 +248,16 @@ def run_fig11(
             return prefix_sum_inputs(n, p)
 
         cpu = _cpu_series(program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats)
-        row = _gpu_series(program, make_inputs, ps, "row", repeats=repeats)
-        col = _gpu_series(program, make_inputs, ps, "column", repeats=repeats)
+        row = _gpu_series(
+            program, make_inputs, ps, "row", repeats=repeats, backend=backend
+        )
+        col = _gpu_series(
+            program, make_inputs, ps, "column", repeats=repeats, backend=backend
+        )
         t_tab, s_tab = _figure_table(f"Fig11 prefix-sums n={n}", ps, cpu, row, col)
         t_tab.add_note(
             f"paper sweeps p up to 8M on GTX Titan; here p <= {p_max} "
-            f"(word budget {word_budget})"
+            f"(word budget {word_budget}); gpu backend: {backend}"
         )
         result.tables.extend([t_tab, s_tab])
         result.series[f"n{n}/cpu"] = cpu
@@ -271,13 +278,15 @@ def run_fig12(
     cpu_cap: int = 64,
     repeats: int = 3,
     quick: bool = False,
+    backend: str = "numpy",
 ) -> ExperimentResult:
     """Figure 12: bulk Algorithm OPT — CPU vs GPU row-wise vs column-wise.
 
     Paper scale: 8-, 64- and 512-gons, ``p`` up to 4M.  An unrolled 512-gon
     program has ~10⁸ instructions — far beyond a pure-Python engine — so the
     defaults scale to 8/16/32-gons, preserving the ``t = Θ(n³)`` growth
-    between curves (documented in EXPERIMENTS.md).
+    between curves (documented in EXPERIMENTS.md).  ``backend`` selects the
+    bulk engine for the GPU curves.
     """
     if quick:
         ns = tuple(n for n in ns if n <= 8) or (6,)
@@ -294,12 +303,16 @@ def run_fig12(
             return opt_inputs(n, p)
 
         cpu = _cpu_series(program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats)
-        row = _gpu_series(program, make_inputs, ps, "row", repeats=repeats)
-        col = _gpu_series(program, make_inputs, ps, "column", repeats=repeats)
+        row = _gpu_series(
+            program, make_inputs, ps, "row", repeats=repeats, backend=backend
+        )
+        col = _gpu_series(
+            program, make_inputs, ps, "column", repeats=repeats, backend=backend
+        )
         t_tab, s_tab = _figure_table(f"Fig12 OPT {n}-gons", ps, cpu, row, col)
         t_tab.add_note(
             f"paper uses 8/64/512-gons up to p = 4M; here {n}-gons with "
-            f"p <= {p_max}"
+            f"p <= {p_max}; gpu backend: {backend}"
         )
         result.tables.extend([t_tab, s_tab])
         result.series[f"n{n}/cpu"] = cpu
@@ -456,6 +469,33 @@ def run_ablation(
     vm.add_row([f"OPT n={n_opt} p={p}", format_seconds(t_opt_engine),
                 format_seconds(t_opt_kernel), f"{t_opt_engine / t_opt_kernel:.1f}x"])
     result.tables.append(vm)
+
+    # Execution backends: per-instruction interpreter vs fused NumPy vs the
+    # compiled C bulk kernel, timing the engine phase proper (load/unpack is
+    # shared by all three).
+    from ..codegen.compile import have_compiler, native_supported
+
+    bk = Table(
+        f"abl-backend: engine phase, OPT n={n_opt} p={p} (wall clock)",
+        ["backend", "execute", "vs interpreter"],
+    )
+    ex_un = BulkExecutor(opt_prog, p, "column", fuse=False)
+    ex_un.load(opt_in)
+    t_interp = measure(ex_un.execute, repeats=repeats).best
+    ex_opt.load(opt_in)
+    t_fused = measure(ex_opt.execute, repeats=repeats).best
+    bk.add_row(["numpy (unfused)", format_seconds(t_interp), "1.0x"])
+    bk.add_row(["numpy (fused)", format_seconds(t_fused),
+                f"{t_interp / t_fused:.1f}x"])
+    if have_compiler() and native_supported(opt_prog, ex_opt.arrangement):
+        ex_nat = BulkExecutor(opt_prog, p, "column", backend="native")
+        ex_nat.load(opt_in)
+        t_native = measure(ex_nat.execute, repeats=repeats).best
+        bk.add_row(["native (compiled C)", format_seconds(t_native),
+                    f"{t_interp / t_native:.1f}x"])
+    else:
+        bk.add_note("native backend skipped: no C compiler on PATH")
+    result.tables.append(bk)
     return result
 
 

@@ -105,3 +105,32 @@ class TestRun:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBackendsCli:
+    @pytest.fixture(autouse=True)
+    def _tmp_kernel_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+
+    def test_run_auto_backend(self, capsys):
+        assert main(["run", "prefix-sums", "4", "--p", "8",
+                     "--backend", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "verified" in out
+
+    def test_run_native_without_compiler_is_clean_error(self, capsys,
+                                                        monkeypatch):
+        from repro.codegen import compile as compile_mod
+
+        monkeypatch.setattr(compile_mod, "have_compiler", lambda: False)
+        assert main(["run", "prefix-sums", "4", "--p", "8",
+                     "--backend", "native"]) == 1
+        assert "compiler" in capsys.readouterr().err
+
+    def test_codegen_cache_stats_and_clear(self, capsys):
+        assert main(["codegen-cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert main(["codegen-cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out and "entries" in out
