@@ -52,6 +52,7 @@ from .bulk import (
 )
 from .errors import ObliviousnessError, ReproError
 from .machine import DMM, HMM, UMM, BankedMemory, MachineParams, preset
+from .reliability import FaultPlan, GuardPolicy, SweepCheckpoint
 from .trace import (
     Program,
     ProgramBuilder,
@@ -104,4 +105,8 @@ __all__ = [
     # errors
     "ReproError",
     "ObliviousnessError",
+    # reliability
+    "GuardPolicy",
+    "FaultPlan",
+    "SweepCheckpoint",
 ]

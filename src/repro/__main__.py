@@ -23,7 +23,7 @@ import numpy as np
 from .algorithms.registry import all_specs, get_spec
 from .analysis import analyze_coalescing
 from .bulk import BulkExecutor, simulate_bulk
-from .errors import ReproError
+from .errors import ReproError, exit_code
 from .harness.report import Table
 from .machine import MachineParams
 from .machine.cost import lower_bound
@@ -124,12 +124,14 @@ def cmd_run(args) -> int:
     rng = np.random.default_rng(args.seed)
     inputs = spec.make_inputs(rng, args.n, args.p)
     executor = BulkExecutor(
-        program, args.p, args.arrangement, backend=args.backend
+        program, args.p, args.arrangement, backend=args.backend,
+        guard=args.guard,
     )
     outputs = executor.run(inputs).outputs
     spec.check_outputs(inputs, outputs, args.n)
+    guarded = ", guarded" if executor.guard is not None else ""
     print(f"bulk-ran {spec.name} (n={args.n}) for p={args.p} inputs "
-          f"[{args.arrangement}-wise, {executor.backend} backend]: "
+          f"[{args.arrangement}-wise, {executor.backend} backend{guarded}]: "
           f"outputs verified against the reference")
     return 0
 
@@ -220,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend: fused NumPy engine, compiled C bulk "
         "kernel, or auto (native when a compiler is available)",
     )
+    p.add_argument(
+        "--guard",
+        choices=["off", "spot"],
+        default="off",
+        help="guarded execution: 'spot' bit-checks sampled lanes of native "
+        "runs against the NumPy engine and degrades gracefully on mismatch",
+    )
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -232,12 +241,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(fn=cmd_codegen_cache)
 
+    parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="re-raise library errors with a full traceback instead of the "
+        "one-line summary + family exit code",
+    )
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        if args.traceback:
+            raise
+        # One line to stderr, distinct exit code per error family — shell
+        # callers branch on $? without parsing messages.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code(exc)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, the Unix way.
         import os

@@ -40,7 +40,7 @@ from .lower_bound import (
     check_optimality,
     latency_bound,
 )
-from .session import BulkSession
+from .session import BulkSession, SessionStats
 from .simulate import (
     SIMULATION_METHODS,
     BulkSimulationReport,
@@ -62,6 +62,7 @@ __all__ = [
     "GridExecutor",
     "grid_time_units",
     "BulkSession",
+    "SessionStats",
     "Arrangement",
     "ColumnWise",
     "RowWise",

@@ -28,7 +28,11 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import BackendError, ExecutionError, ReproError
+from ..reliability import faults
+from ..reliability.guard import GuardPolicy
+from ..reliability.incidents import record_incident
+from ..reliability.quarantine import quarantine_key
 from ..trace.ir import Binary, Const, Load, Program, Select, Store, Unary
 from ..trace.ops import BINARY_UFUNCS, UNARY_UFUNCS
 from .arrangement import Arrangement, make_arrangement
@@ -76,12 +80,12 @@ def resolve_backend(
 
     if backend == "native":
         if not have_compiler():
-            raise ExecutionError(
+            raise BackendError(
                 "backend='native' requires a C compiler (cc/gcc/clang) on "
                 "PATH; use backend='auto' to fall back to NumPy"
             )
         if not native_supported(program, arrangement):
-            raise ExecutionError(
+            raise BackendError(
                 f"backend='native' does not support program dtype "
                 f"{program.dtype} with arrangement {arrangement.name!r}"
             )
@@ -132,6 +136,15 @@ class BulkExecutor:
         compare+select fusion — see :mod:`repro.bulk.fusion`).  ``False``
         reproduces the seed one-NumPy-call-per-instruction interpreter;
         outputs are bit-identical either way.
+    guard:
+        ``None``/``"off"`` (trust the backend), ``"spot"`` or a
+        :class:`~repro.reliability.GuardPolicy`.  When the native backend
+        is guarded, every :meth:`run` re-executes a deterministic sample of
+        lanes on the NumPy engine and demands bit identity; a mismatch —
+        or a kernel that fails to load or crashes — quarantines the cache
+        key, records an incident, and degrades the executor to the NumPy
+        backend (when ``policy.fallback``, the default).  A ``backend="auto"``
+        executor degrades on load failure even unguarded.
     """
 
     def __init__(
@@ -141,24 +154,60 @@ class BulkExecutor:
         arrangement: Union[str, Arrangement] = "column",
         backend: str = "numpy",
         fuse: bool = True,
+        guard: Union[None, str, GuardPolicy] = None,
     ) -> None:
         self.program = program
         self.arrangement = make_arrangement(arrangement, program.memory_words, p)
         self.p = int(p)
+        self.requested_backend = backend
+        self.guard = GuardPolicy.coerce(guard)
         self.backend = resolve_backend(backend, program, self.arrangement)
         self.fuse = bool(fuse)
-        dtype = program.dtype
-        self._mem = self.arrangement.allocate(dtype)
+        self.rounds = 0
+        self._mem = self.arrangement.allocate(program.dtype)
         self._stored_first = _stored_first_words(program)
         self._zero_ranges_cache: dict = {}
         self._native = None
         self._fused = None
         self._steps: Optional[List[Callable[[], None]]] = None
+        self._guard_refs: dict = {}
         if self.backend == "native":
-            from ..codegen.compile import compile_bulk
+            try:
+                from ..codegen.compile import compile_bulk
 
-            self._native = compile_bulk(program, self.arrangement)
-            return
+                self._native = compile_bulk(program, self.arrangement)
+            except (ReproError, OSError) as exc:
+                if not self._may_degrade():
+                    raise
+                key = getattr(exc, "key", None)
+                quarantine_key(key, f"failed to load: {exc}")
+                record_incident(
+                    "kernel-load-failure",
+                    "engine.native",
+                    f"native kernel unavailable for {program.name!r} "
+                    f"(p={self.p}, {self.arrangement.name}); degraded to "
+                    f"NumPy: {exc}",
+                    key=key,
+                )
+                self.backend = "numpy"
+        if self.backend == "numpy":
+            self._init_numpy()
+
+    def _may_degrade(self) -> bool:
+        """May a native failure fall back to NumPy instead of raising?
+
+        Yes when guarded with ``fallback=True``, or when the caller asked
+        for ``"auto"`` (best effort by definition).  An *explicit*
+        unguarded ``"native"`` request stays strict.
+        """
+        if self.guard is not None:
+            return self.guard.fallback
+        return self.requested_backend == "auto"
+
+    def _init_numpy(self) -> None:
+        """Build (or rebuild, on degradation) the NumPy execution state."""
+        program, dtype = self.program, self.program.dtype
+        self._native = None
         self._regs = np.zeros((program.num_registers, self.p), dtype=dtype)
         self._mask = np.empty(self.p, dtype=bool)
         self._tmp = np.empty(self.p, dtype=dtype)
@@ -311,14 +360,92 @@ class BulkExecutor:
         ``k`` may be smaller than ``memory_words``; the remaining words start
         at zero (scratch space / DP tables).  Returns every input's final
         memory image.
+
+        On the native backend with a guard installed, the run is
+        spot-checked (and re-run on the NumPy engine after a degradation) —
+        see the class docstring.  Guarding applies to :meth:`run` only; the
+        split :meth:`load`/:meth:`execute`/:meth:`outputs` benchmark path is
+        deliberately bare.
         """
+        if self._native is not None:
+            return self._run_native(np.asarray(inputs, dtype=self.program.dtype))
         self.load(inputs)
         self.execute()
+        self.rounds += 1
         return BulkResult(
             outputs=self.outputs(),
             p=self.p,
             trace_length=self.program.trace_length,
         )
+
+    # -- guarded native execution ----------------------------------------------
+    def _run_native(self, arr: np.ndarray) -> BulkResult:
+        policy = self.guard
+        self.load(arr)
+        try:
+            faults.inject("engine.native.run")
+            self._native.run_bulk(self._mem)
+        except (ReproError, OSError) as exc:
+            key = self._native.cache_key or None
+            if policy is None or not policy.fallback:
+                raise BackendError(
+                    f"native kernel crashed: {exc}", key=key
+                ) from exc
+            self._degrade(
+                "native-crash", f"native kernel raised {exc!r}", key=key
+            )
+            return self.run(arr)
+        rule = faults.fire("engine.native.outputs")
+        outputs = self.arrangement.unpack(self._mem)
+        if rule is not None and rule.kind == "corrupt":
+            # Chaos hook: a miscompiled kernel shows up as silently wrong
+            # lanes; flip the first word of every image.
+            outputs[:, 0] += 1
+        if policy is not None and policy.checking:
+            lanes = policy.sample_lanes(self.p, self.rounds)
+            reference = self._guard_reference(len(lanes)).run(arr[lanes]).outputs
+            if reference.tobytes() != outputs[lanes].tobytes():
+                key = self._native.cache_key or None
+                if not policy.fallback:
+                    raise BackendError(
+                        f"guard mismatch: native kernel disagrees with the "
+                        f"NumPy engine on lanes {lanes}",
+                        key=key,
+                    )
+                self._degrade(
+                    "guard-mismatch",
+                    f"sampled lanes {lanes} differ bitwise from the NumPy "
+                    f"engine",
+                    key=key,
+                )
+                return self.run(arr)
+        self.rounds += 1
+        return BulkResult(
+            outputs=outputs, p=self.p, trace_length=self.program.trace_length
+        )
+
+    def _degrade(self, kind: str, detail: str, *, key: Optional[str]) -> None:
+        """Quarantine the kernel and switch this executor to NumPy for good."""
+        quarantine_key(key, f"{kind}: {detail}")
+        record_incident(
+            kind,
+            "engine.native",
+            f"{self.program.name!r} p={self.p} "
+            f"[{self.arrangement.name}]: {detail}; degraded to NumPy",
+            key=key,
+        )
+        self.backend = "numpy"
+        self._init_numpy()
+
+    def _guard_reference(self, lanes: int) -> "BulkExecutor":
+        """A small NumPy executor re-running ``lanes`` sampled inputs."""
+        ref = self._guard_refs.get(lanes)
+        if ref is None:
+            ref = BulkExecutor(
+                self.program, lanes, "column", backend="numpy"
+            )
+            self._guard_refs[lanes] = ref
+        return ref
 
     def memory_view(self) -> np.ndarray:
         """The raw arranged buffer after the last run (read-only use)."""
@@ -338,6 +465,7 @@ def bulk_run(
     arrangement: Union[str, Arrangement] = "column",
     backend: str = "numpy",
     fuse: bool = True,
+    guard: Union[None, str, GuardPolicy] = None,
 ) -> np.ndarray:
     """One-shot convenience: build a :class:`BulkExecutor` and run it.
 
@@ -347,7 +475,10 @@ def bulk_run(
     if arr.ndim != 2:
         raise ExecutionError(f"expected 2-D inputs (p, k), got shape {arr.shape}")
     return (
-        BulkExecutor(program, arr.shape[0], arrangement, backend=backend, fuse=fuse)
+        BulkExecutor(
+            program, arr.shape[0], arrangement, backend=backend, fuse=fuse,
+            guard=guard,
+        )
         .run(arr)
         .outputs
     )

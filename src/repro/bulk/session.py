@@ -7,19 +7,57 @@ executor, and yields results in arrival order — so a producer/consumer
 pipeline never hand-manages batch boundaries.  ``flush()`` handles the
 final partial batch by padding (idle threads), mirroring a grid whose last
 block is partially full.
+
+Sessions are context managers: a clean ``with`` exit flushes the trailing
+partial batch into :attr:`BulkSession.flushed`, an exceptional exit
+discards pending inputs (half-fed work is never silently executed later).
+:attr:`BulkSession.stats` summarises the session's work — batches run,
+inputs fed/executed, pad lanes wasted on partial batches.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
 from ..errors import ExecutionError
+from ..reliability.guard import GuardPolicy
 from ..trace.ir import Program
 from .engine import BulkExecutor
 
-__all__ = ["BulkSession"]
+__all__ = ["BulkSession", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """What a :class:`BulkSession` did so far.
+
+    Attributes
+    ----------
+    batches_run:
+        Bulk rounds executed (full batches + flushed partials).
+    inputs_fed:
+        Inputs accepted by :meth:`~BulkSession.feed` (including ones still
+        pending).
+    inputs_processed:
+        Inputs actually executed and yielded.
+    pad_lanes_wasted:
+        Idle lanes burned on padded partial batches — the streaming
+        analogue of a grid whose last block is not full.
+    """
+
+    batches_run: int
+    inputs_fed: int
+    inputs_processed: int
+    pad_lanes_wasted: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of executed lanes that carried real inputs (1.0 if idle)."""
+        lanes = self.inputs_processed + self.pad_lanes_wasted
+        return self.inputs_processed / lanes if lanes else 1.0
 
 
 class BulkSession:
@@ -38,14 +76,18 @@ class BulkSession:
         ``"native"`` or ``"auto"`` — see :class:`BulkExecutor`).
     fuse:
         NumPy backend only: run the IR fusion pass (default on).
+    guard:
+        Guard policy forwarded to the executor (``None``, ``"spot"`` or a
+        :class:`~repro.reliability.GuardPolicy`) — see
+        :class:`BulkExecutor`.
 
     Example::
 
-        session = BulkSession(build_fft(64), batch=1024)
-        for block in stream_blocks():
-            for spectrum in session.feed(block):
-                consume(spectrum)
-        for spectrum in session.flush():
+        with BulkSession(build_fft(64), batch=1024) as session:
+            for block in stream_blocks():
+                for spectrum in session.feed(block):
+                    consume(spectrum)
+        for spectrum in session.flushed:   # trailing partial batch
             consume(spectrum)
     """
 
@@ -56,18 +98,52 @@ class BulkSession:
         arrangement: str = "column",
         backend: str = "numpy",
         fuse: bool = True,
+        guard: Union[None, str, GuardPolicy] = None,
     ) -> None:
         if batch <= 0:
             raise ExecutionError(f"batch must be positive, got {batch}")
         self.program = program
         self.batch = int(batch)
         self._executor = BulkExecutor(
-            program, self.batch, arrangement, backend=backend, fuse=fuse
+            program, self.batch, arrangement, backend=backend, fuse=fuse,
+            guard=guard,
         )
         self._pending: List[np.ndarray] = []
         self._input_width: Optional[int] = None
         self.rounds_run = 0
         self.inputs_processed = 0
+        self.inputs_fed = 0
+        self.pad_lanes_wasted = 0
+        #: Results drained by a clean ``with`` exit (see class docstring).
+        self.flushed: List[np.ndarray] = []
+
+    # -- context management --------------------------------------------------
+    def __enter__(self) -> "BulkSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flushed = list(self.flush())
+        else:
+            # Exceptional exit: never execute half-fed work later.
+            self._pending.clear()
+        return None
+
+    # -- observability -------------------------------------------------------
+    @property
+    def stats(self) -> SessionStats:
+        """Batches run, inputs fed/executed, pad lanes wasted so far."""
+        return SessionStats(
+            batches_run=self.rounds_run,
+            inputs_fed=self.inputs_fed,
+            inputs_processed=self.inputs_processed,
+            pad_lanes_wasted=self.pad_lanes_wasted,
+        )
+
+    @property
+    def backend(self) -> str:
+        """The underlying executor's current backend (may have degraded)."""
+        return self._executor.backend
 
     # -- feeding -----------------------------------------------------------
     def _coerce(self, item) -> np.ndarray:
@@ -84,6 +160,7 @@ class BulkSession:
                 f"inconsistent input width: got {row.size}, session started "
                 f"with {self._input_width}"
             )
+        self.inputs_fed += 1
         return row
 
     def feed(self, *items) -> Iterator[np.ndarray]:
@@ -123,6 +200,7 @@ class BulkSession:
         outputs = self._executor.run(block).outputs
         self.rounds_run += 1
         self.inputs_processed += len(rows)
+        self.pad_lanes_wasted += self.batch - len(rows)
         # Trim to the real input count before yielding: a padded partial
         # batch never leaks its idle-lane rows to the consumer.
         yield from outputs[: len(rows)]

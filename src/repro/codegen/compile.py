@@ -22,7 +22,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import ExecutionError, ProgramError
+from ..errors import CacheCorruptionError, CompileError, ExecutionError, ProgramError
+from ..reliability import faults
+from ..reliability.incidents import record_incident
 from ..trace.ir import Program
 from .c_emitter import (
     BULK_KERNEL_SYMBOL,
@@ -58,13 +60,42 @@ def have_compiler() -> bool:
 def _cc() -> str:
     cc = shutil.which("cc") or shutil.which("gcc")
     if cc is None:
-        raise ExecutionError("no C compiler on PATH (install gcc/clang)")
+        raise CompileError("no C compiler on PATH (install gcc/clang)")
     return cc
 
 
-def _load(source: str, flags: Sequence[str]) -> ctypes.CDLL:
-    """Compile (or fetch from cache) and load a translation unit."""
-    return ctypes.CDLL(str(cached_library(source, flags, _cc())))
+def _load(source: str, flags: Sequence[str]) -> "tuple[ctypes.CDLL, str]":
+    """Compile (or fetch from cache) and load a translation unit.
+
+    Returns ``(library, cache_key)``.  A shared object that passed the
+    cache's magic-byte check but still fails to load (truncated past the
+    header, wrong architecture after a toolchain change, …) is treated as
+    corruption: the entry is evicted and recompiled once before giving up
+    with :class:`~repro.errors.CacheCorruptionError`.
+    """
+    from .cache import evict_entry
+
+    last_exc: Exception = CacheCorruptionError("unreachable")
+    for attempt in range(2):
+        path = cached_library(source, flags, _cc())
+        key = path.stem
+        try:
+            faults.inject("codegen.cache.load")
+            return ctypes.CDLL(str(path)), key
+        except OSError as exc:
+            last_exc = exc
+            evict_entry(key)
+            record_incident(
+                "cache-corruption",
+                "codegen.cache.load",
+                f"shared object failed to load (attempt {attempt + 1}/2), "
+                f"entry evicted: {exc}",
+                key=key,
+            )
+    raise CacheCorruptionError(
+        f"cached kernel failed to load even after recompilation: {last_exc}",
+        key=key,
+    )
 
 
 @dataclass
@@ -151,7 +182,8 @@ def compile_program(
     """Emit, compile (shared object, cached) and load ``program``'s C."""
     source = emit_c(program)
     flags = ("-std=c99", optimize_flag, "-fPIC", "-shared")
-    return CompiledProgram(program=program, _lib=_load(source, flags))
+    lib, _ = _load(source, flags)
+    return CompiledProgram(program=program, _lib=lib)
 
 
 def native_supported(program: Program, arrangement) -> bool:
@@ -175,6 +207,7 @@ class CompiledBulkKernel:
     p: int
     total_words: int
     _lib: ctypes.CDLL
+    cache_key: str = ""
 
     def __post_init__(self) -> None:
         ptr = (
@@ -232,14 +265,15 @@ def compile_bulk(
         program, layout, p=arrangement.p, stride=stride, chunk=chunk, tile=tile
     )
     try:
-        lib = _load(source, _BULK_FLAGS)
-    except ExecutionError:
+        lib, key = _load(source, _BULK_FLAGS)
+    except CompileError:
         # Some toolchains lack -march=native; retry with portable flags.
         fallback = tuple(f for f in _BULK_FLAGS if f != "-march=native")
-        lib = _load(source, fallback)
+        lib, key = _load(source, fallback)
     return CompiledBulkKernel(
         program=program,
         p=arrangement.p,
         total_words=arrangement.total_words,
         _lib=lib,
+        cache_key=key,
     )

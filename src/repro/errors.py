@@ -3,6 +3,15 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch the whole family with a single ``except`` clause while still
 distinguishing configuration problems from semantic ones.
+
+The reliability layer extends the execution branch: :class:`BackendError`
+covers failures of a concrete execution backend (native kernel load/crash,
+quarantined cache entries), with :class:`CompileError`,
+:class:`CompileTimeoutError` and :class:`CacheCorruptionError` narrowing it
+to the codegen pipeline, and :class:`CheckpointError` covering sweep
+checkpoint files.  Each family maps to a distinct process exit code via
+:func:`exit_code` so shell callers can branch on *what* failed without
+parsing stderr.
 """
 
 from __future__ import annotations
@@ -17,6 +26,12 @@ __all__ = [
     "ArrangementError",
     "ExecutionError",
     "WorkloadError",
+    "BackendError",
+    "CompileError",
+    "CompileTimeoutError",
+    "CacheCorruptionError",
+    "CheckpointError",
+    "exit_code",
 ]
 
 
@@ -60,3 +75,64 @@ class ExecutionError(ReproError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A benchmark workload was requested with inconsistent parameters."""
+
+
+class BackendError(ExecutionError):
+    """A concrete execution backend failed (load, crash, or quarantine).
+
+    Carries the codegen cache ``key`` of the offending kernel when one is
+    known, so callers (the guarded executor) can quarantine it.
+    """
+
+    def __init__(self, message: str, *, key: str | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class CompileError(BackendError):
+    """The C compiler failed to produce a kernel."""
+
+
+class CompileTimeoutError(CompileError):
+    """The C compiler exceeded ``REPRO_COMPILE_TIMEOUT`` and was killed."""
+
+
+class CacheCorruptionError(BackendError):
+    """A cached shared object was corrupt/truncated and could not be healed."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable or belongs to a different sweep."""
+
+
+#: Exit code per error family, most specific class first.  ``exit_code``
+#: walks an exception's MRO, so e.g. a ``CompileTimeoutError`` maps to its
+#: own code, not the generic ``CompileError`` one.  Code 2 is reserved for
+#: argparse usage errors; unknown ``ReproError`` subclasses fall back to 1.
+_EXIT_CODES: dict = {
+    "CompileTimeoutError": 11,
+    "CacheCorruptionError": 12,
+    "CheckpointError": 13,
+    "CompileError": 10,
+    "BackendError": 9,
+    "ExecutionError": 8,
+    "WorkloadError": 7,
+    "ArrangementError": 6,
+    "ObliviousnessError": 5,
+    "MachineConfigError": 4,
+    "ProgramError": 3,
+    "ReproError": 1,
+}
+
+
+def exit_code(exc: BaseException) -> int:
+    """The process exit code for a library exception (1 for the base class).
+
+    Distinct nonzero codes let shell pipelines distinguish "your program is
+    malformed" from "the native backend broke" without parsing messages.
+    """
+    for klass in type(exc).__mro__:
+        code = _EXIT_CODES.get(klass.__name__)
+        if code is not None:
+            return code
+    return 1

@@ -37,6 +37,8 @@ from ..machine.cost import (
 from ..machine.dmm import DMM
 from ..machine.params import MachineParams
 from ..machine.umm import UMM
+from ..reliability.checkpoint import SweepCheckpoint
+from ..reliability.faults import inject
 from ..trace.ir import Program
 from .fit import AffineFit, fit_affine
 from .report import Table, format_ratio, format_seconds
@@ -135,6 +137,28 @@ class ExperimentResult:
 
 # -- shared machinery -----------------------------------------------------------
 
+def _sweep_cell(
+    checkpoint: Optional[SweepCheckpoint],
+    key: str,
+    compute: Callable[[], dict],
+) -> dict:
+    """One checkpointable unit of sweep work.
+
+    A completed cell is served from the checkpoint without re-measuring;
+    a fresh cell is measured, recorded (atomic write), then returned — so
+    a crash between cells loses nothing and a crash *inside* a cell loses
+    only that cell.  ``harness.cell`` is the chaos suite's fault site for
+    simulating mid-sweep crashes.
+    """
+    if checkpoint is not None and checkpoint.done(key):
+        return checkpoint.value(key)
+    inject("harness.cell")
+    value = compute()
+    if checkpoint is not None:
+        checkpoint.record(key, value)
+    return value
+
+
 def _cpu_series(
     program: Program,
     make_inputs: Callable[[int], np.ndarray],
@@ -142,6 +166,8 @@ def _cpu_series(
     *,
     cpu_cap: int,
     repeats: int,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    prefix: str = "",
 ) -> Series:
     """Measure the per-input-in-turn baseline; extrapolate past ``cpu_cap``."""
     series = Series(label="cpu")
@@ -150,8 +176,15 @@ def _cpu_series(
     rate: Optional[float] = None
     for p in ps:
         if p in measured_p or p <= cpu_cap:
-            inputs = make_inputs(p)
-            t = measure(lambda: baseline.run(inputs), repeats=repeats, warmup=0).best
+
+            def compute(p: int = p) -> dict:
+                inputs = make_inputs(p)
+                t = measure(
+                    lambda: baseline.run(inputs), repeats=repeats, warmup=0
+                ).best
+                return {"t": t}
+
+            t = _sweep_cell(checkpoint, f"{prefix}p{p}/cpu", compute)["t"]
             series.add(p, t)
             rate = t / p
         else:
@@ -169,14 +202,23 @@ def _gpu_series(
     *,
     repeats: int,
     backend: str = "numpy",
+    checkpoint: Optional[SweepCheckpoint] = None,
+    prefix: str = "",
 ) -> Series:
     """Measure the bulk executor for one arrangement and backend."""
     series = Series(label=f"gpu-{arrangement}")
     for p in ps:
-        inputs = make_inputs(p)
-        ex = BulkExecutor(program, p, arrangement, backend=backend)
-        t = measure(lambda: ex.run(inputs), repeats=repeats).best
-        series.add(p, t)
+
+        def compute(p: int = p) -> dict:
+            inputs = make_inputs(p)
+            ex = BulkExecutor(program, p, arrangement, backend=backend)
+            t = measure(lambda: ex.run(inputs), repeats=repeats).best
+            return {"t": t}
+
+        cell = _sweep_cell(
+            checkpoint, f"{prefix}p{p}/{arrangement}/{backend}", compute
+        )
+        series.add(p, cell["t"])
     return series
 
 
@@ -224,6 +266,7 @@ def run_fig11(
     repeats: int = 3,
     quick: bool = False,
     backend: str = "numpy",
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> ExperimentResult:
     """Figure 11: bulk prefix-sums — CPU vs GPU row-wise vs GPU column-wise.
 
@@ -231,28 +274,42 @@ def run_fig11(
     ``n`` defaults to {32, 1K, 8K} and ``p`` is capped by ``word_budget``
     (both documented in EXPERIMENTS.md); ``quick=True`` shrinks everything
     for CI.  ``backend`` selects the bulk engine (``--backend native``
-    reruns the GPU curves on the compiled C kernels).
+    reruns the GPU curves on the compiled C kernels).  ``checkpoint`` makes
+    the sweep resumable: every (n, p, series) cell is persisted as it
+    completes and skipped on a resumed run.
     """
     if quick:
         ns = tuple(n for n in ns if n <= 1024) or (32,)
         word_budget = min(word_budget, 1_000_000)
         cpu_cap = min(cpu_cap, 128)
         repeats = 1
+    if checkpoint is not None:
+        checkpoint.ensure_meta({
+            "experiment": "fig11", "ns": list(ns), "p_start": p_start,
+            "word_budget": word_budget, "cpu_cap": cpu_cap,
+            "repeats": repeats, "backend": backend,
+        })
     result = ExperimentResult(name="fig11")
     for n in ns:
         program = build_prefix_sums(n)
         p_max = cap_by_memory(n, word_budget)
         ps = p_sweep(p_start, p_max)
+        prefix = f"n{n}/"
 
         def make_inputs(p: int, n: int = n) -> np.ndarray:
             return prefix_sum_inputs(n, p)
 
-        cpu = _cpu_series(program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats)
+        cpu = _cpu_series(
+            program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats,
+            checkpoint=checkpoint, prefix=prefix,
+        )
         row = _gpu_series(
-            program, make_inputs, ps, "row", repeats=repeats, backend=backend
+            program, make_inputs, ps, "row", repeats=repeats, backend=backend,
+            checkpoint=checkpoint, prefix=prefix,
         )
         col = _gpu_series(
-            program, make_inputs, ps, "column", repeats=repeats, backend=backend
+            program, make_inputs, ps, "column", repeats=repeats,
+            backend=backend, checkpoint=checkpoint, prefix=prefix,
         )
         t_tab, s_tab = _figure_table(f"Fig11 prefix-sums n={n}", ps, cpu, row, col)
         t_tab.add_note(
@@ -279,6 +336,7 @@ def run_fig12(
     repeats: int = 3,
     quick: bool = False,
     backend: str = "numpy",
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> ExperimentResult:
     """Figure 12: bulk Algorithm OPT — CPU vs GPU row-wise vs column-wise.
 
@@ -286,28 +344,41 @@ def run_fig12(
     program has ~10⁸ instructions — far beyond a pure-Python engine — so the
     defaults scale to 8/16/32-gons, preserving the ``t = Θ(n³)`` growth
     between curves (documented in EXPERIMENTS.md).  ``backend`` selects the
-    bulk engine for the GPU curves.
+    bulk engine for the GPU curves; ``checkpoint`` makes the sweep
+    resumable cell by cell (see :func:`run_fig11`).
     """
     if quick:
         ns = tuple(n for n in ns if n <= 8) or (6,)
         word_budget = min(word_budget, 500_000)
         cpu_cap = min(cpu_cap, 64)
         repeats = 1
+    if checkpoint is not None:
+        checkpoint.ensure_meta({
+            "experiment": "fig12", "ns": list(ns), "p_start": p_start,
+            "word_budget": word_budget, "cpu_cap": cpu_cap,
+            "repeats": repeats, "backend": backend,
+        })
     result = ExperimentResult(name="fig12")
     for n in ns:
         program = build_opt(n)
         p_max = cap_by_memory(2 * n * n, word_budget)
         ps = p_sweep(p_start, p_max)
+        prefix = f"n{n}/"
 
         def make_inputs(p: int, n: int = n) -> np.ndarray:
             return opt_inputs(n, p)
 
-        cpu = _cpu_series(program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats)
+        cpu = _cpu_series(
+            program, make_inputs, ps, cpu_cap=cpu_cap, repeats=repeats,
+            checkpoint=checkpoint, prefix=prefix,
+        )
         row = _gpu_series(
-            program, make_inputs, ps, "row", repeats=repeats, backend=backend
+            program, make_inputs, ps, "row", repeats=repeats, backend=backend,
+            checkpoint=checkpoint, prefix=prefix,
         )
         col = _gpu_series(
-            program, make_inputs, ps, "column", repeats=repeats, backend=backend
+            program, make_inputs, ps, "column", repeats=repeats,
+            backend=backend, checkpoint=checkpoint, prefix=prefix,
         )
         t_tab, s_tab = _figure_table(f"Fig12 OPT {n}-gons", ps, cpu, row, col)
         t_tab.add_note(

@@ -1,0 +1,161 @@
+"""Atomic JSON checkpoints for resumable harness sweeps.
+
+A Figure 11/12 grid at paper scale is hours of wall clock across hundreds
+of (workload, p, arrangement, backend) cells; a crash at cell 190 must not
+cost the first 189.  :class:`SweepCheckpoint` records one JSON document per
+sweep, rewritten atomically (temp file + ``os.replace`` in the target
+directory) after **every** cell, so the file on disk is always a complete,
+parseable snapshot — a kill at any instant loses at most the in-flight
+cell.
+
+The document pins the sweep's identity (``meta``): resuming against a
+checkpoint written by a different experiment or different parameters is an
+error, not a silent mixture of incompatible measurements.
+
+Format (version 1)::
+
+    {
+      "format": "repro-sweep-checkpoint",
+      "version": 1,
+      "meta":  {"experiment": "fig11", "backend": "numpy", ...},
+      "cells": {"n32/p64/cpu": {"t": 0.0123, "extrapolated": false}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..errors import CheckpointError
+
+__all__ = ["SweepCheckpoint", "cell_key"]
+
+_FORMAT = "repro-sweep-checkpoint"
+_VERSION = 1
+
+
+def cell_key(*parts: Union[str, int]) -> str:
+    """Canonical cell key: ``"/"``-joined parts, e.g. ``n32/p64/row/numpy``."""
+    return "/".join(str(p) for p in parts)
+
+
+class SweepCheckpoint:
+    """One sweep's completed-cell store, persisted after every record.
+
+    Parameters
+    ----------
+    path:
+        The checkpoint file.  Parent directories are created on first write.
+    resume:
+        ``True`` loads an existing file (corrupt or mismatched files raise
+        :class:`~repro.errors.CheckpointError`); ``False`` starts fresh,
+        ignoring and overwriting whatever is on disk.
+    """
+
+    def __init__(self, path: Union[str, Path], *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.meta: Dict[str, Any] = {}
+        self._cells: Dict[str, Any] = {}
+        self.loaded_cells = 0
+        if resume and self.path.exists():
+            self._load()
+            self.loaded_cells = len(self._cells)
+
+    # -- persistence -------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != _FORMAT
+            or not isinstance(doc.get("cells"), dict)
+        ):
+            raise CheckpointError(
+                f"{self.path} is not a {_FORMAT} file"
+            )
+        if doc.get("version") != _VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has version {doc.get('version')!r}, "
+                f"this library writes version {_VERSION}"
+            )
+        self.meta = doc.get("meta") or {}
+        self._cells = doc["cells"]
+
+    def _save(self) -> None:
+        """Atomic rewrite: readers never see a torn or truncated file."""
+        doc = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "meta": self.meta,
+            "cells": self._cells,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp", dir=self.path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- identity ----------------------------------------------------------
+    def ensure_meta(self, meta: Dict[str, Any]) -> None:
+        """Pin the sweep identity; a resumed mismatch raises.
+
+        Call once at sweep start.  A fresh checkpoint adopts ``meta``; a
+        resumed one requires an exact match so completed cells are never
+        reused across different parameters.
+        """
+        if self.meta and self.meta != meta:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different sweep:\n"
+                f"  on disk: {self.meta}\n  requested: {meta}\n"
+                f"(delete the file or drop --resume to start fresh)"
+            )
+        if not self.meta:
+            self.meta = dict(meta)
+            self._save()
+
+    # -- cells -------------------------------------------------------------
+    def done(self, key: str) -> bool:
+        """Has ``key`` already been recorded (this run or a resumed one)?"""
+        return key in self._cells
+
+    def value(self, key: str) -> Any:
+        """The recorded payload of a completed cell."""
+        try:
+            return self._cells[key]
+        except KeyError:
+            raise CheckpointError(f"cell {key!r} not in checkpoint {self.path}")
+
+    def record(self, key: str, value: Any) -> None:
+        """Record a completed cell and persist immediately."""
+        self._cells[key] = value
+        self._save()
+
+    @property
+    def completed(self) -> int:
+        """Number of recorded cells."""
+        return len(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SweepCheckpoint({str(self.path)!r}, cells={self.completed}, "
+            f"resumed={self.loaded_cells})"
+        )

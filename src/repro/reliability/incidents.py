@@ -1,0 +1,85 @@
+"""Structured incident log: what degraded, where, and why.
+
+Every reliability event — a kernel that failed to load, a guard spot-check
+mismatch, a corrupt cache entry healed, a compile timeout — is recorded as
+an :class:`Incident` in a bounded process-level log.  The log is the
+observable counterpart of graceful degradation: a run that silently fell
+back to NumPy is still a *correct* run, but operators need to know it
+happened, and tests need to assert it happened exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+__all__ = ["Incident", "record_incident", "incidents", "clear_incidents"]
+
+#: Keep the most recent incidents only — a long-lived server must not grow
+#: an unbounded list out of a flapping backend.
+MAX_INCIDENTS = 1000
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One reliability event.
+
+    Attributes
+    ----------
+    kind:
+        Stable machine-readable category, e.g. ``"kernel-load-failure"``,
+        ``"guard-mismatch"``, ``"cache-corruption"``, ``"compile-retry"``,
+        ``"compile-timeout"``, ``"native-crash"``.
+    site:
+        Where it was detected (module-level fault-site naming).
+    detail:
+        Human-readable one-liner.
+    key:
+        The codegen cache key involved, when one is known.
+    timestamp:
+        ``time.time()`` at record time.
+    """
+
+    kind: str
+    site: str
+    detail: str
+    key: Optional[str] = None
+    timestamp: float = field(default_factory=time.time)
+
+    def describe(self) -> str:
+        key = f" [key {self.key[:12]}…]" if self.key else ""
+        return f"{self.kind} at {self.site}{key}: {self.detail}"
+
+
+_LOG: Deque[Incident] = deque(maxlen=MAX_INCIDENTS)
+_LOCK = threading.Lock()
+
+
+def record_incident(
+    kind: str, site: str, detail: str, *, key: Optional[str] = None
+) -> Incident:
+    """Append an incident to the process log and return it."""
+    incident = Incident(kind=kind, site=site, detail=detail, key=key)
+    with _LOCK:
+        _LOG.append(incident)
+    return incident
+
+
+def incidents(kind: Optional[str] = None) -> List[Incident]:
+    """Snapshot of recorded incidents, optionally filtered by ``kind``."""
+    with _LOCK:
+        snapshot = list(_LOG)
+    if kind is None:
+        return snapshot
+    return [i for i in snapshot if i.kind == kind]
+
+
+def clear_incidents() -> int:
+    """Empty the log (tests; returns how many were dropped)."""
+    with _LOCK:
+        n = len(_LOG)
+        _LOG.clear()
+    return n

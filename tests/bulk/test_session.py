@@ -1,10 +1,10 @@
-"""BulkSession: streaming batching semantics."""
+"""BulkSession: streaming batching semantics, context manager, stats."""
 
 import numpy as np
 import pytest
 
 from repro.algorithms.prefix_sums import build_prefix_sums
-from repro.bulk import BulkSession
+from repro.bulk import BulkSession, SessionStats
 from repro.errors import ExecutionError
 
 
@@ -71,3 +71,65 @@ class TestValidation:
         inputs = rng.uniform(-1, 1, (4, 4))
         got = np.stack(list(session.feed(inputs)))
         np.testing.assert_allclose(got, np.cumsum(inputs, axis=1))
+
+
+class TestContextManager:
+    def test_clean_exit_flushes_partial_batch(self, rng):
+        inputs = rng.uniform(-1, 1, (11, 4))
+        with BulkSession(build_prefix_sums(4), batch=8) as session:
+            got = list(session.feed(inputs))
+            assert len(got) == 8 and session.pending == 3
+        assert session.pending == 0
+        assert len(session.flushed) == 3
+        everything = np.stack(got + session.flushed)
+        np.testing.assert_allclose(everything, np.cumsum(inputs, axis=1))
+
+    def test_clean_exit_with_nothing_pending(self, session):
+        with session:
+            pass
+        assert session.flushed == []
+
+    def test_exceptional_exit_discards_pending(self, rng):
+        inputs = rng.uniform(-1, 1, (3, 4))
+        with pytest.raises(RuntimeError, match="producer died"):
+            with BulkSession(build_prefix_sums(4), batch=8) as session:
+                list(session.feed(inputs))
+                raise RuntimeError("producer died")
+        assert session.pending == 0
+        assert session.flushed == []  # half-fed work never runs later
+        assert session.rounds_run == 0
+
+    def test_enter_returns_self(self, session):
+        with session as inner:
+            assert inner is session
+
+
+class TestStats:
+    def test_fresh_session(self, session):
+        stats = session.stats
+        assert stats == SessionStats(0, 0, 0, 0)
+        assert stats.utilization == 1.0
+
+    def test_counts_through_a_stream(self, session, rng):
+        inputs = rng.uniform(-1, 1, (11, 4))
+        list(session.feed(inputs))
+        mid = session.stats
+        assert mid.inputs_fed == 11
+        assert mid.inputs_processed == 8  # one full batch of 8
+        assert mid.batches_run == 1
+        assert mid.pad_lanes_wasted == 0
+
+        list(session.flush())  # partial batch of 3 pads 5 lanes
+        final = session.stats
+        assert final.batches_run == 2
+        assert final.inputs_processed == 11
+        assert final.pad_lanes_wasted == 5
+        assert final.utilization == pytest.approx(11 / 16)
+
+    def test_rejected_inputs_not_counted_as_fed(self, session):
+        with pytest.raises(ExecutionError):
+            list(session.feed(np.zeros(5)))
+        assert session.stats.inputs_fed == 0
+
+    def test_backend_property(self, session):
+        assert session.backend == "numpy"

@@ -1,0 +1,186 @@
+"""End-to-end chaos suite: the reliability layer's three degradation paths.
+
+Acceptance criterion of the reliability PR: with faults injected,
+
+1. a kernel that fails to load degrades the guarded executor to the NumPy
+   engine (key quarantined),
+2. a corrupt cache artefact is evicted and recompiled transparently,
+3. a sweep killed mid-flight resumes from its checkpoint and re-measures
+   only the remaining cells,
+
+and every degraded run's outputs are **bit-identical** to an uninjected
+run.  Deselect with ``-m "not chaos"`` for a fast lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.bulk import BulkExecutor, bulk_run
+from repro.codegen.compile import have_compiler
+from repro.errors import CompileError, ExecutionError
+from repro.harness.experiments import run_fig11
+from repro.reliability import (
+    FaultPlan,
+    SweepCheckpoint,
+    incidents,
+    is_quarantined,
+)
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _tmp_kernel_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+    monkeypatch.setenv("REPRO_COMPILE_BACKOFF", "0")
+
+
+def _case(p=8, seed=17):
+    spec = get_spec("bitonic-sort")
+    n = spec.sizes[0]
+    program = spec.build(n)
+    inputs = spec.make_inputs(np.random.default_rng(seed), n, p)
+    return program, inputs
+
+
+# -- path 1: kernel load failure → NumPy fallback --------------------------------
+
+@needs_cc
+def test_kernel_load_failure_degrades_bit_identical():
+    program, inputs = _case()
+    baseline = bulk_run(program, inputs)  # uninjected reference
+
+    plan = FaultPlan().fail(
+        "codegen.compile", times=None, exc=CompileError,
+        message="injected toolchain outage",
+    )
+    with plan.active():
+        ex = BulkExecutor(program, 8, backend="native", guard="spot")
+        degraded = ex.run(inputs).outputs
+
+    assert ex.backend == "numpy"
+    assert degraded.tobytes() == baseline.tobytes()
+    kinds = [i.kind for i in incidents()]
+    assert "kernel-load-failure" in kinds
+    assert plan.fired("codegen.compile") > 0
+
+
+@needs_cc
+def test_silent_miscompilation_is_caught_and_quarantined():
+    # The sharpest version of path 1: the kernel loads and runs but lies.
+    program, inputs = _case()
+    baseline = bulk_run(program, inputs)
+
+    plan = FaultPlan().corrupt("engine.native.outputs", times=None)
+    with plan.active():
+        ex = BulkExecutor(program, 8, backend="native", guard="spot")
+        key = ex._native.cache_key
+        degraded = ex.run(inputs).outputs
+
+    assert ex.backend == "numpy"
+    assert degraded.tobytes() == baseline.tobytes()
+    assert is_quarantined(key)
+    # the quarantined key blocks any future native executor in this process
+    follow_up = BulkExecutor(program, 8, backend="auto")
+    assert follow_up.backend == "numpy"
+    assert follow_up.run(inputs).outputs.tobytes() == baseline.tobytes()
+
+
+# -- path 2: cache corruption → evict + recompile --------------------------------
+
+@needs_cc
+def test_corrupt_publish_heals_within_one_construction():
+    # The entry is corrupted the instant it is published (torn write); the
+    # loader detects it, evicts, recompiles, and the caller never notices.
+    program, inputs = _case()
+    baseline = bulk_run(program, inputs)
+
+    plan = FaultPlan().corrupt("codegen.cache.publish", times=1)
+    with plan.active():
+        healed = bulk_run(program, inputs, backend="native")
+
+    assert healed.tobytes() == baseline.tobytes()
+    kinds = [i.kind for i in incidents()]
+    assert "cache-corruption" in kinds
+
+
+@needs_cc
+def test_flaky_loader_retries_then_succeeds():
+    program, inputs = _case()
+    baseline = bulk_run(program, inputs)
+
+    plan = FaultPlan().fail(
+        "codegen.cache.load", times=1, exc=OSError,
+        message="transient dlopen failure",
+    )
+    with plan.active():
+        out = bulk_run(program, inputs, backend="native")
+
+    assert out.tobytes() == baseline.tobytes()
+    assert "cache-corruption" in [i.kind for i in incidents()]
+
+
+# -- path 3: killed sweep → resume ------------------------------------------------
+
+def _tiny_fig11(checkpoint):
+    return run_fig11(
+        ns=(32,), p_start=64, word_budget=16_384, cpu_cap=64,
+        repeats=1, checkpoint=checkpoint,
+    )
+
+
+def test_killed_sweep_resumes_remaining_cells_only(tmp_path):
+    path = tmp_path / "fig11.ckpt.json"
+
+    # How many cells does the sweep have in total?
+    probe_plan = FaultPlan()
+    with probe_plan.active():
+        complete = _tiny_fig11(None)
+    total = probe_plan.calls("harness.cell")
+    assert total >= 6  # cpu + row + col across the p grid
+
+    # Kill the sweep partway through.
+    crash_after = total // 2
+    crash_plan = FaultPlan().fail(
+        "harness.cell", after=crash_after, times=None, exc=ExecutionError,
+        message="injected crash mid-sweep",
+    )
+    with crash_plan.active():
+        with pytest.raises(ExecutionError, match="mid-sweep"):
+            _tiny_fig11(SweepCheckpoint(path))
+    partial = SweepCheckpoint(path, resume=True)
+    assert partial.completed == crash_after
+
+    # Resume: only the remaining cells are measured.
+    resume_plan = FaultPlan()
+    with resume_plan.active():
+        resumed = _tiny_fig11(SweepCheckpoint(path, resume=True))
+    assert resume_plan.calls("harness.cell") == total - crash_after
+
+    # The finished checkpoint covers every cell of the sweep, and the
+    # resumed result has the full series grid of an uninjected run.
+    finished = SweepCheckpoint(path, resume=True)
+    assert finished.completed == total
+    assert set(resumed.series) == set(complete.series)
+    for key, series in resumed.series.items():
+        assert series.p_values == complete.series[key].p_values
+
+    # Cells measured before the crash are served verbatim from disk.
+    for key in list(partial._cells):
+        assert finished.value(key) == partial.value(key)
+
+
+def test_resume_against_wrong_sweep_is_refused(tmp_path):
+    from repro.errors import CheckpointError
+
+    path = tmp_path / "fig11.ckpt.json"
+    _tiny_fig11(SweepCheckpoint(path))
+    with pytest.raises(CheckpointError, match="different sweep"):
+        run_fig11(
+            ns=(32,), p_start=64, word_budget=16_384, cpu_cap=64,
+            repeats=2,  # different parameters, same checkpoint file
+            checkpoint=SweepCheckpoint(path, resume=True),
+        )

@@ -8,6 +8,18 @@ import pytest
 from repro.machine import MachineParams
 
 
+@pytest.fixture(autouse=True)
+def _clean_reliability_state():
+    """No fault plan, quarantine entry, or incident leaks across tests."""
+    from repro.reliability import clear_incidents, clear_plan, clear_quarantine
+
+    clear_plan()
+    yield
+    clear_plan()
+    clear_incidents()
+    clear_quarantine()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh, seeded generator per test."""

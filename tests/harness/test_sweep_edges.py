@@ -1,0 +1,85 @@
+"""Edge cases of the sweep helpers (cap_by_memory, p_sweep)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.sweep import cap_by_memory, p_sweep
+
+
+class TestCapByMemory:
+    def test_exact_division(self):
+        assert cap_by_memory(1000, 64_000) == 64
+
+    def test_rounds_down_to_multiple(self):
+        # 100_000 // 1000 = 100 -> largest multiple of 64 below is 64
+        assert cap_by_memory(1000, 100_000) == 64
+        assert cap_by_memory(1000, 127_999) == 64
+        assert cap_by_memory(1000, 128_000) == 128
+
+    def test_memory_words_exceeding_budget(self):
+        # A single input larger than the whole budget cannot fit even p=64.
+        with pytest.raises(WorkloadError, match="cannot fit"):
+            cap_by_memory(memory_words=2_000_000, word_budget=1_000_000)
+
+    def test_budget_below_one_multiple(self):
+        # Fits a few inputs, but not a full multiple_of chunk.
+        with pytest.raises(WorkloadError, match="cannot fit"):
+            cap_by_memory(memory_words=1000, word_budget=63_000)
+
+    def test_custom_multiple(self):
+        assert cap_by_memory(1000, 100_000, multiple_of=1) == 100
+        assert cap_by_memory(1000, 100_000, multiple_of=32) == 96
+        with pytest.raises(WorkloadError, match="cannot fit"):
+            cap_by_memory(1000, 100_000, multiple_of=128)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError, match="must be positive"):
+            cap_by_memory(0, 1_000_000)
+        with pytest.raises(WorkloadError, match="must be positive"):
+            cap_by_memory(-5, 1_000_000)
+        with pytest.raises(WorkloadError, match="multiple_of"):
+            cap_by_memory(1000, 1_000_000, multiple_of=0)
+
+    def test_cap_scales_inversely_with_memory(self):
+        budget = 1_000_000
+        small = cap_by_memory(100, budget)
+        large = cap_by_memory(10_000, budget)
+        assert small > large
+        assert small * 100 <= budget and large * 10_000 <= budget
+
+
+class TestPSweep:
+    def test_paper_grid(self):
+        assert p_sweep(64, 1024) == [64, 128, 256, 512, 1024]
+
+    def test_stop_inclusive_only_on_exact_hit(self):
+        assert p_sweep(64, 1023) == [64, 128, 256, 512]
+        assert p_sweep(64, 1024)[-1] == 1024
+        assert p_sweep(64, 1025)[-1] == 1024
+
+    def test_start_equals_stop(self):
+        assert p_sweep(64, 64) == [64]
+
+    def test_custom_factor(self):
+        assert p_sweep(1, 100, factor=10) == [1, 10, 100]
+        assert p_sweep(64, 4096, factor=4) == [64, 256, 1024, 4096]
+
+    def test_factor_boundary(self):
+        assert p_sweep(2, 16, factor=2) == [2, 4, 8, 16]
+        with pytest.raises(WorkloadError, match="factor"):
+            p_sweep(64, 1024, factor=1)
+        with pytest.raises(WorkloadError, match="factor"):
+            p_sweep(64, 1024, factor=0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(WorkloadError, match="invalid sweep bounds"):
+            p_sweep(128, 64)  # stop < start
+        with pytest.raises(WorkloadError, match="invalid sweep bounds"):
+            p_sweep(0, 64)  # start < 1
+
+    def test_composes_with_cap(self):
+        # The harness idiom: sweep up to whatever the budget admits.
+        p_max = cap_by_memory(1024, 1_000_000)
+        ps = p_sweep(64, p_max)
+        assert ps[0] == 64 and ps[-1] <= p_max
+        assert all(b == 2 * a for a, b in zip(ps, ps[1:]))

@@ -26,7 +26,9 @@ class TestDisasm:
         assert "more" in capsys.readouterr().out
 
     def test_unknown_algorithm_is_clean_error(self, capsys):
-        assert main(["disasm", "nope", "4"]) == 1
+        from repro.errors import WorkloadError, exit_code
+
+        assert main(["disasm", "nope", "4"]) == exit_code(WorkloadError())
         assert "unknown algorithm" in capsys.readouterr().err
 
 
@@ -37,7 +39,10 @@ class TestSimulate:
         assert "row" in out and "column" in out and "bound" in out
 
     def test_invalid_machine_is_clean_error(self, capsys):
-        assert main(["simulate", "opt", "8", "--p", "100", "--w", "32"]) == 1
+        from repro.errors import MachineConfigError, exit_code
+
+        assert main(["simulate", "opt", "8", "--p", "100", "--w", "32"]) \
+            == exit_code(MachineConfigError())
         assert "multiple" in capsys.readouterr().err
 
     def test_dmm_option(self, capsys):
@@ -122,9 +127,11 @@ class TestBackendsCli:
                                                         monkeypatch):
         from repro.codegen import compile as compile_mod
 
+        from repro.errors import BackendError, exit_code
+
         monkeypatch.setattr(compile_mod, "have_compiler", lambda: False)
         assert main(["run", "prefix-sums", "4", "--p", "8",
-                     "--backend", "native"]) == 1
+                     "--backend", "native"]) == exit_code(BackendError(""))
         assert "compiler" in capsys.readouterr().err
 
     def test_codegen_cache_stats_and_clear(self, capsys):

@@ -1,0 +1,245 @@
+"""Self-healing kernel cache: corruption recovery, retries, timeout, cap."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.bulk import BulkExecutor, bulk_run
+from repro.codegen import cache as cache_mod
+from repro.codegen.cache import cache_dir, cache_stats
+from repro.codegen.compile import compile_bulk, have_compiler
+from repro.errors import (
+    BackendError,
+    CompileError,
+    CompileTimeoutError,
+)
+from repro.reliability import FaultPlan, incidents, quarantine_key
+from repro.trace import run_sequential
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+
+
+@pytest.fixture(autouse=True)
+def _tmp_kernel_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+    monkeypatch.setenv("REPRO_COMPILE_BACKOFF", "0")  # keep tests fast
+
+
+def _case(p=6, seed=5):
+    spec = get_spec("prefix-sums")
+    n = spec.sizes[0]
+    program = spec.build(n)
+    inputs = spec.make_inputs(np.random.default_rng(seed), n, p)
+    return program, inputs
+
+
+def _sole_entry():
+    entries = list(cache_dir().glob("*.so"))
+    assert len(entries) == 1
+    return entries[0]
+
+
+def _corrupt(entry, data):
+    """Replace a cache entry with ``data`` via a *new inode*.
+
+    Scribbling on the existing inode would also gut the pages a live
+    ``dlopen`` handle has mapped — an unrecoverable SIGBUS for the whole
+    process, not a cache-corruption scenario.  On-disk corruption between
+    processes (torn publish, interrupted copy) lands as new file content,
+    which ``os.replace`` models faithfully.
+    """
+    import os
+
+    tmp = entry.with_suffix(".corrupt-tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, entry)
+
+
+# -- corruption healing (satellite 5) --------------------------------------------
+
+@needs_cc
+class TestCorruptionHealing:
+    def test_truncated_so_is_recompiled_with_correct_result(self):
+        program, inputs = _case()
+        ex = BulkExecutor(program, 6, backend="native")
+        expected = ex.run(inputs).outputs
+
+        entry = _sole_entry()
+        _corrupt(entry, entry.read_bytes()[:7])  # torn write
+        healed_before = cache_mod._corruptions_healed
+
+        ex2 = BulkExecutor(program, 6, backend="native")
+        assert ex2.backend == "native"
+        out = ex2.run(inputs).outputs
+        assert out.tobytes() == expected.tobytes()
+        ref = run_sequential(program, inputs[0], collect_trace=False).memory
+        np.testing.assert_array_equal(out[0], ref)
+
+        assert cache_mod._corruptions_healed == healed_before + 1
+        assert cache_stats().corruptions_healed == cache_mod._corruptions_healed
+        assert "cache-corruption" in [i.kind for i in incidents()]
+        # the healed entry is a real shared object again
+        assert cache_mod._valid_library(_sole_entry())
+
+    def test_mid_file_truncation_is_detected(self):
+        # The ELF magic *and* header survive this truncation; only the
+        # section-header bound check can see it.  dlopen on such a file is
+        # a SIGBUS, so detection has to happen before ctypes.
+        program, inputs = _case()
+        expected = BulkExecutor(program, 6, backend="native").run(inputs).outputs
+        entry = _sole_entry()
+        blob = entry.read_bytes()
+        _corrupt(entry, blob[: int(len(blob) * 0.6)])
+        assert not cache_mod._valid_library(entry)
+        healed_before = cache_mod._corruptions_healed
+
+        ex = BulkExecutor(program, 6, backend="native")
+        assert ex.backend == "native"
+        assert ex.run(inputs).outputs.tobytes() == expected.tobytes()
+        assert cache_mod._corruptions_healed == healed_before + 1
+        assert cache_stats().corruptions_healed == cache_mod._corruptions_healed
+        assert "cache-corruption" in [i.kind for i in incidents()]
+        # the healed entry is a real shared object again
+        assert cache_mod._valid_library(_sole_entry())
+
+    def test_zero_length_and_garbage_entries_heal_too(self):
+        program, inputs = _case()
+        BulkExecutor(program, 6, backend="native").run(inputs)
+        entry = _sole_entry()
+        for junk in (b"", b"definitely not an ELF header"):
+            _corrupt(entry, junk)
+            healed_before = cache_mod._corruptions_healed
+            ex = BulkExecutor(program, 6, backend="native")
+            assert ex.backend == "native"
+            assert cache_mod._corruptions_healed == healed_before + 1
+
+    def test_valid_hit_skips_compiler(self):
+        program, _ = _case()
+        ex = BulkExecutor(program, 6, backend="native")
+        misses_before = cache_mod._misses
+        compile_bulk(program, ex.arrangement)
+        assert cache_mod._misses == misses_before  # pure hit
+
+
+# -- bounded retries and timeout -------------------------------------------------
+
+@needs_cc
+class TestRetriesAndTimeout:
+    def test_transient_failure_retried_to_success(self):
+        program, inputs = _case()
+        retries_before = cache_mod._compile_retries
+        plan = FaultPlan().fail(
+            "codegen.compile", times=1, exc=CompileError,
+            message="transient ICE",
+        )
+        with plan.active():
+            out = bulk_run(program, inputs, backend="native")
+        np.testing.assert_array_equal(out, bulk_run(program, inputs))
+        assert cache_mod._compile_retries == retries_before + 1
+        assert cache_stats().compile_retries == cache_mod._compile_retries
+        assert "compile-retry" in [i.kind for i in incidents()]
+
+    def test_retries_are_bounded(self, monkeypatch):
+        program, _ = _case()
+        monkeypatch.setenv("REPRO_COMPILE_RETRIES", "1")
+        plan = FaultPlan().fail(
+            "codegen.compile", times=None, exc=CompileError,
+            message="permanent failure",
+        )
+        with plan.active():
+            ex = None
+            with pytest.raises(CompileError, match="permanent failure"):
+                BulkExecutor(program, 6, backend="native")
+        # 1 + 1 retry per flag-set; compile_bulk tries native flags then
+        # portable flags, so at most 4 compiler attempts in total.
+        assert plan.calls("codegen.compile") <= 4
+        assert plan.calls("codegen.compile") >= 2
+
+    def test_timeout_kills_hung_compiler(self, monkeypatch):
+        program, _ = _case()
+        monkeypatch.setenv("REPRO_COMPILE_TIMEOUT", "0.2")
+        monkeypatch.setenv("REPRO_COMPILE_RETRIES", "0")
+        plan = FaultPlan().slow("codegen.compile", times=None, seconds=5.0)
+        with plan.active():
+            with pytest.raises(CompileTimeoutError, match="exceeded"):
+                BulkExecutor(program, 6, backend="native")
+
+    def test_timeout_env_parsing(self, monkeypatch):
+        from repro.codegen.cache import compile_timeout
+
+        monkeypatch.delenv("REPRO_COMPILE_TIMEOUT", raising=False)
+        assert compile_timeout() == 600.0
+        monkeypatch.setenv("REPRO_COMPILE_TIMEOUT", "12.5")
+        assert compile_timeout() == 12.5
+        monkeypatch.setenv("REPRO_COMPILE_TIMEOUT", "0")
+        assert compile_timeout() is None
+        monkeypatch.setenv("REPRO_COMPILE_TIMEOUT", "banana")
+        assert compile_timeout() == 600.0
+
+
+# -- quarantine ------------------------------------------------------------------
+
+@needs_cc
+class TestQuarantine:
+    def test_quarantined_key_fails_fast(self):
+        program, inputs = _case()
+        ex = BulkExecutor(program, 6, backend="native")
+        ex.run(inputs)
+        key = ex._native.cache_key
+        quarantine_key(key, "condemned by test")
+        with pytest.raises(BackendError, match="quarantined"):
+            BulkExecutor(program, 6, backend="native")
+
+
+# -- size cap (satellite 4) ------------------------------------------------------
+
+@needs_cc
+class TestSizeCap:
+    def test_lru_eviction_never_drops_fresh_entry(self, monkeypatch):
+        import os
+        import time
+
+        program_a = get_spec("prefix-sums").build(4)
+        program_b = get_spec("prefix-sums").build(8)
+        ex_a = BulkExecutor(program_a, 4, backend="native")
+        entry_a = _sole_entry()
+        # Backdate A so it is unambiguously the LRU victim.
+        old = time.time() - 3600
+        os.utime(entry_a, (old, old))
+
+        one_so = entry_a.stat().st_size
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(one_so + 16))
+        evictions_before = cache_mod._lru_evictions
+
+        BulkExecutor(program_b, 4, backend="native")
+        remaining = list(cache_dir().glob("*.so"))
+        assert len(remaining) == 1
+        assert remaining[0] != entry_a  # the *old* entry was evicted
+        assert cache_mod._lru_evictions == evictions_before + 1
+
+        stats = cache_stats()
+        assert stats.lru_evictions == cache_mod._lru_evictions
+        assert stats.max_bytes == one_so + 16
+        assert "evicted" in stats.describe()
+
+    def test_uncapped_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        program_a = get_spec("prefix-sums").build(4)
+        program_b = get_spec("prefix-sums").build(8)
+        BulkExecutor(program_a, 4, backend="native")
+        BulkExecutor(program_b, 4, backend="native")
+        assert cache_stats().entries == 2
+        assert cache_stats().max_bytes == 0
+
+    def test_hit_refreshes_recency(self, monkeypatch):
+        import os
+        import time
+
+        program_a = get_spec("prefix-sums").build(4)
+        ex = BulkExecutor(program_a, 4, backend="native")
+        entry = _sole_entry()
+        old = time.time() - 3600
+        os.utime(entry, (old, old))
+        before = entry.stat().st_mtime
+        compile_bulk(program_a, ex.arrangement)  # hit
+        assert entry.stat().st_mtime > before

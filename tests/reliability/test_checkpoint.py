@@ -1,0 +1,121 @@
+"""SweepCheckpoint: atomicity, resume semantics, corruption handling."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.reliability import SweepCheckpoint, cell_key
+
+
+class TestBasics:
+    def test_record_and_done(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "s.json")
+        key = cell_key("n32", "p64", "row", "numpy")
+        assert key == "n32/p64/row/numpy"
+        assert not ck.done(key)
+        ck.record(key, {"t": 0.5})
+        assert ck.done(key)
+        assert ck.value(key) == {"t": 0.5}
+        assert ck.completed == 1
+
+    def test_every_record_is_on_disk(self, tmp_path):
+        path = tmp_path / "s.json"
+        ck = SweepCheckpoint(path)
+        for i in range(3):
+            ck.record(f"cell{i}", {"t": i})
+            doc = json.loads(path.read_text())
+            assert len(doc["cells"]) == i + 1
+
+    def test_no_tmp_droppings(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "s.json")
+        for i in range(5):
+            ck.record(f"cell{i}", {})
+        assert [p.name for p in tmp_path.iterdir()] == ["s.json"]
+
+    def test_missing_cell_value_raises(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "s.json")
+        with pytest.raises(CheckpointError, match="not in checkpoint"):
+            ck.value("nope")
+
+    def test_creates_parent_directories(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "deep" / "er" / "s.json")
+        ck.record("cell", {})
+        assert ck.path.exists()
+
+
+class TestResume:
+    def test_resume_loads_completed_cells(self, tmp_path):
+        path = tmp_path / "s.json"
+        first = SweepCheckpoint(path)
+        first.record("a", {"t": 1})
+        first.record("b", {"t": 2})
+
+        resumed = SweepCheckpoint(path, resume=True)
+        assert resumed.loaded_cells == 2
+        assert resumed.done("a") and resumed.done("b")
+        assert resumed.value("b") == {"t": 2}
+
+    def test_fresh_start_ignores_existing_file(self, tmp_path):
+        path = tmp_path / "s.json"
+        SweepCheckpoint(path).record("a", {"t": 1})
+        fresh = SweepCheckpoint(path, resume=False)
+        assert fresh.loaded_cells == 0 and not fresh.done("a")
+        fresh.record("b", {})
+        doc = json.loads(path.read_text())
+        assert list(doc["cells"]) == ["b"]  # old content overwritten
+
+    def test_resume_of_absent_file_is_fresh(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "nope.json", resume=True)
+        assert ck.loaded_cells == 0
+
+
+class TestCorruptionAndIdentity:
+    def test_truncated_json_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "s.json"
+        SweepCheckpoint(path).record("a", {"t": 1})
+        path.write_text(path.read_text()[:20])
+        with pytest.raises(CheckpointError, match="cannot read"):
+            SweepCheckpoint(path, resume=True)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError, match="not a"):
+            SweepCheckpoint(path, resume=True)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "format": "repro-sweep-checkpoint", "version": 99, "cells": {},
+        }))
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint(path, resume=True)
+
+    def test_meta_mismatch_raises(self, tmp_path):
+        path = tmp_path / "s.json"
+        first = SweepCheckpoint(path)
+        first.ensure_meta({"experiment": "fig11", "backend": "numpy"})
+        first.record("a", {"t": 1})
+
+        resumed = SweepCheckpoint(path, resume=True)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            resumed.ensure_meta({"experiment": "fig11", "backend": "native"})
+
+    def test_meta_match_resumes(self, tmp_path):
+        path = tmp_path / "s.json"
+        meta = {"experiment": "fig12", "quick": True}
+        first = SweepCheckpoint(path)
+        first.ensure_meta(meta)
+        first.record("a", {"t": 1})
+
+        resumed = SweepCheckpoint(path, resume=True)
+        resumed.ensure_meta(dict(meta))  # equal content, different object
+        assert resumed.done("a")
+
+    def test_checkpoint_error_is_reproerror_with_exit_code(self):
+        from repro.errors import ReproError, exit_code
+
+        assert issubclass(CheckpointError, ReproError)
+        assert exit_code(CheckpointError("x")) == 13

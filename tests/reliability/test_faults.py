@@ -1,0 +1,128 @@
+"""FaultPlan: deterministic injection, scoping, counting."""
+
+import pytest
+
+from repro.errors import CompileError, ExecutionError
+from repro.reliability import (
+    FaultPlan,
+    FaultRule,
+    clear_plan,
+    current_plan,
+    fire,
+    inject,
+)
+
+
+class TestScoping:
+    def test_no_plan_is_a_noop(self):
+        assert current_plan() is None
+        assert fire("any.site") is None
+        assert inject("any.site") is None
+
+    def test_active_installs_and_removes(self):
+        plan = FaultPlan()
+        with plan.active() as active:
+            assert active is plan
+            assert current_plan() is plan
+        assert current_plan() is None
+
+    def test_active_removes_on_exception(self):
+        plan = FaultPlan().fail("boom", exc=ExecutionError)
+        with pytest.raises(ExecutionError):
+            with plan.active():
+                inject("boom")
+        assert current_plan() is None
+
+
+class TestRules:
+    def test_fail_raises_planned_exception(self):
+        plan = FaultPlan().fail("site", exc=CompileError, message="planned")
+        with plan.active():
+            with pytest.raises(CompileError, match="planned"):
+                inject("site")
+
+    def test_times_bounds_firings(self):
+        plan = FaultPlan().fail("site", times=2, exc=ExecutionError)
+        with plan.active():
+            for _ in range(2):
+                with pytest.raises(ExecutionError):
+                    inject("site")
+            # third and later invocations pass through
+            assert inject("site") is None
+            assert plan.fired("site") == 2
+            assert plan.calls("site") == 3
+
+    def test_after_skips_early_invocations(self):
+        plan = FaultPlan().fail("site", after=3, times=None, exc=ExecutionError)
+        with plan.active():
+            for _ in range(3):
+                assert inject("site") is None
+            with pytest.raises(ExecutionError):
+                inject("site")
+
+    def test_unlimited_times(self):
+        plan = FaultPlan().fail("site", times=None, exc=ExecutionError)
+        with plan.active():
+            for _ in range(5):
+                with pytest.raises(ExecutionError):
+                    inject("site")
+
+    def test_corrupt_rule_is_returned_not_raised(self):
+        plan = FaultPlan().corrupt("site")
+        with plan.active():
+            rule = inject("site")
+            assert rule is not None and rule.kind == "corrupt"
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan().fail("a", exc=ExecutionError)
+        with plan.active():
+            assert inject("b") is None
+            with pytest.raises(ExecutionError):
+                inject("a")
+            assert plan.calls("a") == 1 and plan.calls("b") == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("site", kind="explode")
+
+
+class TestDeterminism:
+    def test_probability_is_seeded_and_reproducible(self):
+        def firing_pattern(seed):
+            plan = FaultPlan(seed=seed).fail(
+                "site", times=None, probability=0.5, exc=ExecutionError
+            )
+            pattern = []
+            with plan.active():
+                for _ in range(32):
+                    try:
+                        inject("site")
+                        pattern.append(0)
+                    except ExecutionError:
+                        pattern.append(1)
+            return pattern
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+        assert sum(firing_pattern(7)) > 0  # it does fire sometimes
+
+    def test_counts_every_invocation_even_without_rules(self):
+        plan = FaultPlan()
+        with plan.active():
+            for _ in range(4):
+                inject("watched")
+        assert plan.calls("watched") == 4
+        assert plan.fired("watched") == 0
+
+
+class TestSlow:
+    def test_slow_sleeps_then_continues(self):
+        import time
+
+        plan = FaultPlan().slow("site", seconds=0.01)
+        with plan.active():
+            t0 = time.perf_counter()
+            rule = inject("site")
+            assert time.perf_counter() - t0 >= 0.01
+            assert rule is not None and rule.kind == "slow"
+            assert inject("site") is None  # fired once

@@ -1,0 +1,196 @@
+"""GuardPolicy and guarded native execution in BulkExecutor."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.bulk import BulkExecutor, bulk_run
+from repro.codegen.compile import have_compiler
+from repro.errors import BackendError, ExecutionError
+from repro.reliability import (
+    FaultPlan,
+    GuardPolicy,
+    incidents,
+    is_quarantined,
+    quarantine_reason,
+)
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+
+
+@pytest.fixture(autouse=True)
+def _tmp_kernel_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+
+
+def _case(p=8, seed=3):
+    spec = get_spec("prefix-sums")
+    n = spec.sizes[0]
+    program = spec.build(n)
+    inputs = spec.make_inputs(np.random.default_rng(seed), n, p)
+    return program, inputs
+
+
+# -- policy unit tests -----------------------------------------------------------
+
+class TestPolicy:
+    def test_coerce(self):
+        assert GuardPolicy.coerce(None) is None
+        assert GuardPolicy.coerce("off") is None
+        assert GuardPolicy.coerce(GuardPolicy(mode="off")) is None
+        spot = GuardPolicy.coerce("spot")
+        assert isinstance(spot, GuardPolicy) and spot.checking
+        policy = GuardPolicy(sample=2, fallback=False)
+        assert GuardPolicy.coerce(policy) is policy
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ExecutionError, match="guard must be"):
+            GuardPolicy.coerce(42)
+        with pytest.raises(ExecutionError, match="unknown guard mode"):
+            GuardPolicy.coerce("paranoid")
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError, match="sample must be"):
+            GuardPolicy(sample=0)
+
+    def test_sample_lanes_deterministic_and_sorted(self):
+        policy = GuardPolicy(sample=4, seed=1)
+        lanes = policy.sample_lanes(64, round_index=0)
+        assert lanes == policy.sample_lanes(64, round_index=0)
+        assert lanes == sorted(lanes)
+        assert len(lanes) == len(set(lanes)) == 4
+        assert all(0 <= lane < 64 for lane in lanes)
+
+    def test_sample_lanes_vary_by_round_and_seed(self):
+        policy = GuardPolicy(sample=4, seed=1)
+        rounds = {tuple(policy.sample_lanes(64, r)) for r in range(8)}
+        assert len(rounds) > 1
+        other = GuardPolicy(sample=4, seed=2)
+        assert any(
+            policy.sample_lanes(64, r) != other.sample_lanes(64, r)
+            for r in range(8)
+        )
+
+    def test_sample_clamped_to_p(self):
+        policy = GuardPolicy(sample=16)
+        assert policy.sample_lanes(3) == [0, 1, 2]
+
+
+# -- guarded engine behaviour ----------------------------------------------------
+
+@needs_cc
+class TestGuardedNative:
+    def test_clean_run_stays_native(self):
+        program, inputs = _case()
+        ex = BulkExecutor(program, 8, backend="native", guard="spot")
+        out = ex.run(inputs).outputs
+        assert ex.backend == "native"
+        np.testing.assert_array_equal(out, bulk_run(program, inputs))
+        assert incidents() == []
+
+    def test_corrupted_outputs_degrade_bit_identical(self):
+        program, inputs = _case()
+        expected = bulk_run(program, inputs)  # uninjected NumPy reference
+        plan = FaultPlan().corrupt("engine.native.outputs", times=1)
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native", guard="spot")
+            key = ex._native.cache_key
+            out = ex.run(inputs).outputs
+        assert ex.backend == "numpy"
+        assert out.tobytes() == expected.tobytes()
+        assert is_quarantined(key)
+        assert "guard-mismatch" in quarantine_reason(key)
+        assert [i.kind for i in incidents()] == ["guard-mismatch"]
+        # and the degraded executor keeps working
+        np.testing.assert_array_equal(ex.run(inputs).outputs, expected)
+
+    def test_fallback_false_raises_on_mismatch(self):
+        program, inputs = _case()
+        policy = GuardPolicy(fallback=False)
+        plan = FaultPlan().corrupt("engine.native.outputs", times=None)
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native", guard=policy)
+            with pytest.raises(BackendError, match="guard mismatch") as info:
+                ex.run(inputs)
+        assert info.value.key  # the offending cache key is attached
+        assert ex.backend == "native"  # no silent degradation
+
+    def test_native_crash_degrades_and_reruns(self):
+        program, inputs = _case()
+        expected = bulk_run(program, inputs)
+        plan = FaultPlan().fail(
+            "engine.native.run", times=None, exc=ExecutionError,
+            message="segfault stand-in",
+        )
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native", guard="spot")
+            out = ex.run(inputs).outputs
+        assert ex.backend == "numpy"
+        assert out.tobytes() == expected.tobytes()
+        assert [i.kind for i in incidents()] == ["native-crash"]
+
+    def test_unguarded_native_crash_raises(self):
+        program, inputs = _case()
+        plan = FaultPlan().fail(
+            "engine.native.run", times=None, exc=ExecutionError
+        )
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native")
+            with pytest.raises(BackendError, match="native kernel crashed"):
+                ex.run(inputs)
+
+    def test_guard_applies_to_run_only(self):
+        # The split load/execute/outputs benchmark path is deliberately bare.
+        program, inputs = _case()
+        plan = FaultPlan().corrupt("engine.native.outputs", times=None)
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native", guard="spot")
+            ex.load(inputs)
+            ex.execute()
+            ex.outputs()
+        assert ex.backend == "native"
+        assert incidents() == []
+
+    def test_quarantined_key_blocks_future_native_use(self):
+        program, inputs = _case()
+        plan = FaultPlan().corrupt("engine.native.outputs", times=1)
+        with plan.active():
+            first = BulkExecutor(program, 8, backend="native", guard="spot")
+            first.run(inputs)
+        assert first.backend == "numpy"
+        # auto now refuses the poisoned kernel and degrades at construction
+        second = BulkExecutor(program, 8, backend="auto")
+        assert second.backend == "numpy"
+        kinds = [i.kind for i in incidents()]
+        assert "kernel-load-failure" in kinds
+
+
+@needs_cc
+class TestLoadFailureDegradation:
+    def test_guarded_native_degrades_when_compile_fails(self):
+        from repro.errors import CompileError
+
+        program, inputs = _case()
+        expected = bulk_run(program, inputs)
+        plan = FaultPlan().fail(
+            "codegen.compile", times=None, exc=CompileError,
+            message="compiler exploded",
+        )
+        with plan.active():
+            ex = BulkExecutor(program, 8, backend="native", guard="spot")
+        assert ex.backend == "numpy"
+        np.testing.assert_array_equal(ex.run(inputs).outputs, expected)
+        kinds = [i.kind for i in incidents()]
+        assert kinds.count("kernel-load-failure") == 1
+        assert "compile-retry" in kinds
+
+    def test_unguarded_explicit_native_stays_strict(self):
+        from repro.errors import CompileError
+
+        program, _ = _case()
+        plan = FaultPlan().fail(
+            "codegen.compile", times=None, exc=CompileError
+        )
+        with plan.active():
+            with pytest.raises(CompileError):
+                BulkExecutor(program, 8, backend="native")
