@@ -1,0 +1,149 @@
+"""Serving-layer throughput: micro-batched dispatch vs single-lane.
+
+The acceptance claim of the serving PR, measured: coalescing live
+requests into column-wise bulk batches sustains >= 5x the request rate of
+batch-size-1 dispatch on the Figure-12 flagship workload (Algorithm OPT,
+32-gons).  Three views:
+
+* **closed loop** — ``clients`` workers with one request in flight each:
+  the sustainable capacity of each configuration;
+* **open loop** — fixed arrival rate against the adaptive server: the
+  latency a client actually sees at a realistic offered load;
+* **batch-size sweep** — fixed dispatch targets between the two extremes:
+  throughput vs batch size, the measured shape of the cost model's
+  ``u(b) = t(⌈b/w⌉ + l − 1)/b`` curve.
+
+Standalone run (writes ``results/bench_serving.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+pytest-benchmark mode (tiny workload, smoke only)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from pathlib import Path
+
+from repro.serve import (
+    BulkServer,
+    FixedPolicy,
+    ServeConfig,
+    closed_loop,
+    input_pool,
+    open_loop,
+    render_reports,
+)
+
+try:
+    from conftest import run_pedantic
+except ImportError:  # standalone `python benchmarks/bench_serving.py` run
+    run_pedantic = None
+
+WORKLOAD, N = "opt", 32
+CLIENTS = 64
+SWEEP_TARGETS = (8, 32, 64, 128, 256)
+
+
+def _single_lane_config() -> ServeConfig:
+    # The honest unbatched baseline: max_batch=1 (not just a fixed target
+    # of 1 — the dispatcher drains up to max_batch per round regardless).
+    return ServeConfig(
+        max_batch=1, policy=FixedPolicy(1), pad_to_warp=False, max_linger=0.0
+    )
+
+
+def _fixed_config(target: int) -> ServeConfig:
+    return ServeConfig(max_batch=target, policy=FixedPolicy(target))
+
+
+async def _capacity(config, pool, duration, label):
+    async with BulkServer(config) as server:
+        report = await closed_loop(
+            server, WORKLOAD, N, clients=CLIENTS, duration=duration,
+            inputs=pool, label=label,
+        )
+        stats = server.stats()
+    return report, stats
+
+
+def bench_closed_loop_smoke(benchmark):
+    """pytest-benchmark smoke: a short adaptive closed loop, light workload."""
+    pool = input_pool("prefix-sums", 32, size=32)
+
+    def once():
+        async def run():
+            async with BulkServer() as server:
+                await closed_loop(
+                    server, "prefix-sums", 32, clients=16, duration=0.2,
+                    inputs=pool,
+                )
+
+        asyncio.run(run())
+
+    run_pedantic(benchmark, once)
+
+
+def main(out_path: Path | None = None) -> str:
+    pool = input_pool(WORKLOAD, N, size=CLIENTS)
+
+    # Closed loop: sustainable capacity, single-lane vs adaptive.
+    single, _ = asyncio.run(
+        _capacity(_single_lane_config(), pool, 2.0, "single-lane")
+    )
+    adaptive, adaptive_stats = asyncio.run(
+        _capacity(ServeConfig(), pool, 3.0, "adaptive closed")
+    )
+
+    # Open loop: fixed arrival rate at ~60% of the measured capacity —
+    # the latency a client sees when the server is busy but not saturated.
+    offered = max(50.0, 0.6 * adaptive.throughput_rps)
+
+    async def open_run():
+        async with BulkServer(ServeConfig()) as server:
+            return await open_loop(
+                server, WORKLOAD, N, rps=offered, duration=3.0,
+                inputs=pool, label="adaptive open",
+            )
+
+    adaptive_open = asyncio.run(open_run())
+
+    # Batch-size sweep between the extremes.
+    sweep = [
+        asyncio.run(_capacity(
+            _fixed_config(target), pool, 1.5, f"fixed({target})"
+        ))[0]
+        for target in SWEEP_TARGETS
+    ]
+
+    ratio = adaptive.throughput_rps / single.throughput_rps
+    occupancy = adaptive_stats["histograms"].get("batch.occupancy", {})
+    lines = [
+        render_reports(
+            f"bench_serving: {WORKLOAD} n={N} [numpy backend, "
+            f"{CLIENTS} closed-loop clients, linger 2 ms]",
+            [single, adaptive, adaptive_open],
+        ),
+        "",
+        render_reports("batch-size sweep (closed loop, fixed targets)", sweep),
+        "",
+        f"adaptive closed-loop: {adaptive_stats['counters']['batches.dispatched']} "
+        f"batches, mean occupancy {occupancy.get('mean', 0.0):.2f}, "
+        f"pad lanes {adaptive_stats['counters'].get('lanes.padded', 0)}",
+        f"batched throughput = {ratio:.1f}x single-lane dispatch "
+        f"(acceptance bar: 5x)",
+    ]
+    text = "\n".join(lines)
+    if out_path is not None:
+        out_path.write_text(text + "\n")
+    return text
+
+
+if __name__ == "__main__":
+    out = Path(__file__).resolve().parent.parent / "results" / "bench_serving.txt"
+    out.parent.mkdir(exist_ok=True)
+    print(main(out))
+    sys.exit(0)

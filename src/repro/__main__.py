@@ -142,8 +142,121 @@ def cmd_codegen_cache(args) -> int:
     if args.clear:
         removed = clear_cache()
         print(f"cleared {removed} cached kernel(s)")
-    print(cache_stats().describe())
+    from .codegen.cache import cache_dir
+
+    # Deterministically ordered key/value lines (diff-stable in CI and
+    # docs); the location line is separate so the counters diff cleanly
+    # across machines.
+    for key, value in cache_stats().as_dict().items():
+        print(f"{key}: {value}")
+    print(f"cache_dir: {cache_dir()}")
     return 0
+
+
+def cmd_incidents(args) -> int:
+    from .reliability import incident_summary, incidents
+
+    summary = incident_summary()
+    if not summary:
+        print("no incidents recorded in this process")
+        return 0
+    for kind, count in summary.items():  # already sorted by kind
+        print(f"{kind}: {count}")
+    if args.log:
+        print()
+        for incident in incidents():
+            print(incident.describe())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import (
+        BulkServer,
+        ServeConfig,
+        closed_loop,
+        input_pool,
+        open_loop,
+        render_reports,
+    )
+    from .serve.policy import FixedPolicy, make_policy
+
+    if not args.bench:
+        print(
+            "repro serve currently ships the self-driving benchmark only; "
+            "run with --bench (the serving API itself is `repro.serve."
+            "BulkServer` — see docs/SERVING.md)."
+        )
+        return 0
+
+    workload, n = args.workload, args.n
+    policy = make_policy(args.policy, w=args.warp, l=args.l)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        warp=args.warp,
+        latency=args.l,
+        max_linger=args.max_linger / 1e3,
+        max_pending=args.max_pending,
+        policy=policy,
+        backend=args.backend,
+        guard=args.guard,
+    )
+    baseline_config = ServeConfig(
+        max_batch=1,
+        warp=args.warp,
+        latency=args.l,
+        max_linger=0.0,
+        max_pending=args.max_pending,
+        policy=FixedPolicy(1),
+        pad_to_warp=False,
+        backend=args.backend,
+        guard=args.guard,
+    )
+
+    async def bench() -> int:
+        pool = input_pool(workload, n, seed=args.seed)
+        reports = []
+        async with BulkServer(config) as server:
+            if args.mode == "open":
+                reports.append(await open_loop(
+                    server, workload, n, rps=args.rps,
+                    duration=args.duration, inputs=pool,
+                    label=f"{policy.describe()}",
+                ))
+            else:
+                reports.append(await closed_loop(
+                    server, workload, n, clients=args.clients,
+                    duration=args.duration, inputs=pool,
+                    label=f"{policy.describe()}",
+                ))
+            stats = server.stats()
+        if not args.no_baseline:
+            async with BulkServer(baseline_config) as baseline:
+                reports.append(await closed_loop(
+                    baseline, workload, n, clients=args.clients,
+                    duration=min(args.duration, args.baseline_duration),
+                    inputs=pool, label="single-lane",
+                ))
+        print(render_reports(
+            f"repro serve --bench: {workload} n={n} "
+            f"[{config.backend} backend, linger {args.max_linger:g} ms, "
+            f"max batch {config.max_batch}]",
+            reports,
+        ))
+        occupancy = stats["histograms"].get("batch.occupancy", {})
+        print(
+            f"\nbatches: {stats['counters'].get('batches.dispatched', 0)}, "
+            f"mean occupancy {occupancy.get('mean', 0.0):.2f}, "
+            f"pad lanes {stats['counters'].get('lanes.padded', 0)}, "
+            f"rejected {stats['counters'].get('requests.rejected_overload', 0)}"
+        )
+        if len(reports) == 2 and reports[1].throughput_rps > 0:
+            ratio = reports[0].throughput_rps / reports[1].throughput_rps
+            print(f"batched throughput = {ratio:.1f}x single-lane dispatch")
+        return 0
+
+    return asyncio.run(bench())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -240,6 +353,56 @@ def main(argv: list[str] | None = None) -> int:
         "--stats", action="store_true", help="print statistics (the default)"
     )
     p.set_defaults(fn=cmd_codegen_cache)
+
+    p = sub.add_parser(
+        "incidents",
+        help="per-kind summary of this process' reliability incident log",
+    )
+    p.add_argument(
+        "--log", action="store_true", help="also print the full incident log"
+    )
+    p.set_defaults(fn=cmd_incidents)
+
+    p = sub.add_parser(
+        "serve",
+        help="micro-batching serving layer (self-driving benchmark mode)",
+    )
+    p.add_argument("--bench", action="store_true",
+                   help="run the load generator and print a latency/"
+                   "throughput table")
+    p.add_argument("--workload", default="opt", help="registry algorithm")
+    p.add_argument("--n", type=int, default=24, help="problem size")
+    p.add_argument("--rps", type=float, default=2000.0,
+                   help="open-loop arrival rate (requests/second)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds of load per configuration")
+    p.add_argument("--mode", choices=["open", "closed"], default="open",
+                   help="open loop (fixed arrival rate) or closed loop "
+                   "(fixed concurrency)")
+    p.add_argument("--clients", type=int, default=64,
+                   help="closed-loop concurrency (also the baseline's)")
+    p.add_argument("--policy", default="adaptive",
+                   help="batching policy: adaptive | single | full | "
+                   "an integer target")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="largest bulk dispatch (executor p cap)")
+    p.add_argument("--max-linger", type=float, default=2.0, metavar="MS",
+                   help="micro-batching linger window in milliseconds")
+    p.add_argument("--max-pending", type=int, default=4096,
+                   help="per-queue backpressure bound")
+    p.add_argument("--warp", type=int, default=32,
+                   help="warp width w for padding and the cost model")
+    p.add_argument("--l", type=int, default=100,
+                   help="modelled memory latency l for the adaptive policy")
+    p.add_argument("--backend", choices=["numpy", "native", "auto"],
+                   default="numpy")
+    p.add_argument("--guard", choices=["off", "spot"], default="off")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the single-lane (batch-size-1) comparison run")
+    p.add_argument("--baseline-duration", type=float, default=2.0,
+                   help="cap on the baseline run's duration (seconds)")
+    p.set_defaults(fn=cmd_serve)
 
     parser.add_argument(
         "--traceback",

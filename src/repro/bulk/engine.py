@@ -171,6 +171,7 @@ class BulkExecutor:
         self._fused = None
         self._steps: Optional[List[Callable[[], None]]] = None
         self._guard_refs: dict = {}
+        self._closed = False
         if self.backend == "native":
             try:
                 from ..codegen.compile import compile_bulk
@@ -354,6 +355,58 @@ class BulkExecutor:
         """Unpack the buffer into per-input ``(p, memory_words)`` images."""
         return self.arrangement.unpack(self._mem)
 
+    def run_trimmed(self, rows: np.ndarray) -> np.ndarray:
+        """Run ``q <= p`` inputs, padding idle lanes; return ``(q, words)``.
+
+        The partial-batch path shared by :class:`~repro.bulk.session.
+        BulkSession` flushes and the serving layer's micro-batches: the
+        ``q`` real inputs occupy the first lanes, the remaining ``p − q``
+        lanes run on zero inputs (idle threads of a partially full block),
+        and only the real lanes' output images are returned — as a fresh
+        array, never a view into the executor's reusable buffer.
+        """
+        arr = np.asarray(rows, dtype=self.program.dtype)
+        if arr.ndim != 2:
+            raise ExecutionError(
+                f"expected 2-D inputs (q, k), got shape {arr.shape}"
+            )
+        q = arr.shape[0]
+        if not 0 < q <= self.p:
+            raise ExecutionError(
+                f"partial batch of {q} inputs does not fit p={self.p}"
+            )
+        if q < self.p:
+            block = np.zeros((self.p, arr.shape[1]), dtype=self.program.dtype)
+            block[:q] = arr
+            arr = block
+        outputs = self.run(arr).outputs
+        # Copy: row-wise unpack() can return the live buffer itself.
+        return outputs[:q].copy()
+
+    def close(self) -> None:
+        """Release the native kernel handle and poison the executor.
+
+        Idempotent.  A closed executor raises on :meth:`run` — an
+        interrupted session must never silently execute half-fed work
+        later, and its compiled-kernel handle must not stay mapped for the
+        life of the process (see :class:`~repro.codegen.compile.
+        CompiledBulkKernel.close`).
+        """
+        native, self._native = self._native, None
+        if native is not None:
+            native.close()
+        for ref in self._guard_refs.values():
+            ref.close()
+        self._guard_refs = {}
+        self._steps = None
+        self._fused = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` been called?"""
+        return getattr(self, "_closed", False)
+
     def run(self, inputs: np.ndarray) -> BulkResult:
         """Execute the program for ``inputs`` of shape ``(p, k)``.
 
@@ -367,6 +420,10 @@ class BulkExecutor:
         split :meth:`load`/:meth:`execute`/:meth:`outputs` benchmark path is
         deliberately bare.
         """
+        if self.closed:
+            raise ExecutionError(
+                f"executor for {self.program.name!r} has been closed"
+            )
         if self._native is not None:
             return self._run_native(np.asarray(inputs, dtype=self.program.dtype))
         self.load(inputs)

@@ -9,8 +9,10 @@ final partial batch by padding (idle threads), mirroring a grid whose last
 block is partially full.
 
 Sessions are context managers: a clean ``with`` exit flushes the trailing
-partial batch into :attr:`BulkSession.flushed`, an exceptional exit
-discards pending inputs (half-fed work is never silently executed later).
+partial batch into :attr:`BulkSession.flushed`, an exceptional exit —
+including a ``KeyboardInterrupt`` arriving mid-batch — discards pending
+inputs (half-fed work is never silently executed later) *and* closes the
+underlying executor, releasing its compiled-kernel handle.
 :attr:`BulkSession.stats` summarises the session's work — batches run,
 inputs fed/executed, pad lanes wasted on partial batches.
 """
@@ -125,9 +127,20 @@ class BulkSession:
         if exc_type is None:
             self.flushed = list(self.flush())
         else:
-            # Exceptional exit: never execute half-fed work later.
-            self._pending.clear()
+            # Exceptional exit (KeyboardInterrupt included): never execute
+            # half-fed work later, and never leak the kernel handle.
+            self.close()
         return None
+
+    def close(self) -> None:
+        """Discard pending inputs and close the executor (idempotent)."""
+        self._pending.clear()
+        self._executor.close()
+
+    @property
+    def closed(self) -> bool:
+        """Has the underlying executor been closed?"""
+        return self._executor.closed
 
     # -- observability -------------------------------------------------------
     @property
@@ -147,6 +160,10 @@ class BulkSession:
 
     # -- feeding -----------------------------------------------------------
     def _coerce(self, item) -> np.ndarray:
+        if self.closed:
+            raise ExecutionError(
+                "session is closed; half-fed work is never executed later"
+            )
         row = np.asarray(item, dtype=self.program.dtype).ravel()
         if row.size > self.program.memory_words:
             raise ExecutionError(
@@ -194,16 +211,16 @@ class BulkSession:
 
     def _run(self, rows: List[np.ndarray]) -> Iterator[np.ndarray]:
         width = self._input_width or 0
-        block = np.zeros((self.batch, width), dtype=self.program.dtype)
+        block = np.empty((len(rows), width), dtype=self.program.dtype)
         for i, row in enumerate(rows):
             block[i] = row
-        outputs = self._executor.run(block).outputs
+        # run_trimmed pads idle lanes and trims the outputs, so a padded
+        # partial batch never leaks its idle-lane rows to the consumer.
+        outputs = self._executor.run_trimmed(block)
         self.rounds_run += 1
         self.inputs_processed += len(rows)
         self.pad_lanes_wasted += self.batch - len(rows)
-        # Trim to the real input count before yielding: a padded partial
-        # batch never leaks its idle-lane rows to the consumer.
-        yield from outputs[: len(rows)]
+        yield from outputs
 
     @property
     def pending(self) -> int:

@@ -347,6 +347,24 @@ class CacheStats:
     compile_retries: int = 0  # extra compiler attempts after failures
     max_bytes: int = 0  # configured size cap (0 = uncapped)
 
+    def as_dict(self) -> "dict[str, int]":
+        """Counters as a deterministically ordered (sorted-key) mapping.
+
+        The CLI renders this one ``key: value`` per line, so
+        ``repro codegen-cache --stats`` is diff-stable across runs, Python
+        versions and platforms — CI and docs can assert on it verbatim.
+        """
+        return {
+            "compile_retries": self.compile_retries,
+            "corruptions_healed": self.corruptions_healed,
+            "entries": self.entries,
+            "hits": self.hits,
+            "lru_evictions": self.lru_evictions,
+            "max_bytes": self.max_bytes,
+            "misses": self.misses,
+            "size_bytes": self.size_bytes,
+        }
+
     def describe(self) -> str:
         cap = f", cap {self.max_bytes:,} bytes" if self.max_bytes else ""
         healed = (

@@ -219,8 +219,40 @@ class CompiledBulkKernel:
         self._kernel.argtypes = [ptr]
         self._kernel.restype = None
 
+    def close(self) -> None:
+        """Release the shared-object handle (``dlclose``) — idempotent.
+
+        A long-lived process that churns through kernels (the serving
+        layer's per-batch-size executors, an interrupted session) would
+        otherwise keep every ``.so`` mapped until interpreter exit.  After
+        closing, :meth:`run_bulk` raises rather than calling into an
+        unmapped library.
+        """
+        lib, self._lib = self._lib, None
+        self._kernel = None
+        if lib is None:
+            return
+        try:
+            import _ctypes
+
+            if hasattr(_ctypes, "dlclose"):
+                _ctypes.dlclose(lib._handle)
+            elif hasattr(_ctypes, "FreeLibrary"):  # pragma: no cover - win32
+                _ctypes.FreeLibrary(lib._handle)
+        except (ImportError, AttributeError, OSError):  # pragma: no cover
+            pass  # unloading is best-effort; dropping the ref still helps
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` released the library handle?"""
+        return self._lib is None
+
     def run_bulk(self, buffer: np.ndarray) -> None:
         """Run the whole program over the arranged ``buffer`` in place."""
+        if self._kernel is None:
+            raise ExecutionError(
+                f"bulk kernel for {self.program.name!r} has been closed"
+            )
         if buffer.dtype != self.program.dtype:
             raise ExecutionError(
                 f"buffer dtype {buffer.dtype} != program dtype "

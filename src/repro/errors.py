@@ -12,6 +12,13 @@ to the codegen pipeline, and :class:`CheckpointError` covering sweep
 checkpoint files.  Each family maps to a distinct process exit code via
 :func:`exit_code` so shell callers can branch on *what* failed without
 parsing stderr.
+
+The serving layer (``repro.serve``) adds the :class:`ServeError` branch:
+:class:`ServerOverloadedError` is the backpressure signal (a queue hit its
+bounded pending limit), :class:`RequestDeadlineError` marks a request whose
+deadline expired before dispatch, and :class:`ServerClosedError` covers
+submissions to a stopped server (or requests abandoned by a non-draining
+shutdown).
 """
 
 from __future__ import annotations
@@ -31,6 +38,10 @@ __all__ = [
     "CompileTimeoutError",
     "CacheCorruptionError",
     "CheckpointError",
+    "ServeError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "RequestDeadlineError",
     "exit_code",
 ]
 
@@ -105,6 +116,33 @@ class CheckpointError(ReproError):
     """A sweep checkpoint file is unreadable or belongs to a different sweep."""
 
 
+class ServeError(ReproError, RuntimeError):
+    """Base class for the ``repro.serve`` request-broker family."""
+
+
+class ServerOverloadedError(ServeError):
+    """A queue rejected a submission at its bounded pending limit.
+
+    This is the backpressure signal: the client should shed load or retry
+    with a delay, exactly like an HTTP 429.  Carries the queue ``key`` and
+    the ``depth`` observed at rejection time.
+    """
+
+    def __init__(self, message: str, *, key: str | None = None,
+                 depth: int | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+        self.depth = depth
+
+
+class ServerClosedError(ServeError):
+    """The server is stopped (or stopping) and no longer accepts requests."""
+
+
+class RequestDeadlineError(ServeError):
+    """A request's deadline expired before its batch was dispatched."""
+
+
 #: Exit code per error family, most specific class first.  ``exit_code``
 #: walks an exception's MRO, so e.g. a ``CompileTimeoutError`` maps to its
 #: own code, not the generic ``CompileError`` one.  Code 2 is reserved for
@@ -113,6 +151,10 @@ _EXIT_CODES: dict = {
     "CompileTimeoutError": 11,
     "CacheCorruptionError": 12,
     "CheckpointError": 13,
+    "ServerOverloadedError": 14,
+    "ServerClosedError": 15,
+    "RequestDeadlineError": 16,
+    "ServeError": 17,
     "CompileError": 10,
     "BackendError": 9,
     "ExecutionError": 8,

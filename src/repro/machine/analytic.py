@@ -51,6 +51,8 @@ __all__ = [
     "analytic_kernel",
     "column_wise_stage_table",
     "row_wise_stage_table",
+    "bulk_step_time",
+    "bulk_batch_time",
 ]
 
 
@@ -109,6 +111,34 @@ class AnalyticKernel:
 def column_wise_stage_table(params: MachineParams) -> np.ndarray:
     """Stage table of a column-wise step on either machine: ``[p/w]``."""
     return np.array([params.num_warps], dtype=np.int64)
+
+
+def bulk_step_time(lanes: int, w: int, l: int) -> int:
+    """Time units of one column-wise bulk step over ``lanes`` inputs.
+
+    The Theorem-3 accounting with the thread count decoupled from a
+    :class:`MachineParams` invariant: ``⌈lanes/w⌉`` aligned address groups
+    (one per warp — a partial last warp still occupies one stage) plus the
+    ``l − 1`` pipeline drain.  Matches :func:`column_wise_stage_table` when
+    ``lanes`` is a multiple of ``w``.
+    """
+    if lanes < 1:
+        raise MachineConfigError(f"lanes must be >= 1, got {lanes}")
+    return -(-lanes // w) + l - 1
+
+
+def bulk_batch_time(trace_length: int, lanes: int, w: int, l: int) -> int:
+    """Closed-form cost of a whole column-wise bulk run, in time units.
+
+    ``trace_length · (⌈lanes/w⌉ + l − 1)`` — the paper's
+    ``O(pt/w + lt)`` with its constants made exact.  This is the price the
+    serving layer's adaptive batching policy consults before dispatch: the
+    *per-request* cost ``bulk_batch_time(t, b, w, l) / b`` strictly
+    improves with the batch size ``b``, flattening once the bandwidth term
+    ``b/w`` dominates the latency term ``l − 1`` — which is exactly where
+    waiting for more requests stops paying.
+    """
+    return trace_length * bulk_step_time(lanes, w, l)
 
 
 def row_wise_stage_table(

@@ -29,7 +29,13 @@ from .faults import (
     install_plan,
 )
 from .guard import GUARD_MODES, GuardPolicy
-from .incidents import Incident, clear_incidents, incidents, record_incident
+from .incidents import (
+    Incident,
+    clear_incidents,
+    incident_summary,
+    incidents,
+    record_incident,
+)
 from .quarantine import (
     clear_quarantine,
     is_quarantined,
@@ -52,6 +58,7 @@ __all__ = [
     "record_incident",
     "incidents",
     "clear_incidents",
+    "incident_summary",
     "quarantine_key",
     "is_quarantined",
     "quarantine_reason",

@@ -16,7 +16,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
-__all__ = ["Incident", "record_incident", "incidents", "clear_incidents"]
+__all__ = [
+    "Incident",
+    "record_incident",
+    "incidents",
+    "clear_incidents",
+    "incident_summary",
+]
 
 #: Keep the most recent incidents only — a long-lived server must not grow
 #: an unbounded list out of a flapping backend.
@@ -75,6 +81,21 @@ def incidents(kind: Optional[str] = None) -> List[Incident]:
     if kind is None:
         return snapshot
     return [i for i in snapshot if i.kind == kind]
+
+
+def incident_summary() -> "dict[str, int]":
+    """Incident counts per ``kind``, deterministically ordered (sorted keys).
+
+    The shape consumed by ``repro incidents``, ``BulkServer.stats()`` and
+    the docs: insertion order of a flapping backend's events never changes
+    the rendering, so the output is diff-stable in CI.
+    """
+    with _LOCK:
+        snapshot = list(_LOG)
+    counts: dict = {}
+    for incident in snapshot:
+        counts[incident.kind] = counts.get(incident.kind, 0) + 1
+    return {kind: counts[kind] for kind in sorted(counts)}
 
 
 def clear_incidents() -> int:

@@ -1,0 +1,42 @@
+"""`repro.serve` — dynamic micro-batching serving over bulk execution.
+
+The ROADMAP's north star is serving heavy live traffic; the paper's
+theorems say the way to do that is to run many independent inputs of the
+same oblivious algorithm as one column-wise bulk execution.  This package
+is the bridge from *requests* to *batches*:
+
+* :class:`BulkServer` — asyncio request broker: ``await submit(workload,
+  x)`` coalesces live requests per ``(workload, n)`` queue into bulk runs;
+* :class:`ServeConfig` — batching/backpressure/backend knobs;
+* :mod:`~repro.serve.policy` — dispatch policies, including the
+  cost-model-driven :class:`AdaptivePolicy` that prices candidate batches
+  in UMM time units before committing;
+* :mod:`~repro.serve.metrics` — counters/histograms behind
+  :meth:`BulkServer.stats`;
+* :mod:`~repro.serve.loadgen` — open/closed-loop load generation for the
+  ``repro serve --bench`` CLI and the serving benchmarks.
+
+See docs/SERVING.md for the architecture and the knob glossary.
+"""
+
+from .loadgen import LoadReport, closed_loop, input_pool, open_loop, render_reports
+from .metrics import Counter, Histogram, MetricsRegistry
+from .policy import AdaptivePolicy, BatchPolicy, FixedPolicy, make_policy
+from .server import BulkServer, ServeConfig
+
+__all__ = [
+    "BulkServer",
+    "ServeConfig",
+    "BatchPolicy",
+    "FixedPolicy",
+    "AdaptivePolicy",
+    "make_policy",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "LoadReport",
+    "open_loop",
+    "closed_loop",
+    "input_pool",
+    "render_reports",
+]

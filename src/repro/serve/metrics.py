@@ -1,0 +1,179 @@
+"""Counters and histograms for the serving layer — small, dependency-free.
+
+The broker's observable surface: every scheduling decision (queue depth at
+dispatch, batch occupancy, pad-lane waste, time-to-first-dispatch,
+per-batch execute time) lands in a :class:`MetricsRegistry` and comes back
+out of :meth:`BulkServer.stats` as a plain, deterministically ordered dict.
+Determinism is a feature, not a nicety: stats snapshots are diffed in CI
+and pasted into docs, so iteration order must never depend on the arrival
+order of a flapping workload (sorted keys everywhere, like
+:func:`repro.reliability.incident_summary`).
+
+Histograms keep a bounded sample (the most recent
+:data:`Histogram.max_samples` observations) plus exact count/sum/min/max,
+so a long-lived server's memory stays flat while percentiles remain
+meaningful for the recent window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(sorted_values: "list[float]", q: float) -> float:
+    """The ``q``-quantile (0..1) of already-sorted values, linear interp."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+class Counter:
+    """A monotonically increasing counter (thread-safe)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max, sampled percentiles.
+
+    The sample window is the last :attr:`max_samples` observations — a
+    sliding window, deliberately, so the percentiles a ``stats()`` call
+    reports describe *recent* behaviour rather than averaging over a whole
+    day of traffic.
+    """
+
+    __slots__ = ("_samples", "_count", "_sum", "_min", "_max", "_lock",
+                 "max_samples")
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        self.max_samples = int(max_samples)
+        self._samples: Deque[float] = deque(maxlen=self.max_samples)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            ordered = sorted(self._samples)
+        return percentile(ordered, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict with deterministically ordered (sorted) keys."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self._count, self._sum
+            lo = self._min if self._min is not None else 0.0
+            hi = self._max if self._max is not None else 0.0
+        return {
+            "count": count,
+            "max": hi,
+            "mean": (total / count) if count else 0.0,
+            "min": lo,
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a sorted-key snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(max_samples)
+            return hist
+
+    def snapshot(self) -> dict:
+        """``{"counters": {...}, "histograms": {...}}`` with sorted keys."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: counters[k].value for k in sorted(counters)},
+            "histograms": {k: histograms[k].snapshot()
+                           for k in sorted(histograms)},
+        }
+
+    @staticmethod
+    def render(snapshot: dict, indent: str = "  ") -> str:
+        """Human-readable, diff-stable rendering of a :meth:`snapshot`."""
+        lines: list = ["counters:"]
+        for name, value in snapshot.get("counters", {}).items():
+            lines.append(f"{indent}{name}: {value}")
+        lines.append("histograms:")
+        for name, summary in snapshot.get("histograms", {}).items():
+            parts = ", ".join(
+                f"{k}={summary[k]:.6g}" for k in sorted(summary)
+            )
+            lines.append(f"{indent}{name}: {parts}")
+        return "\n".join(lines)
+
+
+def merge_latencies(latencies: Iterable[float]) -> Dict[str, float]:
+    """Percentile summary (sorted keys) of a latency list, in seconds."""
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "max": ordered[-1] if ordered else 0.0,
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+    }

@@ -1,0 +1,167 @@
+"""Batching policies: when is a forming micro-batch worth dispatching?
+
+The classic serving dilemma — dispatch now (low latency, poor
+amortisation) or linger for more requests (better amortisation, added
+queueing delay) — is usually tuned blind.  Here it need not be: the
+analytic cost model (:mod:`repro.machine.analytic`) prices a column-wise
+bulk run of ``b`` lanes *exactly*, ``t · (⌈b/w⌉ + l − 1)`` time units, so
+a policy can compute the per-request cost of every candidate batch size
+before committing.
+
+Per-request cost ``u(b) = t · (1/w · ⌈b/w⌉·w/b + (l−1)/b)`` is strictly
+decreasing in ``b``: each extra request rides the same ``l − 1`` pipeline
+drain.  But the marginal gain collapses once the bandwidth term ``b/w``
+dominates — :class:`AdaptivePolicy` therefore targets the *smallest* batch
+whose per-request cost is within ``slack`` of the best achievable at
+``max_batch``, and stops lingering the moment the queue reaches it.  On a
+high-latency machine (``l = 100``) that target is large (deep batching
+pays); on a low-latency one it shrinks — the policy adapts to the machine,
+not to a hand-tuned constant.
+
+:class:`FixedPolicy` is the control: always wait for ``target`` requests
+(``FixedPolicy(1)`` is single-lane dispatch, the unbatched baseline the
+benchmarks compare against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..errors import ServeError
+from ..machine.analytic import bulk_batch_time
+
+__all__ = [
+    "BatchPolicy",
+    "FixedPolicy",
+    "AdaptivePolicy",
+    "make_policy",
+    "units_per_request",
+]
+
+
+def units_per_request(trace_length: int, lanes: int, w: int, l: int) -> float:
+    """Predicted UMM time units each request pays in a ``lanes``-wide batch."""
+    return bulk_batch_time(trace_length, lanes, w, l) / lanes
+
+
+def round_up_warp(lanes: int, warp: int) -> int:
+    """Smallest multiple of ``warp`` holding ``lanes`` inputs."""
+    return -(-lanes // warp) * warp
+
+
+class BatchPolicy:
+    """Decides the target batch size a queue should linger for.
+
+    Subclasses implement :meth:`target_batch`; the server dispatches as
+    soon as the queue depth reaches the target *or* the max-linger deadline
+    of the oldest pending request expires, whichever comes first.
+    """
+
+    def target_batch(self, trace_length: int, max_batch: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedPolicy(BatchPolicy):
+    """Always linger for exactly ``target`` requests (clamped to the cap)."""
+
+    target: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise ServeError(f"fixed batch target must be >= 1, got {self.target}")
+
+    def target_batch(self, trace_length: int, max_batch: int) -> int:
+        return min(self.target, max_batch)
+
+    def describe(self) -> str:
+        return f"fixed({self.target})"
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy(BatchPolicy):
+    """Cost-model-driven target: smallest batch within ``slack`` of optimal.
+
+    Parameters
+    ----------
+    w:
+        Warp width / memory width of the machine being modelled (the UMM
+        ``w``; 32 on the paper's GPU).
+    l:
+        Memory access latency ``l`` — the pipeline depth whose drain each
+        batch amortises.  Larger ``l`` pushes the target batch up.
+    slack:
+        Acceptable per-request cost multiple over the ``max_batch``
+        optimum.  ``1.0`` degenerates to "always fill to the cap";
+        ``1.25`` (default) stops lingering once waiting longer could win at
+        most another 25%.
+    """
+
+    w: int = 32
+    l: int = 100
+    slack: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.w < 1 or self.l < 1:
+            raise ServeError(f"need w >= 1 and l >= 1, got w={self.w} l={self.l}")
+        if self.slack < 1.0:
+            raise ServeError(f"slack must be >= 1.0, got {self.slack}")
+        # Per-instance memo: the target depends only on max_batch (the
+        # trace length cancels out of the cost ratio).
+        object.__setattr__(self, "_memo", {})
+
+    def target_batch(self, trace_length: int, max_batch: int) -> int:
+        memo: Dict[int, int] = self._memo  # type: ignore[attr-defined]
+        cached = memo.get(max_batch)
+        if cached is not None:
+            return cached
+        # u(b)/u(max) is independent of t, so price with t = 1.
+        best = units_per_request(1, max_batch, self.w, self.l)
+        target = max_batch
+        b = min(self.w, max_batch)
+        while b < max_batch:
+            if units_per_request(1, b, self.w, self.l) <= self.slack * best:
+                target = b
+                break
+            b = min(b + self.w, max_batch)
+        memo[max_batch] = target
+        return target
+
+    def predicted_units(self, trace_length: int, lanes: int) -> float:
+        """Per-request UMM price of a ``lanes``-wide dispatch (for stats)."""
+        return units_per_request(trace_length, lanes, self.w, self.l)
+
+    def describe(self) -> str:
+        return f"adaptive(w={self.w}, l={self.l}, slack={self.slack})"
+
+
+def make_policy(
+    policy: Union[str, BatchPolicy], *, w: int = 32, l: int = 100
+) -> BatchPolicy:
+    """Coerce the server's ``policy=`` argument.
+
+    ``"adaptive"`` → :class:`AdaptivePolicy` on the given machine shape,
+    ``"single"`` → :class:`FixedPolicy(1)`, ``"full"`` → fill to the cap;
+    an integer string (``"8"``) → that fixed target; instances pass through.
+    """
+    if isinstance(policy, BatchPolicy):
+        return policy
+    if isinstance(policy, int):
+        return FixedPolicy(policy)
+    if isinstance(policy, str):
+        if policy == "adaptive":
+            return AdaptivePolicy(w=w, l=l)
+        if policy == "single":
+            return FixedPolicy(1)
+        if policy == "full":
+            return FixedPolicy(1 << 30)  # clamped to max_batch by target_batch
+        if policy.isdigit():
+            return FixedPolicy(int(policy))
+    raise ServeError(
+        f"unknown batching policy {policy!r}; expected 'adaptive', 'single', "
+        f"'full', an integer target, or a BatchPolicy instance"
+    )

@@ -1,0 +1,530 @@
+"""`BulkServer` — an asyncio request broker over the bulk execution engine.
+
+The paper proves that executing one oblivious algorithm for ``p``
+independent inputs in the column-wise arrangement costs ``O(pt/w + lt)``
+time units — each extra input rides the same ``l − 1``-stage pipeline
+drain, so the *per-request* price falls monotonically with the batch size
+(Theorems 2–3).  That is precisely the economics behind dynamic batching
+in inference serving, and this module is that argument turned into a
+subsystem: clients submit *individual* inputs, and a micro-batching
+scheduler coalesces them into bulk column-wise executions.
+
+Shape of the thing::
+
+    async with BulkServer() as server:
+        out = await server.submit("opt", weights, n=8)
+
+* One queue per ``(workload, n)`` pair.  ``submit`` appends a request and
+  wakes the queue's scheduler; the awaitable resolves to that single
+  input's output image.
+* The scheduler lingers until either the policy's **target batch size** is
+  reached (adaptive: priced from the analytic UMM cost model — see
+  :mod:`repro.serve.policy`) or the oldest request has waited
+  ``max_linger`` seconds, then dispatches the whole queue (up to
+  ``max_batch``) as one bulk run on a worker thread.
+* Lanes are padded up to a warp multiple (the paper's ``p ≡ 0 (mod w)``
+  batch shape) and executed through a cached, optionally **guarded**
+  :class:`~repro.bulk.engine.BulkExecutor` — a poisoned native kernel
+  degrades to the NumPy engine instead of taking the server down.
+* **Backpressure**: a queue holding ``max_pending`` requests rejects new
+  submissions with :class:`~repro.errors.ServerOverloadedError` (and
+  records one incident per overload episode).
+* **Deadlines / cancellation**: a request whose ``deadline`` expires
+  before dispatch fails with :class:`~repro.errors.RequestDeadlineError`;
+  a cancelled awaitable is dropped from its batch at dispatch time.
+* **Shutdown**: ``await server.stop()`` drains every queue then closes the
+  executors (releasing native kernel handles); ``stop(drain=False)`` —
+  also the exceptional ``async with`` exit — abandons pending requests
+  with :class:`~repro.errors.ServerClosedError` instead.
+
+Everything observable lands in :meth:`BulkServer.stats`: queue depth,
+batch occupancy, pad-lane waste, time-to-first-dispatch, per-batch execute
+time, overload/deadline counts, plus the process incident summary — all
+deterministically ordered for diff-stable CI output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..algorithms.registry import get_spec
+from ..errors import (
+    ExecutionError,
+    ReproError,
+    RequestDeadlineError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from ..bulk.engine import BulkExecutor
+from ..reliability.guard import GuardPolicy
+from ..reliability.incidents import incident_summary, record_incident
+from ..trace.ir import Program
+from .metrics import MetricsRegistry
+from .policy import AdaptivePolicy, BatchPolicy, make_policy, round_up_warp
+
+__all__ = ["BulkServer", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving layer (see docs/SERVING.md for the full story).
+
+    Attributes
+    ----------
+    max_batch:
+        Hard cap on lanes per dispatch — the largest executor ``p`` the
+        server will build.
+    warp:
+        Warp width ``w`` of the modelled machine; batch lanes are padded
+        up to a multiple of it (``pad_to_warp``) and the adaptive policy
+        prices candidate batches with it.
+    latency:
+        Modelled memory latency ``l`` for the adaptive policy's pricing.
+    max_linger:
+        Longest time (seconds) the scheduler lets the *oldest* pending
+        request wait for co-batchers before dispatching anyway.
+    max_pending:
+        Per-queue backpressure bound: submissions beyond this depth are
+        rejected with :class:`~repro.errors.ServerOverloadedError`.
+    policy:
+        ``"adaptive"`` (cost-model-driven, default), ``"single"``,
+        ``"full"``, an integer target, or a
+        :class:`~repro.serve.policy.BatchPolicy` instance.
+    pad_to_warp:
+        Round executor sizes up to warp multiples (keeps the executor pool
+        small and the batch shape the paper's).  Disable for the
+        single-lane baseline.
+    backend / fuse / guard:
+        Forwarded to every :class:`~repro.bulk.engine.BulkExecutor` the
+        server builds; ``guard="spot"`` is the recommended production
+        setting for native backends.
+    workers:
+        Worker threads draining batches (queues are independent; one batch
+        per queue is in flight at a time).
+    record:
+        Keep ``(key, input, output)`` triples of every served request in
+        :attr:`BulkServer.served` — for replay verification in tests; do
+        not enable under sustained load.
+    """
+
+    max_batch: int = 256
+    warp: int = 32
+    latency: int = 100
+    max_linger: float = 0.002
+    max_pending: int = 4096
+    policy: Union[str, int, BatchPolicy] = "adaptive"
+    pad_to_warp: bool = True
+    backend: str = "numpy"
+    fuse: bool = True
+    guard: Union[None, str, GuardPolicy] = None
+    workers: int = 2
+    record: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.warp < 1:
+            raise ServeError(f"warp must be >= 1, got {self.warp}")
+        if self.latency < 1:
+            raise ServeError(f"latency must be >= 1, got {self.latency}")
+        if self.max_linger < 0:
+            raise ServeError(f"max_linger must be >= 0, got {self.max_linger}")
+        if self.max_pending < 1:
+            raise ServeError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass
+class _Request:
+    row: np.ndarray
+    future: "asyncio.Future"
+    enqueued: float
+    deadline: Optional[float]
+
+
+@dataclass
+class _Queue:
+    key: str
+    program: Program
+    requests: Deque[_Request] = field(default_factory=deque)
+    wake: "asyncio.Event" = field(default_factory=asyncio.Event)
+    task: Optional["asyncio.Task"] = None
+    executors: Dict[int, BulkExecutor] = field(default_factory=dict)
+    overloaded: bool = False
+
+
+class BulkServer:
+    """Dynamic micro-batching broker over guarded bulk executors.
+
+    Construct with a :class:`ServeConfig` (or keyword overrides), submit
+    from any number of asyncio tasks, and read :meth:`stats` at will.  The
+    server is a context manager::
+
+        async with BulkServer(max_linger=0.001) as server:
+            outs = await asyncio.gather(
+                *(server.submit("prefix-sums", row, n=64) for row in rows)
+            )
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, **overrides) -> None:
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ServeError("pass either a ServeConfig or keyword overrides")
+        self.config = config
+        self.policy = make_policy(
+            config.policy, w=config.warp, l=config.latency
+        )
+        self.metrics = MetricsRegistry()
+        #: ``(queue key, input row, output row)`` triples when recording.
+        self.served: List[Tuple[str, np.ndarray, np.ndarray]] = []
+        self._programs: Dict[str, Program] = {}
+        self._queues: Dict[str, _Queue] = {}
+        self._pool: Optional["ThreadPoolExecutor"] = None
+        self._closing = False
+        self._stopped = False
+
+    # -- workload registry ---------------------------------------------------
+    def register(self, name: str, program: Program) -> None:
+        """Serve a custom :class:`Program` under queue key ``name``."""
+        if self._closing:
+            raise ServerClosedError("server is stopped")
+        self._programs[name] = program
+
+    def _resolve(self, workload: Union[str, Program],
+                 n: Optional[int]) -> Tuple[str, Program]:
+        if isinstance(workload, Program):
+            key = f"program:{workload.name}"
+            self._programs.setdefault(key, workload)
+            return key, self._programs[key]
+        name = workload
+        if n is None and ":" in name:
+            name, _, suffix = name.partition(":")
+            n = int(suffix)
+        if n is None:
+            if name in self._programs:
+                return name, self._programs[name]
+            raise ServeError(
+                f"workload {workload!r} is not registered and carries no "
+                f"problem size; use submit(name, x, n=...) or register()"
+            )
+        key = f"{name}:{n}"
+        program = self._programs.get(key)
+        if program is None:
+            program = get_spec(name).build(n)
+            self._programs[key] = program
+        return key, program
+
+    def _queue(self, key: str, program: Program) -> _Queue:
+        q = self._queues.get(key)
+        if q is None:
+            q = self._queues[key] = _Queue(key=key, program=program)
+            q.task = asyncio.get_running_loop().create_task(
+                self._drain_loop(q), name=f"repro-serve-{key}"
+            )
+        return q
+
+    # -- submission ----------------------------------------------------------
+    async def submit(
+        self,
+        workload: Union[str, Program],
+        value,
+        *,
+        n: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit one input; await its ``memory_words`` output image.
+
+        Parameters
+        ----------
+        workload:
+            Registry name (``"opt"`` with ``n=8``, or the shorthand
+            ``"opt:8"``), a previously :meth:`register`-ed key, or a
+            :class:`Program`.
+        value:
+            One input's words (any array-like; flattened).
+        deadline:
+            Seconds this request may wait for dispatch before failing with
+            :class:`~repro.errors.RequestDeadlineError`.
+
+        Raises
+        ------
+        ServerOverloadedError
+            The queue is at its bounded pending limit (backpressure).
+        ServerClosedError
+            The server is stopped or stopping.
+        """
+        if self._closing:
+            raise ServerClosedError("server is stopped; submission refused")
+        key, program = self._resolve(workload, n)
+        row = np.asarray(value, dtype=program.dtype).ravel()
+        if row.size > program.memory_words:
+            raise ExecutionError(
+                f"input of {row.size} words exceeds program memory "
+                f"({program.memory_words} words)"
+            )
+        q = self._queue(key, program)
+        if len(q.requests) >= self.config.max_pending:
+            self.metrics.counter("requests.rejected_overload").inc()
+            if not q.overloaded:
+                q.overloaded = True
+                record_incident(
+                    "server-overload",
+                    "serve.queue",
+                    f"queue {key} rejected a submission at its pending "
+                    f"bound ({self.config.max_pending}); shedding load "
+                    f"until the next successful dispatch",
+                )
+            raise ServerOverloadedError(
+                f"queue {key} is overloaded ({len(q.requests)} pending, "
+                f"bound {self.config.max_pending})",
+                key=key,
+                depth=len(q.requests),
+            )
+        now = time.monotonic()
+        request = _Request(
+            row=row,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued=now,
+            deadline=(now + deadline) if deadline is not None else None,
+        )
+        q.requests.append(request)
+        self.metrics.counter("requests.submitted").inc()
+        q.wake.set()
+        return await request.future
+
+    # -- the scheduler -------------------------------------------------------
+    async def _drain_loop(self, q: _Queue) -> None:
+        cfg = self.config
+        while True:
+            if not q.requests:
+                if self._closing:
+                    break
+                q.wake.clear()
+                await q.wake.wait()
+                continue
+            # Linger: wait for co-batchers until the policy target is met
+            # or the oldest request has waited max_linger.
+            first_enqueued = q.requests[0].enqueued
+            linger_until = first_enqueued + cfg.max_linger
+            target = self.policy.target_batch(
+                q.program.trace_length, cfg.max_batch
+            )
+            while len(q.requests) < target and not self._closing:
+                remaining = linger_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                q.wake.clear()
+                try:
+                    await asyncio.wait_for(q.wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = self._take_batch(q)
+            if batch:
+                await self._dispatch(q, batch, first_enqueued)
+
+    def _take_batch(self, q: _Queue) -> List[_Request]:
+        """Pop up to ``max_batch`` live requests, failing expired ones."""
+        now = time.monotonic()
+        batch: List[_Request] = []
+        while q.requests and len(batch) < self.config.max_batch:
+            request = q.requests.popleft()
+            if request.future.done():  # cancelled/abandoned by the caller
+                self.metrics.counter("requests.cancelled").inc()
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                self.metrics.counter("requests.deadline_exceeded").inc()
+                request.future.set_exception(RequestDeadlineError(
+                    f"request to {q.key} expired after "
+                    f"{now - request.enqueued:.4f}s in queue"
+                ))
+                continue
+            batch.append(request)
+        return batch
+
+    def _executor_for(self, q: _Queue, lanes: int) -> BulkExecutor:
+        """The queue's cached executor for ``lanes`` (created on demand).
+
+        Called from a worker thread; safe because each queue dispatches
+        one batch at a time.
+        """
+        executor = q.executors.get(lanes)
+        if executor is None:
+            cfg = self.config
+            executor = BulkExecutor(
+                q.program, lanes, "column", backend=cfg.backend,
+                fuse=cfg.fuse, guard=cfg.guard,
+            )
+            q.executors[lanes] = executor
+        return executor
+
+    def _run_batch(self, q: _Queue, lanes: int, block: np.ndarray) -> np.ndarray:
+        """Worker-thread body: one guarded bulk execution, outputs trimmed."""
+        return self._executor_for(q, lanes).run_trimmed(block)
+
+    async def _dispatch(
+        self, q: _Queue, batch: List[_Request], first_enqueued: float
+    ) -> None:
+        cfg = self.config
+        occupancy = len(batch)
+        lanes = (
+            round_up_warp(occupancy, cfg.warp) if cfg.pad_to_warp else occupancy
+        )
+        width = max(request.row.size for request in batch)
+        block = np.zeros((occupancy, width), dtype=q.program.dtype)
+        for i, request in enumerate(batch):
+            block[i, : request.row.size] = request.row
+        started = time.monotonic()
+        self.metrics.histogram("queue.time_to_first_dispatch_seconds").observe(
+            started - first_enqueued
+        )
+        self.metrics.histogram("queue.depth_at_dispatch").observe(
+            occupancy + len(q.requests)
+        )
+        try:
+            outputs = await asyncio.get_running_loop().run_in_executor(
+                self._thread_pool(), self._run_batch, q, lanes, block
+            )
+        except ReproError as exc:
+            # The guard layer already degrades recoverable native failures
+            # inside run(); whatever still escapes fails this batch only.
+            self.metrics.counter("requests.failed").inc(len(batch))
+            record_incident(
+                "batch-failure",
+                "serve.dispatch",
+                f"batch of {len(batch)} on {q.key} failed: {exc}",
+            )
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError(f"batch execution failed: {exc}")
+                    )
+            return
+        elapsed = time.monotonic() - started
+        self.metrics.counter("batches.dispatched").inc()
+        self.metrics.counter("requests.completed").inc(occupancy)
+        self.metrics.counter("lanes.padded").inc(lanes - occupancy)
+        self.metrics.histogram("batch.size").observe(occupancy)
+        self.metrics.histogram("batch.occupancy").observe(occupancy / lanes)
+        self.metrics.histogram("batch.execute_seconds").observe(elapsed)
+        if isinstance(self.policy, AdaptivePolicy):
+            self.metrics.histogram("batch.predicted_units_per_request").observe(
+                self.policy.predicted_units(q.program.trace_length, lanes)
+            )
+        q.overloaded = False
+        for request, output in zip(batch, outputs):
+            if cfg.record:
+                self.served.append((q.key, request.row.copy(), output.copy()))
+            if not request.future.done():
+                request.future.set_result(output)
+            latency = time.monotonic() - request.enqueued
+            self.metrics.histogram("request.latency_seconds").observe(latency)
+
+    def _thread_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve",
+            )
+        return self._pool
+
+    # -- lifecycle -----------------------------------------------------------
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; drain (default) or abandon pending requests.
+
+        With ``drain=True`` every pending request is dispatched (linger
+        windows are skipped) before the executors are closed.  With
+        ``drain=False`` pending requests fail with
+        :class:`~repro.errors.ServerClosedError`; a batch already in
+        flight still completes.  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._closing = True
+        if not drain:
+            for q in self._queues.values():
+                while q.requests:
+                    request = q.requests.popleft()
+                    if not request.future.done():
+                        request.future.set_exception(ServerClosedError(
+                            f"server stopped without draining {q.key}"
+                        ))
+        for q in self._queues.values():
+            q.wake.set()
+        tasks = [q.task for q in self._queues.values() if q.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for q in self._queues.values():
+            for executor in q.executors.values():
+                executor.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """Is the server accepting submissions?"""
+        return not self._closing
+
+    async def __aenter__(self) -> "BulkServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        # Clean exit drains (every accepted request is answered); an
+        # exceptional exit — KeyboardInterrupt included — abandons pending
+        # work, mirroring BulkSession's half-fed-work rule.
+        await self.stop(drain=exc_type is None)
+        return None
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministically ordered snapshot of the server's behaviour.
+
+        Top-level keys (sorted): ``counters``, ``histograms``,
+        ``incidents``, ``policy``, ``queues``.  Every nested mapping is
+        sorted too, so two snapshots of identical traffic render
+        identically (diff-stable CI / docs output).
+        """
+        snapshot = self.metrics.snapshot()
+        target = {
+            key: self.policy.target_batch(
+                q.program.trace_length, self.config.max_batch
+            )
+            for key, q in self._queues.items()
+        }
+        return {
+            "counters": snapshot["counters"],
+            "histograms": snapshot["histograms"],
+            "incidents": incident_summary(),
+            "policy": self.policy.describe(),
+            "queues": {
+                key: {
+                    "backends": sorted({
+                        ex.backend
+                        for ex in self._queues[key].executors.values()
+                    }),
+                    "depth": len(self._queues[key].requests),
+                    "executors": sorted(self._queues[key].executors),
+                    "target_batch": target[key],
+                }
+                for key in sorted(self._queues)
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BulkServer(queues={len(self._queues)}, "
+            f"policy={self.policy.describe()}, "
+            f"running={self.running})"
+        )

@@ -178,6 +178,7 @@ def test_second_compilation_is_a_cache_hit(tmp_path, monkeypatch):
 
 # -- perf smoke (satellite 5) ---------------------------------------------------
 
+@pytest.mark.perf
 @pytest.mark.skipif(
     os.environ.get("REPRO_SKIP_PERF_TESTS") == "1",
     reason="REPRO_SKIP_PERF_TESTS=1: timing assertions disabled",

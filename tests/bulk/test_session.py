@@ -5,6 +5,7 @@ import pytest
 
 from repro.algorithms.prefix_sums import build_prefix_sums
 from repro.bulk import BulkSession, SessionStats
+from repro.codegen.compile import have_compiler
 from repro.errors import ExecutionError
 
 
@@ -102,6 +103,43 @@ class TestContextManager:
     def test_enter_returns_self(self, session):
         with session as inner:
             assert inner is session
+
+    def test_keyboard_interrupt_discards_and_closes(self, rng):
+        # Regression: a ^C mid-batch must discard pending inputs AND close
+        # the underlying executor, not just drop the Python references.
+        inputs = rng.uniform(-1, 1, (3, 4))
+        with pytest.raises(KeyboardInterrupt):
+            with BulkSession(build_prefix_sums(4), batch=8) as session:
+                list(session.feed(inputs))
+                raise KeyboardInterrupt()
+        assert session.pending == 0
+        assert session.closed
+        # A closed session never silently executes half-fed work later.
+        with pytest.raises(ExecutionError, match="closed"):
+            list(session.feed(rng.uniform(-1, 1, (8, 4))))
+
+    def test_close_is_idempotent(self, session):
+        session.close()
+        session.close()
+        assert session.closed
+
+    @pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+    def test_keyboard_interrupt_releases_native_kernel(
+        self, rng, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+        with pytest.raises(KeyboardInterrupt):
+            with BulkSession(
+                build_prefix_sums(4), batch=8, backend="native"
+            ) as session:
+                kernel = session._executor._native
+                assert kernel is not None and not kernel.closed
+                list(session.feed(rng.uniform(-1, 1, (3, 4))))
+                raise KeyboardInterrupt()
+        # The compiled-kernel handle was released, not leaked.
+        assert kernel.closed
+        assert session._executor._native is None
+        assert session.closed
 
 
 class TestStats:

@@ -15,10 +15,13 @@ import pytest
 from repro.bulk import make_arrangement, simulate_trace
 from repro.machine import UMM, MachineParams
 
-pytestmark = pytest.mark.skipif(
-    os.environ.get("REPRO_SKIP_PERF_TESTS") == "1",
-    reason="REPRO_SKIP_PERF_TESTS=1: timing assertions disabled",
-)
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SKIP_PERF_TESTS") == "1",
+        reason="REPRO_SKIP_PERF_TESTS=1: timing assertions disabled",
+    ),
+]
 
 
 def _best_of(fn, repeats=2):

@@ -141,3 +141,62 @@ class TestBackendsCli:
         assert main(["codegen-cache", "--clear"]) == 0
         out = capsys.readouterr().out
         assert "cleared" in out and "entries" in out
+
+    def test_codegen_cache_stats_diff_stable(self, capsys):
+        # Satellite: the stats rendering is deterministically ordered, so
+        # two runs over identical state diff clean in CI.
+        assert main(["codegen-cache", "--stats"]) == 0
+        first = capsys.readouterr().out
+        assert main(["codegen-cache", "--stats"]) == 0
+        assert capsys.readouterr().out == first
+        # Stat keys are sorted; the trailing cache_dir line is location info.
+        lines = first.strip().splitlines()
+        assert lines[-1].startswith("cache_dir:")
+        keys = [line.split(":", 1)[0] for line in lines[:-1]]
+        assert keys == sorted(keys)
+
+
+class TestIncidentsCli:
+    def test_empty_log(self, capsys):
+        assert main(["incidents"]) == 0
+        assert "no incidents" in capsys.readouterr().out
+
+    def test_sorted_summary_and_log(self, capsys):
+        from repro.reliability.incidents import record_incident
+
+        record_incident("zz-kind", "test", "second alphabetically")
+        record_incident("aa-kind", "test", "first alphabetically")
+        record_incident("aa-kind", "test", "again")
+        assert main(["incidents", "--log"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("aa-kind: 2") < out.index("zz-kind: 1")
+        assert "first alphabetically" in out
+
+
+class TestServeCli:
+    def test_without_bench_prints_pointer(self, capsys):
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "--bench" in out and "docs/SERVING.md" in out
+
+    def test_bench_prints_latency_table(self, capsys):
+        # A deliberately tiny run: light workload, short duration.
+        assert main([
+            "serve", "--bench", "--workload", "prefix-sums", "--n", "8",
+            "--rps", "300", "--duration", "0.3",
+            "--baseline-duration", "0.2", "--clients", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        for token in ("p50 ms", "p95 ms", "p99 ms", "rps", "adaptive(",
+                      "single-lane", "batches:", "single-lane dispatch"):
+            assert token in out, f"missing {token!r} in:\n{out}"
+
+    def test_bench_no_baseline_and_fixed_policy(self, capsys):
+        assert main([
+            "serve", "--bench", "--workload", "prefix-sums", "--n", "8",
+            "--rps", "200", "--duration", "0.25", "--policy", "4",
+            "--no-baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fixed(4)" in out
+        assert "single-lane" not in out

@@ -1,0 +1,133 @@
+"""Load generation: open/closed loops, input pools, report rendering."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import (
+    BulkServer,
+    LoadReport,
+    closed_loop,
+    input_pool,
+    open_loop,
+    render_reports,
+)
+
+
+class TestInputPool:
+    def test_pool_shapes_and_determinism(self):
+        pool = input_pool("prefix-sums", 8, size=5, seed=3)
+        assert len(pool) == 5
+        assert all(row.shape == (8,) for row in pool)
+        again = input_pool("prefix-sums", 8, size=5, seed=3)
+        for a, b in zip(pool, again):
+            assert a.tobytes() == b.tobytes()
+
+
+class TestOpenLoop:
+    def test_open_loop_counts_are_consistent(self):
+        async def main():
+            async with BulkServer(max_linger=0.002) as server:
+                return await open_loop(
+                    server, "prefix-sums", 8, rps=300, duration=0.25
+                )
+
+        report = asyncio.run(main())
+        assert report.mode == "open"
+        assert report.submitted > 0
+        assert report.completed + report.rejected + report.failed \
+            == report.submitted
+        assert report.rejected == 0 and report.failed == 0
+        assert report.throughput_rps > 0
+        assert report.quantile(0.5) >= 0
+
+    def test_open_loop_counts_rejections_under_overload(self):
+        # A tiny pending bound plus an indefinitely lingering policy forces
+        # backpressure; the open loop must count sheds, not hide them.
+        async def main():
+            server = BulkServer(
+                max_pending=2, max_linger=10.0, policy="full"
+            )
+            report = await open_loop(
+                server, "prefix-sums", 8, rps=400, duration=0.2
+            )
+            await server.stop(drain=True)
+            return report
+
+        report = asyncio.run(main())
+        assert report.rejected > 0
+        assert report.completed + report.rejected + report.failed \
+            == report.submitted
+
+    def test_open_loop_validates_arguments(self):
+        async def main():
+            async with BulkServer() as server:
+                with pytest.raises(ReproError):
+                    await open_loop(server, "prefix-sums", 8,
+                                    rps=0, duration=1.0)
+
+        asyncio.run(main())
+
+
+class TestClosedLoop:
+    def test_closed_loop_keeps_clients_in_flight(self):
+        async def main():
+            async with BulkServer(max_linger=0.002) as server:
+                return await closed_loop(
+                    server, "prefix-sums", 8, clients=8, duration=0.25
+                )
+
+        report = asyncio.run(main())
+        assert report.mode == "closed"
+        assert report.offered_rps == 0.0
+        assert report.completed > 0
+        assert report.completed + report.rejected + report.failed \
+            == report.submitted
+        assert len(report.latencies) == report.completed
+
+    def test_closed_loop_validates_arguments(self):
+        async def main():
+            async with BulkServer() as server:
+                with pytest.raises(ReproError):
+                    await closed_loop(server, "prefix-sums", 8,
+                                      clients=0, duration=1.0)
+
+        asyncio.run(main())
+
+
+class TestRendering:
+    def test_render_reports_table(self):
+        report = LoadReport(
+            label="adaptive", mode="open", offered_rps=100.0, duration=1.0,
+            submitted=100, completed=90, rejected=10, failed=0,
+            latencies=[0.001, 0.002, 0.003],
+        )
+        unbounded = LoadReport(
+            label="single-lane", mode="closed", offered_rps=0.0, duration=1.0,
+            submitted=50, completed=50, rejected=0, failed=0,
+            latencies=[0.01],
+        )
+        text = render_reports("bench", [report, unbounded])
+        lines = text.splitlines()
+        assert lines[0] == "bench"
+        assert lines[1].split() == [
+            "config", "mode", "offered", "completed", "rps",
+            "p50", "ms", "p95", "ms", "p99", "ms", "rejected",
+        ]
+        assert set(lines[2]) == {"-"}
+        assert "adaptive" in lines[3] and "100" in lines[3]
+        assert "single-lane" in lines[4] and "max" in lines[4]
+
+    def test_report_quantiles(self):
+        report = LoadReport(
+            label="x", mode="open", offered_rps=1.0, duration=2.0,
+            submitted=4, completed=4, rejected=0, failed=0,
+            latencies=[0.4, 0.1, 0.2, 0.3],
+        )
+        assert report.throughput_rps == 2.0
+        assert report.quantile(0.5) == pytest.approx(0.25)
+        assert report.quantile(1.0) == pytest.approx(0.4)

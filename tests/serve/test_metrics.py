@@ -1,0 +1,104 @@
+"""Serving metrics: percentiles, sliding windows, deterministic snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_latencies,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.25) == 2.5
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["p50"] == 2.0
+
+    def test_snapshot_keys_sorted(self):
+        snap = Histogram().snapshot()
+        assert list(snap) == sorted(snap)
+
+    def test_sliding_window_keeps_exact_count(self):
+        hist = Histogram(max_samples=4)
+        for v in range(10):
+            hist.observe(float(v))
+        # Exact aggregates cover all 10 observations...
+        assert hist.count == 10
+        assert hist.snapshot()["max"] == 9.0
+        # ...while percentiles describe the recent window only.
+        assert hist.quantile(0.0) == 6.0
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_sorted_and_json_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc(2)
+        registry.histogram("late").observe(1.0)
+        registry.histogram("early").observe(2.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert list(snap["histograms"]) == ["early", "late"]
+        # Insertion order never leaks: two textually identical dumps.
+        assert json.dumps(snap) == json.dumps(registry.snapshot())
+
+    def test_render(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("latency").observe(0.5)
+        text = MetricsRegistry.render(registry.snapshot())
+        assert "requests: 3" in text
+        assert "latency:" in text
+        assert text == MetricsRegistry.render(registry.snapshot())
+
+
+def test_merge_latencies():
+    summary = merge_latencies([0.3, 0.1, 0.2])
+    assert summary["count"] == 3
+    assert summary["max"] == 0.3
+    assert summary["p50"] == pytest.approx(0.2)
+    assert list(summary) == sorted(summary)
+    empty = merge_latencies([])
+    assert empty["count"] == 0 and empty["max"] == 0.0

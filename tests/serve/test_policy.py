@@ -1,0 +1,130 @@
+"""Batching policies: cost-model maths, targets, coercion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.machine.analytic import bulk_batch_time, bulk_step_time
+from repro.serve.policy import (
+    AdaptivePolicy,
+    BatchPolicy,
+    FixedPolicy,
+    make_policy,
+    round_up_warp,
+    units_per_request,
+)
+
+
+class TestCostHelpers:
+    def test_step_time_matches_theorem(self):
+        # Theorem 3: one step of a p-lane column-wise batch costs
+        # ceil(p/w) + l - 1 time units.
+        assert bulk_step_time(32, 32, 100) == 1 + 99
+        assert bulk_step_time(33, 32, 100) == 2 + 99
+        assert bulk_step_time(256, 32, 100) == 8 + 99
+
+    def test_batch_time_scales_with_trace(self):
+        assert bulk_batch_time(10, 64, 32, 100) == 10 * bulk_step_time(64, 32, 100)
+
+    def test_units_per_request_strictly_decreasing_on_warp_multiples(self):
+        costs = [units_per_request(50, b, 32, 100) for b in (32, 64, 128, 256)]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_round_up_warp(self):
+        assert round_up_warp(1, 32) == 32
+        assert round_up_warp(32, 32) == 32
+        assert round_up_warp(33, 32) == 64
+        assert round_up_warp(5, 1) == 5
+
+
+class TestFixedPolicy:
+    def test_clamps_to_max_batch(self):
+        assert FixedPolicy(512).target_batch(10, 256) == 256
+        assert FixedPolicy(8).target_batch(10, 256) == 8
+
+    def test_single_lane(self):
+        assert FixedPolicy(1).target_batch(10, 256) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ServeError):
+            FixedPolicy(0)
+
+    def test_describe(self):
+        assert FixedPolicy(4).describe() == "fixed(4)"
+
+
+class TestAdaptivePolicy:
+    def test_target_is_warp_multiple_within_slack(self):
+        policy = AdaptivePolicy(w=32, l=100, slack=1.25)
+        target = policy.target_batch(50, 256)
+        assert target % 32 == 0
+        assert 32 <= target <= 256
+        # The chosen target really is within slack of the cap's optimum...
+        best = units_per_request(1, 256, 32, 100)
+        assert units_per_request(1, target, 32, 100) <= 1.25 * best
+        # ...and is the smallest warp multiple that is.
+        if target > 32:
+            assert units_per_request(1, target - 32, 32, 100) > 1.25 * best
+
+    def test_high_latency_wants_deeper_batches(self):
+        shallow = AdaptivePolicy(w=32, l=2, slack=1.25).target_batch(50, 256)
+        deep = AdaptivePolicy(w=32, l=100, slack=1.25).target_batch(50, 256)
+        assert deep >= shallow
+
+    def test_no_slack_fills_to_cap(self):
+        assert AdaptivePolicy(w=32, l=100, slack=1.0).target_batch(50, 256) == 256
+
+    def test_target_independent_of_trace_length(self):
+        policy = AdaptivePolicy(w=32, l=100)
+        assert policy.target_batch(1, 256) == policy.target_batch(10_000, 256)
+
+    def test_memoized_per_max_batch(self):
+        policy = AdaptivePolicy(w=32, l=100)
+        policy.target_batch(7, 256)
+        policy.target_batch(7, 64)
+        memo = policy._memo
+        assert set(memo) == {256, 64}
+
+    def test_small_max_batch(self):
+        assert AdaptivePolicy(w=32, l=100).target_batch(10, 1) == 1
+
+    def test_predicted_units(self):
+        policy = AdaptivePolicy(w=32, l=100)
+        assert policy.predicted_units(10, 64) == pytest.approx(
+            bulk_batch_time(10, 64, 32, 100) / 64
+        )
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            AdaptivePolicy(w=0)
+        with pytest.raises(ServeError):
+            AdaptivePolicy(l=0)
+        with pytest.raises(ServeError):
+            AdaptivePolicy(slack=0.5)
+
+
+class TestMakePolicy:
+    def test_strings(self):
+        assert isinstance(make_policy("adaptive"), AdaptivePolicy)
+        assert make_policy("single").target_batch(10, 256) == 1
+        assert make_policy("full").target_batch(10, 256) == 256
+        assert make_policy("8").target_batch(10, 256) == 8
+
+    def test_int_and_passthrough(self):
+        assert make_policy(4).target_batch(10, 256) == 4
+        policy = AdaptivePolicy(w=4, l=5)
+        assert make_policy(policy) is policy
+
+    def test_adaptive_inherits_machine_shape(self):
+        policy = make_policy("adaptive", w=4, l=5)
+        assert isinstance(policy, AdaptivePolicy)
+        assert (policy.w, policy.l) == (4, 5)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ServeError):
+            make_policy("sometimes")
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            BatchPolicy().target_batch(1, 1)
