@@ -17,9 +17,9 @@ Run: ``python examples/custom_algorithm.py``
 import numpy as np
 
 from repro import MachineParams, bulk_run, simulate_bulk
-from repro.bulk.convert import convert_and_check, maximum, select
+from repro.bulk.convert import convert_and_check, maximum
 from repro.errors import ObliviousnessError
-from repro.trace import TracingMemory, check_python_oblivious
+from repro.trace import check_python_oblivious
 
 N = 32
 P = 512

@@ -136,6 +136,84 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json
+
+    from .analysis.lint import (
+        Severity,
+        lint_program,
+        lint_registry,
+        render_text,
+        to_json_doc,
+        to_sarif_doc,
+    )
+
+    params = _machine(args)
+    if args.all:
+        reports = lint_registry(
+            params=params,
+            machine=args.machine,
+            arrangement=args.arrangement,
+            passes=not args.no_passes,
+            codegen=not args.no_codegen,
+        )
+    else:
+        if args.algorithm is None or args.n is None:
+            print(
+                "error: name an algorithm and a size, or pass --all",
+                file=sys.stderr,
+            )
+            return 2
+        spec = get_spec(args.algorithm)
+        program = spec.build(args.n)
+        span = int(
+            spec.make_inputs(np.random.default_rng(0), args.n, 1).shape[1]
+        )
+        reports = [
+            lint_program(
+                program,
+                params=params,
+                machine=args.machine,
+                arrangement=args.arrangement,
+                input_words=span,
+                passes=not args.no_passes,
+                codegen=not args.no_codegen,
+            )
+        ]
+
+    if args.format == "text":
+        text = render_text(reports, verbose=not args.quiet)
+    elif args.format == "json":
+        text = json.dumps(to_json_doc(reports), indent=2, sort_keys=True)
+    else:
+        text = json.dumps(to_sarif_doc(reports), indent=2)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        errors = sum(r.errors for r in reports)
+        warnings = sum(r.warnings for r in reports)
+        print(
+            f"linted {len(reports)} program(s): {errors} errors, "
+            f"{warnings} warnings -> {args.output} ({args.format})"
+        )
+    else:
+        print(text)
+
+    # Per-severity exit codes: 3 = errors, 4 = warnings, 5 = notes — but
+    # only findings at or above --fail-on fail the run, so `--all` in CI
+    # does not trip on advisory warnings unless asked to.
+    threshold = {
+        "note": Severity.NOTE,
+        "warning": Severity.WARNING,
+        "error": Severity.ERROR,
+    }[args.fail_on]
+    worst = max(
+        (r.worst for r in reports if r.worst is not None), default=None
+    )
+    if worst is not None and worst >= threshold:
+        return {Severity.ERROR: 3, Severity.WARNING: 4, Severity.NOTE: 5}[worst]
+    return 0
+
+
 def cmd_codegen_cache(args) -> int:
     from .codegen import cache_stats, clear_cache
 
@@ -343,6 +421,37 @@ def main(argv: list[str] | None = None) -> int:
         "runs against the NumPy engine and degrades gracefully on mismatch",
     )
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically certify programs: bounds, pass equivalence, "
+        "cost tables, emitted code (see docs/LINT.md)",
+    )
+    p.add_argument("algorithm", nargs="?", default=None,
+                   help="registry name (see `list`); omit with --all")
+    p.add_argument("n", nargs="?", type=int, default=None, help="problem size")
+    p.add_argument("--all", action="store_true",
+                   help="lint every registry algorithm at every "
+                   "registered size")
+    add_machine(p)
+    p.add_argument("--machine", choices=["umm", "dmm"], default="umm")
+    p.add_argument("--arrangement",
+                   choices=["row", "column", "padded-row"], default="column")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
+    p.add_argument("-o", "--output", type=Path, default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default="error",
+                   help="lowest severity that fails the run (exit 3/4/5 "
+                   "for errors/warnings/notes)")
+    p.add_argument("--no-passes", action="store_true",
+                   help="skip the pass-equivalence proofs")
+    p.add_argument("--no-codegen", action="store_true",
+                   help="skip the emitted-code certification")
+    p.add_argument("--quiet", action="store_true",
+                   help="omit the proved-certificate lines (text format)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
         "codegen-cache",

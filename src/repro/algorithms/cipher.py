@@ -18,7 +18,6 @@ Memory layout (``memory_words = 6``):
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 

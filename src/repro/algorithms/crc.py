@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ProgramError, WorkloadError
+from ..errors import ProgramError
 from ..trace.builder import ProgramBuilder
 from ..trace.ir import Program
 

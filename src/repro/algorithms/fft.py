@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from ..errors import ProgramError, WorkloadError
+from ..errors import WorkloadError
 from ..trace.builder import ProgramBuilder
 from ..trace.ir import Program
 

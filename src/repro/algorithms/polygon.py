@@ -31,8 +31,7 @@ The answer lands at ``M[1, n-1]`` = address ``n² + n + (n-1)``.
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ exercised on every algorithm class it names, not just the two case studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 import numpy as np

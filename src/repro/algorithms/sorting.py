@@ -10,7 +10,7 @@ Memory layout: the keys occupy addresses ``0..n-1`` in place.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -1,11 +1,15 @@
-"""Static analysis of oblivious programs: coalescing and trace profiling.
+"""Static analysis of oblivious programs: coalescing, profiling, linting.
 
 Because oblivious traces are static, everything here is computed without
 running the program — the analysis equivalent of the paper's observation
 that an oblivious algorithm's memory behaviour is knowable in advance.
+The :mod:`~repro.analysis.lint` subpackage turns that observation into a
+certification tool: a rule-based static analyzer with proofs of bounds,
+pass equivalence, cost tables, and emitted-code fidelity.
 """
 
 from .coalescing import CoalescingReport, analyze_coalescing
+from .lint import LintReport, Severity, lint_program, lint_registry
 from .profile import Region, RegionProfile, access_density, profile_regions
 
 __all__ = [
@@ -15,4 +19,8 @@ __all__ = [
     "RegionProfile",
     "profile_regions",
     "access_density",
+    "LintReport",
+    "Severity",
+    "lint_program",
+    "lint_registry",
 ]

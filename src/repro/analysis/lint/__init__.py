@@ -1,0 +1,60 @@
+"""``repro.analysis.lint`` — static certification of oblivious programs.
+
+A rule-based analyzer over :class:`~repro.trace.ir.Program`: abstract
+interpretation of the memory/register state, symbolic pass-equivalence
+proofs, static cost certification against the analytic machine models, and
+emitted-code certification of the C/CUDA backends.  See ``docs/LINT.md``
+for the rule catalog and the CLI (``repro lint``).
+"""
+
+from .codegen_lint import certify_program_codegen, certify_source, extract_accesses
+from .cost import CostCertificate, certify_cost, derive_span_table
+from .diagnostics import (
+    SARIF_VERSION,
+    Diagnostic,
+    LintReport,
+    Severity,
+    render_text,
+    to_json_doc,
+    to_sarif_doc,
+)
+from .equiv import (
+    EquivalenceProof,
+    SymbolicState,
+    ValueNumbering,
+    prove_equivalent,
+    symbolic_state,
+)
+from .linter import check_passes, lint_program, lint_registry
+from .memory import check_memory
+from .rules import RULES, Rule, all_rules, diag, get_rule
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "render_text",
+    "to_json_doc",
+    "to_sarif_doc",
+    "SARIF_VERSION",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "get_rule",
+    "diag",
+    "ValueNumbering",
+    "SymbolicState",
+    "symbolic_state",
+    "EquivalenceProof",
+    "prove_equivalent",
+    "check_memory",
+    "CostCertificate",
+    "derive_span_table",
+    "certify_cost",
+    "extract_accesses",
+    "certify_source",
+    "certify_program_codegen",
+    "check_passes",
+    "lint_program",
+    "lint_registry",
+]

@@ -1,0 +1,289 @@
+"""Diagnostics framework of the static linter.
+
+A :class:`Diagnostic` is one finding of one rule against one program —
+severity, stable rule ID, message, and (when known) the instruction index
+and memory-step index it anchors to, plus an optional fix-it ``hint``.  A
+:class:`LintReport` collects a program's findings together with its
+*certificates*: positive facts the analyses proved (in-bounds addressing,
+pass equivalence, trace-certified codegen, ...), which are exactly what the
+diagnostics are the complement of.
+
+Three renderers cover the consumption paths:
+
+* :func:`render_text` — the human terminal report,
+* :func:`to_json_doc` — a stable machine-readable document,
+* :func:`to_sarif_doc` — SARIF 2.1.0, so CI systems and editors that speak
+  the standard (GitHub code scanning, VS Code SARIF viewer) ingest the
+  findings directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "render_text",
+    "to_json_doc",
+    "to_sarif_doc",
+    "SARIF_VERSION",
+]
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so ``max()`` picks the worst.
+
+    ``NOTE`` findings are informational (they never fail a lint run by
+    default), ``WARNING`` marks wasted work or suspicious structure, and
+    ``ERROR`` marks a broken certification — a program or emission that must
+    not ship.
+    """
+
+    NOTE = 1
+    WARNING = 2
+    ERROR = 3
+
+    @property
+    def sarif_level(self) -> str:
+        return {Severity.NOTE: "note", Severity.WARNING: "warning",
+                Severity.ERROR: "error"}[self]
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule finding against one program.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``OBL-Exxx`` / ``OBL-Wxxx`` / ``OBL-Nxxx``), from
+        the catalog in :mod:`repro.analysis.lint.rules`.
+    severity:
+        The finding's severity (defaults come from the rule catalog).
+    message:
+        Human-readable statement of the defect.
+    program:
+        Name of the linted program.
+    index:
+        Instruction index the finding anchors to, when one exists.
+    step:
+        Memory-step index (position in the access trace ``a(i)``), when the
+        finding concerns a priced access.
+    hint:
+        Optional fix-it suggestion ("arrange inputs column-wise", ...).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    program: str = "program"
+    index: Optional[int] = None
+    step: Optional[int] = None
+    hint: Optional[str] = None
+
+    def render(self) -> str:
+        where = f" @instr {self.index}" if self.index is not None else ""
+        if self.step is not None:
+            where += f" (step {self.step})"
+        text = f"[{self.rule_id}] {self.severity}{where}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "program": self.program,
+        }
+        if self.index is not None:
+            doc["index"] = self.index
+        if self.step is not None:
+            doc["step"] = self.step
+        if self.hint is not None:
+            doc["hint"] = self.hint
+        return doc
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings and proven certificates for one program.
+
+    ``certificates`` are the positive side of the same analyses: strings
+    like "in-bounds addressing proven" that enumerate what a clean run has
+    actually established (a lint run that proves nothing is not evidence).
+    """
+
+    program: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    certificates: Tuple[str, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def notes(self) -> int:
+        return self.count(Severity.NOTE)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        """Highest severity present, ``None`` when the report is clean."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR findings (warnings and notes do not fail certification)."""
+        return self.errors == 0
+
+    def at_least(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity >= severity)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "meta": dict(self.meta),
+            "summary": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "notes": self.notes,
+            },
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "certificates": list(self.certificates),
+        }
+
+
+def render_text(reports: Sequence[LintReport], *, verbose: bool = True) -> str:
+    """The human-readable multi-program report."""
+    lines: List[str] = []
+    total = [0, 0, 0]  # errors, warnings, notes
+    for rep in reports:
+        status = "clean" if rep.worst is None else str(rep.worst)
+        lines.append(f"== {rep.program}: {status} "
+                     f"({rep.errors} errors, {rep.warnings} warnings, "
+                     f"{rep.notes} notes)")
+        for diag in rep.diagnostics:
+            lines.append("  " + diag.render().replace("\n", "\n  "))
+        if verbose and rep.certificates:
+            for cert in rep.certificates:
+                lines.append(f"  proved: {cert}")
+        total[0] += rep.errors
+        total[1] += rep.warnings
+        total[2] += rep.notes
+    lines.append(
+        f"-- {len(reports)} program(s): {total[0]} errors, {total[1]} "
+        f"warnings, {total[2]} notes"
+    )
+    return "\n".join(lines)
+
+
+def to_json_doc(reports: Sequence[LintReport]) -> Dict[str, object]:
+    """A stable JSON document over one or many reports."""
+    return {
+        "format": "repro-lint-report",
+        "version": 1,
+        "programs": [rep.as_dict() for rep in reports],
+        "summary": {
+            "errors": sum(r.errors for r in reports),
+            "warnings": sum(r.warnings for r in reports),
+            "notes": sum(r.notes for r in reports),
+        },
+    }
+
+
+def to_sarif_doc(reports: Sequence[LintReport]) -> Dict[str, object]:
+    """SARIF 2.1.0 for CI ingestion (one run, logical locations).
+
+    Programs are IR objects, not files, so findings carry *logical*
+    locations — ``<program>/instr/<index>`` — instead of physical ones.
+    Rule metadata (description, default severity) is embedded so viewers
+    can render the catalog without this repository at hand.
+    """
+    from .rules import all_rules  # local import avoids a cycle
+
+    used = {d.rule_id for rep in reports for d in rep.diagnostics}
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.severity.sarif_level},
+        }
+        for rule in all_rules()
+        if rule.id in used or not used  # full catalog on clean runs
+    ]
+    results = []
+    for rep in reports:
+        for diag in rep.diagnostics:
+            fq = rep.program
+            if diag.index is not None:
+                fq += f"/instr/{diag.index}"
+            result: Dict[str, object] = {
+                "ruleId": diag.rule_id,
+                "level": diag.severity.sarif_level,
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "logicalLocations": [
+                            {"name": rep.program, "fullyQualifiedName": fq,
+                             "kind": "module"}
+                        ]
+                    }
+                ],
+            }
+            props: Dict[str, object] = {}
+            if diag.index is not None:
+                props["instructionIndex"] = diag.index
+            if diag.step is not None:
+                props["memoryStep"] = diag.step
+            if diag.hint is not None:
+                props["hint"] = diag.hint
+            if props:
+                result["properties"] = props
+            results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://github.com/repro/repro/blob/main/docs/LINT.md",
+                        "version": "1.0.0",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "programs": [rep.program for rep in reports],
+                    "certificates": {
+                        rep.program: list(rep.certificates) for rep in reports
+                    },
+                },
+            }
+        ],
+    }

@@ -1,0 +1,257 @@
+"""Abstract interpretation over memory cells and the register file.
+
+Obliviousness makes the memory behaviour of a program a *static* object —
+every address is a compile-time integer — so the properties the engines
+assume can be proved by a handful of linear scans, no execution needed:
+
+* **bounds** — every ``Load``/``Store`` address lies in ``[0, words)``
+  (``OBL-E101``) and every register operand in ``[0, num_registers)``
+  (``OBL-E102``, ``OBL-E103`` for use-before-def);
+* **initialisation** — a load of a scratch cell that no store ever writes
+  can only observe the engine's zero-fill (``OBL-W503``); a load of scratch
+  before its first store reads the documented zero-fill (``OBL-N601``);
+* **dead work** — loads whose value is never consumed (``OBL-W501``),
+  stores shadowed before any read (``OBL-W502``), and register computations
+  that never reach a store (``OBL-W504``) each waste a priced access or a
+  vector op.
+
+The scans deliberately report *all* findings rather than raising on the
+first, which is what distinguishes the linter from
+:meth:`~repro.trace.ir.Program.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...trace.ir import (
+    Instruction,
+    Load,
+    Program,
+    Store,
+    instruction_def,
+    instruction_uses,
+)
+from ...trace.ops import INT_ONLY_OPS
+from .diagnostics import Diagnostic
+from .rules import diag
+
+__all__ = ["check_memory"]
+
+
+def _opcode(instr: Instruction) -> str:
+    name = type(instr).__name__
+    op = getattr(instr, "op", None)
+    return f"{name}.{op.value}" if op is not None else name
+
+
+def check_memory(
+    program: Program, *, input_words: Optional[int] = None
+) -> Tuple[List[Diagnostic], List[str]]:
+    """Run the structural and dead-work analyses.
+
+    ``input_words`` is the length of the packed input prefix (cells at or
+    beyond it start as engine zero-fill); it defaults to the whole memory,
+    which disables the initialisation rules — callers that know the input
+    span (the registry linter does) get them for free.
+
+    Returns ``(diagnostics, certificates)``: the findings plus the positive
+    facts proven by their absence.
+    """
+    span = program.memory_words if input_words is None else int(input_words)
+    name = program.name
+    out: List[Diagnostic] = []
+
+    is_float = program.dtype.kind not in "iu"
+    n = len(program.instructions)
+
+    # -- forward scan: bounds, registers, dtype, initialisation ---------------
+    defined = [False] * program.num_registers
+    ever_stored = {
+        i.addr for i in program.instructions if isinstance(i, Store)
+    }
+    stored_so_far: set = set()
+    step = 0  # memory-step counter (position in a(i))
+    bounds_ok = regs_ok = True
+    uninit = zero_fill = 0
+    for idx, instr in enumerate(program.instructions):
+        opcode = _opcode(instr)
+        for r in instruction_uses(instr):
+            if not 0 <= r < program.num_registers:
+                regs_ok = False
+                out.append(diag(
+                    "OBL-E102",
+                    f"instr {idx} [{opcode}]: register r{r} outside the "
+                    f"register file [0, {program.num_registers})",
+                    program=name, index=idx,
+                ))
+            elif not defined[r]:
+                regs_ok = False
+                out.append(diag(
+                    "OBL-E103",
+                    f"instr {idx} [{opcode}]: register r{r} read before "
+                    "any definition (engines would supply 0)",
+                    program=name, index=idx,
+                    hint=f"define r{r} with a Const or Load first",
+                ))
+        if isinstance(instr, (Load, Store)):
+            addr = instr.addr
+            if not 0 <= addr < program.memory_words:
+                bounds_ok = False
+                out.append(diag(
+                    "OBL-E101",
+                    f"instr {idx} [{opcode}]: address {addr} outside "
+                    f"memory [0, {program.memory_words})",
+                    program=name, index=idx, step=step,
+                ))
+            elif isinstance(instr, Load) and addr not in stored_so_far:
+                if addr >= span and addr not in ever_stored:
+                    uninit += 1
+                    out.append(diag(
+                        "OBL-W503",
+                        f"instr {idx} [{opcode}]: load of scratch cell "
+                        f"m[{addr}] which no store ever writes — it can "
+                        "only observe the engine zero-fill",
+                        program=name, index=idx, step=step,
+                        hint="replace the load with `Const 0` (saves one "
+                             "trace step) or fix the cell's address",
+                    ))
+                elif addr >= span:
+                    zero_fill += 1
+                    out.append(diag(
+                        "OBL-N601",
+                        f"instr {idx} [{opcode}]: load of scratch cell "
+                        f"m[{addr}] before its first store reads the "
+                        "zero-fill",
+                        program=name, index=idx, step=step,
+                    ))
+            if isinstance(instr, Store) and 0 <= addr < program.memory_words:
+                stored_so_far.add(addr)
+            step += 1
+        op = getattr(instr, "op", None)
+        if op in INT_ONLY_OPS and is_float:
+            out.append(diag(
+                "OBL-E104",
+                f"instr {idx} [{opcode}]: bitwise opcode in a "
+                f"{program.dtype} program",
+                program=name, index=idx,
+                hint="use an integer program dtype, or an arithmetic "
+                     "encoding of the predicate",
+            ))
+        rd = instruction_def(instr)
+        if rd is not None:
+            if not 0 <= rd < program.num_registers:
+                regs_ok = False
+                out.append(diag(
+                    "OBL-E102",
+                    f"instr {idx} [{opcode}]: destination r{rd} outside "
+                    f"the register file [0, {program.num_registers})",
+                    program=name, index=idx,
+                ))
+            else:
+                defined[rd] = True
+
+    # -- backward scan: dead loads and dead register code ---------------------
+    live: set = set()
+    dead_loads: List[int] = []
+    dead_code: List[int] = []
+    steps_before = _memory_step_index(program.instructions)
+    for idx in range(n - 1, -1, -1):
+        instr = program.instructions[idx]
+        rd = instruction_def(instr)
+        if isinstance(instr, Store):
+            needed = True
+        elif isinstance(instr, Load):
+            needed = rd in live
+            if not needed:
+                dead_loads.append(idx)
+        else:
+            needed = rd in live
+            if not needed:
+                dead_code.append(idx)
+        if needed:
+            if rd is not None:
+                live.discard(rd)
+            live.update(
+                r for r in instruction_uses(instr)
+                if 0 <= r < program.num_registers
+            )
+    for idx in reversed(dead_loads):
+        instr = program.instructions[idx]
+        out.append(diag(
+            "OBL-W501",
+            f"instr {idx} [{_opcode(instr)}]: loaded value in r"
+            f"{instr.rd} is never read — the access still costs one of "
+            f"the program's {program.trace_length} trace steps",
+            program=name, index=idx, step=steps_before[idx],
+            hint="optimize(level=2) removes dead loads",
+        ))
+    for idx in reversed(dead_code):
+        instr = program.instructions[idx]
+        out.append(diag(
+            "OBL-W504",
+            f"instr {idx} [{_opcode(instr)}]: result never reaches any "
+            "store",
+            program=name, index=idx,
+            hint="optimize(level=1) removes dead register code",
+        ))
+
+    # -- backward scan: dead (shadowed) stores --------------------------------
+    overwritten: set = set()
+    dead_stores: List[int] = []
+    for idx in range(n - 1, -1, -1):
+        instr = program.instructions[idx]
+        if isinstance(instr, Store):
+            if instr.addr in overwritten:
+                dead_stores.append(idx)
+            else:
+                overwritten.add(instr.addr)
+        elif isinstance(instr, Load):
+            overwritten.discard(instr.addr)
+    for idx in reversed(dead_stores):
+        instr = program.instructions[idx]
+        out.append(diag(
+            "OBL-W502",
+            f"instr {idx} [{_opcode(instr)}]: store to m[{instr.addr}] is "
+            "overwritten before any load observes it",
+            program=name, index=idx, step=steps_before[idx],
+            hint="optimize(level=2) removes shadowed stores",
+        ))
+
+    out.sort(key=lambda d: (d.index if d.index is not None else n, d.rule_id))
+
+    certificates: List[str] = []
+    if bounds_ok:
+        certificates.append(
+            f"in-bounds addressing: all {program.trace_length} memory "
+            f"accesses lie in [0, {program.memory_words})"
+        )
+    if regs_ok:
+        certificates.append(
+            f"register discipline: every operand in [0, "
+            f"{program.num_registers}) and defined before use"
+        )
+    if input_words is not None and uninit == 0:
+        certificates.append(
+            f"no uninitialized reads: every load beyond the {span}-word "
+            "input span is preceded by a store or reads the zero-fill "
+            "deliberately"
+        )
+    if not dead_loads and not dead_stores:
+        certificates.append(
+            "no dead accesses: every load is consumed and every store "
+            "observable"
+        )
+    return out, certificates
+
+
+def _memory_step_index(instructions) -> List[int]:
+    """``steps_before[i]`` = memory steps preceding instruction ``i`` —
+    i.e. the trace position of instruction ``i`` when it is a Load/Store."""
+    steps: List[int] = []
+    count = 0
+    for instr in instructions:
+        steps.append(count)
+        if isinstance(instr, (Load, Store)):
+            count += 1
+    return steps

@@ -54,7 +54,6 @@ def opt_loop(weights: np.ndarray) -> np.ndarray:
         m = [[0.0] * n for _ in range(n)]
         for i in range(n - 2, 0, -1):
             mi = m[i]
-            mi1 = m[i + 1]
             for j in range(i + 1, n):
                 s = INFINITY_WEIGHT
                 for k in range(i, j):

@@ -46,8 +46,8 @@ semantically, they just cost no data movement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -206,6 +206,7 @@ def compile_fused(
     mask2: np.ndarray,
     *,
     optimize_locals: bool = True,
+    verify: bool = False,
 ) -> FusedProgram:
     """Compile ``program`` into a fused step list over the given buffers.
 
@@ -214,6 +215,12 @@ def compile_fused(
     scratch rows (``mask2`` only used when a select's destination aliases
     its taken arm).  The buffers are captured by the returned closures, so
     the caller must keep reusing the same arrays across runs.
+
+    With ``verify``, the local-cleanup preamble is *proved* equivalent to
+    the input program (same final memory, identical access trace) by the
+    symbolic checker of :mod:`repro.analysis.lint.equiv` before fusion
+    proceeds; a failed proof raises
+    :class:`~repro.errors.EquivalenceError`.
     """
     instrs: List[Instruction] = list(program.instructions)
     if optimize_locals:
@@ -221,6 +228,21 @@ def compile_fused(
         # folding happens in the program dtype, so results stay bit-exact.
         instrs = fold_constants(instrs, program.dtype)
         instrs = eliminate_dead_code(instrs, remove_dead_loads=False)
+    if verify:
+        # Imported lazily: the linter imports this module via the engine.
+        from ..analysis.lint.equiv import prove_equivalent
+
+        prove_equivalent(
+            program,
+            Program(
+                instructions=tuple(instrs),
+                num_registers=program.num_registers,
+                memory_words=program.memory_words,
+                dtype=program.dtype,
+                name=f"{program.name}+fused-locals",
+            ),
+            require_same_trace=True,
+        )
 
     num_registers = program.num_registers
     next_use = _next_use_table(instrs, num_registers)

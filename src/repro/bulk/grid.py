@@ -16,7 +16,6 @@ execution on the resident machine; rounds serialise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 

@@ -13,6 +13,10 @@ checkpoint files.  Each family maps to a distinct process exit code via
 :func:`exit_code` so shell callers can branch on *what* failed without
 parsing stderr.
 
+The static analyzer (``repro.analysis.lint``) extends the program branch
+with :class:`EquivalenceError` — an optimisation pass failed its symbolic
+equivalence proof (the ``verify=True`` guard of ``optimize`` and fusion).
+
 The serving layer (``repro.serve``) adds the :class:`ServeError` branch:
 :class:`ServerOverloadedError` is the backpressure signal (a queue hit its
 bounded pending limit), :class:`RequestDeadlineError` marks a request whose
@@ -29,6 +33,7 @@ __all__ = [
     "ProgramError",
     "RegisterError",
     "AddressError",
+    "EquivalenceError",
     "ObliviousnessError",
     "ArrangementError",
     "ExecutionError",
@@ -66,6 +71,38 @@ class AddressError(ProgramError):
     """A memory operand falls outside the program's declared memory size."""
 
 
+class EquivalenceError(ProgramError):
+    """A transformation pass failed its static equivalence proof.
+
+    Raised by ``optimize(..., verify=True)`` and
+    ``compile_fused(..., verify=True)`` when the symbolic value-numbering
+    checker (:mod:`repro.analysis.lint.equiv`) cannot prove the rewritten
+    program computes the same final memory — i.e. the pass miscompiled.
+
+    Structured fields narrow the failure: ``kind`` is ``"memory"`` (a final
+    cell differs), ``"trace"`` (a trace-preserving pass changed ``a(i)``) or
+    ``"structure"`` (geometry/dtype mismatch); ``cell``/``step`` locate it;
+    ``expected``/``actual`` carry the rendered symbolic expressions.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "memory",
+        cell: int | None = None,
+        step: int | None = None,
+        expected: str | None = None,
+        actual: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.cell = cell
+        self.step = step
+        self.expected = expected
+        self.actual = actual
+
+
 class ObliviousnessError(ReproError):
     """An algorithm's address trace depends on its input data.
 
@@ -73,7 +110,28 @@ class ObliviousnessError(ReproError):
     address traces, and by the tracing converter when a Python algorithm
     branches on a data value (which cannot be expressed obliviously without
     a ``select``).
+
+    When the checker pinpoints a divergence, the structured fields carry
+    it: ``step`` is the first diverging trace index, ``reference_address``
+    and ``observed_address`` the two addresses touched there, and ``trial``
+    the random-input trial that exposed the divergence (``None`` when the
+    failure is not a step divergence, e.g. a length mismatch).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step: int | None = None,
+        reference_address: int | None = None,
+        observed_address: int | None = None,
+        trial: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.step = step
+        self.reference_address = reference_address
+        self.observed_address = observed_address
+        self.trial = trial
 
 
 class ArrangementError(ReproError, ValueError):
@@ -148,6 +206,7 @@ class RequestDeadlineError(ServeError):
 #: own code, not the generic ``CompileError`` one.  Code 2 is reserved for
 #: argparse usage errors; unknown ``ReproError`` subclasses fall back to 1.
 _EXIT_CODES: dict = {
+    "EquivalenceError": 18,
     "CompileTimeoutError": 11,
     "CacheCorruptionError": 12,
     "CheckpointError": 13,

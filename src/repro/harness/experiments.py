@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..algorithms.polygon import build_opt, unpack_result
+from ..algorithms.polygon import build_opt
 from ..algorithms.prefix_sums import build_prefix_sums
 from ..baselines.cpu import SequentialBaseline
 from ..bulk.engine import BulkExecutor

@@ -11,7 +11,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from ..errors import WorkloadError
 

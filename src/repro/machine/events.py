@@ -22,7 +22,6 @@ import numpy as np
 from ..errors import MachineConfigError
 from .params import MachineParams
 from .simulator import MemoryMachineSimulator
-from .umm import UMM
 
 __all__ = ["WarpEvent", "EventLog", "EventSimulator"]
 

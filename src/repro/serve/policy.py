@@ -26,7 +26,7 @@ benchmarks compare against).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple, Union
+from typing import Dict, Union
 
 from ..errors import ServeError
 from ..machine.analytic import bulk_batch_time

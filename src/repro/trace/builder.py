@@ -24,7 +24,7 @@ immutable :class:`~repro.trace.ir.Program`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 import numpy as np
 

@@ -88,7 +88,8 @@ def check_python_oblivious(
             raise ObliviousnessError(
                 f"trial {trial}: trace length {trace.size} differs from the "
                 f"reference length {reference.size} — running time depends on "
-                "the input"
+                "the input",
+                trial=trial,
             )
         diff = np.nonzero(trace != reference)[0]
         if diff.size:
@@ -96,14 +97,27 @@ def check_python_oblivious(
             raise ObliviousnessError(
                 f"trial {trial}: address trace diverges at step {i}: "
                 f"a({i}) = {int(reference[i])} on the reference input but "
-                f"{int(trace[i])} here — the algorithm is not oblivious"
+                f"{int(trace[i])} here — the algorithm is not oblivious",
+                step=i,
+                reference_address=int(reference[i]),
+                observed_address=int(trace[i]),
+                trial=trial,
             )
         kind_diff = np.nonzero(writes != ref_writes)[0]
         if kind_diff.size:
             i = int(kind_diff[0])
+            assert ref_writes is not None
+            ref_kind = "write" if ref_writes[i] else "read"
+            obs_kind = "write" if writes[i] else "read"
             raise ObliviousnessError(
-                f"trial {trial}: access kind diverges at step {i} "
-                "(read on one input, write on another)"
+                f"trial {trial}: access kind diverges at step {i}: "
+                f"a({i}) = {int(reference[i])} is a {ref_kind} on the "
+                f"reference input but address {int(trace[i])} is a "
+                f"{obs_kind} here",
+                step=i,
+                reference_address=int(reference[i]),
+                observed_address=int(trace[i]),
+                trial=trial,
             )
     assert reference is not None
     return ObliviousnessReport(

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ExecutionError
-from .ir import Binary, Const, Instruction, Load, Program, Select, Store, Unary
+from .ir import Binary, Const, Load, Program, Select, Store, Unary
 from .ops import BINARY_UFUNCS, UNARY_UFUNCS
 
 __all__ = ["run_sequential", "SequentialResult"]

@@ -212,43 +212,56 @@ class Program:
         return (i for i in self.instructions if isinstance(i, _MEMORY_INSTRS))
 
     # -- introspection ---------------------------------------------------------
+    def _opcode(self, instr: Instruction) -> str:
+        op = getattr(instr, "op", None)
+        kind = type(instr).__name__
+        return f"{kind}.{op.value}" if op is not None else kind
+
     def validate(self) -> None:
         """Structural validation; raises on the first defect.
 
         Checks register ranges, address bounds, dtype compatibility of
-        bitwise opcodes, and def-before-use of every register.
+        bitwise opcodes, and def-before-use of every register.  Every
+        message names the program, the instruction index and opcode, and
+        the offending register or memory cell, so a failure inside a long
+        generated program is locatable without a debugger.
         """
         from .ops import require_dtype_supports  # local import avoids cycle
 
         defined = np.zeros(self.num_registers, dtype=bool)
         for idx, instr in enumerate(self.instructions):
+            where = f"{self.name}: instr {idx} [{self._opcode(instr)}] ({instr})"
             for r in instruction_uses(instr):
                 if not 0 <= r < self.num_registers:
                     raise RegisterError(
-                        f"instr {idx} ({instr}): register r{r} out of range "
-                        f"[0, {self.num_registers})"
+                        f"{where}: register operand r{r} out of range "
+                        f"[0, {self.num_registers}) — the register file has "
+                        f"{self.num_registers} slots"
                     )
                 if not defined[r]:
                     raise RegisterError(
-                        f"instr {idx} ({instr}): register r{r} used before "
-                        "definition"
+                        f"{where}: register r{r} used before definition — no "
+                        f"earlier instruction writes r{r}"
                     )
             if isinstance(instr, (Load, Store)):
                 if not 0 <= instr.addr < self.memory_words:
                     raise AddressError(
-                        f"instr {idx} ({instr}): address {instr.addr} out of "
-                        f"range [0, {self.memory_words})"
+                        f"{where}: memory cell m[{instr.addr}] out of range "
+                        f"[0, {self.memory_words}) — the program declares "
+                        f"{self.memory_words} words per input"
                     )
-            if isinstance(instr, Binary):
-                require_dtype_supports(instr.op, self.dtype)
-            if isinstance(instr, Unary):
-                require_dtype_supports(instr.op, self.dtype)
+            if isinstance(instr, (Binary, Unary)):
+                try:
+                    require_dtype_supports(instr.op, self.dtype)
+                except ProgramError as exc:
+                    raise ProgramError(f"{where}: {exc}") from None
             rd = instruction_def(instr)
             if rd is not None:
                 if not 0 <= rd < self.num_registers:
                     raise RegisterError(
-                        f"instr {idx} ({instr}): destination r{rd} out of range "
-                        f"[0, {self.num_registers})"
+                        f"{where}: destination r{rd} out of range "
+                        f"[0, {self.num_registers}) — the register file has "
+                        f"{self.num_registers} slots"
                     )
                 defined[rd] = True
 

@@ -184,11 +184,19 @@ def eliminate_dead_stores(instrs: List[Instruction]) -> List[Instruction]:
     return [instr for idx, instr in enumerate(instrs) if keep[idx]]
 
 
-def optimize(program: Program, *, level: int = 1) -> Program:
+def optimize(program: Program, *, level: int = 1, verify: bool = False) -> Program:
     """Apply the optimisation pipeline; returns a new validated program.
 
     ``level=1`` preserves the access trace exactly; ``level=2`` may shorten
     it (see the module docstring).  Raises for other levels.
+
+    With ``verify``, the result is *proved* equivalent to the input by the
+    symbolic value-numbering checker (:mod:`repro.analysis.lint.equiv`)
+    before being returned — every final memory cell must denote the same
+    exact function of the initial memory, and at level 1 the access trace
+    must additionally be unchanged.  A failed proof raises
+    :class:`~repro.errors.EquivalenceError`; the guard turns a silent
+    miscompilation into a build-time error.
     """
     if level not in (1, 2):
         raise ProgramError(f"unknown optimisation level {level}; expected 1 or 2")
@@ -219,4 +227,9 @@ def optimize(program: Program, *, level: int = 1) -> Program:
         meta=dict(program.meta),
     )
     optimized.validate()
+    if verify:
+        # Imported lazily: the linter sits above the trace layer.
+        from ..analysis.lint.equiv import prove_equivalent
+
+        prove_equivalent(program, optimized, require_same_trace=(level == 1))
     return optimized

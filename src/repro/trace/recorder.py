@@ -12,7 +12,7 @@ fancy indexing would hide the per-access order the UMM model prices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Sequence
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Matrix-chain DP: reference vs exhaustive parenthesisations and IR."""
 
-import itertools
 
 import numpy as np
 import pytest

@@ -16,7 +16,6 @@ from repro.algorithms.pascal import (
 )
 from repro.algorithms.string_match import (
     build_string_match,
-    count_address,
     pack_strings,
     string_match_python,
     string_match_reference,

@@ -16,7 +16,6 @@ from repro.algorithms.fft import (
     unpack_complex,
 )
 from repro.algorithms.stencil import (
-    DEFAULT_ALPHA,
     build_jacobi,
     jacobi_python,
     jacobi_reference,

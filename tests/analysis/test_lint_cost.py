@@ -1,0 +1,143 @@
+"""Static cost certification: derived span tables vs machine.analytic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lint import certify_cost, derive_span_table
+from repro.bulk.arrangement import ColumnWise, PaddedRowWise, RowWise
+from repro.machine.params import MachineParams
+from repro.trace.ir import Binary, Load, Program, Store
+from repro.trace.ops import BinaryOp
+
+PARAMS = MachineParams(p=8, w=4, l=2)
+
+
+def make_program(words=8):
+    return Program(
+        instructions=(
+            Load(0, 0), Load(1, 1),
+            Binary(BinaryOp.ADD, 2, 0, 1), Store(2, 2),
+        ),
+        num_registers=4, memory_words=words, dtype=np.dtype(np.float64),
+        name="cost-probe",
+    )
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestDeriveSpanTable:
+    def test_column_umm_is_flat_optimal(self):
+        arr = ColumnWise(8, PARAMS.p)
+        period, table = derive_span_table(PARAMS, arr, "UMM")
+        assert period == 1
+        assert table[0] == PARAMS.num_warps  # p/w — Theorem 3's optimum
+
+    def test_column_dmm_is_conflict_free(self):
+        arr = ColumnWise(8, PARAMS.p)
+        period, table = derive_span_table(PARAMS, arr, "DMM")
+        assert period == 1 and table[0] == PARAMS.num_warps
+
+    def test_row_umm_scatters_address_groups(self):
+        # stride 8 = 2w: each thread of a warp hits its own aligned group.
+        arr = RowWise(8, PARAMS.p)
+        period, table = derive_span_table(PARAMS, arr, "UMM")
+        assert int(table.max()) == PARAMS.p  # w groups per warp, per warp
+
+    def test_row_dmm_full_bank_conflicts(self):
+        # stride 8 ≡ 0 (mod w): a warp's addresses all land in one bank.
+        arr = RowWise(8, PARAMS.p)
+        _, table = derive_span_table(PARAMS, arr, "DMM")
+        assert int(table.max()) == PARAMS.p
+
+    def test_padded_row_dmm_is_conflict_free(self):
+        # stride 9 coprime to w=4: banks are a permutation per warp.
+        arr = PaddedRowWise(8, PARAMS.p, pad=1)
+        period, table = derive_span_table(PARAMS, arr, "DMM")
+        assert int(table.max()) == PARAMS.num_warps
+
+    def test_unknown_machine_kind_rejected(self):
+        from repro.errors import MachineConfigError
+        with pytest.raises(MachineConfigError):
+            derive_span_table(PARAMS, ColumnWise(8, PARAMS.p), "QMM")
+
+
+class TestCertifyCost:
+    def test_column_umm_certifies_clean(self):
+        cert, diags, certs = certify_cost(make_program(), PARAMS)
+        assert diags == []
+        assert cert is not None
+        assert cert.machine_kind == "UMM" and cert.arrangement == "column"
+        assert cert.coalesced_fraction == 1.0
+        assert cert.excess_stages == 0
+        # t=3 steps, each p/w stages + (l-1) latency.
+        assert cert.total_time == 3 * (PARAMS.num_warps + PARAMS.l - 1)
+        assert any("cost table certified" in c for c in certs)
+        assert any("perfect coalescing" in c for c in certs)
+
+    def test_row_umm_warns_with_column_hint(self):
+        cert, diags, _ = certify_cost(
+            make_program(), PARAMS, arrangement="row", machine="umm"
+        )
+        assert rules_of(diags) == ["OBL-W401"]
+        assert "column-wise" in diags[0].hint
+        assert cert.coalesced_fraction < 1.0
+        assert cert.excess_stages > 0
+
+    def test_row_dmm_warns_with_gcd_padding_hint(self):
+        _, diags, _ = certify_cost(
+            make_program(), PARAMS, arrangement="row", machine="dmm"
+        )
+        assert rules_of(diags) == ["OBL-W401"]
+        hint = diags[0].hint
+        assert "gcd 4" in hint and "pad" in hint
+
+    def test_padded_row_dmm_clean(self):
+        cert, diags, certs = certify_cost(
+            make_program(), PARAMS, arrangement="padded-row", machine="dmm"
+        )
+        assert diags == []
+        assert cert.coalesced_fraction == 1.0
+        assert any("perfect coalescing" in c for c in certs)
+
+    def test_custom_arrangement_skips_with_note(self):
+        class Custom(RowWise):
+            name = "custom"
+
+        cert, diags, certs = certify_cost(
+            make_program(), PARAMS, arrangement=Custom(8, PARAMS.p)
+        )
+        assert cert is None
+        assert rules_of(diags) == ["OBL-N602"]
+        assert certs == []
+
+    def test_worst_steps_are_stable_and_bounded(self):
+        cert, _, _ = certify_cost(
+            make_program(), PARAMS, arrangement="row", machine="umm"
+        )
+        worst = cert.worst_steps(2)
+        assert len(worst) == 2
+        assert all(s >= PARAMS.num_warps for _, s in worst)
+
+
+class TestCrossCheckTripwire:
+    def test_analytic_disagreement_is_E401(self, monkeypatch):
+        """If the closed forms ever drift from the definitions, the
+        cross-check must fail loudly rather than price with either table."""
+        import repro.analysis.lint.cost as cost_mod
+
+        class WrongKernel:
+            period = 1
+
+            def step_stages(self, local):
+                return 10_000  # nothing costs this
+
+        monkeypatch.setattr(
+            cost_mod, "analytic_kernel", lambda arr, sim: WrongKernel()
+        )
+        cert, diags, certs = cost_mod.certify_cost(make_program(), PARAMS)
+        assert "OBL-E401" in rules_of(diags)
+        assert not any("certified" in c for c in certs)
+        # The certificate still prices with the *derived* table.
+        assert cert is not None and cert.coalesced_fraction == 1.0

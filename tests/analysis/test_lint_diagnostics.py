@@ -1,0 +1,151 @@
+"""The diagnostics framework: severities, reports, renderers, the catalog."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    SARIF_VERSION,
+    Diagnostic,
+    LintReport,
+    Severity,
+    all_rules,
+    diag,
+    get_rule,
+    render_text,
+    to_json_doc,
+    to_sarif_doc,
+)
+
+
+class TestSeverity:
+    def test_ordering_picks_worst(self):
+        assert max([Severity.NOTE, Severity.ERROR, Severity.WARNING]) \
+            is Severity.ERROR
+        assert Severity.WARNING > Severity.NOTE
+
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.NOTE.sarif_level == "note"
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestRuleCatalog:
+    def test_ids_unique_and_sorted(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_every_rule_prefixed_and_described(self):
+        for rule in all_rules():
+            assert rule.id.startswith("OBL-")
+            assert rule.summary and rule.description
+            # E rules default to ERROR, W to WARNING, N to NOTE.
+            family = rule.id[4]
+            want = {"E": Severity.ERROR, "W": Severity.WARNING,
+                    "N": Severity.NOTE}[family]
+            assert rule.severity is want
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError, match="OBL-E101"):
+            get_rule("OBL-X999")
+
+    def test_diag_uses_catalog_severity(self):
+        d = diag("OBL-W501", "msg", program="p", index=3)
+        assert d.severity is Severity.WARNING
+        assert d.rule_id == "OBL-W501"
+
+    def test_diag_severity_override(self):
+        d = diag("OBL-W501", "msg", severity=Severity.ERROR)
+        assert d.severity is Severity.ERROR
+
+
+class TestDiagnostic:
+    def test_render_carries_anchors_and_hint(self):
+        d = Diagnostic(
+            rule_id="OBL-E101", severity=Severity.ERROR, message="boom",
+            program="prog", index=7, step=3, hint="fix it",
+        )
+        text = d.render()
+        assert "[OBL-E101]" in text and "@instr 7" in text
+        assert "(step 3)" in text and "hint: fix it" in text
+
+    def test_as_dict_omits_absent_fields(self):
+        d = Diagnostic(rule_id="OBL-N601", severity=Severity.NOTE, message="m")
+        doc = d.as_dict()
+        assert "index" not in doc and "hint" not in doc
+        assert doc["severity"] == "note"
+
+
+class TestLintReport:
+    def _report(self):
+        return LintReport(
+            program="p",
+            diagnostics=(
+                diag("OBL-E101", "e", program="p"),
+                diag("OBL-W501", "w", program="p"),
+                diag("OBL-W502", "w2", program="p"),
+                diag("OBL-N601", "n", program="p"),
+            ),
+            certificates=("proved something",),
+        )
+
+    def test_counts_and_worst(self):
+        rep = self._report()
+        assert (rep.errors, rep.warnings, rep.notes) == (1, 2, 1)
+        assert rep.worst is Severity.ERROR
+        assert not rep.ok
+
+    def test_clean_report(self):
+        rep = LintReport(program="p")
+        assert rep.ok and rep.worst is None
+
+    def test_at_least_filters(self):
+        rep = self._report()
+        assert len(rep.at_least(Severity.WARNING)) == 3
+        assert len(rep.at_least(Severity.ERROR)) == 1
+
+
+class TestRenderers:
+    def test_text_lists_findings_and_certificates(self):
+        text = render_text([TestLintReport()._report()])
+        assert "== p:" in text and "[OBL-E101]" in text
+        assert "proved: proved something" in text
+        assert "1 errors, 2 warnings, 1 notes" in text
+
+    def test_text_quiet_hides_certificates(self):
+        text = render_text([TestLintReport()._report()], verbose=False)
+        assert "proved" not in text
+
+    def test_json_doc_is_serialisable_and_summed(self):
+        doc = to_json_doc([TestLintReport()._report(), LintReport(program="q")])
+        json.dumps(doc)  # no exotic types
+        assert doc["format"] == "repro-lint-report"
+        assert doc["summary"] == {"errors": 1, "warnings": 2, "notes": 1}
+        assert len(doc["programs"]) == 2
+
+    def test_sarif_doc_structure(self):
+        doc = to_sarif_doc([TestLintReport()._report()])
+        json.dumps(doc)
+        assert doc["version"] == SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        results = run["results"]
+        assert len(results) == 4
+        first = results[0]
+        assert first["ruleId"] == "OBL-E101"
+        assert first["level"] == "error"
+        loc = first["locations"][0]["logicalLocations"][0]
+        assert loc["name"] == "p"
+        # Rule metadata restricted to the rules actually fired.
+        meta_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert meta_ids == {"OBL-E101", "OBL-W501", "OBL-W502", "OBL-N601"}
+
+    def test_sarif_clean_run_embeds_full_catalog(self):
+        doc = to_sarif_doc([LintReport(program="clean")])
+        meta_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert meta_ids == set(RULES)

@@ -1,0 +1,139 @@
+"""The abstract-interpretation rules over memory cells and registers."""
+
+import numpy as np
+
+from repro.analysis.lint import check_memory
+from repro.trace.ir import Binary, Const, Load, Program, Select, Store, Unary
+from repro.trace.ops import BinaryOp, UnaryOp
+
+
+def make(instrs, regs=4, words=8, dtype=np.float64, name="t"):
+    return Program(
+        instructions=tuple(instrs), num_registers=regs, memory_words=words,
+        dtype=np.dtype(dtype), name=name,
+    )
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestStructuralRules:
+    def test_clean_program_certifies(self):
+        prog = make([Load(0, 0), Const(1, 2.0),
+                     Binary(BinaryOp.ADD, 2, 0, 1), Store(1, 2)])
+        diags, certs = check_memory(prog, input_words=1)
+        assert diags == []
+        assert any("in-bounds" in c for c in certs)
+        assert any("register discipline" in c for c in certs)
+        assert any("no uninitialized reads" in c for c in certs)
+        assert any("no dead accesses" in c for c in certs)
+
+    def test_oob_address_E101(self):
+        prog = make([Const(0, 1.0), Store(8, 0)], words=8)
+        diags, _ = check_memory(prog)
+        assert "OBL-E101" in rules_of(diags)
+        d = next(d for d in diags if d.rule_id == "OBL-E101")
+        assert d.index == 1 and d.step == 0
+        assert "8" in d.message
+
+    def test_negative_address_E101(self):
+        diags, _ = check_memory(make([Load(0, -1), Store(0, 0)]))
+        assert "OBL-E101" in rules_of(diags)
+
+    def test_register_out_of_range_E102(self):
+        diags, _ = check_memory(make([Const(9, 1.0)], regs=4))
+        assert "OBL-E102" in rules_of(diags)
+
+    def test_use_before_def_E103(self):
+        diags, _ = check_memory(make([Store(0, 2)]))
+        assert "OBL-E103" in rules_of(diags)
+        assert "before" in diags[0].message
+
+    def test_bitwise_on_float_E104(self):
+        prog = make([Const(0, 1.0), Const(1, 2.0),
+                     Binary(BinaryOp.AND, 2, 0, 1), Store(0, 2)])
+        diags, _ = check_memory(prog)
+        assert "OBL-E104" in rules_of(diags)
+
+    def test_bitwise_on_int_is_fine(self):
+        prog = make([Const(0, 1), Const(1, 2),
+                     Binary(BinaryOp.AND, 2, 0, 1), Store(0, 2)],
+                    dtype=np.int64)
+        diags, _ = check_memory(prog)
+        assert "OBL-E104" not in rules_of(diags)
+
+
+class TestDeadWorkRules:
+    def test_dead_load_W501(self):
+        # r0 loaded then immediately overwritten, never read.
+        prog = make([Load(0, 0), Const(0, 1.0), Store(1, 0)])
+        diags, certs = check_memory(prog)
+        assert rules_of(diags) == ["OBL-W501"]
+        assert diags[0].index == 0
+        assert not any("no dead accesses" in c for c in certs)
+
+    def test_dead_store_W502(self):
+        prog = make([Const(0, 1.0), Store(0, 0), Const(1, 2.0), Store(0, 1)])
+        diags, _ = check_memory(prog)
+        assert rules_of(diags) == ["OBL-W502"]
+        assert diags[0].index == 1
+
+    def test_store_read_before_overwrite_is_live(self):
+        prog = make([Const(0, 1.0), Store(0, 0), Load(1, 0),
+                     Store(1, 1), Const(2, 0.0), Store(0, 2)])
+        diags, _ = check_memory(prog)
+        assert "OBL-W502" not in rules_of(diags)
+
+    def test_dead_register_code_W504(self):
+        prog = make([Const(0, 1.0), Unary(UnaryOp.NEG, 1, 0), Store(0, 0)])
+        diags, _ = check_memory(prog)
+        assert "OBL-W504" in rules_of(diags)
+
+    def test_select_consumption_keeps_operands_live(self):
+        prog = make([Load(0, 0), Load(1, 1), Load(2, 2),
+                     Select(3, 0, 1, 2), Store(3, 3)])
+        diags, _ = check_memory(prog, input_words=8)
+        assert diags == []
+
+
+class TestInitialisationRules:
+    def test_uninit_scratch_read_W503(self):
+        # Cell 5 is beyond the 2-word input span and never stored.
+        prog = make([Load(0, 5), Store(0, 0)], words=8)
+        diags, _ = check_memory(prog, input_words=2)
+        assert "OBL-W503" in rules_of(diags)
+
+    def test_zero_fill_read_N601(self):
+        # Cell 5 is stored *later*, so the early load reads the zero-fill.
+        prog = make([Load(0, 5), Store(0, 0), Const(1, 1.0), Store(5, 1)],
+                    words=8)
+        diags, _ = check_memory(prog, input_words=2)
+        assert "OBL-N601" in rules_of(diags)
+        assert "OBL-W503" not in rules_of(diags)
+
+    def test_input_span_reads_are_clean(self):
+        prog = make([Load(0, 1), Store(2, 0)], words=8)
+        diags, _ = check_memory(prog, input_words=2)
+        assert diags == []
+
+    def test_without_span_rules_are_off(self):
+        prog = make([Load(0, 5), Store(0, 0)], words=8)
+        diags, certs = check_memory(prog)  # input_words omitted
+        assert "OBL-W503" not in rules_of(diags)
+        assert not any("uninitialized" in c for c in certs)
+
+
+class TestReportShape:
+    def test_all_findings_reported_not_just_first(self):
+        prog = make([Store(0, 9), Load(1, 99)], regs=4, words=8)
+        diags, _ = check_memory(prog)
+        # One E102 (r9), one E101 (addr 99), one W501 (dead load r1).
+        assert set(rules_of(diags)) >= {"OBL-E102", "OBL-E101"}
+        assert len(diags) >= 2
+
+    def test_sorted_by_instruction(self):
+        prog = make([Load(0, 99), Store(0, 9)], regs=4, words=8)
+        diags, _ = check_memory(prog)
+        indices = [d.index for d in diags if d.index is not None]
+        assert indices == sorted(indices)

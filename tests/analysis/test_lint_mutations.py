@@ -1,0 +1,148 @@
+"""Mutation testing of the lint stack.
+
+Each test corrupts a known-good program in one specific way — the classes
+of miscompilation the verifier exists to catch — and asserts the expected
+rule fires.  A linter that misses its own threat model is decoration; this
+file is the evidence it is not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.analysis.lint import check_memory, lint_program, prove_equivalent
+from repro.errors import EquivalenceError
+from repro.trace.ir import Binary, Const, Load, Program, Select, Store
+from repro.trace.ops import BinaryOp
+
+
+def reference():
+    """min and sum of two inputs — exercises Select, Binary, two stores."""
+    return Program(
+        instructions=(
+            Load(0, 0),
+            Load(1, 1),
+            Binary(BinaryOp.LT, 2, 0, 1),
+            Select(3, 2, 0, 1),
+            Store(2, 3),
+            Binary(BinaryOp.ADD, 3, 0, 1),
+            Store(3, 3),
+        ),
+        num_registers=4, memory_words=4, dtype=np.dtype(np.float64),
+        name="mutation-reference",
+    )
+
+
+def mutate(prog, index, replacement=None):
+    """Replace (or, with ``replacement=None``, delete) one instruction."""
+    instrs = list(prog.instructions)
+    if replacement is None:
+        del instrs[index]
+    else:
+        instrs[index] = replacement
+    return Program(
+        instructions=tuple(instrs), num_registers=prog.num_registers,
+        memory_words=prog.memory_words, dtype=prog.dtype,
+        name=prog.name + "+mutant",
+    )
+
+
+def insert(prog, index, instr):
+    instrs = list(prog.instructions)
+    instrs.insert(index, instr)
+    return Program(
+        instructions=tuple(instrs), num_registers=prog.num_registers,
+        memory_words=prog.memory_words, dtype=prog.dtype,
+        name=prog.name + "+mutant",
+    )
+
+
+def equivalence_rule(ref, mutant, *, same_trace=True):
+    """The rule `check_passes` would assign to this corruption, or None."""
+    try:
+        prove_equivalent(ref, mutant, require_same_trace=same_trace)
+    except EquivalenceError as exc:
+        return "OBL-E202" if exc.kind == "trace" else "OBL-E201"
+    return None
+
+
+class TestMutationClasses:
+    def test_oob_store_caught_as_E101(self):
+        # Class 1: a store escapes the program's memory.
+        mutant = mutate(reference(), 4, Store(9, 3))
+        report = lint_program(mutant)
+        rules = [d.rule_id for d in report.diagnostics]
+        assert "OBL-E101" in rules
+        # Structural errors short-circuit the deeper analyses, loudly.
+        assert "OBL-N602" in rules
+        assert not report.ok
+
+    def test_swapped_select_operands_caught_as_E201(self):
+        # Class 2: Select arms exchanged — max computed where min expected.
+        mutant = mutate(reference(), 3, Select(3, 2, 1, 0))
+        assert equivalence_rule(reference(), mutant) == "OBL-E201"
+
+    def test_dropped_store_caught_as_E201(self):
+        # Class 3: an output cell silently never written.
+        mutant = mutate(reference(), 4, None)
+        assert equivalence_rule(reference(), mutant) == "OBL-E201"
+
+    def test_reordered_loads_caught_as_E202(self):
+        # Class 4: same final memory, different access order — breaks the
+        # trace contract every cost result is priced on.
+        ref = reference()
+        instrs = list(ref.instructions)
+        instrs[0], instrs[1] = instrs[1], instrs[0]
+        mutant = mutate(mutate(ref, 0, instrs[0]), 1, instrs[1])
+        assert equivalence_rule(ref, mutant, same_trace=False) is None
+        assert equivalence_rule(ref, mutant, same_trace=True) == "OBL-E202"
+
+    def test_resurrected_dead_store_caught_as_W502(self):
+        # Class 5: a shadowed store reappears (e.g. a broken DSE rollback).
+        mutant = insert(reference(), 4, Store(2, 0))
+        diags, _ = check_memory(mutant)
+        assert "OBL-W502" in [d.rule_id for d in diags]
+        # It also perturbs the trace, so the pass proof refuses it too.
+        assert equivalence_rule(reference(), mutant) == "OBL-E202"
+
+    def test_wrong_fold_constant_caught_as_E201(self):
+        # Class 6: a "fold" substitutes the wrong constant.
+        mutant = mutate(reference(), 5, Const(3, 42.0))
+        assert equivalence_rule(reference(), mutant) == "OBL-E201"
+
+    def test_injected_dead_load_caught_as_W501(self):
+        # Class 7: a load whose value nothing consumes pads the trace.
+        mutant = insert(reference(), 7, Load(3, 0))
+        diags, _ = check_memory(mutant)
+        assert "OBL-W501" in [d.rule_id for d in diags]
+        assert equivalence_rule(reference(), mutant) == "OBL-E202"
+
+
+class TestRegistryMutations:
+    """The same classes against a real registry program."""
+
+    @pytest.fixture()
+    def program(self):
+        spec = get_spec("prefix-sums")
+        return spec.build(spec.sizes[0])
+
+    def test_dropped_final_store(self, program):
+        stores = [i for i, ins in enumerate(program.instructions)
+                  if isinstance(ins, Store)]
+        mutant = mutate(program, stores[-1], None)
+        assert equivalence_rule(program, mutant) == "OBL-E201"
+
+    def test_address_off_by_one(self, program):
+        stores = [i for i, ins in enumerate(program.instructions)
+                  if isinstance(ins, Store)]
+        idx = stores[-1]
+        st = program.instructions[idx]
+        shifted = Store(st.addr - 1, st.rs)
+        mutant = mutate(program, idx, shifted)
+        # Wrong cell written (and the right one not): memory inequivalence.
+        assert equivalence_rule(program, mutant) == "OBL-E201"
+
+    def test_clean_program_fires_nothing(self, program):
+        assert equivalence_rule(program, program) is None
+        report = lint_program(program)
+        assert report.errors == 0

@@ -6,7 +6,6 @@ import pytest
 from repro.algorithms.prefix_sums import prefix_sums_python
 from repro.bulk import bulk_run
 from repro.bulk.convert import (
-    SymbolicMemory,
     convert,
     convert_and_check,
     equal,

@@ -1,6 +1,5 @@
 """Quick-mode experiment runs: structure, shapes, and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.harness.__main__ import main
@@ -73,8 +72,6 @@ class TestFig12:
         """Doubling small p must grow the bulk time sublinearly (the flat
         region of the paper's log-log plots).  Averaged geometrically over
         the first doublings to ride out single-point timing noise."""
-        import math
-
         for name, col in fig12.series.items():
             if not name.endswith("/col") or len(col.times) < 3:
                 continue

@@ -7,7 +7,6 @@ and slope ``t/w`` to machine precision — tying together the simulator, the
 closed forms, and the paper-style fitting machinery in one assertion.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms.prefix_sums import build_prefix_sums

@@ -200,3 +200,45 @@ class TestServeCli:
         out = capsys.readouterr().out
         assert "fixed(4)" in out
         assert "single-lane" not in out
+
+
+class TestLint:
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["lint", "prefix-sums", "4", "--p", "8", "--w", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "proved:" in out and "0 errors" in out
+
+    def test_warned_program_exit_depends_on_threshold(self, capsys):
+        args = ["lint", "xtea", "4", "--p", "8", "--w", "4", "--quiet"]
+        assert main(args) == 0  # warnings don't fail by default
+        assert main(args + ["--fail-on", "warning"]) == 4
+        assert "OBL-W502" in capsys.readouterr().out
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.sarif"
+        assert main([
+            "lint", "prefix-sums", "4", "--p", "8", "--w", "4",
+            "--format", "sarif", "--output", str(out_file),
+        ]) == 0
+        assert "linted 1 program(s)" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "opt", "8", "--p", "8", "--w", "4",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-lint-report"
+        assert doc["programs"][0]["program"].startswith("opt")
+
+    def test_all_sweeps_registry_error_clean(self, capsys):
+        # The PR's acceptance bar: no errors anywhere in the registry.
+        assert main(["lint", "--all", "--p", "8", "--w", "4", "--quiet",
+                     "--no-codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_missing_algorithm_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "--all" in capsys.readouterr().err

@@ -1,11 +1,9 @@
 """Program composition: concat_programs as a staged-construction tool."""
 
 import numpy as np
-import pytest
 
 from repro.bulk import bulk_run, simulate_bulk
-from repro.errors import ProgramError
-from repro.machine import MachineParams, UMM
+from repro.machine import MachineParams
 from repro.trace import ProgramBuilder, concat_programs, run_sequential
 
 

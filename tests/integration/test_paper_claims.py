@@ -5,7 +5,6 @@ acceptance suite: Lemma 1, Theorem 2, Theorem 3, Lemma 4, Corollary 5, and
 the qualitative Figure 11/12 shapes.
 """
 
-import numpy as np
 import pytest
 
 from repro.algorithms.polygon import build_opt

@@ -2,7 +2,6 @@
 trace additivity, and the Figure-1 preset geometry."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

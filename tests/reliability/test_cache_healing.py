@@ -147,7 +147,6 @@ class TestRetriesAndTimeout:
             message="permanent failure",
         )
         with plan.active():
-            ex = None
             with pytest.raises(CompileError, match="permanent failure"):
                 BulkExecutor(program, 6, backend="native")
         # 1 + 1 retry per flag-set; compile_bulk tries native flags then
@@ -201,7 +200,7 @@ class TestSizeCap:
 
         program_a = get_spec("prefix-sums").build(4)
         program_b = get_spec("prefix-sums").build(8)
-        ex_a = BulkExecutor(program_a, 4, backend="native")
+        _ex_a = BulkExecutor(program_a, 4, backend="native")  # populates the cache
         entry_a = _sole_entry()
         # Backdate A so it is unambiguously the LRU victim.
         old = time.time() - 3600

@@ -1,7 +1,6 @@
 """SweepCheckpoint: atomicity, resume semantics, corruption handling."""
 
 import json
-import os
 
 import pytest
 

@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import CompileError, ExecutionError
-from repro.reliability import (
-    FaultPlan,
-    FaultRule,
-    clear_plan,
-    current_plan,
-    fire,
-    inject,
-)
+from repro.reliability import FaultPlan, FaultRule, current_plan, fire, inject
 
 
 class TestScoping:

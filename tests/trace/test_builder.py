@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ObliviousnessError, ProgramError
-from repro.trace import BinaryOp, ProgramBuilder, UnaryOp, run_sequential
+from repro.trace import ProgramBuilder, run_sequential
 
 
 def run(builder, inp=None):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ExecutionError
 from repro.trace import ProgramBuilder, run_sequential, run_sequential_batch
-from repro.trace.interpreter import SequentialResult
 
 
 def build_prefix(n):
