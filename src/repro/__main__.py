@@ -264,9 +264,13 @@ def cmd_serve(args) -> int:
         print(
             "repro serve currently ships the self-driving benchmark only; "
             "run with --bench (the serving API itself is `repro.serve."
-            "BulkServer` — see docs/SERVING.md)."
+            "BulkServer` / `repro.serve.ShardedServer` — see "
+            "docs/SERVING.md)."
         )
         return 0
+
+    if args.shards > 0:
+        return _serve_bench_sharded(args)
 
     workload, n = args.workload, args.n
     policy = make_policy(args.policy, w=args.warp, l=args.l)
@@ -332,9 +336,97 @@ def cmd_serve(args) -> int:
         if len(reports) == 2 and reports[1].throughput_rps > 0:
             ratio = reports[0].throughput_rps / reports[1].throughput_rps
             print(f"batched throughput = {ratio:.1f}x single-lane dispatch")
+        if args.json is not None:
+            from .harness.trajectory import bench_record, write_bench
+
+            records = [bench_record(
+                bench="serving", workload=workload, n=n,
+                p=config.max_batch, backend=config.backend, shards=0,
+                method=f"{args.mode}-loop:{r.label}", seconds=args.duration,
+                throughput_rps=r.throughput_rps,
+            ) for r in reports]
+            if len(reports) == 2 and reports[1].throughput_rps > 0:
+                records[0]["derived_x"] = (
+                    reports[0].throughput_rps / reports[1].throughput_rps
+                )
+            write_bench(args.json, records)
+            print(f"wrote {len(records)} trajectory record(s) to {args.json}")
         return 0
 
     return asyncio.run(bench())
+
+
+def _serve_bench_sharded(args) -> int:
+    """``repro serve --shards N --bench``: sharded vs one-shard capacity."""
+    import asyncio
+    import os
+
+    from .serve import ShardConfig, ShardedServer, closed_loop, input_pool, render_reports
+
+    workload, n = args.workload, args.n
+
+    def config(shards: int) -> ShardConfig:
+        return ShardConfig(
+            shards=shards,
+            slots=args.slots,
+            max_batch=args.max_batch,
+            warp=args.warp,
+            latency=args.l,
+            max_linger=args.max_linger / 1e3,
+            max_pending=args.max_pending,
+            policy=args.policy,
+            backend=args.backend,
+            guard=None if args.guard == "off" else args.guard,
+        )
+
+    async def capacity(shards: int):
+        pool = input_pool(workload, n, seed=args.seed)
+        async with ShardedServer(config(shards)) as server:
+            report = await closed_loop(
+                server, workload, n, clients=args.clients,
+                duration=args.duration, inputs=pool,
+                label=f"shards={shards}",
+            )
+            return report, server.stats()
+
+    sharded, stats = asyncio.run(capacity(args.shards))
+    reports = [sharded]
+    if not args.no_baseline and args.shards != 1:
+        reports.append(asyncio.run(capacity(1))[0])
+
+    cpus = os.cpu_count() or 1
+    print(render_reports(
+        f"repro serve --bench: {workload} n={n} "
+        f"[{args.backend} backend, {args.shards} shard(s), "
+        f"{args.clients} closed-loop clients, host cpus={cpus}]",
+        reports,
+    ))
+    per_shard = {
+        shard_id: info["batches"] for shard_id, info in stats["shards"].items()
+    }
+    print(f"\nbatches per shard: {per_shard}, "
+          f"deaths {stats['counters'].get('shards.deaths', 0)}, "
+          f"re-dispatched {stats['counters'].get('requests.redispatched', 0)}")
+    ratio = None
+    if len(reports) == 2 and reports[1].throughput_rps > 0:
+        ratio = reports[0].throughput_rps / reports[1].throughput_rps
+        print(f"{args.shards} shards = {ratio:.2f}x one shard "
+              f"(host parallelism ceiling: {cpus} cpu(s))")
+    if args.json is not None:
+        from .harness.trajectory import bench_record, write_bench
+
+        records = [bench_record(
+            bench="serving-sharded", workload=workload, n=n,
+            p=args.max_batch, backend=args.backend,
+            shards=args.shards if r is reports[0] else 1,
+            method="closed-loop", seconds=args.duration,
+            throughput_rps=r.throughput_rps,
+        ) for r in reports]
+        if ratio is not None:
+            records[0]["derived_x"] = ratio
+        write_bench(args.json, records)
+        print(f"wrote {len(records)} trajectory record(s) to {args.json}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -511,6 +603,16 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the single-lane (batch-size-1) comparison run")
     p.add_argument("--baseline-duration", type=float, default=2.0,
                    help="cap on the baseline run's duration (seconds)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through N worker processes with shared-"
+                   "memory batching (0 = in-process BulkServer); with "
+                   "--bench, compares N shards against one shard")
+    p.add_argument("--slots", type=int, default=4,
+                   help="in-flight batch slots per (shard, workload) "
+                   "shared-memory arena")
+    p.add_argument("--json", type=Path, default=None, metavar="PATH",
+                   help="also write machine-readable BENCH records "
+                   "(repro-bench trajectory JSON) to PATH")
     p.set_defaults(fn=cmd_serve)
 
     parser.add_argument(

@@ -41,6 +41,18 @@ DELTA = 0x9E3779B9
 MASK32 = 0xFFFFFFFF
 MEMORY_WORDS = 6
 
+#: Why the builders suppress the dead-store warning (OBL-W502): all but the
+#: final round's write-backs of v0/v1 are shadowed, but they are *the
+#: algorithm's published access trace* — t = 2 + 6·rounds with an identical
+#: access pattern every round is what the cost certification and every
+#: cross-backend trace check price.  Letting optimize(level=2) strip them
+#: would certify a different (shorter) trace than the documented one.
+_ROUND_STORE_JUSTIFICATION = (
+    "per-round write-back of v0/v1 is part of the algorithm's round-uniform "
+    "access trace (t = 2 + 6*rounds); eliding shadowed rounds would change "
+    "the priced trace, not just remove waste"
+)
+
 
 def pack_blocks(blocks: np.ndarray, key: np.ndarray) -> np.ndarray:
     """``(p, 2)`` uint32 blocks + 4-word key → ``(p, 6)`` program inputs."""
@@ -133,6 +145,9 @@ def build_xtea_decrypt(rounds: int = 32) -> Program:
     b = ProgramBuilder(memory_words=MEMORY_WORDS, dtype=np.int64, name=f"xtea-dec-r{rounds}")
     b.meta["rounds"] = rounds
     b.meta["algorithm"] = "xtea-decrypt"
+    b.meta["lint_suppress"] = {
+        "OBL-W502": _ROUND_STORE_JUSTIFICATION,
+    }
 
     def m32(v):
         return v & MASK32
@@ -166,6 +181,9 @@ def build_xtea_encrypt(rounds: int = 32) -> Program:
     b = ProgramBuilder(memory_words=MEMORY_WORDS, dtype=np.int64, name=f"xtea-r{rounds}")
     b.meta["rounds"] = rounds
     b.meta["algorithm"] = "xtea"
+    b.meta["lint_suppress"] = {
+        "OBL-W502": _ROUND_STORE_JUSTIFICATION,
+    }
 
     def m32(v):
         return v & MASK32

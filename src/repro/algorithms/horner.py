@@ -84,7 +84,9 @@ def build_horner(d: int, m: int) -> Program:
     x_base = d + 1
     y_base = d + 1 + m
     for j in range(m):
-        x = b.load(x_base + j)
+        # A degree-0 polynomial never consumes x: loading it would add one
+        # dead (but priced) trace step per point — lint rule OBL-W501.
+        x = b.load(x_base + j) if d > 0 else None
         acc = b.load(d)
         for i in range(d - 1, -1, -1):
             acc = acc * x + b.load(i)

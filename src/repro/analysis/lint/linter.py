@@ -44,7 +44,48 @@ from .equiv import prove_equivalent
 from .memory import check_memory
 from .rules import diag
 
-__all__ = ["lint_program", "lint_registry", "check_passes"]
+__all__ = ["lint_program", "lint_registry", "check_passes", "apply_suppressions"]
+
+
+def apply_suppressions(
+    program: Program, diagnostics: List[Diagnostic]
+) -> List[Diagnostic]:
+    """Collapse findings named by ``meta['lint_suppress']`` into notes.
+
+    The meta value is ``{rule_id: justification}``.  Each suppressed rule's
+    findings are replaced by one ``OBL-N603`` note carrying the count and
+    the justification — the decision is auditable in every report, never
+    silent.  ERROR findings are not suppressible (a broken certification
+    must fail regardless of intent), and a malformed entry (unknown shape,
+    empty justification) suppresses nothing but is itself noted.
+    """
+    suppress = program.meta.get("lint_suppress")
+    if not isinstance(suppress, dict) or not suppress:
+        return diagnostics
+    out: List[Diagnostic] = []
+    kept = diagnostics
+    for rule_id, why in sorted(suppress.items()):
+        if not isinstance(why, str) or not why.strip():
+            out.append(diag(
+                "OBL-N603",
+                f"lint_suppress entry for {rule_id!r} ignored: the "
+                f"justification must be a non-empty string",
+                program=program.name,
+            ))
+            continue
+        hits = [
+            d for d in kept
+            if d.rule_id == rule_id and d.severity is not Severity.ERROR
+        ]
+        if not hits:
+            continue
+        kept = [d for d in kept if d not in hits]
+        out.append(diag(
+            "OBL-N603",
+            f"{len(hits)} {rule_id} finding(s) suppressed: {why.strip()}",
+            program=program.name,
+        ))
+    return kept + out
 
 
 def check_passes(program: Program) -> Tuple[List[Diagnostic], List[str]]:
@@ -147,7 +188,7 @@ def lint_program(
 
     return LintReport(
         program=program.name,
-        diagnostics=tuple(diagnostics),
+        diagnostics=tuple(apply_suppressions(program, list(diagnostics))),
         certificates=tuple(certificates),
         meta={
             "instructions": program.num_instructions,

@@ -190,6 +190,16 @@ _CATALOG: Tuple[Rule, ...] = (
         "or codegen certification on an unsupported dtype.  The lint run "
         "is still valid; the named certificate is simply absent.",
     ),
+    Rule(
+        "OBL-N603", "findings-suppressed", Severity.NOTE,
+        "warning findings were suppressed by the program's lint_suppress meta",
+        "A program may declare ``meta['lint_suppress'] = {rule_id: "
+        "justification}`` when a warned-about pattern is intentional — e.g. "
+        "per-round write-backs that are part of the algorithm's published "
+        "access trace.  Suppressed findings collapse into one note carrying "
+        "the count and the justification, so the decision stays visible in "
+        "every report.  ERROR findings are never suppressible.",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOG}

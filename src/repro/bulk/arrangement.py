@@ -176,6 +176,26 @@ class Arrangement(ABC):
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
         """Gather ``buffer`` back into a ``(p, words)`` per-input array."""
 
+    def unpack_rows_into(self, buffer: np.ndarray, out: np.ndarray) -> None:
+        """Gather the first ``out.shape[0]`` inputs' images into ``out``.
+
+        The externally-owned-buffer unpack path: the serving tier hands the
+        engine a view of a ``multiprocessing.shared_memory`` slot and wants
+        the output images written there *in place* — no ``(p, words)``
+        intermediate, no copy after the fact.  ``out`` must be a
+        ``(q <= p, words)`` array of the buffer's dtype.
+        """
+        q = out.shape[0]
+        if out.ndim != 2 or out.shape[1] != self.words or q > self.p:
+            raise ArrangementError(
+                f"need an output buffer of shape (q <= {self.p}, "
+                f"{self.words}), got {out.shape}"
+            )
+        self._unpack_rows(buffer, out)
+
+    def _unpack_rows(self, buffer: np.ndarray, out: np.ndarray) -> None:
+        out[...] = self.unpack(buffer)[: out.shape[0]]  # generic fallback
+
     @abstractmethod
     def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
         """Read local word ``local`` of every input into ``out`` (length p)."""
@@ -245,12 +265,17 @@ class ColumnWise(Arrangement):
 
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
         out = np.empty((self.p, self.words), dtype=buffer.dtype)
+        self._unpack_rows(buffer, out)
+        return out
+
+    def _unpack_rows(self, buffer: np.ndarray, out: np.ndarray) -> None:
+        q = out.shape[0]
         Bi, Bj = self._UNPACK_ROWS, self._UNPACK_COLS
         for i0 in range(0, self.words, Bi):
             block = buffer[i0 : i0 + Bi]
-            for j0 in range(0, self.p, Bj):
-                out[j0 : j0 + Bj, i0 : i0 + Bi] = block[:, j0 : j0 + Bj].T
-        return out
+            for j0 in range(0, q, Bj):
+                hi = min(j0 + Bj, q)
+                out[j0:hi, i0 : i0 + Bi] = block[:, j0:hi].T
 
     def _clear_tail(self, buffer: np.ndarray, k: int) -> None:
         buffer[k:] = 0  # rows [0, k) are fully overwritten by pack
@@ -289,6 +314,9 @@ class RowWise(Arrangement):
 
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
         return buffer.copy()
+
+    def _unpack_rows(self, buffer: np.ndarray, out: np.ndarray) -> None:
+        out[...] = buffer[: out.shape[0]]
 
     def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
         np.copyto(out, buffer[:, local])  # stride-n gather: one word per cache line
@@ -357,6 +385,9 @@ class PaddedRowWise(Arrangement):
 
     def unpack(self, buffer: np.ndarray) -> np.ndarray:
         return buffer[:, : self.words].copy()
+
+    def _unpack_rows(self, buffer: np.ndarray, out: np.ndarray) -> None:
+        out[...] = buffer[: out.shape[0], : self.words]
 
     def read_step(self, buffer: np.ndarray, local: int, out: np.ndarray) -> None:
         np.copyto(out, buffer[:, local])

@@ -171,6 +171,7 @@ class BulkExecutor:
         self._fused = None
         self._steps: Optional[List[Callable[[], None]]] = None
         self._guard_refs: dict = {}
+        self._pad_blocks: dict = {}
         self._closed = False
         if self.backend == "native":
             try:
@@ -383,6 +384,68 @@ class BulkExecutor:
         # Copy: row-wise unpack() can return the live buffer itself.
         return outputs[:q].copy()
 
+    def run_trimmed_into(self, rows: np.ndarray, out: np.ndarray) -> None:
+        """:meth:`run_trimmed` into a caller-owned ``(q, memory_words)`` buffer.
+
+        The externally-owned-buffer hook for the sharded serving tier: the
+        caller hands in a view of a shared-memory slot and the ``q`` real
+        lanes' output images are written there in place — no ``(p, words)``
+        intermediate allocation on the unguarded path.  Padding blocks for
+        partial batches are cached per input width, so a shard serving a
+        steady stream of same-shaped batches allocates nothing after the
+        first.  Guarded/native runs take the checked :meth:`run` path and
+        copy the verified images in.
+        """
+        arr = np.asarray(rows, dtype=self.program.dtype)
+        if arr.ndim != 2:
+            raise ExecutionError(
+                f"expected 2-D inputs (q, k), got shape {arr.shape}"
+            )
+        q = arr.shape[0]
+        if not 0 < q <= self.p:
+            raise ExecutionError(
+                f"partial batch of {q} inputs does not fit p={self.p}"
+            )
+        if (
+            out.shape != (q, self.program.memory_words)
+            or out.dtype != self.program.dtype
+        ):
+            raise ExecutionError(
+                f"need a ({q}, {self.program.memory_words}) "
+                f"{self.program.dtype} output buffer, got {out.dtype} "
+                f"{out.shape}"
+            )
+        if self._native is not None:
+            # Native runs go through run()'s spot-check / degradation
+            # machinery; the extra copy is the price of safety.
+            np.copyto(out, self._pad_and_run(arr, q).outputs[:q])
+            return
+        if self.closed:
+            raise ExecutionError(
+                f"executor for {self.program.name!r} has been closed"
+            )
+        self.load(self._padded(arr, q))
+        self.execute()
+        self.rounds += 1
+        self.arrangement.unpack_rows_into(self._mem, out)
+
+    def _padded(self, arr: np.ndarray, q: int) -> np.ndarray:
+        """``arr`` zero-extended to ``p`` lanes via a cached scratch block."""
+        if q == self.p:
+            return arr
+        block = self._pad_blocks.get(arr.shape[1])
+        if block is None:
+            block = np.zeros(
+                (self.p, arr.shape[1]), dtype=self.program.dtype
+            )
+            self._pad_blocks[arr.shape[1]] = block
+        block[:q] = arr
+        block[q:] = 0
+        return block
+
+    def _pad_and_run(self, arr: np.ndarray, q: int) -> BulkResult:
+        return self.run(self._padded(arr, q))
+
     def close(self) -> None:
         """Release the native kernel handle and poison the executor.
 
@@ -400,6 +463,7 @@ class BulkExecutor:
         self._guard_refs = {}
         self._steps = None
         self._fused = None
+        self._pad_blocks = {}
         self._closed = True
 
     @property

@@ -47,6 +47,8 @@ __all__ = [
     "ServerOverloadedError",
     "ServerClosedError",
     "RequestDeadlineError",
+    "ShardError",
+    "ShardDeadError",
     "exit_code",
 ]
 
@@ -201,11 +203,31 @@ class RequestDeadlineError(ServeError):
     """A request's deadline expired before its batch was dispatched."""
 
 
+class ShardError(ServeError):
+    """The sharded serving tier failed (worker protocol or lifecycle).
+
+    Carries the ``shard`` id when the failure is attributable to one
+    worker process.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardDeadError(ShardError):
+    """A request could not complete because its shard died and the
+    descriptor had already used its at-most-once re-dispatch budget (or no
+    live shard remained)."""
+
+
 #: Exit code per error family, most specific class first.  ``exit_code``
 #: walks an exception's MRO, so e.g. a ``CompileTimeoutError`` maps to its
 #: own code, not the generic ``CompileError`` one.  Code 2 is reserved for
 #: argparse usage errors; unknown ``ReproError`` subclasses fall back to 1.
 _EXIT_CODES: dict = {
+    "ShardDeadError": 20,
+    "ShardError": 19,
     "EquivalenceError": 18,
     "CompileTimeoutError": 11,
     "CacheCorruptionError": 12,

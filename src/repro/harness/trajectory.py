@@ -1,0 +1,228 @@
+"""Machine-readable benchmark trajectories (``BENCH_*.json``).
+
+Text benchmark reports (``results/bench_*.txt``) are for humans; this
+module is the machine-readable sibling CI can gate on.  A *trajectory
+file* is a small versioned JSON document of benchmark records::
+
+    {
+      "format": "repro-bench",
+      "version": 1,
+      "host": {"cpus": 8, "platform": "linux", "python": "3.11.7"},
+      "records": [
+        {"bench": "serving-sharded", "workload": "opt", "n": 32, "p": 256,
+         "backend": "numpy", "shards": 4, "method": "closed-loop",
+         "seconds": 3.0, "throughput_rps": 1234.5, "derived_x": 3.4},
+        ...
+      ]
+    }
+
+``derived_x`` is the record's *derived speedup ratio* — batched over
+single-lane, sharded over one shard, native over NumPy — whichever the
+benchmark's acceptance claim is about.  Regression gating compares only
+``derived_x`` values: they are ratios of two runs on the *same* host, so
+they survive CI-runner churn far better than absolute wall times (which
+are still recorded, for trend plots).  Records are keyed by
+``(bench, workload, n, p, backend, shards, method)``; a committed
+baseline's key that the fresh run no longer produces is reported as
+missing rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+__all__ = [
+    "FORMAT",
+    "SCHEMA_VERSION",
+    "bench_record",
+    "host_info",
+    "write_bench",
+    "load_bench",
+    "record_key",
+    "compare_trajectories",
+    "TrajectoryDelta",
+    "render_deltas",
+]
+
+FORMAT = "repro-bench"
+SCHEMA_VERSION = 1
+
+#: The identity fields of a record, in key order.
+KEY_FIELDS = ("bench", "workload", "n", "p", "backend", "shards", "method")
+
+
+def host_info() -> dict:
+    """The host descriptor stamped into every trajectory file.
+
+    ``cpus`` matters most: scaling benchmarks (sharding) are ceilinged by
+    it, and the gate must not compare a 1-core run against an 8-core
+    baseline as if they were the same experiment.
+    """
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def bench_record(
+    *,
+    bench: str,
+    workload: str,
+    n: int,
+    p: int,
+    backend: str,
+    shards: int,
+    method: str,
+    seconds: float,
+    throughput_rps: Optional[float] = None,
+    derived_x: Optional[float] = None,
+    **extra,
+) -> dict:
+    """One schema-checked benchmark record (sorted keys, JSON-plain values).
+
+    ``seconds`` is the measured wall time of the run; ``derived_x`` the
+    speedup ratio the benchmark claims (``None`` for baseline rows that
+    only exist to anchor someone else's ratio).
+    """
+    record = {
+        "bench": str(bench),
+        "workload": str(workload),
+        "n": int(n),
+        "p": int(p),
+        "backend": str(backend),
+        "shards": int(shards),
+        "method": str(method),
+        "seconds": float(seconds),
+    }
+    if throughput_rps is not None:
+        record["throughput_rps"] = float(throughput_rps)
+    if derived_x is not None:
+        record["derived_x"] = float(derived_x)
+    for key, value in extra.items():
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise ReproError(
+                f"bench record field {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+        record[key] = value
+    return dict(sorted(record.items()))
+
+
+def record_key(record: dict) -> Tuple:
+    """The identity tuple regression gating matches records on."""
+    return tuple(record.get(field) for field in KEY_FIELDS)
+
+
+def write_bench(path: Union[str, Path], records: List[dict]) -> dict:
+    """Write a trajectory document to ``path``; return the document."""
+    doc = {
+        "format": FORMAT,
+        "version": SCHEMA_VERSION,
+        "host": host_info(),
+        "records": sorted(records, key=record_key),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    """Load and validate a trajectory document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read trajectory file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+        raise ReproError(f"{path} is not a {FORMAT} trajectory file")
+    if doc.get("version") != SCHEMA_VERSION:
+        raise ReproError(
+            f"{path} has format version {doc.get('version')!r}; this "
+            f"library reads version {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("records"), list):
+        raise ReproError(f"{path} carries no records list")
+    return doc
+
+
+@dataclass(frozen=True)
+class TrajectoryDelta:
+    """One baseline↔current comparison: a ratio change or a missing key."""
+
+    key: Tuple
+    baseline_x: Optional[float]
+    current_x: Optional[float]
+    ratio: Optional[float]          # current/baseline, None when missing
+    regressed: bool
+
+    def describe(self) -> str:
+        name = "/".join(str(part) for part in self.key)
+        if self.current_x is None:
+            return f"{'MISSING':10s}{name}: baseline {self.baseline_x:.2f}x has no current record"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{verdict:10s}{name}: {self.baseline_x:.2f}x -> "
+            f"{self.current_x:.2f}x ({self.ratio:.2f} of baseline)"
+        )
+
+
+def compare_trajectories(
+    baseline: dict, current: dict, *, tolerance: float = 0.15
+) -> List[TrajectoryDelta]:
+    """Gate ``current`` against ``baseline`` on the ``derived_x`` ratios.
+
+    A record regresses when its fresh ``derived_x`` falls more than
+    ``tolerance`` (default 15%) below the committed baseline's.  Only
+    records carrying ``derived_x`` participate — wall times are
+    machine-dependent and never gated.  A baseline key absent from the
+    fresh run is flagged (``current_x=None``, regressed) so a benchmark
+    silently dropping a configuration fails loudly.
+    """
+    if not 0 <= tolerance < 1:
+        raise ReproError(f"tolerance must be in [0, 1), got {tolerance}")
+    current_by_key: Dict[Tuple, dict] = {
+        record_key(r): r for r in current.get("records", [])
+    }
+    deltas: List[TrajectoryDelta] = []
+    for record in sorted(baseline.get("records", []), key=record_key):
+        baseline_x = record.get("derived_x")
+        if baseline_x is None:
+            continue
+        fresh = current_by_key.get(record_key(record))
+        if fresh is None or fresh.get("derived_x") is None:
+            deltas.append(TrajectoryDelta(
+                key=record_key(record), baseline_x=float(baseline_x),
+                current_x=None, ratio=None, regressed=True,
+            ))
+            continue
+        current_x = float(fresh["derived_x"])
+        ratio = current_x / float(baseline_x)
+        deltas.append(TrajectoryDelta(
+            key=record_key(record), baseline_x=float(baseline_x),
+            current_x=current_x, ratio=ratio,
+            regressed=ratio < (1.0 - tolerance),
+        ))
+    return deltas
+
+
+def render_deltas(deltas: List[TrajectoryDelta]) -> str:
+    """Human-readable, diff-stable rendering of a comparison."""
+    if not deltas:
+        return "no gated (derived_x) records in the baseline"
+    lines = [delta.describe() for delta in deltas]
+    regressed = sum(1 for d in deltas if d.regressed)
+    lines.append(
+        f"{len(deltas)} gated record(s), {regressed} regressed"
+    )
+    return "\n".join(lines)

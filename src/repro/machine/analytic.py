@@ -53,6 +53,7 @@ __all__ = [
     "row_wise_stage_table",
     "bulk_step_time",
     "bulk_batch_time",
+    "placement_units",
 ]
 
 
@@ -139,6 +140,26 @@ def bulk_batch_time(trace_length: int, lanes: int, w: int, l: int) -> int:
     waiting for more requests stops paying.
     """
     return trace_length * bulk_step_time(lanes, w, l)
+
+
+def placement_units(
+    trace_length: int, lanes: int, w: int, l: int, backlog: float = 0.0
+) -> float:
+    """Predicted completion time, in UMM units, of placing one batch on a
+    shard that already owes ``backlog`` units of queued work.
+
+    The sharded serving router's pricing helper: a candidate placement of a
+    ``lanes``-wide batch of a ``trace_length``-step program on shard ``s``
+    completes after ``backlog(s) + bulk_batch_time(t, lanes, w, l)`` units,
+    because each shard drains its descriptor queue in FIFO order.  Placing
+    every batch on the argmin shard is therefore both load balancing *and*
+    latency minimisation — and because any lane produces bit-identical
+    output on any shard (the executors are replicas), the router is free to
+    chase the cheapest placement without a correctness cost.
+    """
+    if backlog < 0:
+        raise MachineConfigError(f"backlog must be >= 0, got {backlog}")
+    return backlog + bulk_batch_time(trace_length, lanes, w, l)
 
 
 def row_wise_stage_table(

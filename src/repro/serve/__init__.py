@@ -14,7 +14,11 @@ is the bridge from *requests* to *batches*:
 * :mod:`~repro.serve.metrics` — counters/histograms behind
   :meth:`BulkServer.stats`;
 * :mod:`~repro.serve.loadgen` — open/closed-loop load generation for the
-  ``repro serve --bench`` CLI and the serving benchmarks.
+  ``repro serve --bench`` CLI and the serving benchmarks;
+* :class:`ShardedServer` / :class:`ShardConfig` — the multi-process tier:
+  a cost-routed front end over ``N`` shard processes, request payloads in
+  :mod:`~repro.serve.shm` shared-memory slot arenas, only primitive
+  descriptors (:mod:`~repro.serve.wire`) on the control queues.
 
 See docs/SERVING.md for the architecture and the knob glossary.
 """
@@ -22,11 +26,16 @@ See docs/SERVING.md for the architecture and the knob glossary.
 from .loadgen import LoadReport, closed_loop, input_pool, open_loop, render_reports
 from .metrics import Counter, Histogram, MetricsRegistry
 from .policy import AdaptivePolicy, BatchPolicy, FixedPolicy, make_policy
+from .router import ShardConfig, ShardedServer
 from .server import BulkServer, ServeConfig
+from .shm import SlotArena
 
 __all__ = [
     "BulkServer",
     "ServeConfig",
+    "ShardedServer",
+    "ShardConfig",
+    "SlotArena",
     "BatchPolicy",
     "FixedPolicy",
     "AdaptivePolicy",

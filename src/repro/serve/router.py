@@ -1,0 +1,851 @@
+"""`ShardedServer` — a multi-process serving tier over shared-memory batches.
+
+:class:`~repro.serve.server.BulkServer` batches requests into bulk runs on
+worker *threads*; under a native backend that is one process' worth of
+throughput.  This module scales the same micro-batching broker across
+``N`` worker **processes** (shards) without paying the classic
+multiprocess serving tax — per-request pickling.  The design rule is
+strict separation of planes:
+
+* **Data plane** — request payloads live in
+  :class:`~repro.serve.shm.SlotArena` segments
+  (``multiprocessing.shared_memory``), one arena per ``(shard, queue
+  key)``.  The router packs a batch's rows into a free slot's input block;
+  the shard executes straight out of that slot via
+  :meth:`~repro.bulk.engine.BulkExecutor.run_trimmed_into` and leaves the
+  output images in the slot's output block; the router reads them back.
+  An ndarray is never pickled per request — a test asserts the wire can't
+  even carry one.
+* **Control plane** — only compact primitive-tuple descriptors
+  (:mod:`repro.serve.wire`) cross the ``multiprocessing`` queues:
+  ``("batch", seq, key, slot, lanes, occupancy, width)`` and friends.
+
+Scheduling is the cost model's job twice over.  *When* to dispatch is the
+same adaptive-policy linger as :class:`BulkServer` (per-request price
+``t·(⌈b/w⌉+l−1)/b`` falls with batch size).  *Where* is new: admission
+prices every live shard with
+:func:`~repro.machine.analytic.placement_units` — queued backlog plus the
+analytic cost of the candidate batch — and places on the argmin, which is
+simultaneously load balancing and completion-time minimisation.  Because
+every shard is a full replica (same programs, own guarded executors), any
+placement is bit-identical, so chasing the cheapest shard is free.
+
+Failure model: a shard that dies (detected by the reader thread's
+liveness sweep, or a ``fatal`` farewell) has its in-flight descriptors
+**re-dispatched at most once** to surviving shards — request rows are
+retained router-side precisely so a dead shard's memory never needs to be
+trusted.  A descriptor whose re-dispatch budget is spent (or with no live
+shard left) fails with :class:`~repro.errors.ShardDeadError`; nothing is
+silently lost and nothing is completed twice (stale completions from a
+declared-dead shard are recognised by shard id and dropped).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..algorithms.registry import get_spec
+from ..errors import (
+    ExecutionError,
+    RequestDeadlineError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ShardDeadError,
+    ShardError,
+)
+from ..machine.analytic import placement_units
+from ..reliability.incidents import incident_summary, record_incident
+from ..trace.ir import Program
+from ..trace.serialize import program_to_dict
+from . import wire
+from .metrics import MetricsRegistry
+from .policy import make_policy, round_up_warp
+from .server import ServeConfig
+from .shard import shard_main
+from .shm import SlotArena
+
+__all__ = ["ShardedServer", "ShardConfig"]
+
+
+@dataclass(frozen=True)
+class ShardConfig(ServeConfig):
+    """:class:`ServeConfig` plus the sharding knobs.
+
+    Attributes
+    ----------
+    shards:
+        Worker processes to spawn.  ``1`` is the apples-to-apples baseline
+        the benchmark compares against.
+    slots:
+        In-flight batches each ``(shard, key)`` arena can hold.  More slots
+        let the router pipeline packing against execution; each slot costs
+        ``2 · max_batch · memory_words`` items of shared memory.
+    start_method:
+        ``multiprocessing`` start method.  ``fork`` (default) starts
+        fastest; ``spawn`` is available because everything crossing the
+        process boundary is a primitive.
+    fault:
+        Chaos hook: ``("kill", shard, after)`` arms shard ``shard`` to
+        hard-kill itself at its ``after``-th batch (via the FaultPlan
+        machinery in :mod:`repro.serve.shard`).  Test-only.
+
+    ``guard`` must be ``None`` or a policy *name* here (it crosses a
+    process boundary); ``workers`` is ignored — shard processes replace
+    the thread pool.
+    """
+
+    shards: int = 2
+    slots: int = 4
+    start_method: str = "fork"
+    fault: Optional[Tuple[str, int, int]] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shards < 1:
+            raise ServeError(f"shards must be >= 1, got {self.shards}")
+        if self.slots < 1:
+            raise ServeError(f"slots must be >= 1, got {self.slots}")
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ServeError(
+                f"unknown start method {self.start_method!r}"
+            )
+        if self.guard is not None and not isinstance(self.guard, str):
+            raise ServeError(
+                "sharded serving needs guard as a policy name (or None); "
+                "a GuardPolicy instance cannot cross the process boundary"
+            )
+        if self.fault is not None:
+            kind, shard, after = self.fault
+            if kind != "kill" or shard < 0 or after < 0:
+                raise ServeError(f"malformed fault spec {self.fault!r}")
+
+
+@dataclass
+class _Request:
+    row: np.ndarray
+    future: "asyncio.Future"
+    enqueued: float
+    deadline: Optional[float]
+
+
+@dataclass
+class _KeyState:
+    """One queue key: its program, how to rebuild it shard-side, its queue."""
+
+    key: str
+    program: Program
+    source: str          # "registry" | "ir"
+    payload: str         # registry name, or the program's JSON document
+    n: int               # problem size (0 for IR-shipped programs)
+    requests: Deque[_Request] = field(default_factory=deque)
+    wake: "asyncio.Event" = field(default_factory=asyncio.Event)
+    task: Optional["asyncio.Task"] = None
+    overloaded: bool = False
+
+
+@dataclass
+class _Shard:
+    """Router-side book-keeping for one worker process."""
+
+    id: int
+    process: "multiprocessing.process.BaseProcess"
+    work: "multiprocessing.queues.Queue"
+    alive: bool = True
+    ready: bool = False
+    backlog: float = 0.0                 # queued work, in UMM time units
+    batches: int = 0
+    opened: Set[str] = field(default_factory=set)
+    arenas: Dict[str, SlotArena] = field(default_factory=dict)
+    free: Dict[str, Deque[int]] = field(default_factory=dict)
+    backends: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Flight:
+    """One descriptor in flight: everything needed to complete *or retry* it.
+
+    ``requests`` keeps the original rows router-side, so re-dispatch after
+    a shard death never has to read the dead shard's memory.
+    """
+
+    seq: int
+    key: str
+    shard: int
+    slot: int
+    requests: List[_Request]
+    lanes: int
+    occupancy: int
+    width: int
+    units: float
+    attempts: int
+    first_enqueued: float
+
+
+class ShardedServer:
+    """Hash-free cost-routed front end over ``N`` shard processes.
+
+    Drop-in for :class:`~repro.serve.server.BulkServer`::
+
+        async with ShardedServer(shards=4) as server:
+            out = await server.submit("opt", weights, n=8)
+
+    The loadgen helpers (:mod:`repro.serve.loadgen`) duck-type against
+    ``submit``/``stats`` and work unchanged.
+    """
+
+    def __init__(self, config: Optional[ShardConfig] = None, **overrides) -> None:
+        if config is None:
+            config = ShardConfig(**overrides)
+        elif overrides:
+            raise ServeError("pass either a ShardConfig or keyword overrides")
+        self.config = config
+        self.policy = make_policy(config.policy, w=config.warp, l=config.latency)
+        self.metrics = MetricsRegistry()
+        #: ``(queue key, input row, output row)`` triples when recording.
+        self.served: List[Tuple[str, np.ndarray, np.ndarray]] = []
+        self._programs: Dict[str, Program] = {}
+        self._keys: Dict[str, _KeyState] = {}
+        self._shards: List[_Shard] = []
+        self._inflight: Dict[int, _Flight] = {}
+        self._aux_tasks: Set["asyncio.Task"] = set()
+        self._seq = 0
+        self._ctx = None
+        self._done_queue = None
+        self._reader: Optional[threading.Thread] = None
+        self._reader_stop = threading.Event()
+        self._death_reported: Set[int] = set()
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._slot_released: Optional["asyncio.Event"] = None
+        self._idle: Optional["asyncio.Event"] = None
+        self._started = False
+        self._closing = False
+        self._stopped = False
+
+    # -- startup -------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._slot_released = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Start the resource tracker *before* launching workers, so every
+        # worker shares it (fork inherits the pipe fd; spawn is handed it
+        # by the bootstrap).  A worker that lazily started its own tracker
+        # — because none existed at fork time — would unlink the shared
+        # segments it attached the moment that worker exits, yanking live
+        # arenas out from under its siblings.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform without tracker
+            pass
+        self._ctx = multiprocessing.get_context(cfg.start_method)
+        self._done_queue = self._ctx.Queue()
+        for shard_id in range(cfg.shards):
+            self._shards.append(self._launch(shard_id))
+        self._reader = threading.Thread(
+            target=self._reader_main, name="repro-shard-reader", daemon=True
+        )
+        self._reader.start()
+        self._started = True
+
+    def _launch(self, shard_id: int) -> _Shard:
+        cfg = self.config
+        work = self._ctx.Queue()
+        fault_spec = None
+        if cfg.fault is not None and cfg.fault[1] == shard_id:
+            fault_spec = (cfg.fault[0], cfg.fault[2])
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(shard_id, work, self._done_queue),
+            kwargs=dict(
+                backend=cfg.backend,
+                fuse=cfg.fuse,
+                guard=cfg.guard,
+                warp=cfg.warp,
+                latency=cfg.latency,
+                fault_spec=fault_spec,
+            ),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        return _Shard(id=shard_id, process=process, work=work)
+
+    # -- reader thread (mp queue → event loop) -------------------------------
+    def _reader_main(self) -> None:
+        while not self._reader_stop.is_set():
+            try:
+                msg = self._done_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                self._sweep_liveness()
+                continue
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                return
+            self._post(self._on_message, msg)
+
+    def _sweep_liveness(self) -> None:
+        for shard in self._shards:
+            if (
+                shard.alive
+                and shard.id not in self._death_reported
+                and not shard.process.is_alive()
+            ):
+                self._death_reported.add(shard.id)
+                self._post(self._on_shard_death, shard.id)
+
+    def _post(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    # -- message handling (event-loop thread) --------------------------------
+    def _on_message(self, msg: tuple) -> None:
+        kind = wire.check_wire(msg)[0]
+        if kind == wire.MSG_READY:
+            self._shards[msg[1]].ready = True
+        elif kind == wire.MSG_DONE:
+            self._on_done(*msg[1:])
+        elif kind == wire.MSG_ERROR:
+            self._on_error(*msg[1:])
+        elif kind == wire.MSG_FATAL:
+            shard_id, message = msg[1], msg[2]
+            record_incident(
+                "shard-fatal", "serve.shard",
+                f"shard {shard_id} reported a fatal error: {message}",
+            )
+            self._on_shard_death(shard_id)
+        else:
+            raise ShardError(f"router received unexpected {kind!r} message")
+
+    def _claim(self, shard_id: int, seq: int) -> Optional[_Flight]:
+        """Pop the flight a completion names, or ``None`` if it is stale.
+
+        A completion is stale when its shard was declared dead and the
+        descriptor was already re-dispatched (or failed): the seq no longer
+        maps to that shard.  Dropping it is what makes re-dispatch
+        at-most-once *observable* — the retry's completion, not the
+        zombie's, resolves the futures.
+        """
+        flight = self._inflight.get(seq)
+        if flight is None or flight.shard != shard_id:
+            self.metrics.counter("shards.stale_done").inc()
+            return None
+        del self._inflight[seq]
+        if not self._inflight:
+            self._idle.set()
+        return flight
+
+    def _on_done(
+        self, shard_id: int, seq: int, slot: int, elapsed: float,
+        backend: str, units: float,
+    ) -> None:
+        flight = self._claim(shard_id, seq)
+        if flight is None:
+            return
+        shard = self._shards[shard_id]
+        outputs = np.array(
+            shard.arenas[flight.key].output_view(slot, flight.occupancy),
+            copy=True,
+        )
+        self._release(shard, flight)
+        shard.batches += 1
+        shard.backends.add(backend)
+        m = self.metrics
+        m.counter("batches.dispatched").inc()
+        m.counter("requests.completed").inc(flight.occupancy)
+        m.counter("lanes.padded").inc(flight.lanes - flight.occupancy)
+        m.histogram("batch.size").observe(flight.occupancy)
+        m.histogram("batch.occupancy").observe(flight.occupancy / flight.lanes)
+        m.histogram("batch.execute_seconds").observe(elapsed)
+        m.histogram(f"shard.{shard_id}.batch_seconds").observe(elapsed)
+        m.histogram(f"shard.{shard_id}.occupancy").observe(
+            flight.occupancy / flight.lanes
+        )
+        m.histogram(f"shard.{shard_id}.predicted_units_per_request").observe(units)
+        state = self._keys.get(flight.key)
+        if state is not None:
+            state.overloaded = False
+        now = time.monotonic()
+        for request, output in zip(flight.requests, outputs):
+            if self.config.record:
+                self.served.append((flight.key, request.row.copy(), output.copy()))
+            if not request.future.done():
+                request.future.set_result(output)
+            m.histogram("request.latency_seconds").observe(now - request.enqueued)
+            m.histogram(f"shard.{shard_id}.request_latency_seconds").observe(
+                now - request.enqueued
+            )
+
+    def _on_error(self, shard_id: int, seq: int, slot: int, message: str) -> None:
+        flight = self._claim(shard_id, seq)
+        if flight is None:
+            return
+        self._release(self._shards[shard_id], flight)
+        self.metrics.counter("requests.failed").inc(flight.occupancy)
+        record_incident(
+            "batch-failure", "serve.shard",
+            f"batch of {flight.occupancy} on {flight.key} failed on shard "
+            f"{shard_id}: {message}",
+        )
+        for request in flight.requests:
+            if not request.future.done():
+                request.future.set_exception(
+                    ServeError(f"batch execution failed: {message}")
+                )
+
+    def _release(self, shard: _Shard, flight: _Flight) -> None:
+        if shard.alive:
+            shard.free[flight.key].append(flight.slot)
+        shard.backlog = max(0.0, shard.backlog - flight.units)
+        self._slot_released.set()
+
+    # -- shard death ---------------------------------------------------------
+    def _on_shard_death(self, shard_id: int) -> None:
+        shard = self._shards[shard_id]
+        if not shard.alive:
+            return
+        shard.alive = False
+        self.metrics.counter("shards.deaths").inc()
+        victims = sorted(
+            (f for f in self._inflight.values() if f.shard == shard_id),
+            key=lambda f: f.seq,
+        )
+        record_incident(
+            "shard-death", "serve.shard",
+            f"shard {shard_id} (pid {shard.process.pid}) died with "
+            f"{len(victims)} descriptor(s) in flight; re-dispatching to "
+            f"surviving shards",
+        )
+        for flight in victims:
+            del self._inflight[flight.seq]
+        # The dead shard's arenas are unlinked outright — nothing in them
+        # can be trusted, and retries repack from router-retained rows.
+        for arena in shard.arenas.values():
+            arena.close()
+        shard.arenas.clear()
+        shard.free.clear()
+        shard.opened.clear()
+        shard.process.join(timeout=0.1)
+        self._slot_released.set()  # waiters must re-rank candidates
+        if not self._inflight and not victims:
+            self._idle.set()
+        for flight in victims:
+            if flight.attempts >= 2:
+                self._fail_flight(flight, ShardDeadError(
+                    f"shard {shard_id} died and the batch had already used "
+                    f"its one re-dispatch"
+                ))
+                continue
+            task = self._loop.create_task(self._redispatch(flight))
+            self._aux_tasks.add(task)
+            task.add_done_callback(self._aux_tasks.discard)
+        if not self._inflight and not self._aux_tasks:
+            self._idle.set()
+
+    def _fail_flight(self, flight: _Flight, exc: Exception) -> None:
+        self.metrics.counter("requests.failed").inc(len(flight.requests))
+        for request in flight.requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        if not self._inflight:
+            self._idle.set()
+
+    async def _redispatch(self, flight: _Flight) -> None:
+        live = [r for r in flight.requests if not r.future.done()]
+        if not live:
+            return
+        self.metrics.counter("requests.redispatched").inc(len(live))
+        state = self._keys[flight.key]
+        try:
+            await self._dispatch(
+                state, live, flight.first_enqueued,
+                attempts=flight.attempts + 1,
+            )
+        except ServeError as exc:
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    # -- resolution & submission ---------------------------------------------
+    def register(self, name: str, program: Program) -> None:
+        """Serve a custom :class:`Program` under queue key ``name``."""
+        if self._closing:
+            raise ServerClosedError("server is stopped")
+        self._programs[name] = program
+
+    def _resolve(self, workload: Union[str, Program],
+                 n: Optional[int]) -> _KeyState:
+        if isinstance(workload, Program):
+            return self._key_state(
+                f"program:{workload.name}", workload, "ir",
+                json.dumps(program_to_dict(workload)), 0,
+            )
+        name = workload
+        if n is None and ":" in name:
+            name, _, suffix = name.partition(":")
+            n = int(suffix)
+        if n is None:
+            program = self._programs.get(name)
+            if program is None:
+                raise ServeError(
+                    f"workload {workload!r} is not registered and carries no "
+                    f"problem size; use submit(name, x, n=...) or register()"
+                )
+            return self._key_state(
+                name, program, "ir", json.dumps(program_to_dict(program)), 0
+            )
+        key = f"{name}:{n}"
+        state = self._keys.get(key)
+        if state is not None:
+            return state
+        return self._key_state(key, get_spec(name).build(n), "registry", name, n)
+
+    def _key_state(self, key: str, program: Program, source: str,
+                   payload: str, n: int) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = _KeyState(
+                key=key, program=program, source=source, payload=payload, n=n
+            )
+            state.task = self._loop.create_task(
+                self._drain_loop(state), name=f"repro-shard-queue-{key}"
+            )
+        return state
+
+    async def submit(
+        self,
+        workload: Union[str, Program],
+        value,
+        *,
+        n: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit one input; await its ``memory_words`` output image.
+
+        Same contract as :meth:`BulkServer.submit` — backpressure raises
+        :class:`~repro.errors.ServerOverloadedError`, expiry raises
+        :class:`~repro.errors.RequestDeadlineError` — plus
+        :class:`~repro.errors.ShardDeadError` when shard deaths exhaust a
+        request's one re-dispatch (or leave no live shard).
+        """
+        if self._closing:
+            raise ServerClosedError("server is stopped; submission refused")
+        self._ensure_started()
+        state = self._resolve(workload, n)
+        row = np.asarray(value, dtype=state.program.dtype).ravel()
+        if row.size > state.program.memory_words:
+            raise ExecutionError(
+                f"input of {row.size} words exceeds program memory "
+                f"({state.program.memory_words} words)"
+            )
+        if len(state.requests) >= self.config.max_pending:
+            self.metrics.counter("requests.rejected_overload").inc()
+            if not state.overloaded:
+                state.overloaded = True
+                record_incident(
+                    "server-overload", "serve.queue",
+                    f"queue {state.key} rejected a submission at its pending "
+                    f"bound ({self.config.max_pending}); shedding load until "
+                    f"the next successful dispatch",
+                )
+            raise ServerOverloadedError(
+                f"queue {state.key} is overloaded ({len(state.requests)} "
+                f"pending, bound {self.config.max_pending})",
+                key=state.key,
+                depth=len(state.requests),
+            )
+        now = time.monotonic()
+        request = _Request(
+            row=row,
+            future=self._loop.create_future(),
+            enqueued=now,
+            deadline=(now + deadline) if deadline is not None else None,
+        )
+        state.requests.append(request)
+        self.metrics.counter("requests.submitted").inc()
+        state.wake.set()
+        return await request.future
+
+    # -- the scheduler -------------------------------------------------------
+    async def _drain_loop(self, state: _KeyState) -> None:
+        cfg = self.config
+        while True:
+            if not state.requests:
+                if self._closing:
+                    break
+                state.wake.clear()
+                await state.wake.wait()
+                continue
+            first_enqueued = state.requests[0].enqueued
+            linger_until = first_enqueued + cfg.max_linger
+            target = self.policy.target_batch(
+                state.program.trace_length, cfg.max_batch
+            )
+            while len(state.requests) < target and not self._closing:
+                remaining = linger_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                state.wake.clear()
+                try:
+                    await asyncio.wait_for(state.wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = self._take_batch(state)
+            if batch:
+                try:
+                    await self._dispatch(state, batch, first_enqueued, attempts=1)
+                except ServeError as exc:
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(exc)
+
+    def _take_batch(self, state: _KeyState) -> List[_Request]:
+        """Pop up to ``max_batch`` live requests, failing expired ones."""
+        now = time.monotonic()
+        batch: List[_Request] = []
+        while state.requests and len(batch) < self.config.max_batch:
+            request = state.requests.popleft()
+            if request.future.done():
+                self.metrics.counter("requests.cancelled").inc()
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                self.metrics.counter("requests.deadline_exceeded").inc()
+                request.future.set_exception(RequestDeadlineError(
+                    f"request to {state.key} expired after "
+                    f"{now - request.enqueued:.4f}s in queue"
+                ))
+                continue
+            batch.append(request)
+        return batch
+
+    # -- placement & dispatch ------------------------------------------------
+    def _price(self, shard: _Shard, trace_length: int, lanes: int) -> float:
+        cfg = self.config
+        return placement_units(
+            trace_length, lanes, cfg.warp, cfg.latency, backlog=shard.backlog
+        )
+
+    async def _acquire(self, state: _KeyState, lanes: int) -> Tuple[_Shard, int]:
+        """Cheapest live shard with a free slot for this key (admission).
+
+        Ranks live shards by :func:`placement_units` (backlog + analytic
+        batch cost) and takes the argmin's next free slot; when every live
+        shard's arena for the key is fully in flight, waits for a slot
+        release (or a death, which also re-ranks) and retries.
+        """
+        while True:
+            if self._stopped:
+                raise ServerClosedError("server is stopped")
+            candidates = [s for s in self._shards if s.alive]
+            if not candidates:
+                raise ShardDeadError(
+                    "no live shard remains to place the batch on"
+                )
+            trace_length = state.program.trace_length
+            for shard in sorted(
+                candidates,
+                key=lambda s: (self._price(s, trace_length, lanes), s.id),
+            ):
+                self._open_on(shard, state)
+                free = shard.free[state.key]
+                if free:
+                    return shard, free.popleft()
+            self._slot_released.clear()
+            await self._slot_released.wait()
+
+    def _open_on(self, shard: _Shard, state: _KeyState) -> None:
+        """Replicate a queue key onto a shard (arena + one ``open`` message)."""
+        if state.key in shard.opened:
+            return
+        cfg = self.config
+        arena = SlotArena.create(
+            cfg.slots, cfg.max_batch, state.program.memory_words,
+            state.program.dtype,
+        )
+        shard.arenas[state.key] = arena
+        shard.free[state.key] = deque(range(cfg.slots))
+        shard.work.put(wire.check_wire(wire.open_key(
+            state.key, state.source, state.payload, state.n, arena.name,
+            cfg.slots, cfg.max_batch, state.program.memory_words,
+            state.program.dtype.name,
+        )))
+        shard.opened.add(state.key)
+
+    async def _dispatch(
+        self, state: _KeyState, batch: List[_Request],
+        first_enqueued: float, attempts: int,
+    ) -> None:
+        cfg = self.config
+        occupancy = len(batch)
+        lanes = (
+            round_up_warp(occupancy, cfg.warp) if cfg.pad_to_warp else occupancy
+        )
+        width = max(request.row.size for request in batch)
+        shard, slot = await self._acquire(state, lanes)
+        # No awaits from here to the work-queue put: the shard chosen above
+        # cannot be declared dead mid-pack (death handling runs on this
+        # same event loop), so the flight is either completed or swept.
+        view = shard.arenas[state.key].input_view(slot, occupancy, width)
+        view[:] = 0
+        for i, request in enumerate(batch):
+            view[i, : request.row.size] = request.row
+        units = placement_units(
+            state.program.trace_length, lanes, cfg.warp, cfg.latency
+        )
+        seq = self._seq
+        self._seq += 1
+        self._inflight[seq] = _Flight(
+            seq=seq, key=state.key, shard=shard.id, slot=slot,
+            requests=batch, lanes=lanes, occupancy=occupancy, width=width,
+            units=units, attempts=attempts, first_enqueued=first_enqueued,
+        )
+        self._idle.clear()
+        shard.backlog += units
+        started = time.monotonic()
+        self.metrics.histogram("queue.time_to_first_dispatch_seconds").observe(
+            started - first_enqueued
+        )
+        self.metrics.histogram("queue.depth_at_dispatch").observe(
+            occupancy + len(state.requests)
+        )
+        self.metrics.histogram("placement.backlog_units").observe(shard.backlog)
+        shard.work.put(wire.check_wire(
+            wire.batch(seq, state.key, slot, lanes, occupancy, width)
+        ))
+
+    # -- lifecycle -----------------------------------------------------------
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; drain (default) or abandon pending requests.
+
+        Draining dispatches every pending request, waits for all in-flight
+        descriptors (surviving any shard deaths along the way), then shuts
+        the worker processes down with ``stop`` descriptors.  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._closing = True
+        if not self._started:
+            self._stopped = True
+            return
+        if not drain:
+            for state in self._keys.values():
+                while state.requests:
+                    request = state.requests.popleft()
+                    if not request.future.done():
+                        request.future.set_exception(ServerClosedError(
+                            f"server stopped without draining {state.key}"
+                        ))
+        for state in self._keys.values():
+            state.wake.set()
+        tasks = [s.task for s in self._keys.values() if s.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        while self._aux_tasks:
+            await asyncio.gather(*list(self._aux_tasks), return_exceptions=True)
+        if self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=30.0)
+            except asyncio.TimeoutError:  # pragma: no cover - wedged shard
+                for flight in list(self._inflight.values()):
+                    del self._inflight[flight.seq]
+                    self._fail_flight(flight, ServeError(
+                        "shutdown timed out with the batch still in flight"
+                    ))
+        self._stopped = True  # _acquire waiters bail out from here on
+        self._reader_stop.set()
+        if self._reader is not None:
+            self._reader.join(timeout=2.0)
+        for shard in self._shards:
+            if shard.alive:
+                try:
+                    shard.work.put(wire.stop())
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for shard in self._shards:
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():  # pragma: no cover - wedged worker
+                shard.process.terminate()
+                shard.process.join(timeout=1.0)
+            for arena in shard.arenas.values():
+                arena.close()
+            shard.arenas.clear()
+            shard.free.clear()
+            shard.work.close()
+            shard.work.cancel_join_thread()
+        if self._done_queue is not None:
+            self._done_queue.close()
+            self._done_queue.cancel_join_thread()
+
+    @property
+    def running(self) -> bool:
+        """Is the server accepting submissions?"""
+        return not self._closing
+
+    async def __aenter__(self) -> "ShardedServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop(drain=exc_type is None)
+        return None
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministically ordered snapshot, shard section included.
+
+        Same shape as :meth:`BulkServer.stats` plus a ``shards`` mapping:
+        per shard ``alive``/``ready``/``pid``/``batches``/``backlog_units``
+        and the backends its executors actually ran on.  Per-shard latency
+        and occupancy percentiles live in ``histograms`` under
+        ``shard.<id>.request_latency_seconds`` / ``shard.<id>.occupancy``.
+        """
+        snapshot = self.metrics.snapshot()
+        return {
+            "counters": snapshot["counters"],
+            "histograms": snapshot["histograms"],
+            "incidents": incident_summary(),
+            "policy": self.policy.describe(),
+            "queues": {
+                key: {
+                    "depth": len(self._keys[key].requests),
+                    "target_batch": self.policy.target_batch(
+                        self._keys[key].program.trace_length,
+                        self.config.max_batch,
+                    ),
+                }
+                for key in sorted(self._keys)
+            },
+            "shards": {
+                shard.id: {
+                    "alive": shard.alive,
+                    "backends": sorted(shard.backends),
+                    "backlog_units": round(shard.backlog, 6),
+                    "batches": shard.batches,
+                    "pid": shard.process.pid,
+                    "ready": shard.ready,
+                }
+                for shard in self._shards
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        live = sum(1 for s in self._shards if s.alive)
+        return (
+            f"ShardedServer(shards={live}/{self.config.shards}, "
+            f"policy={self.policy.describe()}, running={self.running})"
+        )

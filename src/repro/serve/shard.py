@@ -1,0 +1,177 @@
+"""The shard worker process — one replicated bulk-execution engine.
+
+:func:`shard_main` is the target of every worker ``Process`` the sharded
+router spawns.  Each shard is a full replica of the execution stack: it
+builds its *own* programs (from the registry or from a shipped IR
+document), its own guarded :class:`~repro.bulk.engine.BulkExecutor` pool
+keyed by ``(queue key, lanes)``, and its own
+:class:`~repro.serve.policy.AdaptivePolicy` for pricing the batches it
+runs — so a poisoned native kernel degrades *one shard* to NumPy while its
+siblings keep their compiled paths, and any batch produces bit-identical
+output on any shard (which is what licenses the router's free re-dispatch
+on shard death).
+
+The loop speaks only :mod:`repro.serve.wire` descriptors; payloads come and
+go through the :class:`~repro.serve.shm.SlotArena` slots those descriptors
+name.  Batch execution lands directly in the slot's output block via
+:meth:`~repro.bulk.engine.BulkExecutor.run_trimmed_into` — the worker never
+materialises a private copy of either block.
+
+Failure containment, in increasing severity:
+
+* an executor failure (:class:`~repro.errors.ReproError`) fails that batch
+  with an ``error`` message and the worker keeps serving;
+* any other exception sends a best-effort ``fatal`` and re-raises;
+* a chaos ``fault_spec`` hard-kills the process with ``os._exit`` at an
+  armed batch index — no message, no cleanup — exactly the death the
+  router's liveness sweep must catch on its own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.registry import get_spec
+from ..bulk.engine import BulkExecutor
+from ..errors import ReproError, ShardError
+from ..reliability import faults
+from ..trace.ir import Program
+from ..trace.serialize import program_from_dict
+from . import wire
+from .policy import AdaptivePolicy
+from .shm import SlotArena
+
+__all__ = ["shard_main", "build_program"]
+
+#: Exit status of a chaos-killed worker (mirrors a SIGSEGV death).
+KILL_EXIT_STATUS = 139
+
+
+def build_program(source: str, payload: str, n: int) -> Program:
+    """Materialise the program an ``open`` descriptor names.
+
+    ``("registry", name, n)`` builds from the algorithm registry —
+    replicating the build instead of pickling the program keeps the open
+    message tiny.  ``("ir", json_doc, _)`` revives a custom program from
+    its serialised IR (shipped once per (shard, key), never per request).
+    """
+    if source == "registry":
+        return get_spec(payload).build(n)
+    if source == "ir":
+        return program_from_dict(json.loads(payload))
+    raise ShardError(f"unknown program source {source!r} in open descriptor")
+
+
+def _install_fault(fault_spec: Optional[Tuple[str, int]]) -> None:
+    """Arm this worker's deterministic chaos plan (primitive-tuple spec).
+
+    ``("kill", after)`` plants a rule on :data:`~repro.serve.wire.SITE_SHARD_BATCH`
+    that hard-kills the process at batch index ``after`` — the chaos
+    suite's shard-death scenario, riding the same FaultPlan machinery as
+    every other injected failure.
+    """
+    if fault_spec is None:
+        return
+    kind, after = fault_spec
+    if kind != "kill":
+        raise ShardError(f"unknown shard fault kind {kind!r}")
+    plan = faults.FaultPlan()
+    plan.fail(wire.SITE_SHARD_BATCH, times=1, after=int(after))
+    faults.install_plan(plan)
+
+
+def shard_main(
+    shard_id: int,
+    work_queue,
+    done_queue,
+    *,
+    backend: str = "numpy",
+    fuse: bool = True,
+    guard: Optional[str] = None,
+    warp: int = 32,
+    latency: int = 100,
+    untrack_shm: bool = False,
+    fault_spec: Optional[Tuple[str, int]] = None,
+) -> None:
+    """Worker entry point: drain ``work_queue`` until ``stop``.
+
+    All parameters are primitives so the entry point is start-method
+    agnostic (``fork`` and ``spawn`` both work).  ``warp``/``latency``
+    shape this shard's replicated :class:`AdaptivePolicy`, whose per-batch
+    price rides back to the router in every ``done`` message.
+    ``untrack_shm`` is the resource-tracker workaround toggle — see
+    :meth:`SlotArena.attach`; the router leaves it off and instead
+    guarantees its own tracker is running before workers launch, so every
+    worker shares it.
+    """
+    _install_fault(fault_spec)
+    policy = AdaptivePolicy(w=warp, l=latency)
+    programs: Dict[str, Program] = {}
+    arenas: Dict[str, SlotArena] = {}
+    executors: Dict[Tuple[str, int], BulkExecutor] = {}
+    done_queue.put(wire.check_wire(wire.ready(shard_id, os.getpid())))
+    try:
+        while True:
+            msg = wire.check_wire(work_queue.get())
+            kind = msg[0]
+            if kind == wire.MSG_STOP:
+                break
+            if kind == wire.MSG_OPEN:
+                _, key, source, payload, n, shm_name, slots, max_batch, words, dtype = msg
+                if key not in programs:
+                    programs[key] = build_program(source, payload, n)
+                    arenas[key] = SlotArena.attach(
+                        shm_name, slots, max_batch, words, np.dtype(dtype),
+                        untrack=untrack_shm,
+                    )
+                continue
+            if kind != wire.MSG_BATCH:
+                raise ShardError(f"shard received unexpected {kind!r} message")
+            _, seq, key, slot, lanes, occupancy, width = msg
+            rule = faults.fire(wire.SITE_SHARD_BATCH)
+            if rule is not None and rule.kind == "raise":
+                # Chaos: die the way real workers die — no farewell message,
+                # no cleanup; the router's liveness sweep must notice alone.
+                os._exit(KILL_EXIT_STATUS)
+            try:
+                program = programs[key]
+                arena = arenas[key]
+                executor = executors.get((key, lanes))
+                if executor is None:
+                    executor = executors[(key, lanes)] = BulkExecutor(
+                        program, lanes, "column",
+                        backend=backend, fuse=fuse, guard=guard,
+                    )
+                started = time.perf_counter()
+                executor.run_trimmed_into(
+                    arena.input_view(slot, occupancy, width),
+                    arena.output_view(slot, occupancy),
+                )
+                elapsed = time.perf_counter() - started
+                done_queue.put(wire.check_wire(wire.done(
+                    shard_id, seq, slot, elapsed, executor.backend,
+                    policy.predicted_units(program.trace_length, lanes),
+                )))
+            except ReproError as exc:
+                done_queue.put(wire.check_wire(wire.error(
+                    shard_id, seq, slot, f"{type(exc).__name__}: {exc}"
+                )))
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover - teardown races
+        pass
+    except BaseException as exc:
+        try:
+            done_queue.put(wire.fatal(shard_id, f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        raise
+    finally:
+        for executor in executors.values():
+            executor.close()
+        for arena in arenas.values():
+            arena.close()
+        faults.clear_plan()

@@ -1,0 +1,125 @@
+"""The router ↔ shard wire protocol: compact descriptors, never payloads.
+
+Everything that crosses the multiprocessing control queues is a flat tuple
+of primitives — strings, ints, floats — small enough that its pickle cost
+is independent of both the batch size and the problem size ``n``.  Request
+data itself lives in :class:`~repro.serve.shm.SlotArena` segments; a
+descriptor merely *names* the slot that holds it.  :func:`check_wire`
+enforces the invariant (no ndarray, no bytes blob, no nesting beyond the
+one tuple) and the test suite runs every message the tier emits through it.
+
+Router → shard (per-shard work queue, FIFO — an ``open`` for a key always
+precedes that key's first ``batch``):
+
+``("open", key, source, payload, n, shm_name, slots, max_batch, words, dtype)``
+    Adopt a queue key: build its program (``source`` is ``"registry"`` with
+    ``payload`` = algorithm name, or ``"ir"`` with ``payload`` = the
+    program's JSON document — custom programs ship *once*, not per
+    request), then attach the named arena.
+``("batch", seq, key, slot, lanes, occupancy, width)``
+    Execute the ``occupancy`` rows of width ``width`` in slot ``slot`` as a
+    ``lanes``-wide bulk run; write images back into the slot's output block.
+``("stop",)``
+    Drain nothing further; exit the worker loop cleanly.
+
+Shard → router (shared completion queue):
+
+``("ready", shard_id, pid)``        worker is attached and serving.
+``("done", shard_id, seq, slot, elapsed, backend, units)``  batch completed
+    in ``elapsed`` seconds on ``backend``; ``units`` is the shard's own
+    analytic price of the run (its replicated policy's prediction), so the
+    router's telemetry can compare model and wall clock per shard.
+``("error", shard_id, seq, slot, message)``  batch failed (executor raised);
+    the worker survives and keeps serving.
+``("fatal", shard_id, message)``    worker is about to die of an unexpected
+    exception (best effort — a killed process sends nothing at all; the
+    router's liveness sweep catches those).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ShardError
+
+__all__ = [
+    "MSG_OPEN", "MSG_BATCH", "MSG_STOP",
+    "MSG_READY", "MSG_DONE", "MSG_ERROR", "MSG_FATAL",
+    "SITE_SHARD_BATCH",
+    "open_key", "batch", "stop", "ready", "done", "error", "fatal",
+    "check_wire",
+]
+
+MSG_OPEN = "open"
+MSG_BATCH = "batch"
+MSG_STOP = "stop"
+MSG_READY = "ready"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+MSG_FATAL = "fatal"
+
+#: Fault-injection site observed once per batch descriptor inside the shard
+#: worker; a firing rule hard-kills the worker mid-load (chaos suite).
+SITE_SHARD_BATCH = "serve.shard.batch"
+
+#: The only types a wire message may contain.
+_PLAIN = (str, int, float, bool, type(None))
+
+
+def open_key(
+    key: str, source: str, payload: str, n: int, shm_name: str,
+    slots: int, max_batch: int, words: int, dtype: str,
+) -> Tuple:
+    return (MSG_OPEN, key, source, payload, n, shm_name, slots, max_batch,
+            words, dtype)
+
+
+def batch(seq: int, key: str, slot: int, lanes: int, occupancy: int,
+          width: int) -> Tuple:
+    return (MSG_BATCH, seq, key, slot, lanes, occupancy, width)
+
+
+def stop() -> Tuple:
+    return (MSG_STOP,)
+
+
+def ready(shard_id: int, pid: int) -> Tuple:
+    return (MSG_READY, shard_id, pid)
+
+
+def done(shard_id: int, seq: int, slot: int, elapsed: float,
+         backend: str, units: float) -> Tuple:
+    return (MSG_DONE, shard_id, seq, slot, elapsed, backend, units)
+
+
+def error(shard_id: int, seq: int, slot: int, message: str) -> Tuple:
+    return (MSG_ERROR, shard_id, seq, slot, message)
+
+
+def fatal(shard_id: int, message: str) -> Tuple:
+    return (MSG_FATAL, shard_id, message)
+
+
+def check_wire(msg: object) -> Tuple:
+    """Assert ``msg`` is a legal wire message; return it.
+
+    A legal message is one flat tuple whose first element is a known kind
+    and whose every element is a primitive (str/int/float/bool/None).  In
+    particular an ``ndarray`` — a request payload — can never pass, which
+    is exactly the zero-copy property the tier promises.
+    """
+    if not isinstance(msg, tuple) or not msg:
+        raise ShardError(f"wire message must be a non-empty tuple, got {type(msg).__name__}")
+    kind = msg[0]
+    if kind not in (MSG_OPEN, MSG_BATCH, MSG_STOP, MSG_READY, MSG_DONE,
+                    MSG_ERROR, MSG_FATAL):
+        raise ShardError(f"unknown wire message kind {kind!r}")
+    for index, value in enumerate(msg):
+        # bool is an int subclass; the isinstance check covers both.
+        if not isinstance(value, _PLAIN):
+            raise ShardError(
+                f"wire message field {index} of {kind!r} is a "
+                f"{type(value).__name__}; only primitives may cross the "
+                f"control queues (payloads ride shared memory)"
+            )
+    return msg

@@ -46,6 +46,10 @@ class TestHorner:
         # per point: 1 load of x, d+1 coefficient loads, 1 store
         assert build_horner(d, m).trace_length == m * (d + 3)
 
+    def test_trace_length_constant(self):
+        # d=0 never touches x: one coefficient load + one store per point.
+        assert build_horner(0, 6).trace_length == 6 * 2
+
     def test_validation(self):
         with pytest.raises(ProgramError):
             build_horner(-1, 2)

@@ -1,0 +1,90 @@
+"""meta["lint_suppress"]: declared-intentional findings collapse to notes."""
+
+import numpy as np
+
+from repro.algorithms.cipher import build_xtea_encrypt
+from repro.algorithms.horner import build_horner
+from repro.analysis.lint import lint_program
+from repro.analysis.lint.linter import apply_suppressions
+from repro.trace.ir import Const, Load, Program, Store
+
+
+def make(instrs, meta=None, regs=4, words=8, name="t"):
+    return Program(
+        instructions=tuple(instrs), num_registers=regs, memory_words=words,
+        dtype=np.dtype(np.float64), name=name, meta=meta or {},
+    )
+
+
+def rules_of(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+# Two shadowed stores (W502 twice) plus one live store.
+SHADOWED = [Const(0, 1.0), Store(0, 0), Store(0, 0), Store(0, 0)]
+
+
+class TestApplySuppressions:
+    def test_suppressed_warnings_become_one_note(self):
+        prog = make(SHADOWED, meta={"lint_suppress": {"OBL-W502": "on purpose"}})
+        report = lint_program(prog, passes=False, codegen=False)
+        assert "OBL-W502" not in rules_of(report)
+        notes = [d for d in report.diagnostics if d.rule_id == "OBL-N603"]
+        assert len(notes) == 1
+        assert "2 OBL-W502" in notes[0].message
+        assert "on purpose" in notes[0].message
+        assert report.warnings == 0
+
+    def test_without_meta_warnings_stand(self):
+        report = lint_program(make(SHADOWED), passes=False, codegen=False)
+        assert rules_of(report).count("OBL-W502") == 2
+
+    def test_errors_are_never_suppressible(self):
+        prog = make(
+            [Const(0, 1.0), Store(99, 0)],
+            meta={"lint_suppress": {"OBL-E101": "trust me"}},
+        )
+        report = lint_program(prog, passes=False, codegen=False)
+        assert "OBL-E101" in rules_of(report)
+        assert not report.ok
+
+    def test_malformed_justification_suppresses_nothing(self):
+        prog = make(SHADOWED, meta={"lint_suppress": {"OBL-W502": "  "}})
+        report = lint_program(prog, passes=False, codegen=False)
+        assert rules_of(report).count("OBL-W502") == 2
+        note = next(d for d in report.diagnostics if d.rule_id == "OBL-N603")
+        assert "ignored" in note.message
+
+    def test_unmatched_rule_adds_no_note(self):
+        prog = make(
+            [Const(0, 1.0), Store(0, 0)],
+            meta={"lint_suppress": {"OBL-W502": "nothing shadowed here"}},
+        )
+        report = lint_program(prog, passes=False, codegen=False)
+        assert "OBL-N603" not in rules_of(report)
+
+    def test_non_dict_meta_is_ignored(self):
+        prog = make(SHADOWED, meta={"lint_suppress": ["OBL-W502"]})
+        diags = apply_suppressions(
+            prog, list(lint_program(prog, passes=False, codegen=False).diagnostics)
+        )
+        assert "OBL-W502" in [d.rule_id for d in diags]
+
+
+class TestRegistryProgramsAreWarningFree:
+    def test_xtea_suppresses_round_stores_with_justification(self):
+        report = lint_program(build_xtea_encrypt(4), input_words=6)
+        assert report.warnings == 0
+        note = next(d for d in report.diagnostics if d.rule_id == "OBL-N603")
+        assert "OBL-W502" in note.message
+        assert "round-uniform" in note.message
+
+    def test_constant_horner_has_no_dead_loads(self):
+        report = lint_program(build_horner(0, 6), input_words=7)
+        assert report.warnings == 0
+        assert "OBL-W501" not in rules_of(report)
+        # The fix removed the load, not the warning: x cells are untouched.
+        assert not any(
+            isinstance(i, Load) and 1 <= i.addr < 7
+            for i in build_horner(0, 6).instructions
+        )

@@ -1,0 +1,107 @@
+"""The machine-readable bench schema and the perf-trajectory comparator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+
+from repro.harness.trajectory import (
+    FORMAT,
+    KEY_FIELDS,
+    SCHEMA_VERSION,
+    compare_trajectories,
+    load_bench,
+    record_key,
+    render_deltas,
+    write_bench,
+)
+from repro.harness.trajectory import bench_record as make_record
+
+
+def rec(method="closed-loop", derived_x=None, **extra):
+    return make_record(
+        bench="serving", workload="opt", n=32, p=256, backend="numpy",
+        shards=0, method=method, seconds=1.5, throughput_rps=1000.0,
+        derived_x=derived_x, **extra,
+    )
+
+
+class TestSchema:
+    def test_record_is_sorted_and_complete(self):
+        r = rec(derived_x=5.0, host_cpus=4)
+        assert list(r) == sorted(r)
+        for field in KEY_FIELDS:
+            assert field in r
+        assert r["derived_x"] == 5.0 and r["host_cpus"] == 4
+
+    def test_extra_fields_must_be_scalars(self):
+        with pytest.raises(ReproError):
+            rec(payload=[1, 2, 3])
+
+    def test_record_key_is_the_declared_tuple(self):
+        assert record_key(rec()) == (
+            "serving", "opt", 32, 256, "numpy", 0, "closed-loop"
+        )
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_bench(path, [rec(method="b"), rec(method="a")])
+        doc = load_bench(path)
+        assert doc["format"] == FORMAT and doc["version"] == SCHEMA_VERSION
+        assert "cpus" in doc["host"]
+        # Records are stored key-sorted for diff stability.
+        methods = [r["method"] for r in doc["records"]]
+        assert methods == sorted(methods)
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "something-else", "records": []}))
+        with pytest.raises(ReproError):
+            load_bench(path)
+
+
+def doc(records):
+    return {"format": FORMAT, "version": SCHEMA_VERSION, "host": {},
+            "records": records}
+
+
+class TestComparator:
+    def test_within_tolerance_passes(self):
+        base = doc([rec(derived_x=10.0)])
+        cur = doc([rec(derived_x=9.0)])
+        deltas = compare_trajectories(base, cur, tolerance=0.15)
+        assert len(deltas) == 1 and not deltas[0].regressed
+
+    def test_beyond_tolerance_regresses(self):
+        deltas = compare_trajectories(
+            doc([rec(derived_x=10.0)]), doc([rec(derived_x=8.0)]),
+            tolerance=0.15,
+        )
+        assert deltas[0].regressed
+        assert "REGRESSED" in deltas[0].describe()
+
+    def test_improvement_never_regresses(self):
+        deltas = compare_trajectories(
+            doc([rec(derived_x=10.0)]), doc([rec(derived_x=40.0)])
+        )
+        assert not deltas[0].regressed
+
+    def test_missing_current_key_is_flagged(self):
+        deltas = compare_trajectories(doc([rec(derived_x=10.0)]), doc([]))
+        assert deltas[0].regressed and deltas[0].current_x is None
+        assert "MISSING" in deltas[0].describe()
+
+    def test_records_without_derived_x_are_not_gated(self):
+        deltas = compare_trajectories(doc([rec()]), doc([]))
+        assert deltas == []
+
+    def test_render_counts_regressions(self):
+        deltas = compare_trajectories(
+            doc([rec(derived_x=10.0), rec(method="m2", derived_x=2.0)]),
+            doc([rec(derived_x=1.0), rec(method="m2", derived_x=2.0)]),
+        )
+        text = render_deltas(deltas)
+        assert "2 gated record(s), 1 regressed" in text

@@ -1,0 +1,85 @@
+"""The wire protocol: primitive descriptors only — payloads can't even ride.
+
+``check_wire`` is the tier's zero-copy enforcement point: every message the
+router or a shard emits goes through it, and it rejects anything that is
+not a flat tuple of primitives.  The ndarray-rejection tests here are the
+acceptance criterion that request payloads travel *only* through shared
+memory, never pickled over the control queues.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.serve import wire
+
+
+def all_builders():
+    return [
+        wire.open_key("opt:8", "registry", "opt", 8, "shm-x", 4, 256, 10, "float64"),
+        wire.batch(3, "opt:8", 1, 64, 40, 10),
+        wire.stop(),
+        wire.ready(2, 4711),
+        wire.done(2, 3, 1, 0.0125, "numpy", 812.5),
+        wire.error(2, 3, 1, "ExecutionError: boom"),
+        wire.fatal(2, "ValueError: unexpected"),
+    ]
+
+
+class TestBuildersAreWireClean:
+    def test_every_builder_passes_check_wire(self):
+        for msg in all_builders():
+            assert wire.check_wire(msg) is msg
+
+    def test_kinds_are_first_elements(self):
+        kinds = {msg[0] for msg in all_builders()}
+        assert kinds == {
+            wire.MSG_OPEN, wire.MSG_BATCH, wire.MSG_STOP,
+            wire.MSG_READY, wire.MSG_DONE, wire.MSG_ERROR, wire.MSG_FATAL,
+        }
+
+
+class TestCheckWireRejects:
+    def test_ndarray_payload_is_rejected(self):
+        # The zero-copy invariant: a batch descriptor cannot smuggle the
+        # batch itself.  Payloads live in SlotArena slots, full stop.
+        smuggled = ("batch", 0, "opt:8", 0, np.zeros(8), 8, 8)
+        with pytest.raises(ShardError):
+            wire.check_wire(smuggled)
+
+    def test_ndarray_scalar_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(("done", 0, np.int64(3), 0, 0.1, "numpy", 1.0))
+
+    def test_bytes_blob_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(("open", b"\x00" * 64))
+
+    def test_nested_tuple_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(("batch", (0, 1), "k", 0, 8, 8, 8))
+
+    def test_list_field_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(("batch", [0, 1], "k", 0, 8, 8, 8))
+
+    def test_non_tuple_message_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(["stop"])
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ShardError):
+            wire.check_wire(("reboot", 1))
+
+
+class TestDescriptorCostIsConstant:
+    def test_batch_descriptor_size_independent_of_batch_and_problem_size(self):
+        # The pickle the control queue actually pays, at two extremes:
+        # a 1-lane batch of a tiny program vs a 256-lane batch of a big one.
+        small = pickle.dumps(wire.batch(0, "prefix-sums:8", 0, 1, 1, 16))
+        large = pickle.dumps(wire.batch(10 ** 6, "prefix-sums:4096", 3, 256, 256, 8192))
+        assert len(large) - len(small) < 32  # integer widths only, no payload
