@@ -1,20 +1,28 @@
 """Execution backends head to head: interpreter vs fused NumPy vs native C.
 
 The acceptance workload is the Figure 12 flagship: Algorithm OPT on 32-gons
-(26,228 IR instructions) bulk-run for p = 8192 inputs, column-wise.  Three
+(26,228 IR instructions) bulk-run for p = 8192 inputs, column-wise.  The
 engines execute the identical program on identical inputs:
 
-* ``interpreter`` — the seed engine, one NumPy call per IR instruction;
-* ``fused``       — the same engine after the IR fusion pass (load/store
+* ``interpreter``     — the seed engine, one NumPy call per IR instruction;
+* ``fused``           — the same engine after the IR fusion pass (load/store
   elision, compare+select fusion);
-* ``native``      — the compiled C bulk kernel (content-addressed cache).
+* ``native-scalar``   — the original compiled C bulk kernel: full register
+  spills, no forwarding, pre-tiling flags (the PR 2 baseline, kept honest);
+* ``native-tiled``    — the tiled kernel: load/store forwarding, liveness
+  spills, cache-blocked lanes, lane padding, SIMD hints, ``-O3`` —
+  single-thread (the acceptance row: >= 2x over native-scalar);
+* ``native-threaded`` — the tiled kernel with an OpenMP lane-parallel
+  outer loop (only on multi-core hosts with a ``-fopenmp`` toolchain).
 
 Two timings are reported per engine.  ``execute`` is the engine phase
 proper — the part the backends differ in; ``end-to-end`` adds the shared
 pack/zero/unpack work on the 128 MB arranged buffer, identical across
 engines and therefore a floor on total-time speedups.
 
-Standalone run (writes ``results/bench_backends.txt``)::
+Standalone run (writes ``results/bench_backends.txt`` and the trajectory
+records ``results/BENCH_backends.json`` the CI perf gate compares
+against)::
 
     PYTHONPATH=src python benchmarks/bench_backends.py
 
@@ -25,6 +33,8 @@ pytest-benchmark mode (smaller grid)::
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -34,7 +44,12 @@ import pytest
 
 from repro.algorithms.registry import get_spec
 from repro.bulk import BulkExecutor
-from repro.codegen.compile import have_compiler
+from repro.codegen.compile import (
+    BULK_DEFAULT_TILE,
+    have_compiler,
+    have_openmp,
+    simd_isa,
+)
 
 try:
     from conftest import run_pedantic
@@ -49,14 +64,34 @@ def _executors(program, p, backends):
             made[name] = BulkExecutor(program, p, "column", fuse=False)
         elif name == "fused":
             made[name] = BulkExecutor(program, p, "column", fuse=True)
-        else:
-            made[name] = BulkExecutor(program, p, "column", backend="native")
+        elif name == "native-scalar":
+            made[name] = BulkExecutor(
+                program, p, "column", backend="native", native_mode="scalar"
+            )
+        elif name == "native-threaded":
+            threads = min(4, os.cpu_count() or 1)
+            made[name] = BulkExecutor(
+                program, p, "column", backend="native",
+                tile=BULK_DEFAULT_TILE, threads=threads,
+            )
+        else:  # native-tiled: the library default, pinned for determinism
+            made[name] = BulkExecutor(
+                program, p, "column", backend="native",
+                tile=BULK_DEFAULT_TILE, threads=1,
+            )
     return made
 
 
-BENCH_BACKENDS = ("interpreter", "fused") + (
-    ("native",) if have_compiler() else ()
-)
+def _native_backends() -> tuple:
+    if not have_compiler():
+        return ()
+    names = ("native-scalar", "native-tiled")
+    if have_openmp() and (os.cpu_count() or 1) > 1:
+        names += ("native-threaded",)
+    return names
+
+
+BENCH_BACKENDS = ("interpreter", "fused") + _native_backends()
 
 
 @pytest.mark.parametrize("backend", BENCH_BACKENDS)
@@ -93,7 +128,7 @@ def _seed_run(ex, inputs) -> np.ndarray:
     return np.ascontiguousarray(mem.T)
 
 
-def main(out_path: Path | None = None) -> str:
+def main(out_path: Path | None = None, json_path: Path | None = None) -> str:
     n, p = 32, 8192
     spec = get_spec("opt")
     program = spec.build(n)
@@ -101,25 +136,26 @@ def main(out_path: Path | None = None) -> str:
 
     lines = [
         f"bench_backends: bulk OPT {n}-gons for p={p} inputs, column-wise "
-        f"({program.num_instructions} IR instructions, float64)",
+        f"({program.num_instructions} IR instructions, float64, "
+        f"SIMD ISA {simd_isa()})",
         "",
     ]
     backends = list(BENCH_BACKENDS)
-    if "native" not in backends:
-        lines.append("native backend unavailable (no C compiler on PATH)")
+    if not have_compiler():
+        lines.append("native backends unavailable (no C compiler on PATH)")
         lines.append("")
 
     made = {}
     compile_secs = None
     compile_was_hit = False
     for name in backends:
-        if name == "native":
+        if name.startswith("native"):
             from repro.codegen import cache as cache_mod
 
             misses0 = cache_mod._misses
         t0 = time.perf_counter()
         made[name] = _executors(program, p, (name,))[name]
-        if name == "native":
+        if name == "native-tiled":
             compile_secs = time.perf_counter() - t0
             compile_was_hit = cache_mod._misses == misses0
 
@@ -136,7 +172,7 @@ def main(out_path: Path | None = None) -> str:
         outputs[name] = ex.outputs()
 
     # The seed baseline: interpreter steps wrapped in the seed's (unblocked)
-    # pack/zero/unpack — what `run()` cost before this optimisation round.
+    # pack/zero/unpack — what `run()` cost before the optimisation rounds.
     seed_ex = made["interpreter"]
     e2e_t["seed"] = _best_of(lambda: _seed_run(seed_ex, inputs), 2)
     exec_t["seed"] = exec_t["interpreter"]
@@ -145,14 +181,14 @@ def main(out_path: Path | None = None) -> str:
     base = exec_t["seed"]
     base_e2e = e2e_t["seed"]
     header = (
-        f"{'backend':<12} {'execute':>10} {'speedup':>9} "
+        f"{'backend':<16} {'execute':>10} {'speedup':>9} "
         f"{'end-to-end':>12} {'speedup':>9}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for name in ["seed"] + backends:
         lines.append(
-            f"{name:<12} {exec_t[name]:>9.4f}s {base / exec_t[name]:>8.1f}x "
+            f"{name:<16} {exec_t[name]:>9.4f}s {base / exec_t[name]:>8.1f}x "
             f"{e2e_t[name]:>11.4f}s {base_e2e / e2e_t[name]:>8.1f}x"
         )
     lines.append("")
@@ -160,6 +196,20 @@ def main(out_path: Path | None = None) -> str:
     for name in backends + ["seed"]:
         np.testing.assert_array_equal(outputs[name], outputs["interpreter"])
     lines.append("all backends bit-identical on the full output image")
+
+    if "native-scalar" in exec_t and "native-tiled" in exec_t:
+        tiled_x = exec_t["native-scalar"] / exec_t["native-tiled"]
+        lines.append(
+            f"tiling: native-tiled = {tiled_x:.2f}x native-scalar on the "
+            f"execute phase (single core; acceptance floor 2.0x)"
+        )
+    if "native-threaded" in exec_t:
+        ex = made["native-threaded"]
+        lines.append(
+            f"threading: {ex.threads} OpenMP threads = "
+            f"{exec_t['native-scalar'] / exec_t['native-threaded']:.2f}x "
+            f"native-scalar ({os.cpu_count()} host cpus)"
+        )
 
     stats = made["fused"].fusion_stats
     lines.append(
@@ -178,22 +228,55 @@ def main(out_path: Path | None = None) -> str:
             else "first compile; later runs hit the content-addressed cache"
         )
         lines.append(
-            f"native: kernel ready in {compile_secs:.1f}s ({how}; "
+            f"native: tiled kernel ready in {compile_secs:.1f}s ({how}; "
             f"{cs.entries} entries, {cs.size_bytes / 1e6:.1f} MB)"
         )
     lines.append(
         "execute = engine phase only; end-to-end adds pack/zero/unpack of "
         "the 128 MB arranged buffer.  'seed' composes the interpreter steps "
         "with the seed's unblocked pack/zero/unpack (its exact run() path); "
-        "the other rows use this PR's cache-blocked transposes."
+        "the other rows use cache-blocked transposes and the pooled arena."
     )
     text = "\n".join(lines)
     if out_path is not None:
         out_path.write_text(text + "\n")
+
+    if json_path is not None:
+        from repro.harness.trajectory import bench_record, write_bench
+
+        records = []
+        for name in ["seed"] + backends:
+            extra = {}
+            if name == "native-tiled" and "native-scalar" in exec_t:
+                # The gated trajectory claim: tiled / scalar execute-phase
+                # speedup (both single-core, so no host_cpus skip needed).
+                extra["derived_x"] = exec_t["native-scalar"] / exec_t[name]
+            if name == "native-threaded":
+                extra["derived_x"] = exec_t["native-scalar"] / exec_t[name]
+                extra["host_cpus"] = os.cpu_count() or 1
+                extra["threads"] = made[name].threads
+            records.append(bench_record(
+                bench="backends", workload="opt", n=n, p=p, backend=name,
+                shards=0, method="execute", seconds=exec_t[name], **extra,
+            ))
+            records.append(bench_record(
+                bench="backends", workload="opt", n=n, p=p, backend=name,
+                shards=0, method="end-to-end", seconds=e2e_t[name],
+            ))
+        write_bench(json_path, records)
     return text
 
 
 if __name__ == "__main__":
-    out = Path(__file__).resolve().parent.parent / "results" / "bench_backends.txt"
-    print(main(out))
-    print(f"\n[wrote {out}]", file=sys.stderr)
+    repo = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=repo / "results" / "bench_backends.txt")
+    parser.add_argument("--json", type=Path,
+                        default=repo / "results" / "BENCH_backends.json",
+                        help="trajectory records path (the CI perf gate "
+                        "compares derived_x ratios against the committed "
+                        "copy)")
+    args = parser.parse_args()
+    print(main(args.out, args.json))
+    print(f"\n[wrote {args.out} and {args.json}]", file=sys.stderr)

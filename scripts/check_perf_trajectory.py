@@ -61,13 +61,55 @@ def regenerate(json_path: Path, shards: int) -> None:
     subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
 
 
+def regenerate_backends(json_path: Path) -> None:
+    """Re-run the backends benchmark (native tiling acceptance ratios)."""
+    scratch = json_path.parent
+    cmd = [
+        sys.executable, str(REPO / "benchmarks" / "bench_backends.py"),
+        "--json", str(json_path),
+        "--out", str(scratch / "bench_backends.txt"),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+
+
+def gate(baseline_doc: dict, current_doc: dict, tolerance: float) -> bool:
+    """Compare one benchmark's trajectories; print deltas; True = regressed.
+
+    Applies the ``host_cpus`` skip: baseline records claiming CPU scaling
+    the current host cannot exhibit are excluded rather than failed.
+    """
+    cpus = os.cpu_count() or 1
+    gated_baseline = dict(baseline_doc)
+    skipped = [
+        r for r in baseline_doc["records"]
+        if r.get("host_cpus") is not None and cpus < int(r["host_cpus"])
+    ]
+    gated_baseline["records"] = [
+        r for r in baseline_doc["records"] if r not in skipped
+    ]
+    for record in skipped:
+        name = "/".join(str(part) for part in record_key(record))
+        print(f"SKIPPED  {name}: scaling claim needs {record['host_cpus']} "
+              f"cpus, host has {cpus}")
+    deltas = compare_trajectories(gated_baseline, current_doc,
+                                  tolerance=tolerance)
+    print(render_deltas(deltas))
+    return any(d.regressed for d in deltas)
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path,
                         default=REPO / "results" / "BENCH_serving.json")
+    parser.add_argument("--backends-baseline", type=Path,
+                        default=REPO / "results" / "BENCH_backends.json",
+                        help="committed backends-benchmark trajectory "
+                        "(skipped when absent, or when --current is given)")
     parser.add_argument("--current", type=Path, default=None,
-                        help="pre-generated fresh trajectory file (skips "
-                        "the benchmark re-run; for testing the gate itself)")
+                        help="pre-generated fresh trajectory file for the "
+                        "serving gate (skips every benchmark re-run; for "
+                        "testing the gate itself)")
     parser.add_argument("--tolerance", type=float, default=0.15)
     args = parser.parse_args(argv)
 
@@ -78,37 +120,36 @@ def main(argv: list | None = None) -> int:
         print(f"error: no committed baseline at {args.baseline}", file=sys.stderr)
         return 2
 
+    regressed = False
     baseline = load_bench(args.baseline)
     if args.current is not None:
-        current = load_bench(args.current)
-    else:
-        with tempfile.TemporaryDirectory(prefix="repro-perf-") as scratch:
-            fresh = Path(scratch) / "BENCH_serving.json"
-            shards = max(
-                (r.get("shards", 0) for r in baseline["records"]), default=4
+        print(f"== {args.baseline.name} vs {args.current.name}")
+        regressed |= gate(baseline, load_bench(args.current), args.tolerance)
+        return 1 if regressed else 0
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as scratch:
+        fresh = Path(scratch) / "BENCH_serving.json"
+        shards = max(
+            (r.get("shards", 0) for r in baseline["records"]), default=4
+        )
+        regenerate(fresh, shards or 4)
+        print(f"== {args.baseline.name}")
+        regressed |= gate(baseline, load_bench(fresh), args.tolerance)
+
+        if args.backends_baseline.exists():
+            fresh_backends = Path(scratch) / "BENCH_backends.json"
+            regenerate_backends(fresh_backends)
+            print(f"== {args.backends_baseline.name}")
+            regressed |= gate(
+                load_bench(args.backends_baseline),
+                load_bench(fresh_backends),
+                args.tolerance,
             )
-            regenerate(fresh, shards or 4)
-            current = load_bench(fresh)
+        else:
+            print(f"note: no committed baseline at "
+                  f"{args.backends_baseline} — backends gate skipped")
 
-    cpus = os.cpu_count() or 1
-    gated_baseline = dict(baseline)
-    skipped = [
-        r for r in baseline["records"]
-        if r.get("host_cpus") is not None and cpus < int(r["host_cpus"])
-    ]
-    gated_baseline["records"] = [
-        r for r in baseline["records"] if r not in skipped
-    ]
-    for record in skipped:
-        name = "/".join(str(part) for part in record_key(record))
-        print(f"SKIPPED  {name}: scaling claim needs {record['host_cpus']} "
-              f"cpus, host has {cpus}")
-
-    deltas = compare_trajectories(
-        gated_baseline, current, tolerance=args.tolerance
-    )
-    print(render_deltas(deltas))
-    return 1 if any(d.regressed for d in deltas) else 0
+    return 1 if regressed else 0
 
 
 if __name__ == "__main__":

@@ -125,14 +125,59 @@ def cmd_run(args) -> int:
     inputs = spec.make_inputs(rng, args.n, args.p)
     executor = BulkExecutor(
         program, args.p, args.arrangement, backend=args.backend,
-        guard=args.guard,
+        guard=args.guard, tile=args.native_tile, threads=args.native_threads,
     )
     outputs = executor.run(inputs).outputs
     spec.check_outputs(inputs, outputs, args.n)
     guarded = ", guarded" if executor.guard is not None else ""
+    native = (
+        f", tile {executor.tile} x {executor.threads} thread(s)"
+        if executor.backend == "native" else ""
+    )
     print(f"bulk-ran {spec.name} (n={args.n}) for p={args.p} inputs "
-          f"[{args.arrangement}-wise, {executor.backend} backend{guarded}]: "
-          f"outputs verified against the reference")
+          f"[{args.arrangement}-wise, {executor.backend} backend{guarded}"
+          f"{native}]: outputs verified against the reference")
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    from .bulk.arrangement import make_arrangement
+    from .bulk.autotune import autotune_native, tuning_path
+    from .codegen.compile import have_compiler, simd_isa
+
+    if not have_compiler():
+        print("error: autotuning needs a C compiler on PATH", file=sys.stderr)
+        return 2
+    spec = get_spec(args.algorithm)
+    program = spec.build(args.n)
+    rng = np.random.default_rng(args.seed)
+    inputs = spec.make_inputs(rng, args.n, args.p)
+    tiles = tuple(args.tiles) if args.tiles else None
+    threads = tuple(args.threads) if args.threads else None
+    kwargs = {}
+    if tiles is not None:
+        kwargs["tiles"] = tiles
+    tuning = autotune_native(
+        program, args.p, args.arrangement,
+        threads=threads, trials=args.trials, inputs=inputs,
+        persist=not args.dry_run, **kwargs,
+    )
+    print(f"autotuned {spec.name} (n={args.n}, p={args.p}, "
+          f"{args.arrangement}-wise) on {simd_isa()}:")
+    for key in sorted(tuning.scores, key=tuning.scores.__getitem__):
+        tile_s, _, threads_s = key.partition("x")
+        marker = "  <- winner" if (
+            int(tile_s) == tuning.tile and int(threads_s) == tuning.threads
+        ) else ""
+        print(f"  tile {tile_s:>4} x {threads_s} thread(s): "
+              f"{tuning.scores[key] * 1e3:8.3f} ms{marker}")
+    if args.dry_run:
+        print("dry run: choice not persisted")
+    else:
+        arrangement = make_arrangement(
+            args.arrangement, program.memory_words, args.p
+        )
+        print(f"persisted to {tuning_path(program, arrangement)}")
     return 0
 
 
@@ -273,7 +318,12 @@ def cmd_serve(args) -> int:
         return _serve_bench_sharded(args)
 
     workload, n = args.workload, args.n
-    policy = make_policy(args.policy, w=args.warp, l=args.l)
+    from .serve.policy import backend_lane_speedup
+
+    policy = make_policy(
+        args.policy, w=args.warp, l=args.l,
+        speedup=backend_lane_speedup(args.backend, args.native_threads),
+    )
     config = ServeConfig(
         max_batch=args.max_batch,
         warp=args.warp,
@@ -283,6 +333,8 @@ def cmd_serve(args) -> int:
         policy=policy,
         backend=args.backend,
         guard=args.guard,
+        native_tile=args.native_tile,
+        native_threads=args.native_threads,
     )
     baseline_config = ServeConfig(
         max_batch=1,
@@ -294,6 +346,8 @@ def cmd_serve(args) -> int:
         pad_to_warp=False,
         backend=args.backend,
         guard=args.guard,
+        native_tile=args.native_tile,
+        native_threads=args.native_threads,
     )
 
     async def bench() -> int:
@@ -377,6 +431,8 @@ def _serve_bench_sharded(args) -> int:
             policy=args.policy,
             backend=args.backend,
             guard=None if args.guard == "off" else args.guard,
+            native_tile=args.native_tile,
+            native_threads=args.native_threads,
         )
 
     async def capacity(shards: int):
@@ -512,7 +568,34 @@ def main(argv: list[str] | None = None) -> int:
         help="guarded execution: 'spot' bit-checks sampled lanes of native "
         "runs against the NumPy engine and degrades gracefully on mismatch",
     )
+    p.add_argument("--native-tile", type=int, default=None, metavar="LANES",
+                   help="native backend: cache-block tile size (default: "
+                   "REPRO_NATIVE_TILE, then the persisted autotuner choice)")
+    p.add_argument("--native-threads", type=int, default=None, metavar="N",
+                   help="native backend: OpenMP threads over lane tiles "
+                   "(default: REPRO_NATIVE_THREADS, then the autotuner; "
+                   "degrades to 1 without OpenMP)")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "autotune",
+        help="measure tile x threads candidates for the native backend "
+        "and persist the winner next to the kernel cache",
+    )
+    add_algo(p)
+    p.add_argument("--p", type=int, default=8192, help="lanes to tune for")
+    p.add_argument("--arrangement", choices=["row", "column"],
+                   default="column")
+    p.add_argument("--tiles", type=int, nargs="+", default=None,
+                   metavar="LANES", help="candidate tile sizes")
+    p.add_argument("--threads", type=int, nargs="+", default=None,
+                   metavar="N", help="candidate thread counts")
+    p.add_argument("--trials", type=int, default=3,
+                   help="timed executions per candidate (best is kept)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dry-run", action="store_true",
+                   help="measure and report without persisting the choice")
+    p.set_defaults(fn=cmd_autotune)
 
     p = sub.add_parser(
         "lint",
@@ -598,6 +681,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--backend", choices=["numpy", "native", "auto"],
                    default="numpy")
     p.add_argument("--guard", choices=["off", "spot"], default="off")
+    p.add_argument("--native-tile", type=int, default=None, metavar="LANES",
+                   help="native backend: cache-block tile size per executor")
+    p.add_argument("--native-threads", type=int, default=None, metavar="N",
+                   help="native backend: OpenMP threads per executor "
+                   "(per shard with --shards; keep shards x threads within "
+                   "the host's cores)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-baseline", action="store_true",
                    help="skip the single-lane (batch-size-1) comparison run")

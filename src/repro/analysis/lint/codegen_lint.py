@@ -93,12 +93,17 @@ def extract_accesses(source: str) -> List[Tuple[str, Optional[int], int, str]]:
 
 
 def certify_source(
-    program: Program, source: str, label: str
+    program: Program, source: str, label: str, *, forwarding: bool = False
 ) -> Tuple[List[Diagnostic], List[str]]:
     """Certify one emitted translation unit against ``program``'s trace.
 
     ``label`` names the emission (e.g. ``"emit_c"``, ``"emit_cuda[row]"``)
-    in messages and certificates.
+    in messages and certificates.  With ``forwarding=True`` the emission is
+    allowed to *elide loads* (the native bulk emitter's load/store
+    forwarding pass reuses in-register values): the certified property
+    becomes "the store sequence matches the static trace exactly and in
+    order, and every elided access is a load" — which pins the memory
+    image, since only stores are memory-visible.
     """
     name = program.name
     out: List[Diagnostic] = []
@@ -133,6 +138,11 @@ def certify_source(
                 f"contains {len(accesses)} mem accesses",
                 program=name,
             ))
+    elif forwarding:
+        if address_ok:
+            d, c = _certify_forwarded(name, label, expected, accesses)
+            out.extend(d)
+            certs.extend(c)
     elif len(accesses) % t != 0:
         address_ok = False
         out.append(diag(
@@ -214,6 +224,87 @@ def certify_source(
     return out, certs
 
 
+def _certify_forwarded(
+    name: str,
+    label: str,
+    expected: List[Tuple[str, int]],
+    accesses: List[Tuple[str, Optional[int], int, str]],
+) -> Tuple[List[Diagnostic], List[str]]:
+    """Match a load-forwarded emission against the static trace.
+
+    Greedy ordered-subsequence walk: every emitted access must match the
+    next un-elided trace step, and only *reads* may be skipped over.  A
+    skipped write, an out-of-order access, or a surplus access all fail —
+    so the store sequence (the memory-visible part of the trace) is pinned
+    exactly, per copy of the program body.
+    """
+    out: List[Diagnostic] = []
+    t = len(expected)
+    stores = sum(1 for kind, _ in expected if kind == "W")
+    emitted_w = sum(1 for kind, _, _, _ in accesses if kind == "W")
+    if stores and emitted_w % stores != 0:
+        out.append(diag(
+            "OBL-E303",
+            f"{label}: {emitted_w} emitted stores is not a whole number of "
+            f"trace store sequences ({stores} per copy); the forwarding "
+            f"pass added or dropped stores",
+            program=name,
+        ))
+        return out, []
+
+    i = 0        # position within the current trace copy
+    copy = 0
+    elided = 0
+    for kind, addr, lineno, expr in accesses:
+        while True:
+            if i == t:
+                copy += 1
+                i = 0
+            want_kind, want_addr = expected[i]
+            if (want_kind, want_addr) == (kind, addr):
+                i += 1
+                break
+            if want_kind == "W":
+                out.append(diag(
+                    "OBL-E301",
+                    f"{label} line {lineno} (copy {copy}, trace step {i}): "
+                    f"emitted {kind}({addr}) but the static trace requires "
+                    f"store W({want_addr}) first — forwarding may only "
+                    f"elide loads",
+                    program=name, step=i,
+                ))
+                return out, []
+            elided += 1
+            i += 1
+    # Whatever remains of the final copy must be elidable (reads only).
+    while 0 < i < t:
+        if expected[i][0] == "W":
+            out.append(diag(
+                "OBL-E301",
+                f"{label}: emission ends before trace step {i}'s store "
+                f"W({expected[i][1]}) — forwarding may only elide loads",
+                program=name, step=i,
+            ))
+            return out, []
+        elided += 1
+        i += 1
+    copies = copy + 1 if i == t else copy
+    if stores and copies * stores != emitted_w:
+        out.append(diag(
+            "OBL-E303",
+            f"{label}: {emitted_w} emitted stores across {copies} trace "
+            f"cop(ies) of {stores}; the forwarding pass added or dropped "
+            f"stores",
+            program=name,
+        ))
+        return out, []
+    return out, [
+        f"{label}: {len(accesses)} mem accesses match the static trace in "
+        f"order ({copies} × t={t}, {elided} load(s) forwarded; store "
+        f"sequence exact)"
+    ]
+
+
 def certify_program_codegen(
     program: Program, *, p: Optional[int] = None
 ) -> Tuple[List[Diagnostic], List[str]]:
@@ -251,7 +342,13 @@ def certify_program_codegen(
                 program=program.name,
             ))
             continue
-        d, c = certify_source(program, source, label)
+        # The native bulk emitter runs a load/store forwarding pass, so
+        # its emissions are certified in forwarding mode (stores exact,
+        # elisions must be loads); the others remain trace-exact.
+        d, c = certify_source(
+            program, source, label,
+            forwarding=label.startswith("emit_bulk_c"),
+        )
         out.extend(d)
         certs.extend(c)
     return out, certs

@@ -1,4 +1,4 @@
-"""Arrangement selection — pick the layout before paying for it.
+"""Arrangement and kernel-parameter selection — tune before paying for it.
 
 Theorem 2 says column-wise always wins *on the UMM*; on other substrates
 (a sequential per-input loop, a cache-based CPU) the ordering can invert —
@@ -11,22 +11,47 @@ modes:
 * :func:`best_arrangement_measured` — time a trial run of each candidate
   arrangement on the actual executor and pick the winner (the autotuning
   pattern real GPU kernels use).
+
+It is also home to the **native kernel autotuner**: the tiled native
+backend has two free parameters — cache-block tile size and OpenMP thread
+count — whose optimum depends on the host's cache hierarchy and core
+count, not on the program's semantics (any choice is bit-identical).
+:func:`autotune_native` measures the candidate grid on the real compiled
+kernels and persists the winner next to the kernel cache, content-addressed
+by the program/geometry fingerprint, so every later
+:class:`~repro.bulk.engine.BulkExecutor` for that ``(program, p, layout)``
+picks it up for free (:func:`load_tuning`).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ReproError
 from ..machine.params import MachineParams
 from ..trace.ir import Program
 from .engine import BulkExecutor
 from .simulate import simulate_bulk
 
-__all__ = ["ArrangementChoice", "best_arrangement_model", "best_arrangement_measured"]
+__all__ = [
+    "ArrangementChoice",
+    "best_arrangement_model",
+    "best_arrangement_measured",
+    "NativeTuning",
+    "autotune_native",
+    "load_tuning",
+    "tuning_fingerprint",
+    "tuning_path",
+    "autotune_stats",
+    "clear_tunings",
+]
 
 _DEFAULT_CANDIDATES = ("column", "row")
 
@@ -100,3 +125,243 @@ def best_arrangement_measured(
         scores[arrangement] = best
     winner = min(scores, key=scores.__getitem__)
     return ArrangementChoice(winner=winner, scores=scores, mode="measured")
+
+
+# -- native kernel autotuning (tile × threads) ------------------------------
+
+_TUNING_FORMAT = "repro-autotune"
+_TUNING_VERSION = 1
+
+#: Candidate tile sizes, bracketing the library default: small enough that
+#: tile columns of the working rows stay L1-resident, large enough that
+#: per-tile overhead (register slab zeroing, chunk-call fan-out) amortises.
+_DEFAULT_TILES = (128, 256, 384, 512)
+
+
+@dataclass(frozen=True)
+class NativeTuning:
+    """A measured (tile, threads) choice for one ``(program, p, layout)``.
+
+    ``scores`` maps ``"{tile}x{threads}"`` to the best measured execute
+    seconds; ``fingerprint`` is the content address the choice is persisted
+    under (program text + dtype + geometry — *not* tied to one compiled
+    kernel, since the choice spans many kernels).
+    """
+
+    tile: int
+    threads: int
+    seconds: float
+    scores: Dict[str, float]
+    fingerprint: str
+    host_cpus: int
+
+    def as_dict(self) -> dict:
+        return {
+            "format": _TUNING_FORMAT,
+            "version": _TUNING_VERSION,
+            "tile": self.tile,
+            "threads": self.threads,
+            "seconds": self.seconds,
+            "scores": dict(sorted(self.scores.items())),
+            "fingerprint": self.fingerprint,
+            "host_cpus": self.host_cpus,
+        }
+
+
+def tuning_fingerprint(program: Program, arrangement) -> str:
+    """Content address of a tuning entry: program text + dtype + geometry."""
+    parts = [
+        program.name,
+        str(program.dtype),
+        str(program.memory_words),
+        getattr(arrangement, "name", str(arrangement)),
+        str(arrangement.p),
+        str(getattr(arrangement, "stride", 0)),
+    ]
+    parts.extend(str(instr) for instr in program.instructions)
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:32]
+
+
+def _tuning_dir() -> Path:
+    from ..codegen.cache import cache_dir
+
+    return cache_dir() / "autotune"
+
+
+def tuning_path(program: Program, arrangement) -> Path:
+    """Where the persisted choice for this program/geometry lives."""
+    return _tuning_dir() / f"{tuning_fingerprint(program, arrangement)}.json"
+
+
+def load_tuning(program: Program, arrangement) -> Optional[NativeTuning]:
+    """The persisted autotuner choice, or ``None`` (never raises).
+
+    The engine consults this on every native-executor construction when no
+    explicit ``tile``/``threads`` was given; a missing, stale-format, or
+    torn file simply means "no tuning" — the library defaults apply.
+    """
+    path = tuning_path(program, arrangement)
+    try:
+        doc = json.loads(path.read_text())
+        if (
+            doc.get("format") != _TUNING_FORMAT
+            or doc.get("version") != _TUNING_VERSION
+        ):
+            return None
+        return NativeTuning(
+            tile=int(doc["tile"]),
+            threads=int(doc["threads"]),
+            seconds=float(doc["seconds"]),
+            scores={str(k): float(v) for k, v in doc.get("scores", {}).items()},
+            fingerprint=str(doc.get("fingerprint", path.stem)),
+            host_cpus=int(doc.get("host_cpus", 0)),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _default_thread_candidates() -> Tuple[int, ...]:
+    from ..codegen.compile import have_openmp
+
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or not have_openmp():
+        return (1,)
+    return tuple(t for t in (1, 2, 4) if t <= cpus)
+
+
+def autotune_native(
+    program: Program,
+    p: int,
+    arrangement: str = "column",
+    *,
+    tiles: Sequence[int] = _DEFAULT_TILES,
+    threads: Optional[Sequence[int]] = None,
+    trials: int = 3,
+    inputs: Optional[np.ndarray] = None,
+    persist: bool = True,
+    verify: bool = True,
+) -> NativeTuning:
+    """Measure the tile × threads grid on real compiled kernels; persist.
+
+    Compiles one native kernel per candidate (all content-cached, so a
+    re-tune after the first is pure measurement), times the execute phase
+    ``trials`` times each on the same loaded inputs, optionally verifies
+    the winner bit-identical to the NumPy engine, and (with ``persist``)
+    writes the choice to :func:`tuning_path` — atomically, next to the
+    kernel cache it belongs with.
+    """
+    from ..codegen.compile import have_compiler
+
+    if not have_compiler():
+        raise ExecutionError("autotuning the native backend needs a C compiler")
+    if trials < 1:
+        raise ExecutionError(f"trials must be >= 1, got {trials}")
+    if not tiles:
+        raise ExecutionError("no candidate tile sizes")
+    thread_candidates = (
+        tuple(threads) if threads is not None else _default_thread_candidates()
+    )
+    if not thread_candidates:
+        raise ExecutionError("no candidate thread counts")
+    if inputs is None:
+        rng = np.random.default_rng(0)
+        width = min(program.memory_words, max(1, program.memory_words // 2))
+        inputs = rng.integers(0, 100, size=(p, width)).astype(program.dtype)
+    arr = np.asarray(inputs, dtype=program.dtype)
+    if arr.ndim != 2 or arr.shape[0] != p:
+        raise ExecutionError(
+            f"expected (p={p}, k) tuning inputs, got shape {arr.shape}"
+        )
+
+    import time
+
+    reference: Optional[bytes] = None
+    if verify:
+        ref_ex = BulkExecutor(program, p, arrangement, backend="numpy")
+        try:
+            reference = ref_ex.run(arr).outputs.tobytes()
+        finally:
+            ref_ex.close()
+
+    scores: Dict[str, float] = {}
+    for tile in tiles:
+        for nthreads in thread_candidates:
+            executor = BulkExecutor(
+                program, p, arrangement, backend="native",
+                tile=int(tile), threads=int(nthreads),
+            )
+            try:
+                result = executor.run(arr)  # warm-up (and correctness gate)
+                if reference is not None and (
+                    result.outputs.tobytes() != reference
+                ):
+                    raise ReproError(
+                        f"autotune candidate tile={tile} threads={nthreads} "
+                        f"disagrees bitwise with the NumPy engine"
+                    )
+                executor.load(arr)
+                best = float("inf")
+                for _ in range(trials):
+                    t0 = time.perf_counter()
+                    executor.execute()
+                    best = min(best, time.perf_counter() - t0)
+                # The kernel may have degraded its thread request (no
+                # OpenMP): record what actually ran.
+                scores[f"{executor.tile}x{executor.threads}"] = best
+            finally:
+                executor.close()
+
+    winner = min(scores, key=scores.__getitem__)
+    tile_s, _, threads_s = winner.partition("x")
+    tuning = NativeTuning(
+        tile=int(tile_s),
+        threads=int(threads_s),
+        seconds=scores[winner],
+        scores=scores,
+        fingerprint=tuning_fingerprint(
+            program, _arrangement_of(program, p, arrangement)
+        ),
+        host_cpus=os.cpu_count() or 1,
+    )
+    if persist:
+        path = tuning_path(program, _arrangement_of(program, p, arrangement))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(tuning.as_dict(), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    return tuning
+
+
+def _arrangement_of(program: Program, p: int, arrangement):
+    from .arrangement import make_arrangement
+
+    return make_arrangement(arrangement, program.memory_words, p)
+
+
+def autotune_stats() -> "dict[str, int]":
+    """Persisted-tuning observability: entry count and on-disk bytes."""
+    directory = _tuning_dir()
+    entries = 0
+    size = 0
+    if directory.is_dir():
+        for entry in directory.glob("*.json"):
+            try:
+                size += entry.stat().st_size
+                entries += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+    return {"autotune_entries": entries, "autotune_bytes": size}
+
+
+def clear_tunings() -> int:
+    """Delete all persisted tunings; returns how many were removed."""
+    removed = 0
+    directory = _tuning_dir()
+    if directory.is_dir():
+        for entry in directory.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+    return removed

@@ -23,6 +23,7 @@ allocation in hot loops; use ``out=``/views, not copies).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
@@ -35,6 +36,7 @@ from ..reliability.incidents import record_incident
 from ..reliability.quarantine import quarantine_key
 from ..trace.ir import Binary, Const, Load, Program, Select, Store, Unary
 from ..trace.ops import BINARY_UFUNCS, UNARY_UFUNCS
+from . import arena
 from .arrangement import Arrangement, make_arrangement
 from .fusion import FusionStats, compile_fused
 
@@ -42,6 +44,24 @@ __all__ = ["BulkExecutor", "BulkResult", "bulk_run", "BACKENDS", "resolve_backen
 
 #: Accepted values for the ``backend=`` argument.
 BACKENDS = ("numpy", "native", "auto")
+
+#: Environment knobs of the native backend (constructor arguments win).
+ENV_NATIVE_TILE = "REPRO_NATIVE_TILE"
+ENV_NATIVE_THREADS = "REPRO_NATIVE_THREADS"
+
+
+def _env_knob(name: str) -> Optional[int]:
+    """An optional positive-integer tuning knob from the environment."""
+    raw = os.environ.get(name)
+    if raw in (None, ""):
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ExecutionError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ExecutionError(f"{name} must be >= 1, got {value}")
+    return value
 
 
 def _stored_first_words(program: Program) -> frozenset:
@@ -145,6 +165,22 @@ class BulkExecutor:
         key, records an incident, and degrades the executor to the NumPy
         backend (when ``policy.fallback``, the default).  A ``backend="auto"``
         executor degrades on load failure even unguarded.
+    tile:
+        Native backend: lanes per cache block of the compiled kernel.
+        ``None`` (default) falls back to ``REPRO_NATIVE_TILE``, then to the
+        persisted autotuner choice for this ``(program, p, layout)``, then
+        to the library default.  Any tile — including non-divisors of
+        ``p`` — is bit-identical; only speed differs.
+    threads:
+        Native backend: OpenMP lane-parallel threads.  ``None`` falls back
+        to ``REPRO_NATIVE_THREADS`` / autotuner / 1.  Requests beyond the
+        toolchain's capability (no ``-fopenmp``) degrade cleanly to a
+        single-thread kernel.
+    native_mode:
+        ``"tiled"`` (default: forwarded, vectorizer-hinted, lane-padded
+        emission) or ``"scalar"`` (the unforwarded chunked emission at the
+        pre-tiling flag set — kept as an honest baseline for benchmarks
+        and for bit-identity cross-checks).  Bit-identical either way.
     """
 
     def __init__(
@@ -155,6 +191,9 @@ class BulkExecutor:
         backend: str = "numpy",
         fuse: bool = True,
         guard: Union[None, str, GuardPolicy] = None,
+        tile: Optional[int] = None,
+        threads: Optional[int] = None,
+        native_mode: str = "tiled",
     ) -> None:
         self.program = program
         self.arrangement = make_arrangement(arrangement, program.memory_words, p)
@@ -163,8 +202,20 @@ class BulkExecutor:
         self.guard = GuardPolicy.coerce(guard)
         self.backend = resolve_backend(backend, program, self.arrangement)
         self.fuse = bool(fuse)
+        self.tile = int(tile) if tile is not None else _env_knob(ENV_NATIVE_TILE)
+        self.threads = (
+            int(threads) if threads is not None else _env_knob(ENV_NATIVE_THREADS)
+        )
+        if self.tile is not None and self.tile < 1:
+            raise ExecutionError(f"tile must be >= 1, got {self.tile}")
+        if self.threads is not None and self.threads < 1:
+            raise ExecutionError(f"threads must be >= 1, got {self.threads}")
+        if native_mode not in ("tiled", "scalar"):
+            raise ExecutionError(
+                f"native_mode must be 'tiled' or 'scalar', got {native_mode!r}"
+            )
+        self.native_mode = native_mode
         self.rounds = 0
-        self._mem = self.arrangement.allocate(program.dtype)
         self._stored_first = _stored_first_words(program)
         self._zero_ranges_cache: dict = {}
         self._native = None
@@ -177,7 +228,22 @@ class BulkExecutor:
             try:
                 from ..codegen.compile import compile_bulk
 
-                self._native = compile_bulk(program, self.arrangement)
+                tile_, threads_ = self.tile, self.threads
+                if tile_ is None and threads_ is None and native_mode == "tiled":
+                    from .autotune import load_tuning
+
+                    tuned = load_tuning(program, self.arrangement)
+                    if tuned is not None:
+                        tile_, threads_ = tuned.tile, tuned.threads
+                self._native = compile_bulk(
+                    program,
+                    self.arrangement,
+                    tile=tile_,
+                    threads=threads_ if threads_ is not None else 1,
+                    mode=native_mode,
+                )
+                self.tile = self._native.tile
+                self.threads = self._native.threads
             except (ReproError, OSError) as exc:
                 if not self._may_degrade():
                     raise
@@ -192,8 +258,35 @@ class BulkExecutor:
                     key=key,
                 )
                 self.backend = "numpy"
+        self._alloc_buffer()
         if self.backend == "numpy":
             self._init_numpy()
+
+    def _alloc_buffer(self) -> None:
+        """The arranged buffer: pooled, aligned, lane-padded for native runs.
+
+        Column-wise buffers come from the :mod:`~repro.bulk.arena` — 64-byte
+        aligned (full-width SIMD loads never split a cache line) and reused
+        across executor lifetimes of the same geometry.  A native kernel's
+        lane pad widens the *physical* buffer; ``self._mem`` stays the
+        logical ``(words, p)`` view every Python path (pack, unpack, guard,
+        NumPy degrade) operates on, so padding is invisible above the
+        kernel call.
+        """
+        pad = self._native.pad if self._native is not None else 0
+        # Scalar-mode kernels are the pre-tiling benchmark baseline; they
+        # keep the pre-arena (plain NumPy, unaligned) allocation so their
+        # timings reproduce what that baseline actually measured.
+        baseline = self._native is not None and self.native_mode == "scalar"
+        self._mem_pooled = self.arrangement.name == "column" and not baseline
+        if self._mem_pooled:
+            self._mem_phys = arena.acquire(
+                self.program.memory_words, self.p + pad, self.program.dtype
+            )
+            self._mem = self._mem_phys[:, : self.p] if pad else self._mem_phys
+        else:
+            self._mem_phys = self.arrangement.allocate(self.program.dtype)
+            self._mem = self._mem_phys
 
     def _may_degrade(self) -> bool:
         """May a native failure fall back to NumPy instead of raising?
@@ -343,7 +436,7 @@ class BulkExecutor:
         """Run the program over the currently loaded buffer (the engine
         phase proper — what the backends differ in; benchmarks time this)."""
         if self._native is not None:
-            self._native.run_bulk(self._mem)
+            self._native.run_bulk(self._mem_phys)
         else:
             self._regs[...] = 0
             if self._fused is not None:
@@ -376,13 +469,14 @@ class BulkExecutor:
             raise ExecutionError(
                 f"partial batch of {q} inputs does not fit p={self.p}"
             )
-        if q < self.p:
-            block = np.zeros((self.p, arr.shape[1]), dtype=self.program.dtype)
-            block[:q] = arr
-            arr = block
-        outputs = self.run(arr).outputs
-        # Copy: row-wise unpack() can return the live buffer itself.
-        return outputs[:q].copy()
+        outputs = self.run(self._padded(arr, q)).outputs
+        trimmed = outputs[:q]
+        # Every library arrangement unpacks into a fresh array, so the trim
+        # is normally a zero-copy view of it; copy only if a (custom)
+        # arrangement ever hands back the live arranged buffer.
+        if np.may_share_memory(trimmed, self._mem):
+            return trimmed.copy()  # pragma: no cover - defensive
+        return trimmed
 
     def run_trimmed_into(self, rows: np.ndarray, out: np.ndarray) -> None:
         """:meth:`run_trimmed` into a caller-owned ``(q, memory_words)`` buffer.
@@ -464,6 +558,10 @@ class BulkExecutor:
         self._steps = None
         self._fused = None
         self._pad_blocks = {}
+        if not self._closed and self._mem_pooled:
+            # Hand the aligned buffer back to the arena: the next executor
+            # with this geometry reuses it instead of reallocating.
+            arena.release(self._mem_phys)
         self._closed = True
 
     @property
@@ -505,7 +603,7 @@ class BulkExecutor:
         self.load(arr)
         try:
             faults.inject("engine.native.run")
-            self._native.run_bulk(self._mem)
+            self._native.run_bulk(self._mem_phys)
         except (ReproError, OSError) as exc:
             key = self._native.cache_key or None
             if policy is None or not policy.fallback:
@@ -587,6 +685,8 @@ def bulk_run(
     backend: str = "numpy",
     fuse: bool = True,
     guard: Union[None, str, GuardPolicy] = None,
+    tile: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """One-shot convenience: build a :class:`BulkExecutor` and run it.
 
@@ -595,11 +695,11 @@ def bulk_run(
     arr = np.asarray(inputs)
     if arr.ndim != 2:
         raise ExecutionError(f"expected 2-D inputs (p, k), got shape {arr.shape}")
-    return (
-        BulkExecutor(
-            program, arr.shape[0], arrangement, backend=backend, fuse=fuse,
-            guard=guard,
-        )
-        .run(arr)
-        .outputs
+    executor = BulkExecutor(
+        program, arr.shape[0], arrangement, backend=backend, fuse=fuse,
+        guard=guard, tile=tile, threads=threads,
     )
+    try:
+        return executor.run(arr).outputs
+    finally:
+        executor.close()

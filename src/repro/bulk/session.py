@@ -82,6 +82,10 @@ class BulkSession:
         Guard policy forwarded to the executor (``None``, ``"spot"`` or a
         :class:`~repro.reliability.GuardPolicy`) — see
         :class:`BulkExecutor`.
+    tile / threads:
+        Native-backend tuning knobs forwarded to the executor (``None``
+        defers to ``REPRO_NATIVE_TILE`` / ``REPRO_NATIVE_THREADS``, then
+        the persisted autotuner choice) — see :class:`BulkExecutor`.
 
     Example::
 
@@ -101,6 +105,8 @@ class BulkSession:
         backend: str = "numpy",
         fuse: bool = True,
         guard: Union[None, str, GuardPolicy] = None,
+        tile: Optional[int] = None,
+        threads: Optional[int] = None,
     ) -> None:
         if batch <= 0:
             raise ExecutionError(f"batch must be positive, got {batch}")
@@ -108,7 +114,7 @@ class BulkSession:
         self.batch = int(batch)
         self._executor = BulkExecutor(
             program, self.batch, arrangement, backend=backend, fuse=fuse,
-            guard=guard,
+            guard=guard, tile=tile, threads=threads,
         )
         self._pending: List[np.ndarray] = []
         self._input_width: Optional[int] = None

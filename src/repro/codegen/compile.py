@@ -16,13 +16,20 @@ a minute while every later session loads them in milliseconds.
 from __future__ import annotations
 
 import ctypes
+import os
 import shutil
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import CacheCorruptionError, CompileError, ExecutionError, ProgramError
+from ..errors import (
+    CacheCorruptionError,
+    CompileError,
+    ExecutionError,
+    ProgramError,
+    ReproError,
+)
 from ..reliability import faults
 from ..reliability.incidents import record_incident
 from ..trace.ir import Program
@@ -37,19 +44,42 @@ from .cache import cached_library
 
 __all__ = [
     "have_compiler",
+    "have_openmp",
+    "simd_isa",
+    "simd_width",
     "compile_program",
     "CompiledProgram",
     "compile_bulk",
     "CompiledBulkKernel",
     "native_supported",
+    "BULK_DEFAULT_TILE",
+    "BULK_DEFAULT_CHUNK",
+    "BULK_DEFAULT_PAD",
 ]
 
-#: Flags for the bulk kernels: ``-O1`` keeps compile time linear in the
-#: (large, straight-line) program while ``-ftree-vectorize`` restores the
-#: SIMD codegen that matters; ``-march=native`` unlocks the host's vector
-#: width.  ``-std=c99`` keeps FP contraction off, preserving bit-equality
-#: with the NumPy engine.
-_BULK_FLAGS = ("-std=c99", "-O1", "-ftree-vectorize", "-march=native", "-fPIC", "-shared")
+#: Flags for the tiled bulk kernels: ``-O3`` pays off on the forwarded
+#: emission (the forwarding pass already bounded the code size per loop),
+#: ``-march=native`` unlocks the host's vector width, and ``-std=c99``
+#: keeps FP contraction off, preserving bit-equality with the NumPy engine.
+_BULK_FLAGS = ("-std=c99", "-O3", "-march=native", "-fPIC", "-shared")
+
+#: The PR-2-era flags, kept for the ``mode="scalar"`` baseline emission so
+#: ``results/BENCH_backends.json`` measures the tiled kernel against an
+#: honest reproduction of the original native backend.
+_BULK_FLAGS_SCALAR = (
+    "-std=c99", "-O1", "-ftree-vectorize", "-march=native", "-fPIC", "-shared"
+)
+
+#: Defaults of the tiled emission, from the OPT n=32 p=8192 sweep: 512
+#: instructions per chunk function, 256-lane tiles (register slab + the
+#: tile's working rows stay L1/L2-resident), and an 8-lane pad spreading
+#: the 64-KiB-apart flagship rows across L1 sets.
+BULK_DEFAULT_CHUNK = 512
+BULK_DEFAULT_TILE = 256
+BULK_DEFAULT_PAD = 8
+
+_SCALAR_CHUNK = 64
+_SCALAR_TILE = 512
 
 
 def have_compiler() -> bool:
@@ -62,6 +92,106 @@ def _cc() -> str:
     if cc is None:
         raise CompileError("no C compiler on PATH (install gcc/clang)")
     return cc
+
+
+_OPENMP_PROBE: "dict[str, bool]" = {}
+
+_OPENMP_PROBE_SOURCE = """\
+#include <omp.h>
+int probe_threads(void) {
+    int n = 0;
+#pragma omp parallel
+    {
+#pragma omp atomic
+        n += 1;
+    }
+    return n;
+}
+"""
+
+
+def have_openmp() -> bool:
+    """Can the system compiler build ``-fopenmp`` translation units?
+
+    The capability probe behind the threaded emission: a tiny OpenMP unit
+    is compiled once per process (through the content-addressed cache, so
+    repeat probes across processes are disk lookups).  When it fails —
+    a toolchain without ``libgomp``, clang without the runtime — callers
+    degrade to single-thread kernels, mirroring the guarded-degrade
+    pattern: same source, no pragma, bit-identical output.
+
+    ``REPRO_NO_OPENMP=1`` forces the probe to fail: CI's capability
+    matrix uses it to exercise the single-thread degrade path on
+    toolchains that *do* have OpenMP, and operators can use it to pin
+    deterministic single-thread kernels regardless of requested threads.
+    """
+    if os.environ.get("REPRO_NO_OPENMP") == "1":
+        return False
+    if not have_compiler():
+        return False
+    cc = _cc()
+    cached = _OPENMP_PROBE.get(cc)
+    if cached is not None:
+        return cached
+    try:
+        cached_library(
+            _OPENMP_PROBE_SOURCE,
+            ("-std=c99", "-fopenmp", "-fPIC", "-shared"),
+            cc,
+        )
+        ok = True
+    except (ReproError, OSError):
+        ok = False
+    _OPENMP_PROBE[cc] = ok
+    return ok
+
+
+def simd_isa() -> str:
+    """Best SIMD instruction set the host advertises (diagnostic only).
+
+    Read from ``/proc/cpuinfo`` flags on Linux, ``platform.machine()``
+    elsewhere; used by CI logs and benchmark reports to label what
+    ``-march=native`` unlocked — never to gate behaviour.
+    """
+    import platform
+
+    try:
+        with open("/proc/cpuinfo") as fh:
+            flags: set = set()
+            for line in fh:
+                if line.startswith(("flags", "Features")):
+                    flags.update(line.split(":", 1)[1].split())
+        for isa in ("avx512f", "avx2", "avx", "sse4_2", "asimd", "neon"):
+            if isa in flags:
+                return isa
+    except OSError:
+        pass
+    return platform.machine() or "unknown"
+
+
+#: Vector register width, in bits, of each ISA :func:`simd_isa` can report.
+_ISA_BITS = {
+    "avx512f": 512,
+    "avx2": 256,
+    "avx": 256,
+    "sse4_2": 128,
+    "asimd": 128,
+    "neon": 128,
+}
+
+
+def simd_width(bits_per_lane: int = 64) -> int:
+    """Lanes per vector issue for ``bits_per_lane``-bit elements (>= 1).
+
+    ``avx512f`` with 64-bit words → 8, ``avx2`` → 4, unknown hosts → 1.
+    This feeds the analytic model's effective-lane speedup
+    (:func:`repro.machine.analytic.effective_lane_speedup`), *not* code
+    generation — the emitted kernels leave vector selection to
+    ``-march=native``.
+    """
+    if bits_per_lane < 1:
+        raise CompileError(f"bits_per_lane must be >= 1, got {bits_per_lane}")
+    return max(1, _ISA_BITS.get(simd_isa(), 0) // bits_per_lane)
 
 
 def _load(source: str, flags: Sequence[str]) -> "tuple[ctypes.CDLL, str]":
@@ -208,6 +338,9 @@ class CompiledBulkKernel:
     total_words: int
     _lib: ctypes.CDLL
     cache_key: str = ""
+    tile: int = BULK_DEFAULT_TILE
+    threads: int = 1
+    pad: int = 0
 
     def __post_init__(self) -> None:
         ptr = (
@@ -227,10 +360,19 @@ class CompiledBulkKernel:
         otherwise keep every ``.so`` mapped until interpreter exit.  After
         closing, :meth:`run_bulk` raises rather than calling into an
         unmapped library.
+
+        OpenMP kernels (``threads > 1``) drop the handle but stay mapped:
+        libgomp keeps its worker-thread pool alive across kernel calls and
+        does not support being unloaded, so a real ``dlclose`` leaves those
+        threads pointing into unmapped code and crashes the process at (or
+        before) exit.  The mapping leak is bounded by the content-addressed
+        cache — one ``.so`` per distinct kernel, not per executor.
         """
         lib, self._lib = self._lib, None
         self._kernel = None
         if lib is None:
+            return
+        if self.threads > 1:
             return
         try:
             import _ctypes
@@ -272,40 +414,85 @@ class CompiledBulkKernel:
 
 
 def compile_bulk(
-    program: Program, arrangement, *, chunk: int = 64, tile: int = 512
+    program: Program,
+    arrangement,
+    *,
+    chunk: Optional[int] = None,
+    tile: Optional[int] = None,
+    pad: Optional[int] = None,
+    threads: int = 1,
+    mode: str = "tiled",
 ) -> CompiledBulkKernel:
     """Compile the native bulk kernel for ``program`` on ``arrangement``.
 
     The arrangement fixes the layout *and* ``p`` — both are baked into the
     source as constants (that is what lets the compiler vectorise, see
     :func:`repro.codegen.c_emitter.emit_bulk_c`), so one kernel serves one
-    ``(program, layout, p)`` triple.  Builds are content-addressed: the
-    first call pays the compiler, every later call (any process) loads the
-    cached shared object.
+    ``(program, layout, p, tile, pad, threads)`` tuple.  Builds are
+    content-addressed: the first call pays the compiler, every later call
+    (any process) loads the cached shared object.
+
+    ``mode="tiled"`` (default) is the forwarded, cache-blocked, SIMD-hinted
+    emission at ``-O3``; ``mode="scalar"`` reproduces the original full-
+    spill emission and flags — the benchmark baseline, and a bisection aid.
+    ``threads > 1`` requires the OpenMP capability probe to pass
+    (:func:`have_openmp`); when it fails the request degrades cleanly to a
+    single-thread kernel rather than a compile error.
     """
     if not native_supported(program, arrangement):
         raise ExecutionError(
             f"no native bulk kernel for dtype {program.dtype} on "
             f"arrangement {getattr(arrangement, 'name', arrangement)!r}"
         )
+    if mode not in ("tiled", "scalar"):
+        raise ExecutionError(f"unknown native kernel mode {mode!r}")
+    scalar = mode == "scalar"
+    if chunk is None:
+        chunk = _SCALAR_CHUNK if scalar else BULK_DEFAULT_CHUNK
+    if tile is None:
+        tile = _SCALAR_TILE if scalar else BULK_DEFAULT_TILE
     if arrangement.name == "column":
         layout, stride = "column", 0
+        if pad is None:
+            pad = 0 if scalar else BULK_DEFAULT_PAD
     else:
         layout = "row"
         stride = getattr(arrangement, "stride", arrangement.words)
+        pad = 0
+    threads = max(1, int(threads))
+    if threads > 1 and not have_openmp():
+        threads = 1  # clean single-thread degrade: same kernel, no pragma
     source = emit_bulk_c(
-        program, layout, p=arrangement.p, stride=stride, chunk=chunk, tile=tile
+        program,
+        layout,
+        p=arrangement.p,
+        stride=stride,
+        chunk=chunk,
+        tile=tile,
+        pad=pad,
+        threads=threads,
+        simd=False if scalar else None,
+        forward=not scalar,
     )
+    flags = _BULK_FLAGS_SCALAR if scalar else _BULK_FLAGS
+    if threads > 1:
+        flags = flags + ("-fopenmp",)
     try:
-        lib, key = _load(source, _BULK_FLAGS)
+        lib, key = _load(source, flags)
     except CompileError:
         # Some toolchains lack -march=native; retry with portable flags.
-        fallback = tuple(f for f in _BULK_FLAGS if f != "-march=native")
+        fallback = tuple(f for f in flags if f != "-march=native")
         lib, key = _load(source, fallback)
+    total_words = arrangement.total_words
+    if layout == "column":
+        total_words = program.memory_words * (arrangement.p + pad)
     return CompiledBulkKernel(
         program=program,
         p=arrangement.p,
-        total_words=arrangement.total_words,
+        total_words=total_words,
         _lib=lib,
         cache_key=key,
+        tile=tile,
+        threads=threads,
+        pad=pad,
     )

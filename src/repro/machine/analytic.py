@@ -54,6 +54,7 @@ __all__ = [
     "bulk_step_time",
     "bulk_batch_time",
     "placement_units",
+    "effective_lane_speedup",
 ]
 
 
@@ -128,22 +129,82 @@ def bulk_step_time(lanes: int, w: int, l: int) -> int:
     return -(-lanes // w) + l - 1
 
 
-def bulk_batch_time(trace_length: int, lanes: int, w: int, l: int) -> int:
+def effective_lane_speedup(
+    *,
+    simd_width: int = 1,
+    threads: int = 1,
+    simd_efficiency: float = 0.35,
+    thread_efficiency: float = 0.85,
+) -> float:
+    """Calibrated throughput multiplier of a tiled/threaded native kernel.
+
+    The bulk model prices a batch by its bandwidth term ``⌈lanes/w⌉``;
+    a vectorised kernel retires ``simd_width`` lanes per issue and an
+    OpenMP kernel runs ``threads`` tile partitions concurrently, so the
+    *effective* lane throughput grows by (ideally) their product.  Real
+    kernels fall short of ideal — memory-bound chunks don't scale with
+    vector width, threads contend for shared cache — so each factor is
+    derated by a measured efficiency:
+
+    ``speedup = (1 + e_simd·(simd_width − 1)) · (1 + e_thread·(threads − 1))``
+
+    The defaults are calibrated against ``results/BENCH_backends.json`` on
+    the flagship (OPT n=32, p=8192): the 8-wide AVX-512 tiled kernel
+    measures ≈ 2.2× over the scalar baseline — matching
+    ``1 + 0.35·(8−1) ≈ 3.45`` *relative to true scalar issue*, of which the
+    baseline already realises part, hence the conservative per-lane derate —
+    and thread scaling near ``0.85`` per added core is what lane-partitioned
+    oblivious programs (no cross-lane traffic) sustain until memory
+    bandwidth saturates.  :class:`~repro.serve.policy.AdaptivePolicy` and
+    :func:`placement_units` divide the bandwidth term by this factor so
+    batch targets and shard placement price tiled/threaded kernels
+    correctly instead of assuming one lane per time unit.
+    """
+    if simd_width < 1 or threads < 1:
+        raise MachineConfigError(
+            f"need simd_width >= 1 and threads >= 1, got "
+            f"simd_width={simd_width} threads={threads}"
+        )
+    if not 0.0 <= simd_efficiency <= 1.0 or not 0.0 <= thread_efficiency <= 1.0:
+        raise MachineConfigError("efficiencies must lie in [0, 1]")
+    return (1.0 + simd_efficiency * (simd_width - 1)) * (
+        1.0 + thread_efficiency * (threads - 1)
+    )
+
+
+def bulk_batch_time(
+    trace_length: int, lanes: int, w: int, l: int, *, speedup: float = 1.0
+) -> float:
     """Closed-form cost of a whole column-wise bulk run, in time units.
 
-    ``trace_length · (⌈lanes/w⌉ + l − 1)`` — the paper's
+    ``trace_length · (⌈lanes/w⌉/speedup + l − 1)`` — the paper's
     ``O(pt/w + lt)`` with its constants made exact.  This is the price the
     serving layer's adaptive batching policy consults before dispatch: the
     *per-request* cost ``bulk_batch_time(t, b, w, l) / b`` strictly
     improves with the batch size ``b``, flattening once the bandwidth term
     ``b/w`` dominates the latency term ``l − 1`` — which is exactly where
     waiting for more requests stops paying.
+
+    ``speedup`` is the executing backend's effective-lane multiplier
+    (:func:`effective_lane_speedup`): a tiled/threaded kernel drains the
+    bandwidth term faster, while the latency term — the pipeline depth —
+    is not its to shrink.  The default ``1.0`` returns the exact integer
+    accounting of the unaccelerated model (as an integer-valued float).
     """
-    return trace_length * bulk_step_time(lanes, w, l)
+    if speedup <= 0:
+        raise MachineConfigError(f"speedup must be > 0, got {speedup}")
+    bandwidth = bulk_step_time(lanes, w, l) - (l - 1)
+    return trace_length * (bandwidth / speedup + l - 1)
 
 
 def placement_units(
-    trace_length: int, lanes: int, w: int, l: int, backlog: float = 0.0
+    trace_length: int,
+    lanes: int,
+    w: int,
+    l: int,
+    backlog: float = 0.0,
+    *,
+    speedup: float = 1.0,
 ) -> float:
     """Predicted completion time, in UMM units, of placing one batch on a
     shard that already owes ``backlog`` units of queued work.
@@ -155,11 +216,13 @@ def placement_units(
     every batch on the argmin shard is therefore both load balancing *and*
     latency minimisation — and because any lane produces bit-identical
     output on any shard (the executors are replicas), the router is free to
-    chase the cheapest placement without a correctness cost.
+    chase the cheapest placement without a correctness cost.  ``speedup``
+    (see :func:`effective_lane_speedup`) prices shards running
+    tiled/threaded native kernels.
     """
     if backlog < 0:
         raise MachineConfigError(f"backlog must be >= 0, got {backlog}")
-    return backlog + bulk_batch_time(trace_length, lanes, w, l)
+    return backlog + bulk_batch_time(trace_length, lanes, w, l, speedup=speedup)
 
 
 def row_wise_stage_table(

@@ -26,10 +26,10 @@ benchmarks compare against).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from ..errors import ServeError
-from ..machine.analytic import bulk_batch_time
+from ..machine.analytic import bulk_batch_time, effective_lane_speedup
 
 __all__ = [
     "BatchPolicy",
@@ -37,12 +37,40 @@ __all__ = [
     "AdaptivePolicy",
     "make_policy",
     "units_per_request",
+    "backend_lane_speedup",
 ]
 
 
-def units_per_request(trace_length: int, lanes: int, w: int, l: int) -> float:
-    """Predicted UMM time units each request pays in a ``lanes``-wide batch."""
-    return bulk_batch_time(trace_length, lanes, w, l) / lanes
+def units_per_request(
+    trace_length: int, lanes: int, w: int, l: int, *, speedup: float = 1.0
+) -> float:
+    """Predicted UMM time units each request pays in a ``lanes``-wide batch.
+
+    ``speedup`` is the executing backend's effective-lane multiplier
+    (:func:`repro.machine.analytic.effective_lane_speedup`); it discounts
+    the bandwidth term only, so a faster backend pushes the economic batch
+    target *up* — more lanes are needed before ``b/w`` dominates ``l − 1``.
+    """
+    return bulk_batch_time(trace_length, lanes, w, l, speedup=speedup) / lanes
+
+
+def backend_lane_speedup(backend: str, threads: Optional[int] = None) -> float:
+    """Effective-lane multiplier of a serving config's executors.
+
+    NumPy executors are the model's one-lane-per-unit baseline (1.0).
+    Native executors vectorise — the host's SIMD width per 64-bit word —
+    and optionally thread (``threads``); both feed
+    :func:`~repro.machine.analytic.effective_lane_speedup`.  ``"auto"``
+    is priced like native: when the compiler is absent it degrades to
+    NumPy and the price is merely conservative, never wrong-way.
+    """
+    if backend not in ("native", "auto"):
+        return 1.0
+    from ..codegen.compile import simd_width
+
+    return effective_lane_speedup(
+        simd_width=simd_width(), threads=threads or 1
+    )
 
 
 def round_up_warp(lanes: int, warp: int) -> int:
@@ -99,17 +127,26 @@ class AdaptivePolicy(BatchPolicy):
         optimum.  ``1.0`` degenerates to "always fill to the cap";
         ``1.25`` (default) stops lingering once waiting longer could win at
         most another 25%.
+    speedup:
+        Effective-lane multiplier of the executing backend
+        (:func:`backend_lane_speedup`).  A tiled/threaded native kernel
+        drains the bandwidth term faster, so the same slack tolerates a
+        *larger* batch target — the policy lingers longer because each
+        extra request is cheaper to absorb.
     """
 
     w: int = 32
     l: int = 100
     slack: float = 1.25
+    speedup: float = 1.0
 
     def __post_init__(self) -> None:
         if self.w < 1 or self.l < 1:
             raise ServeError(f"need w >= 1 and l >= 1, got w={self.w} l={self.l}")
         if self.slack < 1.0:
             raise ServeError(f"slack must be >= 1.0, got {self.slack}")
+        if self.speedup <= 0:
+            raise ServeError(f"speedup must be > 0, got {self.speedup}")
         # Per-instance memo: the target depends only on max_batch (the
         # trace length cancels out of the cost ratio).
         object.__setattr__(self, "_memo", {})
@@ -120,11 +157,12 @@ class AdaptivePolicy(BatchPolicy):
         if cached is not None:
             return cached
         # u(b)/u(max) is independent of t, so price with t = 1.
-        best = units_per_request(1, max_batch, self.w, self.l)
+        best = units_per_request(1, max_batch, self.w, self.l, speedup=self.speedup)
         target = max_batch
         b = min(self.w, max_batch)
         while b < max_batch:
-            if units_per_request(1, b, self.w, self.l) <= self.slack * best:
+            per = units_per_request(1, b, self.w, self.l, speedup=self.speedup)
+            if per <= self.slack * best:
                 target = b
                 break
             b = min(b + self.w, max_batch)
@@ -133,20 +171,28 @@ class AdaptivePolicy(BatchPolicy):
 
     def predicted_units(self, trace_length: int, lanes: int) -> float:
         """Per-request UMM price of a ``lanes``-wide dispatch (for stats)."""
-        return units_per_request(trace_length, lanes, self.w, self.l)
+        return units_per_request(
+            trace_length, lanes, self.w, self.l, speedup=self.speedup
+        )
 
     def describe(self) -> str:
-        return f"adaptive(w={self.w}, l={self.l}, slack={self.slack})"
+        base = f"adaptive(w={self.w}, l={self.l}, slack={self.slack}"
+        if self.speedup != 1.0:
+            base += f", speedup={self.speedup:.2f}"
+        return base + ")"
 
 
 def make_policy(
-    policy: Union[str, BatchPolicy], *, w: int = 32, l: int = 100
+    policy: Union[str, BatchPolicy], *, w: int = 32, l: int = 100,
+    speedup: float = 1.0,
 ) -> BatchPolicy:
     """Coerce the server's ``policy=`` argument.
 
     ``"adaptive"`` → :class:`AdaptivePolicy` on the given machine shape,
     ``"single"`` → :class:`FixedPolicy(1)`, ``"full"`` → fill to the cap;
     an integer string (``"8"``) → that fixed target; instances pass through.
+    ``speedup`` shapes the adaptive policy only (fixed targets are already
+    backend-agnostic).
     """
     if isinstance(policy, BatchPolicy):
         return policy
@@ -154,7 +200,7 @@ def make_policy(
         return FixedPolicy(policy)
     if isinstance(policy, str):
         if policy == "adaptive":
-            return AdaptivePolicy(w=w, l=l)
+            return AdaptivePolicy(w=w, l=l, speedup=speedup)
         if policy == "single":
             return FixedPolicy(1)
         if policy == "full":

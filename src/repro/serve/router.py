@@ -102,7 +102,9 @@ class ShardConfig(ServeConfig):
 
     ``guard`` must be ``None`` or a policy *name* here (it crosses a
     process boundary); ``workers`` is ignored — shard processes replace
-    the thread pool.
+    the thread pool.  ``native_threads`` is a *per-shard* budget: total
+    native parallelism is ``shards × native_threads``, so keep the product
+    within the host's core count (see docs/SERVING.md).
     """
 
     shards: int = 2
@@ -210,7 +212,10 @@ class ShardedServer:
         elif overrides:
             raise ServeError("pass either a ShardConfig or keyword overrides")
         self.config = config
-        self.policy = make_policy(config.policy, w=config.warp, l=config.latency)
+        self.policy = make_policy(
+            config.policy, w=config.warp, l=config.latency,
+            speedup=config.lane_speedup(),
+        )
         self.metrics = MetricsRegistry()
         #: ``(queue key, input row, output row)`` triples when recording.
         self.served: List[Tuple[str, np.ndarray, np.ndarray]] = []
@@ -278,6 +283,8 @@ class ShardedServer:
                 guard=cfg.guard,
                 warp=cfg.warp,
                 latency=cfg.latency,
+                native_tile=cfg.native_tile,
+                native_threads=cfg.native_threads,
                 fault_spec=fault_spec,
             ),
             name=f"repro-shard-{shard_id}",
@@ -638,7 +645,8 @@ class ShardedServer:
     def _price(self, shard: _Shard, trace_length: int, lanes: int) -> float:
         cfg = self.config
         return placement_units(
-            trace_length, lanes, cfg.warp, cfg.latency, backlog=shard.backlog
+            trace_length, lanes, cfg.warp, cfg.latency, backlog=shard.backlog,
+            speedup=cfg.lane_speedup(),
         )
 
     async def _acquire(self, state: _KeyState, lanes: int) -> Tuple[_Shard, int]:
@@ -706,7 +714,8 @@ class ShardedServer:
         for i, request in enumerate(batch):
             view[i, : request.row.size] = request.row
         units = placement_units(
-            state.program.trace_length, lanes, cfg.warp, cfg.latency
+            state.program.trace_length, lanes, cfg.warp, cfg.latency,
+            speedup=cfg.lane_speedup(),
         )
         seq = self._seq
         self._seq += 1

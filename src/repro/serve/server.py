@@ -67,7 +67,13 @@ from ..reliability.guard import GuardPolicy
 from ..reliability.incidents import incident_summary, record_incident
 from ..trace.ir import Program
 from .metrics import MetricsRegistry
-from .policy import AdaptivePolicy, BatchPolicy, make_policy, round_up_warp
+from .policy import (
+    AdaptivePolicy,
+    BatchPolicy,
+    backend_lane_speedup,
+    make_policy,
+    round_up_warp,
+)
 
 __all__ = ["BulkServer", "ServeConfig"]
 
@@ -105,6 +111,13 @@ class ServeConfig:
         Forwarded to every :class:`~repro.bulk.engine.BulkExecutor` the
         server builds; ``guard="spot"`` is the recommended production
         setting for native backends.
+    native_tile / native_threads:
+        Native-backend tuning knobs forwarded to every executor (``None``
+        defers to the ``REPRO_NATIVE_TILE`` / ``REPRO_NATIVE_THREADS``
+        environment, then the persisted autotuner choice).
+        ``native_threads`` also feeds the adaptive policy's
+        effective-lane speedup (:meth:`lane_speedup`), so batch targets
+        price the threaded kernels they will actually run on.
     workers:
         Worker threads draining batches (queues are independent; one batch
         per queue is in flight at a time).
@@ -124,6 +137,8 @@ class ServeConfig:
     backend: str = "numpy"
     fuse: bool = True
     guard: Union[None, str, GuardPolicy] = None
+    native_tile: Optional[int] = None
+    native_threads: Optional[int] = None
     workers: int = 2
     record: bool = False
 
@@ -140,6 +155,18 @@ class ServeConfig:
             raise ServeError(f"max_pending must be >= 1, got {self.max_pending}")
         if self.workers < 1:
             raise ServeError(f"workers must be >= 1, got {self.workers}")
+        for name in ("native_tile", "native_threads"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ServeError(f"{name} must be >= 1, got {value}")
+
+    def lane_speedup(self) -> float:
+        """Effective-lane multiplier the policy should price batches with.
+
+        See :func:`~repro.serve.policy.backend_lane_speedup`: 1.0 for the
+        NumPy baseline, the SIMD×threads multiplier for native backends.
+        """
+        return backend_lane_speedup(self.backend, self.native_threads)
 
 
 @dataclass
@@ -181,7 +208,8 @@ class BulkServer:
             raise ServeError("pass either a ServeConfig or keyword overrides")
         self.config = config
         self.policy = make_policy(
-            config.policy, w=config.warp, l=config.latency
+            config.policy, w=config.warp, l=config.latency,
+            speedup=config.lane_speedup(),
         )
         self.metrics = MetricsRegistry()
         #: ``(queue key, input row, output row)`` triples when recording.
@@ -362,6 +390,7 @@ class BulkServer:
             executor = BulkExecutor(
                 q.program, lanes, "column", backend=cfg.backend,
                 fuse=cfg.fuse, guard=cfg.guard,
+                tile=cfg.native_tile, threads=cfg.native_threads,
             )
             q.executors[lanes] = executor
         return executor

@@ -43,7 +43,7 @@ from ..reliability import faults
 from ..trace.ir import Program
 from ..trace.serialize import program_from_dict
 from . import wire
-from .policy import AdaptivePolicy
+from .policy import AdaptivePolicy, backend_lane_speedup
 from .shm import SlotArena
 
 __all__ = ["shard_main", "build_program"]
@@ -95,6 +95,8 @@ def shard_main(
     guard: Optional[str] = None,
     warp: int = 32,
     latency: int = 100,
+    native_tile: Optional[int] = None,
+    native_threads: Optional[int] = None,
     untrack_shm: bool = False,
     fault_spec: Optional[Tuple[str, int]] = None,
 ) -> None:
@@ -103,14 +105,20 @@ def shard_main(
     All parameters are primitives so the entry point is start-method
     agnostic (``fork`` and ``spawn`` both work).  ``warp``/``latency``
     shape this shard's replicated :class:`AdaptivePolicy`, whose per-batch
-    price rides back to the router in every ``done`` message.
+    price rides back to the router in every ``done`` message;
+    ``native_tile``/``native_threads`` are this shard's native-kernel
+    budget (every shard runs the same budget, so outputs stay replica-
+    identical, and the policy prices with the matching lane speedup).
     ``untrack_shm`` is the resource-tracker workaround toggle — see
     :meth:`SlotArena.attach`; the router leaves it off and instead
     guarantees its own tracker is running before workers launch, so every
     worker shares it.
     """
     _install_fault(fault_spec)
-    policy = AdaptivePolicy(w=warp, l=latency)
+    policy = AdaptivePolicy(
+        w=warp, l=latency,
+        speedup=backend_lane_speedup(backend, native_threads),
+    )
     programs: Dict[str, Program] = {}
     arenas: Dict[str, SlotArena] = {}
     executors: Dict[Tuple[str, int], BulkExecutor] = {}
@@ -146,6 +154,7 @@ def shard_main(
                     executor = executors[(key, lanes)] = BulkExecutor(
                         program, lanes, "column",
                         backend=backend, fuse=fuse, guard=guard,
+                        tile=native_tile, threads=native_threads,
                     )
                 started = time.perf_counter()
                 executor.run_trimmed_into(

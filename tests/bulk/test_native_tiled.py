@@ -1,0 +1,322 @@
+"""The tiled/threaded native backend: bit-identity matrix, arena, autotuner.
+
+The perf PR's acceptance contract, as tests:
+
+* **registry-wide bit identity** — every algorithm, crossed with tile
+  sizes (including non-divisors of ``p``), thread counts, partial batches
+  and guarded mode, produces the *same memory image* as the NumPy engine
+  with fusion off (the strictest oracle: every intermediate cell, not
+  just the outputs);
+* **clean degrade** — a ``threads=4`` request on a toolchain without
+  OpenMP yields a working single-thread kernel, bit-identical;
+* **no per-batch churn** — ``run_trimmed`` returns a view of the unpacked
+  output block, never a defensive copy, and the pooled arena hands
+  aligned buffers across executor lifetimes;
+* **autotuner persistence** — a measured (tile × threads) choice round-
+  trips through its content-addressed JSON file and is picked up by the
+  next executor, and its counters surface in ``cache_stats()`` without
+  breaking the stats dict's deterministic ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import all_specs, get_spec
+from repro.bulk import BulkExecutor, bulk_run
+from repro.bulk import arena
+from repro.bulk.autotune import (
+    autotune_native,
+    autotune_stats,
+    load_tuning,
+    tuning_path,
+)
+from repro.codegen.cache import cache_stats
+from repro.codegen.compile import have_compiler, have_openmp
+from repro.errors import ExecutionError
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+
+
+@pytest.fixture(autouse=True)
+def _tmp_kernel_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+    monkeypatch.setenv("REPRO_COMPILE_BACKOFF", "0")
+
+
+def _spec_case(spec, p, seed=7):
+    n = spec.sizes[0]
+    program = spec.build(n)
+    inputs = spec.make_inputs(np.random.default_rng(seed), n, p)
+    return program, inputs
+
+
+def _full_memory(program, p, inputs, **kwargs):
+    ex = BulkExecutor(program, p, "column", **kwargs)
+    try:
+        ex.load(inputs)
+        ex.execute()
+        return ex.memory_view().copy(), ex
+    finally:
+        ex.close()
+
+
+# -- the bit-identity matrix -------------------------------------------------
+
+@needs_cc
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+def test_registry_native_variants_bit_identical(spec):
+    # p=23 is deliberately awkward: odd, non-warp, and a non-multiple of
+    # every candidate tile, so every kernel exercises a ragged last tile.
+    p = 23
+    program, inputs = _spec_case(spec, p)
+    reference, _ = _full_memory(
+        program, p, inputs, backend="numpy", fuse=False
+    )
+    variants = [
+        dict(native_mode="scalar"),
+        dict(tile=5),                 # non-divisor of 23
+        dict(tile=64),                # tile > p: one partial tile
+        dict(tile=8, threads=2),      # threaded (degrades sans OpenMP)
+    ]
+    for kwargs in variants:
+        mem, ex = _full_memory(
+            program, p, inputs, backend="native", **kwargs
+        )
+        assert ex.backend == "native"
+        np.testing.assert_array_equal(
+            mem, reference,
+            err_msg=f"{spec.name} native {kwargs} diverged from NumPy",
+        )
+
+
+@needs_cc
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_thread_counts_bit_identical(threads):
+    p = 64
+    spec = get_spec("prefix-sums")
+    program, inputs = _spec_case(spec, p)
+    reference, _ = _full_memory(
+        program, p, inputs, backend="numpy", fuse=False
+    )
+    mem, ex = _full_memory(
+        program, p, inputs, backend="native", tile=24, threads=threads
+    )
+    assert ex.backend == "native"
+    if not have_openmp():
+        assert ex.threads == 1
+    np.testing.assert_array_equal(mem, reference)
+
+
+@needs_cc
+def test_partial_batches_trimmed_bit_identical():
+    p = 16
+    spec = get_spec("bitonic-sort")
+    program, inputs = _spec_case(spec, p)
+    for q in (1, 5, p):
+        rows = inputs[:q]
+        with_native = BulkExecutor(
+            program, p, backend="native", tile=6, threads=2
+        )
+        with_numpy = BulkExecutor(program, p, backend="numpy", fuse=False)
+        try:
+            got = with_native.run_trimmed(rows)
+            want = with_numpy.run_trimmed(rows)
+            assert got.shape[0] == q
+            np.testing.assert_array_equal(got, want)
+        finally:
+            with_native.close()
+            with_numpy.close()
+
+
+@needs_cc
+def test_guarded_tiled_native_bit_identical():
+    p = 16
+    spec = get_spec("opt")
+    program, inputs = _spec_case(spec, p)
+    expected = bulk_run(program, inputs)
+    ex = BulkExecutor(
+        program, p, backend="native", guard="spot", tile=7, threads=2
+    )
+    try:
+        out = ex.run(inputs).outputs
+        assert ex.backend == "native"  # the guard found nothing to degrade
+        assert out.tobytes() == expected.tobytes()
+    finally:
+        ex.close()
+
+
+@needs_cc
+def test_threads_degrade_cleanly_without_openmp(monkeypatch):
+    monkeypatch.setattr("repro.codegen.compile.have_openmp", lambda: False)
+    p = 16
+    spec = get_spec("prefix-sums")
+    program, inputs = _spec_case(spec, p)
+    reference, _ = _full_memory(
+        program, p, inputs, backend="numpy", fuse=False
+    )
+    mem, ex = _full_memory(
+        program, p, inputs, backend="native", tile=8, threads=4
+    )
+    assert ex.backend == "native"
+    assert ex.threads == 1  # degraded request, not a compile failure
+    np.testing.assert_array_equal(mem, reference)
+
+
+# -- engine knobs ------------------------------------------------------------
+
+@needs_cc
+def test_env_knobs_resolve_when_args_absent(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE_TILE", "48")
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+    spec = get_spec("prefix-sums")
+    program, inputs = _spec_case(spec, 16)
+    ex = BulkExecutor(program, 16, backend="native")
+    try:
+        assert ex.tile == 48
+        assert ex.threads == 1
+    finally:
+        ex.close()
+
+
+def test_invalid_knobs_raise():
+    program, _ = _spec_case(get_spec("prefix-sums"), 8)
+    with pytest.raises(ExecutionError):
+        BulkExecutor(program, 8, tile=0)
+    with pytest.raises(ExecutionError):
+        BulkExecutor(program, 8, threads=-1)
+    with pytest.raises(ExecutionError):
+        BulkExecutor(program, 8, native_mode="vectorized")
+
+
+# -- run_trimmed must not copy ------------------------------------------------
+
+def test_run_trimmed_returns_view_not_copy():
+    p = 8
+    spec = get_spec("prefix-sums")
+    program, inputs = _spec_case(spec, p)
+    ex = BulkExecutor(program, p)
+    try:
+        trimmed = ex.run_trimmed(inputs[:5])
+        # A trimmed result is a *view* of the freshly unpacked output block
+        # (unpack always materialises a new array), never a defensive copy
+        # of it — and never aliases the executor's arranged buffer.
+        assert trimmed.base is not None
+        assert not np.may_share_memory(trimmed, ex._mem)
+        want = bulk_run(program, inputs)[:5]
+        np.testing.assert_array_equal(trimmed, want)
+    finally:
+        ex.close()
+
+
+# -- the buffer arena ----------------------------------------------------------
+
+class TestArena:
+    def test_aligned_and_zeroed(self):
+        buf = arena.aligned_zeros(7, 33, np.int64)
+        assert buf.ctypes.data % arena.ALIGN == 0
+        assert buf.flags["C_CONTIGUOUS"]
+        assert not buf.any()
+        assert buf.shape == (7, 33)
+
+    def test_release_then_acquire_reuses_and_rezeroes(self):
+        before = arena.arena_stats()
+        buf = arena.acquire(11, 65, np.float64)
+        assert buf.ctypes.data % arena.ALIGN == 0
+        buf[...] = 3.5  # dirty it
+        addr = buf.ctypes.data
+        arena.release(buf)
+        again = arena.acquire(11, 65, np.float64)
+        after = arena.arena_stats()
+        assert again.ctypes.data == addr  # same block came back
+        assert not again.any()  # ...zeroed
+        assert after.hits == before.hits + 1
+
+    def test_byte_cap_drops_instead_of_pooling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARENA_MAX_BYTES", "0")
+        before = arena.arena_stats()
+        buf = arena.acquire(3, 9, np.int64)
+        arena.release(buf)
+        after = arena.arena_stats()
+        assert after.dropped == before.dropped + 1
+        assert after.pooled_bytes == before.pooled_bytes
+
+    def test_executor_round_trip_hits_pool(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 8)
+        first = BulkExecutor(program, 8)
+        first.run(inputs)
+        first.close()
+        before = arena.arena_stats()
+        second = BulkExecutor(program, 8)  # same geometry
+        try:
+            assert arena.arena_stats().hits == before.hits + 1
+            np.testing.assert_array_equal(
+                second.run(inputs).outputs, bulk_run(program, inputs)
+            )
+        finally:
+            second.close()
+
+    def test_stats_dict_deterministically_ordered(self):
+        keys = list(arena.arena_stats().as_dict())
+        assert keys == sorted(keys)
+
+
+# -- the autotuner -------------------------------------------------------------
+
+@needs_cc
+class TestAutotune:
+    def test_round_trip_and_executor_pickup(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        tuning = autotune_native(
+            program, 32, tiles=(4, 16), threads=(1,), trials=1,
+            inputs=inputs,
+        )
+        assert tuning.tile in (4, 16)
+        assert tuning.threads == 1
+        assert len(tuning.scores) == 2
+        ex = BulkExecutor(program, 32, backend="native")
+        try:
+            assert (ex.tile, ex.threads) == (tuning.tile, tuning.threads)
+        finally:
+            ex.close()
+        loaded = load_tuning(program, ex.arrangement)
+        assert loaded is not None
+        assert (loaded.tile, loaded.threads) == (tuning.tile, tuning.threads)
+        assert loaded.fingerprint == tuning.fingerprint
+
+    def test_explicit_args_beat_persisted_tuning(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        autotune_native(
+            program, 32, tiles=(4,), threads=(1,), trials=1, inputs=inputs
+        )
+        ex = BulkExecutor(program, 32, backend="native", tile=9)
+        try:
+            assert ex.tile == 9
+        finally:
+            ex.close()
+
+    def test_torn_file_means_no_tuning(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        autotune_native(
+            program, 32, tiles=(4,), threads=(1,), trials=1, inputs=inputs
+        )
+        ex = BulkExecutor(program, 32, backend="numpy")
+        path = tuning_path(program, ex.arrangement)
+        ex.close()
+        path.write_text("{ torn json")
+        assert load_tuning(program, ex.arrangement) is None
+
+    def test_counters_surface_in_cache_stats_deterministically(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        autotune_native(
+            program, 32, tiles=(4,), threads=(1,), trials=1, inputs=inputs
+        )
+        stats = cache_stats().as_dict()
+        assert stats["autotune_entries"] == 1
+        assert stats["autotune_bytes"] > 0
+        assert list(stats) == sorted(stats)
+        assert autotune_stats()["autotune_entries"] == 1

@@ -1,0 +1,85 @@
+"""Chaos: a threaded tiled kernel dying mid-batch must degrade losslessly.
+
+The perf PR adds an OpenMP lane-parallel outer loop to the native kernel.
+A worker-pool crash (OOM kill, libgomp fault, stack overflow in a worker)
+surfaces to the engine as the kernel call failing — exactly the signal the
+reliability layer's spot guard already handles for single-thread kernels.
+This suite pins the contract for the threaded case: the guarded executor
+quarantines the *threaded* kernel's cache key, degrades to the NumPy
+engine, and the finished batch is **bit-identical** to an uninjected run —
+threads may change how the answer is computed, never whether or what.
+
+Deselect with ``-m "not chaos"`` for a fast lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.bulk import BulkExecutor, bulk_run
+from repro.codegen.compile import have_compiler
+from repro.errors import BackendError, ExecutionError
+from repro.reliability import FaultPlan, incidents, is_quarantined
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _tmp_kernel_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kernel-cache"))
+    monkeypatch.setenv("REPRO_COMPILE_BACKOFF", "0")
+
+
+def _case(p=23, seed=17):
+    # p=23 with tile=7: ragged last tile, so the degrade path must also
+    # cope with the awkward geometry the crash interrupted.
+    spec = get_spec("bitonic-sort")
+    n = spec.sizes[0]
+    program = spec.build(n)
+    inputs = spec.make_inputs(np.random.default_rng(seed), n, p)
+    return program, inputs
+
+
+@needs_cc
+def test_threaded_kernel_killed_mid_batch_degrades_bit_identical():
+    program, inputs = _case()
+    expected = bulk_run(program, inputs)  # uninjected reference
+
+    plan = FaultPlan().fail(
+        "engine.native.run", times=None, exc=ExecutionError,
+        message="worker pool killed mid-batch",
+    )
+    with plan.active():
+        ex = BulkExecutor(
+            program, 23, backend="native", guard="spot", tile=7, threads=2
+        )
+        key = ex._native.cache_key
+        out = ex.run(inputs).outputs
+    assert ex.backend == "numpy"  # degraded, not dead
+    assert out.tobytes() == expected.tobytes()
+    assert is_quarantined(key)
+    assert [i.kind for i in incidents()] == ["native-crash"]
+
+    # The quarantine outlives the incident: a fresh guarded executor for
+    # the same program resolves straight to NumPy and still agrees.
+    ex2 = BulkExecutor(
+        program, 23, backend="native", guard="spot", tile=7, threads=2
+    )
+    assert ex2.backend == "numpy"
+    assert ex2.run(inputs).outputs.tobytes() == expected.tobytes()
+
+
+@needs_cc
+def test_unguarded_threaded_crash_raises():
+    program, inputs = _case()
+    plan = FaultPlan().fail(
+        "engine.native.run", times=None, exc=ExecutionError,
+        message="worker pool killed mid-batch",
+    )
+    with plan.active():
+        ex = BulkExecutor(program, 23, backend="native", tile=7, threads=2)
+        with pytest.raises(BackendError, match="native kernel crashed"):
+            ex.run(inputs)
+    assert ex.backend == "native"  # an explicit native request stays strict
