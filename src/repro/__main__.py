@@ -411,15 +411,24 @@ def cmd_serve(args) -> int:
 
 
 def _serve_bench_sharded(args) -> int:
-    """``repro serve --shards N --bench``: sharded vs one-shard capacity."""
+    """``repro serve --shards N --bench``: sharded vs one-shard capacity.
+
+    SIGTERM/SIGINT during the run trigger a *graceful drain*: load
+    generation stops, every in-flight batch completes (or is recovered),
+    shard workers are retired cleanly (arenas unlinked by their owner, no
+    resource-tracker leaks), and the process exits ``128 + signum`` —
+    ``143`` for SIGTERM, ``130`` for SIGINT.
+    """
     import asyncio
     import os
+    import signal as signal_module
 
     from .serve import ShardConfig, ShardedServer, closed_loop, input_pool, render_reports
 
     workload, n = args.workload, args.n
 
-    def config(shards: int) -> ShardConfig:
+    def config(shards: int, *, supervised: bool = True) -> ShardConfig:
+        supervise = supervised and not args.no_supervise
         return ShardConfig(
             shards=shards,
             slots=args.slots,
@@ -433,22 +442,63 @@ def _serve_bench_sharded(args) -> int:
             guard=None if args.guard == "off" else args.guard,
             native_tile=args.native_tile,
             native_threads=args.native_threads,
+            supervise=supervise,
+            min_shards=args.min_shards if supervise else None,
+            max_shards=args.max_shards if supervise else None,
         )
 
-    async def capacity(shards: int):
+    drained_by: dict = {}
+
+    async def capacity(shards: int, *, supervised: bool = True):
         pool = input_pool(workload, n, seed=args.seed)
-        async with ShardedServer(config(shards)) as server:
-            report = await closed_loop(
-                server, workload, n, clients=args.clients,
-                duration=args.duration, inputs=pool,
-                label=f"shards={shards}",
-            )
-            return report, server.stats()
+        loop = asyncio.get_running_loop()
+        load_task = None
+
+        def on_signal(signum: int) -> None:
+            # First signal: remember it and cancel load generation — the
+            # server context manager below then drains in-flight work
+            # before the workers are stopped.
+            drained_by.setdefault("signum", signum)
+            if load_task is not None:
+                load_task.cancel()
+
+        installed = []
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(sig, on_signal, sig)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            async with ShardedServer(config(shards, supervised=supervised)) as server:
+                load_task = asyncio.ensure_future(closed_loop(
+                    server, workload, n, clients=args.clients,
+                    duration=args.duration, inputs=pool,
+                    label=f"shards={shards}",
+                ))
+                try:
+                    report = await load_task
+                except asyncio.CancelledError:
+                    report = None
+                return report, server.stats()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
 
     sharded, stats = asyncio.run(capacity(args.shards))
+    if "signum" in drained_by:
+        signum = drained_by["signum"]
+        print(
+            f"\nsignal {signum}: drained in-flight work and retired "
+            f"{len(stats['shards'])} shard(s) cleanly; exiting {128 + signum}"
+        )
+        return 128 + signum
     reports = [sharded]
     if not args.no_baseline and args.shards != 1:
-        reports.append(asyncio.run(capacity(1))[0])
+        baseline, _ = asyncio.run(capacity(1, supervised=False))
+        if "signum" in drained_by:
+            return 128 + drained_by["signum"]
+        reports.append(baseline)
 
     cpus = os.cpu_count() or 1
     print(render_reports(
@@ -463,6 +513,15 @@ def _serve_bench_sharded(args) -> int:
     print(f"\nbatches per shard: {per_shard}, "
           f"deaths {stats['counters'].get('shards.deaths', 0)}, "
           f"re-dispatched {stats['counters'].get('requests.redispatched', 0)}")
+    sup = stats.get("supervisor", {})
+    if sup.get("enabled"):
+        print(f"supervisor: live {sup['live']} "
+              f"(bounds [{sup['min_shards']}, {sup['max_shards']}]), "
+              f"respawns {stats['counters'].get('shards.respawns', 0)}, "
+              f"wedged {stats['counters'].get('shards.wedged', 0)}, "
+              f"quarantined {sup['quarantined']}, "
+              f"scale-ups {stats['counters'].get('shards.scale_ups', 0)}, "
+              f"scale-downs {stats['counters'].get('shards.scale_downs', 0)}")
     ratio = None
     if len(reports) == 2 and reports[1].throughput_rps > 0:
         ratio = reports[0].throughput_rps / reports[1].throughput_rps
@@ -699,6 +758,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--slots", type=int, default=4,
                    help="in-flight batch slots per (shard, workload) "
                    "shared-memory arena")
+    p.add_argument("--min-shards", type=int, default=None, metavar="N",
+                   help="autoscaler floor: drain-and-retire idle shards "
+                   "down to N (default: --shards, i.e. fixed fleet)")
+    p.add_argument("--max-shards", type=int, default=None, metavar="N",
+                   help="autoscaler ceiling: spawn shards up to N when p95 "
+                   "backlog exceeds the cost-model threshold (default: "
+                   "--shards)")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="disable the shard supervisor (no heartbeats, no "
+                   "respawn, no circuit breaker, no autoscaling)")
     p.add_argument("--json", type=Path, default=None, metavar="PATH",
                    help="also write machine-readable BENCH records "
                    "(repro-bench trajectory JSON) to PATH")

@@ -181,18 +181,23 @@ class ServeError(ReproError, RuntimeError):
 
 
 class ServerOverloadedError(ServeError):
-    """A queue rejected a submission at its bounded pending limit.
+    """The admission controller shed a submission (queue bound or slot
+    exhaustion).
 
     This is the backpressure signal: the client should shed load or retry
-    with a delay, exactly like an HTTP 429.  Carries the queue ``key`` and
-    the ``depth`` observed at rejection time.
+    with a delay, exactly like an HTTP 429.  Carries the queue ``key``, the
+    ``depth`` observed at rejection time, and ``retry_after`` — the
+    analytic cost model's estimate (seconds) of when capacity frees up,
+    the machine-readable analogue of a ``Retry-After`` header.
     """
 
     def __init__(self, message: str, *, key: str | None = None,
-                 depth: int | None = None) -> None:
+                 depth: int | None = None,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.key = key
         self.depth = depth
+        self.retry_after = retry_after
 
 
 class ServerClosedError(ServeError):

@@ -54,6 +54,7 @@ __all__ = [
     "bulk_step_time",
     "bulk_batch_time",
     "placement_units",
+    "autoscale_thresholds",
     "effective_lane_speedup",
 ]
 
@@ -223,6 +224,44 @@ def placement_units(
     if backlog < 0:
         raise MachineConfigError(f"backlog must be >= 0, got {backlog}")
     return backlog + bulk_batch_time(trace_length, lanes, w, l, speedup=speedup)
+
+
+def autoscale_thresholds(
+    trace_length: int,
+    max_batch: int,
+    w: int,
+    l: int,
+    *,
+    speedup: float = 1.0,
+    up_factor: float = 1.0,
+    down_factor: float = 0.1,
+) -> Tuple[float, float]:
+    """``(scale_up, scale_down)`` backlog thresholds, in UMM time units.
+
+    The sharded tier's autoscaler asks "is the per-shard backlog worth
+    another replica?" — a question the cost model can answer instead of a
+    hand-tuned constant.  The natural yardstick is the analytic price of
+    one *full* dispatch, ``bulk_batch_time(t, max_batch, w, l)``: a shard
+    whose queued backlog exceeds ``up_factor`` full batches is persistently
+    behind (new work waits at least one whole dispatch before starting), so
+    a new shard would immediately absorb real load; a fleet whose p95
+    backlog has fallen under ``down_factor`` of a full batch is coasting —
+    the marginal shard completes nothing the survivors could not, so it
+    can drain and retire.  ``down_factor < up_factor`` is required: the
+    hysteresis gap is what keeps the fleet from oscillating at a boundary.
+    """
+    if up_factor <= 0 or down_factor <= 0:
+        raise MachineConfigError(
+            f"autoscale factors must be > 0, got up={up_factor} "
+            f"down={down_factor}"
+        )
+    if down_factor >= up_factor:
+        raise MachineConfigError(
+            f"scale-down factor ({down_factor}) must be below the scale-up "
+            f"factor ({up_factor}) — no hysteresis means flapping"
+        )
+    full = bulk_batch_time(trace_length, max_batch, w, l, speedup=speedup)
+    return up_factor * full, down_factor * full
 
 
 def row_wise_stage_table(

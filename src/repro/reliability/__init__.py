@@ -35,6 +35,7 @@ from .incidents import (
     incident_summary,
     incidents,
     record_incident,
+    set_incident_cap,
 )
 from .quarantine import (
     clear_quarantine,
@@ -59,6 +60,7 @@ __all__ = [
     "incidents",
     "clear_incidents",
     "incident_summary",
+    "set_incident_cap",
     "quarantine_key",
     "is_quarantined",
     "quarantine_reason",

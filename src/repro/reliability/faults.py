@@ -38,6 +38,16 @@ Sites currently instrumented (see docs/MODEL.md "Reliability"):
                           catch it)
 ``harness.cell``          before each sweep cell is measured (``raise``
                           simulates a crash/Ctrl-C mid-sweep)
+``serve.shard.batch``     per batch descriptor inside a shard worker
+                          (``raise`` hard-kills the worker; ``slow`` wedges
+                          or stalls it)
+``serve.shard.pong``      per heartbeat ping inside a worker (a firing rule
+                          swallows the pong — heartbeat loss)
+``serve.shm.output``      after a batch's outputs are checksummed
+                          (``corrupt`` flips a byte of the shared slot, so
+                          the router's checksum verification must catch it)
+``serve.wire.done``       before a ``done`` completion is enqueued (a firing
+                          rule drops the message — control-queue loss)
 ========================  ====================================================
 """
 

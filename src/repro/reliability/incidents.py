@@ -1,15 +1,23 @@
 """Structured incident log: what degraded, where, and why.
 
 Every reliability event — a kernel that failed to load, a guard spot-check
-mismatch, a corrupt cache entry healed, a compile timeout — is recorded as
-an :class:`Incident` in a bounded process-level log.  The log is the
-observable counterpart of graceful degradation: a run that silently fell
-back to NumPy is still a *correct* run, but operators need to know it
-happened, and tests need to assert it happened exactly once.
+mismatch, a corrupt cache entry healed, a compile timeout, a shard death or
+quarantine — is recorded as an :class:`Incident` in a bounded process-level
+log.  The log is the observable counterpart of graceful degradation: a run
+that silently fell back to NumPy is still a *correct* run, but operators
+need to know it happened, and tests need to assert it happened exactly once.
+
+The log is **bounded**: it keeps the most recent ``REPRO_INCIDENT_MAX``
+incidents (default :data:`MAX_INCIDENTS`) and evicts oldest-first beyond
+that, counting what it dropped — a flapping shard restarting in a tight
+loop must never grow the server's memory without bound, and the ``evicted``
+counter in :func:`incident_summary` is how an operator knows the visible
+window is not the whole story.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -22,11 +30,23 @@ __all__ = [
     "incidents",
     "clear_incidents",
     "incident_summary",
+    "set_incident_cap",
 ]
 
-#: Keep the most recent incidents only — a long-lived server must not grow
-#: an unbounded list out of a flapping backend.
+#: Default cap on retained incidents — a long-lived server must not grow
+#: an unbounded list out of a flapping backend.  Override with the
+#: ``REPRO_INCIDENT_MAX`` environment variable (read at import) or
+#: :func:`set_incident_cap` (tests, embedders).
 MAX_INCIDENTS = 1000
+
+
+def _cap_from_env() -> int:
+    raw = os.environ.get("REPRO_INCIDENT_MAX", "")
+    try:
+        cap = int(raw) if raw else MAX_INCIDENTS
+    except ValueError:
+        cap = MAX_INCIDENTS
+    return max(1, cap)
 
 
 @dataclass(frozen=True)
@@ -38,7 +58,8 @@ class Incident:
     kind:
         Stable machine-readable category, e.g. ``"kernel-load-failure"``,
         ``"guard-mismatch"``, ``"cache-corruption"``, ``"compile-retry"``,
-        ``"compile-timeout"``, ``"native-crash"``.
+        ``"compile-timeout"``, ``"native-crash"``, ``"shard-death"``,
+        ``"shard-wedged"``, ``"shard-flapping"``, ``"slot-corruption"``.
     site:
         Where it was detected (module-level fault-site naming).
     detail:
@@ -60,16 +81,36 @@ class Incident:
         return f"{self.kind} at {self.site}{key}: {self.detail}"
 
 
-_LOG: Deque[Incident] = deque(maxlen=MAX_INCIDENTS)
+_LOG: Deque[Incident] = deque(maxlen=_cap_from_env())
+_EVICTED = 0
 _LOCK = threading.Lock()
+
+
+def set_incident_cap(cap: Optional[int] = None) -> int:
+    """Re-bound the log to ``cap`` incidents (``None`` = re-read the env).
+
+    Keeps the newest entries when shrinking; the dropped count lands in the
+    ``evicted`` counter like any other eviction.  Returns the applied cap.
+    """
+    global _LOG, _EVICTED
+    applied = _cap_from_env() if cap is None else max(1, int(cap))
+    with _LOCK:
+        kept = deque(_LOG, maxlen=applied)
+        _EVICTED += len(_LOG) - len(kept)
+        _LOG = kept
+    return applied
 
 
 def record_incident(
     kind: str, site: str, detail: str, *, key: Optional[str] = None
 ) -> Incident:
-    """Append an incident to the process log and return it."""
+    """Append an incident to the process log (evicting oldest-first at the
+    cap) and return it."""
+    global _EVICTED
     incident = Incident(kind=kind, site=site, detail=detail, key=key)
     with _LOCK:
+        if _LOG.maxlen is not None and len(_LOG) == _LOG.maxlen:
+            _EVICTED += 1
         _LOG.append(incident)
     return incident
 
@@ -88,19 +129,28 @@ def incident_summary() -> "dict[str, int]":
 
     The shape consumed by ``repro incidents``, ``BulkServer.stats()`` and
     the docs: insertion order of a flapping backend's events never changes
-    the rendering, so the output is diff-stable in CI.
+    the rendering, so the output is diff-stable in CI.  When the bounded
+    log has dropped entries, an ``evicted`` counter reports how many — the
+    per-kind counts then describe the retained window only.
     """
     with _LOCK:
         snapshot = list(_LOG)
+        evicted = _EVICTED
     counts: dict = {}
     for incident in snapshot:
         counts[incident.kind] = counts.get(incident.kind, 0) + 1
-    return {kind: counts[kind] for kind in sorted(counts)}
+    summary = {kind: counts[kind] for kind in sorted(counts)}
+    if evicted:
+        summary["evicted"] = evicted
+    return summary
 
 
 def clear_incidents() -> int:
-    """Empty the log (tests; returns how many were dropped)."""
+    """Empty the log and reset the eviction counter (tests; returns how
+    many live entries were dropped)."""
+    global _EVICTED
     with _LOCK:
         n = len(_LOG)
         _LOG.clear()
+        _EVICTED = 0
     return n

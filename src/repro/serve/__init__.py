@@ -18,7 +18,10 @@ is the bridge from *requests* to *batches*:
 * :class:`ShardedServer` / :class:`ShardConfig` — the multi-process tier:
   a cost-routed front end over ``N`` shard processes, request payloads in
   :mod:`~repro.serve.shm` shared-memory slot arenas, only primitive
-  descriptors (:mod:`~repro.serve.wire`) on the control queues.
+  descriptors (:mod:`~repro.serve.wire`) on the control queues;
+* :class:`ShardSupervisor` — self-healing (``supervise=True``): heartbeat
+  wedge detection, respawn with backoff, per-shard circuit breaker, and
+  cost-model autoscaling between ``min_shards`` and ``max_shards``.
 
 See docs/SERVING.md for the architecture and the knob glossary.
 """
@@ -29,12 +32,15 @@ from .policy import AdaptivePolicy, BatchPolicy, FixedPolicy, make_policy
 from .router import ShardConfig, ShardedServer
 from .server import BulkServer, ServeConfig
 from .shm import SlotArena
+from .supervisor import ShardSupervisor, plan_scaling
 
 __all__ = [
     "BulkServer",
     "ServeConfig",
     "ShardedServer",
     "ShardConfig",
+    "ShardSupervisor",
+    "plan_scaling",
     "SlotArena",
     "BatchPolicy",
     "FixedPolicy",

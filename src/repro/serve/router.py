@@ -38,6 +38,21 @@ trusted.  A descriptor whose re-dispatch budget is spent (or with no live
 shard left) fails with :class:`~repro.errors.ShardDeadError`; nothing is
 silently lost and nothing is completed twice (stale completions from a
 declared-dead shard are recognised by shard id and dropped).
+
+With ``supervise=True`` the fleet is additionally *self-healing*: a
+:class:`~repro.serve.supervisor.ShardSupervisor` task heartbeats every
+worker over its own work queue (a wedged worker cannot pong — that *is*
+the detection), respawns crashed or wedged shards with exponential
+backoff, quarantines a flapping shard after too many restarts in a
+window (circuit breaker, surfaced via ``reliability.incidents``), and —
+when ``min_shards``/``max_shards`` open a range — autoscales the fleet
+against the analytic cost model's backlog thresholds
+(:func:`~repro.machine.analytic.autoscale_thresholds`).  Request
+deadlines propagate into the batch descriptors so shards drop expired
+work unexecuted, per-slot CRC32 checksums guard the zero-copy data plane
+against silent corruption, and admission sheds load with a typed
+:class:`~repro.errors.ServerOverloadedError` carrying a model-derived
+``retry_after`` instead of stalling indefinitely.
 """
 
 from __future__ import annotations
@@ -72,7 +87,7 @@ from . import wire
 from .metrics import MetricsRegistry
 from .policy import make_policy, round_up_warp
 from .server import ServeConfig
-from .shard import shard_main
+from .shard import FAULT_KINDS, shard_main
 from .shm import SlotArena
 
 __all__ = ["ShardedServer", "ShardConfig"]
@@ -96,9 +111,47 @@ class ShardConfig(ServeConfig):
         fastest; ``spawn`` is available because everything crossing the
         process boundary is a primitive.
     fault:
-        Chaos hook: ``("kill", shard, after)`` arms shard ``shard`` to
-        hard-kill itself at its ``after``-th batch (via the FaultPlan
-        machinery in :mod:`repro.serve.shard`).  Test-only.
+        Chaos hook: ``(kind, shard, after)`` arms shard ``shard`` with one
+        of the :data:`~repro.serve.shard.FAULT_KINDS` (``kill``, ``wedge``,
+        ``stall``, ``deaf``, ``corrupt``, ``drop``) firing at its
+        ``after``-th observation (via the FaultPlan machinery in
+        :mod:`repro.serve.shard`).  The fault arms the *first* process
+        spawned with that shard id only — a supervised respawn comes up
+        clean, which is what lets chaos scenarios converge.  Test-only.
+    supervise:
+        Run a :class:`~repro.serve.supervisor.ShardSupervisor`: heartbeat
+        health checks, respawn with backoff, circuit breaker, autoscaling.
+        Off by default — unsupervised death handling (re-dispatch to
+        survivors, no respawn) is the baseline behaviour.
+    min_shards, max_shards:
+        Autoscaler bounds (both require ``supervise=True``; default =
+        ``shards``, i.e. a fixed fleet).  The supervisor scales up when
+        p95 per-shard backlog exceeds the cost model's threshold and
+        drain-retires idle shards down to ``min_shards``.
+    heartbeat_interval, heartbeat_timeout:
+        Ping cadence and the silence after which a live-but-unresponsive
+        shard is declared wedged and recycled.
+    flight_timeout:
+        Age after which an unanswered batch descriptor condemns its shard
+        (covers lost ``done`` messages as well as mid-batch wedges).
+    max_restarts, restart_window:
+        Circuit breaker: more than ``max_restarts`` respawns of one shard
+        id within ``restart_window`` seconds quarantines it.
+    backoff_base, backoff_max:
+        Exponential respawn backoff: ``base · 2^k`` seconds after ``k``
+        recent restarts, capped at ``backoff_max``.
+    supervise_interval:
+        Supervisor tick period (also the autoscaler sampling period).
+    scale_up_factor, scale_down_factor:
+        Backlog thresholds as multiples of one full batch's analytic cost
+        (see :func:`~repro.machine.analytic.autoscale_thresholds`).
+    autoscale_window:
+        Backlog samples retained for the p95 scaling decision.
+    admission_timeout:
+        Longest a dispatch may wait for a free arena slot before the
+        admission controller sheds the batch with
+        :class:`~repro.errors.ServerOverloadedError` (``retry_after`` from
+        the analytic model) instead of stalling indefinitely.
 
     ``guard`` must be ``None`` or a policy *name* here (it crosses a
     process boundary); ``workers`` is ignored — shard processes replace
@@ -111,6 +164,21 @@ class ShardConfig(ServeConfig):
     slots: int = 4
     start_method: str = "fork"
     fault: Optional[Tuple[str, int, int]] = None
+    supervise: bool = False
+    min_shards: Optional[int] = None
+    max_shards: Optional[int] = None
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 5.0
+    flight_timeout: float = 30.0
+    max_restarts: int = 3
+    restart_window: float = 30.0
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    supervise_interval: float = 0.1
+    scale_up_factor: float = 1.0
+    scale_down_factor: float = 0.1
+    autoscale_window: int = 20
+    admission_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -129,8 +197,46 @@ class ShardConfig(ServeConfig):
             )
         if self.fault is not None:
             kind, shard, after = self.fault
-            if kind != "kill" or shard < 0 or after < 0:
+            if kind not in FAULT_KINDS or shard < 0 or after < 0:
                 raise ServeError(f"malformed fault spec {self.fault!r}")
+        if (self.min_shards is not None or self.max_shards is not None) and not self.supervise:
+            raise ServeError(
+                "min_shards/max_shards bound the autoscaler, which runs "
+                "inside the supervisor; set supervise=True"
+            )
+        if self.shard_floor() < 1:
+            raise ServeError(f"min_shards must be >= 1, got {self.min_shards}")
+        if not self.shard_floor() <= self.shards <= self.shard_ceiling():
+            raise ServeError(
+                f"shards={self.shards} must lie within "
+                f"[{self.shard_floor()}, {self.shard_ceiling()}]"
+            )
+        for name in (
+            "heartbeat_interval", "heartbeat_timeout", "flight_timeout",
+            "restart_window", "backoff_base", "backoff_max",
+            "supervise_interval", "scale_up_factor", "admission_timeout",
+        ):
+            if getattr(self, name) <= 0:
+                raise ServeError(f"{name} must be positive")
+        if self.scale_down_factor < 0 or self.scale_down_factor >= self.scale_up_factor:
+            raise ServeError(
+                "scale_down_factor must sit in [0, scale_up_factor) for "
+                "scaling hysteresis"
+            )
+        if self.max_restarts < 1:
+            raise ServeError(f"max_restarts must be >= 1, got {self.max_restarts}")
+        if self.autoscale_window < 1:
+            raise ServeError(
+                f"autoscale_window must be >= 1, got {self.autoscale_window}"
+            )
+
+    def shard_floor(self) -> int:
+        """Fewest shards the autoscaler may drain down to."""
+        return self.shards if self.min_shards is None else self.min_shards
+
+    def shard_ceiling(self) -> int:
+        """Most shards the autoscaler may spawn."""
+        return self.shards if self.max_shards is None else self.max_shards
 
 
 @dataclass
@@ -158,7 +264,14 @@ class _KeyState:
 
 @dataclass
 class _Shard:
-    """Router-side book-keeping for one worker process."""
+    """Router-side book-keeping for one worker process.
+
+    The supervision fields track one shard *id* across process
+    incarnations: ``restarts`` is the circuit breaker's evidence (respawn
+    timestamps, window-pruned), ``draining`` marks a shard the autoscaler
+    is retiring (no new placements; retired once its last flight lands),
+    ``quarantined`` a shard id the breaker took out of rotation for good.
+    """
 
     id: int
     process: "multiprocessing.process.BaseProcess"
@@ -171,6 +284,14 @@ class _Shard:
     arenas: Dict[str, SlotArena] = field(default_factory=dict)
     free: Dict[str, Deque[int]] = field(default_factory=dict)
     backends: Set[str] = field(default_factory=set)
+    draining: bool = False
+    retired: bool = False
+    quarantined: bool = False
+    respawn_pending: bool = False
+    respawns: int = 0
+    restarts: Deque[float] = field(default_factory=deque)
+    pending_ping: Optional[Tuple[int, float]] = None   # (token, sent at)
+    last_pong: float = field(default_factory=time.monotonic)
 
 
 @dataclass
@@ -192,6 +313,8 @@ class _Flight:
     units: float
     attempts: int
     first_enqueued: float
+    deadline: float = -1.0         # earliest request deadline (-1 = none)
+    dispatched_at: float = 0.0     # monotonic put time (flight-timeout base)
 
 
 class ShardedServer:
@@ -233,6 +356,8 @@ class ShardedServer:
         self._loop: Optional["asyncio.AbstractEventLoop"] = None
         self._slot_released: Optional["asyncio.Event"] = None
         self._idle: Optional["asyncio.Event"] = None
+        self._supervisor = None
+        self._unit_seconds: Optional[float] = None   # EWMA s per backlog unit
         self._started = False
         self._closing = False
         self._stopped = False
@@ -266,13 +391,18 @@ class ShardedServer:
             target=self._reader_main, name="repro-shard-reader", daemon=True
         )
         self._reader.start()
+        if cfg.supervise:
+            from .supervisor import ShardSupervisor
+
+            self._supervisor = ShardSupervisor(self)
+            self._supervisor.start(self._loop)
         self._started = True
 
-    def _launch(self, shard_id: int) -> _Shard:
+    def _launch(self, shard_id: int, *, respawn: bool = False) -> _Shard:
         cfg = self.config
         work = self._ctx.Queue()
         fault_spec = None
-        if cfg.fault is not None and cfg.fault[1] == shard_id:
+        if not respawn and cfg.fault is not None and cfg.fault[1] == shard_id:
             fault_spec = (cfg.fault[0], cfg.fault[2])
         process = self._ctx.Process(
             target=shard_main,
@@ -328,6 +458,10 @@ class ShardedServer:
             self._shards[msg[1]].ready = True
         elif kind == wire.MSG_DONE:
             self._on_done(*msg[1:])
+        elif kind == wire.MSG_PONG:
+            self._on_pong(msg[1], msg[2])
+        elif kind == wire.MSG_EXPIRED:
+            self._on_expired(*msg[1:])
         elif kind == wire.MSG_ERROR:
             self._on_error(*msg[1:])
         elif kind == wire.MSG_FATAL:
@@ -358,19 +492,76 @@ class ShardedServer:
             self._idle.set()
         return flight
 
+    def _on_pong(self, shard_id: int, token: int) -> None:
+        shard = self._shards[shard_id]
+        if shard.pending_ping is not None and shard.pending_ping[0] == token:
+            shard.pending_ping = None
+        shard.last_pong = time.monotonic()
+        self.metrics.counter("supervisor.pongs").inc()
+
+    def _on_expired(self, shard_id: int, seq: int, slot: int) -> None:
+        """The shard refused an already-expired batch without executing it."""
+        flight = self._claim(shard_id, seq)
+        if flight is None:
+            return
+        self._release(self._shards[shard_id], flight)
+        now = time.monotonic()
+        for request in flight.requests:
+            if request.future.done():
+                continue
+            self.metrics.counter("requests.deadline_exceeded").inc()
+            request.future.set_exception(RequestDeadlineError(
+                f"request to {flight.key} expired in flight after "
+                f"{now - request.enqueued:.4f}s (dropped by shard {shard_id} "
+                f"unexecuted)"
+            ))
+
     def _on_done(
         self, shard_id: int, seq: int, slot: int, elapsed: float,
-        backend: str, units: float,
+        backend: str, units: float, checksum: int,
     ) -> None:
         flight = self._claim(shard_id, seq)
         if flight is None:
             return
         shard = self._shards[shard_id]
+        arena = shard.arenas[flight.key]
+        if arena.output_checksum(slot, flight.occupancy) != checksum:
+            # The shared bytes changed between the shard's checksum and our
+            # read — never serve them.  Free the slot and retry from the
+            # router-retained rows, bounded by the same re-dispatch budget
+            # as a shard death.
+            self._release(shard, flight)
+            self.metrics.counter("slots.corrupted").inc()
+            record_incident(
+                "slot-corruption", wire.SITE_SLOT_OUTPUT,
+                f"batch of {flight.occupancy} on {flight.key}: slot {slot} "
+                f"of shard {shard_id} failed checksum verification; "
+                f"re-dispatching from retained rows",
+            )
+            if flight.attempts >= 2:
+                self._fail_flight(flight, ShardError(
+                    f"slot corruption persisted across the batch's "
+                    f"re-dispatch budget on shard {shard_id}",
+                    shard=shard_id,
+                ))
+                return
+            task = self._loop.create_task(self._redispatch(flight))
+            self._aux_tasks.add(task)
+            task.add_done_callback(self._aux_tasks.discard)
+            return
         outputs = np.array(
-            shard.arenas[flight.key].output_view(slot, flight.occupancy),
+            arena.output_view(slot, flight.occupancy),
             copy=True,
         )
         self._release(shard, flight)
+        # Seconds per analytic backlog unit, smoothed: what prices the
+        # admission controller's retry_after hint.
+        if flight.units > 0:
+            rate = elapsed / flight.units
+            self._unit_seconds = (
+                rate if self._unit_seconds is None
+                else 0.8 * self._unit_seconds + 0.2 * rate
+            )
         shard.batches += 1
         shard.backends.add(backend)
         m = self.metrics
@@ -474,7 +665,24 @@ class ShardedServer:
             self._idle.set()
 
     async def _redispatch(self, flight: _Flight) -> None:
-        live = [r for r in flight.requests if not r.future.done()]
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in flight.requests:
+            if request.future.done():
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                # Deadlines are absolute, so a retry inherits the request's
+                # *remaining* budget — and a request whose budget the first
+                # attempt consumed fails here instead of riding a doomed
+                # retry.
+                self.metrics.counter("requests.deadline_exceeded").inc()
+                request.future.set_exception(RequestDeadlineError(
+                    f"request to {flight.key} expired after "
+                    f"{now - request.enqueued:.4f}s (deadline passed before "
+                    f"its re-dispatch)"
+                ))
+                continue
+            live.append(request)
         if not live:
             return
         self.metrics.counter("requests.redispatched").inc(len(live))
@@ -488,6 +696,101 @@ class ShardedServer:
             for request in live:
                 if not request.future.done():
                     request.future.set_exception(exc)
+
+    # -- supervisor hooks (event-loop thread) --------------------------------
+    def _respawn(self, shard_id: int) -> None:
+        """Replace a dead shard id with a fresh worker process.
+
+        The old incarnation's flights were already re-dispatched by
+        :meth:`_on_shard_death`; its stale completions can never resolve a
+        new flight because seqs are never reused.  The replacement starts
+        with no opened keys — arenas are recreated lazily on first
+        placement — and never re-arms a chaos fault.
+        """
+        old = self._shards[shard_id]
+        if old.alive or old.retired or old.quarantined or self._closing:
+            return
+        if old.process.is_alive():  # pragma: no cover - terminate raced
+            old.process.terminate()
+            old.process.join(timeout=1.0)
+        try:
+            old.work.close()
+            old.work.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._death_reported.discard(shard_id)
+        shard = self._launch(shard_id, respawn=True)
+        shard.restarts = old.restarts
+        shard.restarts.append(time.monotonic())
+        shard.respawns = old.respawns + 1
+        self._shards[shard_id] = shard
+        self.metrics.counter("shards.respawns").inc()
+        record_incident(
+            "shard-respawn", "serve.supervisor",
+            f"shard {shard_id} respawned as pid {shard.process.pid} "
+            f"(restart {shard.respawns})",
+        )
+        self._slot_released.set()  # admission waiters re-rank candidates
+
+    def _quarantine(self, shard_id: int, recent: int) -> None:
+        """Circuit breaker: take a flapping shard id out of rotation."""
+        shard = self._shards[shard_id]
+        shard.quarantined = True
+        self.metrics.counter("shards.quarantined").inc()
+        record_incident(
+            "shard-flapping", "serve.supervisor",
+            f"shard {shard_id} restarted {recent} times within "
+            f"{self.config.restart_window}s; quarantined (circuit breaker "
+            f"open), fleet continues on remaining shards",
+        )
+
+    def _scale_up(self) -> _Shard:
+        """Autoscaler: add a fresh shard at the next id."""
+        shard = self._launch(len(self._shards))
+        self._shards.append(shard)
+        self.metrics.counter("shards.scale_ups").inc()
+        self._slot_released.set()
+        return shard
+
+    def _retire(self, shard_id: int) -> None:
+        """Finish a drain: stop the idle worker and release its arenas.
+
+        Only called when the shard has no in-flight descriptors, so its
+        memory holds nothing anyone is waiting for.
+        """
+        shard = self._shards[shard_id]
+        if not shard.alive or shard.retired:
+            return
+        shard.draining = False
+        shard.retired = True
+        shard.alive = False
+        self._death_reported.add(shard.id)   # its exit is not a death
+        try:
+            shard.work.put(wire.stop())
+        except (OSError, ValueError):  # pragma: no cover - queue torn down
+            pass
+        for arena in shard.arenas.values():
+            arena.close()
+        shard.arenas.clear()
+        shard.free.clear()
+        shard.opened.clear()
+        self.metrics.counter("shards.retired").inc()
+
+    def _retry_after(self) -> float:
+        """Model-derived backoff hint: when should a shed client retry?
+
+        Cheapest live backlog × the observed seconds-per-unit EWMA — i.e.
+        the analytic estimate of when the least-loaded shard drains —
+        floored at one linger window.
+        """
+        floor = max(self.config.max_linger, 1e-3)
+        if self._unit_seconds is None:
+            return floor
+        backlog = min(
+            (s.backlog for s in self._shards if s.alive and not s.draining),
+            default=0.0,
+        )
+        return max(floor, backlog * self._unit_seconds)
 
     # -- resolution & submission ---------------------------------------------
     def register(self, name: str, program: Program) -> None:
@@ -576,6 +879,7 @@ class ShardedServer:
                 f"pending, bound {self.config.max_pending})",
                 key=state.key,
                 depth=len(state.requests),
+                retry_after=self._retry_after(),
             )
         now = time.monotonic()
         request = _Request(
@@ -652,16 +956,27 @@ class ShardedServer:
     async def _acquire(self, state: _KeyState, lanes: int) -> Tuple[_Shard, int]:
         """Cheapest live shard with a free slot for this key (admission).
 
-        Ranks live shards by :func:`placement_units` (backlog + analytic
-        batch cost) and takes the argmin's next free slot; when every live
-        shard's arena for the key is fully in flight, waits for a slot
-        release (or a death, which also re-ranks) and retries.
+        Ranks live, non-draining shards by :func:`placement_units` (backlog
+        + analytic batch cost) and takes the argmin's next free slot; when
+        every candidate's arena for the key is fully in flight, waits for a
+        slot release (or a death/respawn, which also re-ranks) and retries
+        — but only up to ``admission_timeout``, after which the batch is
+        shed with :class:`ServerOverloadedError` (``retry_after`` from the
+        analytic model) rather than stalling its requests indefinitely.
         """
+        give_up = time.monotonic() + self.config.admission_timeout
         while True:
             if self._stopped:
                 raise ServerClosedError("server is stopped")
-            candidates = [s for s in self._shards if s.alive]
+            candidates = [s for s in self._shards if s.alive and not s.draining]
             if not candidates:
+                draining = [s for s in self._shards if s.alive]
+                if draining:
+                    # Every live shard is mid-drain: cancel one drain
+                    # rather than deadlock admission against the
+                    # autoscaler.
+                    min(draining, key=lambda s: s.id).draining = False
+                    continue
                 raise ShardDeadError(
                     "no live shard remains to place the batch on"
                 )
@@ -674,8 +989,30 @@ class ShardedServer:
                 free = shard.free[state.key]
                 if free:
                     return shard, free.popleft()
+            remaining = give_up - time.monotonic()
+            if remaining <= 0:
+                self.metrics.counter("requests.rejected_slots").inc()
+                retry_after = self._retry_after()
+                record_incident(
+                    "server-overload", "serve.slots",
+                    f"no arena slot freed for {state.key} within "
+                    f"{self.config.admission_timeout}s; batch shed with "
+                    f"retry_after={retry_after:.4f}s",
+                )
+                raise ServerOverloadedError(
+                    f"every slot for {state.key} stayed in flight for "
+                    f"{self.config.admission_timeout}s; shedding the batch",
+                    key=state.key,
+                    depth=len(state.requests),
+                    retry_after=retry_after,
+                )
             self._slot_released.clear()
-            await self._slot_released.wait()
+            try:
+                await asyncio.wait_for(
+                    self._slot_released.wait(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                pass
 
     def _open_on(self, shard: _Shard, state: _KeyState) -> None:
         """Replicate a queue key onto a shard (arena + one ``open`` message)."""
@@ -717,16 +1054,23 @@ class ShardedServer:
             state.program.trace_length, lanes, cfg.warp, cfg.latency,
             speedup=cfg.lane_speedup(),
         )
+        # The batch's deadline is its *earliest* request deadline, shipped
+        # absolute (monotonic clocks are system-wide on Linux) so the shard
+        # can refuse expired work and a re-dispatch inherits the remaining —
+        # not a fresh — budget.
+        deadlines = [r.deadline for r in batch if r.deadline is not None]
+        deadline = min(deadlines) if deadlines else -1.0
         seq = self._seq
         self._seq += 1
+        started = time.monotonic()
         self._inflight[seq] = _Flight(
             seq=seq, key=state.key, shard=shard.id, slot=slot,
             requests=batch, lanes=lanes, occupancy=occupancy, width=width,
             units=units, attempts=attempts, first_enqueued=first_enqueued,
+            deadline=deadline, dispatched_at=started,
         )
         self._idle.clear()
         shard.backlog += units
-        started = time.monotonic()
         self.metrics.histogram("queue.time_to_first_dispatch_seconds").observe(
             started - first_enqueued
         )
@@ -735,7 +1079,8 @@ class ShardedServer:
         )
         self.metrics.histogram("placement.backlog_units").observe(shard.backlog)
         shard.work.put(wire.check_wire(
-            wire.batch(seq, state.key, slot, lanes, occupancy, width)
+            wire.batch(seq, state.key, slot, lanes, occupancy, width,
+                       float(deadline))
         ))
 
     # -- lifecycle -----------------------------------------------------------
@@ -777,6 +1122,8 @@ class ShardedServer:
                         "shutdown timed out with the batch still in flight"
                     ))
         self._stopped = True  # _acquire waiters bail out from here on
+        if self._supervisor is not None:
+            await self._supervisor.stop()
         self._reader_stop.set()
         if self._reader is not None:
             self._reader.join(timeout=2.0)
@@ -845,10 +1192,24 @@ class ShardedServer:
                     "backends": sorted(shard.backends),
                     "backlog_units": round(shard.backlog, 6),
                     "batches": shard.batches,
+                    "draining": shard.draining,
                     "pid": shard.process.pid,
+                    "quarantined": shard.quarantined,
                     "ready": shard.ready,
+                    "respawns": shard.respawns,
+                    "retired": shard.retired,
                 }
                 for shard in self._shards
+            },
+            "supervisor": {
+                "enabled": self.config.supervise,
+                "live": sum(
+                    1 for s in self._shards if s.alive and not s.draining
+                ),
+                "draining": sum(1 for s in self._shards if s.draining),
+                "quarantined": sum(1 for s in self._shards if s.quarantined),
+                "min_shards": self.config.shard_floor(),
+                "max_shards": self.config.shard_ceiling(),
             },
         }
 

@@ -316,6 +316,9 @@ class BulkServer:
                 f"bound {self.config.max_pending})",
                 key=key,
                 depth=len(q.requests),
+                # One linger window is when the next dispatch can drain the
+                # queue — the in-process broker's cheapest honest hint.
+                retry_after=self.config.max_linger,
             )
         now = time.monotonic()
         request = _Request(

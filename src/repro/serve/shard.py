@@ -22,9 +22,14 @@ Failure containment, in increasing severity:
 * an executor failure (:class:`~repro.errors.ReproError`) fails that batch
   with an ``error`` message and the worker keeps serving;
 * any other exception sends a best-effort ``fatal`` and re-raises;
-* a chaos ``fault_spec`` hard-kills the process with ``os._exit`` at an
-  armed batch index — no message, no cleanup — exactly the death the
-  router's liveness sweep must catch on its own.
+* a chaos ``fault_spec`` arms one of the serving layer's failure modes at a
+  chosen batch index: ``kill`` hard-kills the process with ``os._exit`` (no
+  message, no cleanup — the death the router's liveness sweep must catch
+  alone), ``wedge`` stalls it effectively forever (alive but deaf — the
+  supervisor's heartbeat must catch it), ``stall`` delays it briefly (so a
+  deadline can expire in flight), ``deaf`` swallows heartbeat pongs while
+  work continues, ``corrupt`` flips a byte of a slot's outputs *after*
+  checksumming, and ``drop`` loses one ``done`` completion on the floor.
 """
 
 from __future__ import annotations
@@ -46,10 +51,22 @@ from . import wire
 from .policy import AdaptivePolicy, backend_lane_speedup
 from .shm import SlotArena
 
-__all__ = ["shard_main", "build_program"]
+__all__ = ["shard_main", "build_program", "FAULT_KINDS"]
 
 #: Exit status of a chaos-killed worker (mirrors a SIGSEGV death).
 KILL_EXIT_STATUS = 139
+
+#: Chaos fault kinds a ``fault_spec`` may arm (see :func:`_install_fault`).
+FAULT_KINDS = ("kill", "wedge", "stall", "deaf", "corrupt", "drop")
+
+#: A ``wedge`` is a stall long enough that no sane heartbeat or flight
+#: timeout outlasts it — the worker is alive (so liveness sweeps see
+#: nothing) but will never answer again without supervisor intervention.
+WEDGE_SECONDS = 3600.0
+
+#: A ``stall`` delays one batch just long enough for a short request
+#: deadline to expire while the descriptor is in flight.
+STALL_SECONDS = 0.25
 
 
 def build_program(source: str, payload: str, n: int) -> Program:
@@ -70,18 +87,44 @@ def build_program(source: str, payload: str, n: int) -> Program:
 def _install_fault(fault_spec: Optional[Tuple[str, int]]) -> None:
     """Arm this worker's deterministic chaos plan (primitive-tuple spec).
 
-    ``("kill", after)`` plants a rule on :data:`~repro.serve.wire.SITE_SHARD_BATCH`
-    that hard-kills the process at batch index ``after`` — the chaos
-    suite's shard-death scenario, riding the same FaultPlan machinery as
-    every other injected failure.
+    ``(kind, after)`` plants one rule, riding the same FaultPlan machinery
+    as every other injected failure:
+
+    ``kill``
+        ``raise`` rule on :data:`~repro.serve.wire.SITE_SHARD_BATCH` —
+        hard-kill the process at batch index ``after``.
+    ``wedge`` / ``stall``
+        ``slow`` rule on the same site (:data:`WEDGE_SECONDS` /
+        :data:`STALL_SECONDS`) — a worker that hangs forever / lags once.
+    ``deaf``
+        rule on :data:`~repro.serve.wire.SITE_SHARD_PONG` for every ping
+        from index ``after`` on — heartbeat loss without a wedge.
+    ``corrupt``
+        ``corrupt`` rule on :data:`~repro.serve.wire.SITE_SLOT_OUTPUT` —
+        flip a byte of one batch's outputs after checksumming.
+    ``drop``
+        rule on :data:`~repro.serve.wire.SITE_WIRE_DONE` — swallow one
+        ``done`` completion.
     """
     if fault_spec is None:
         return
     kind, after = fault_spec
-    if kind != "kill":
-        raise ShardError(f"unknown shard fault kind {kind!r}")
+    after = int(after)
     plan = faults.FaultPlan()
-    plan.fail(wire.SITE_SHARD_BATCH, times=1, after=int(after))
+    if kind == "kill":
+        plan.fail(wire.SITE_SHARD_BATCH, times=1, after=after)
+    elif kind == "wedge":
+        plan.slow(wire.SITE_SHARD_BATCH, WEDGE_SECONDS, times=1, after=after)
+    elif kind == "stall":
+        plan.slow(wire.SITE_SHARD_BATCH, STALL_SECONDS, times=1, after=after)
+    elif kind == "deaf":
+        plan.fail(wire.SITE_SHARD_PONG, times=None, after=after)
+    elif kind == "corrupt":
+        plan.corrupt(wire.SITE_SLOT_OUTPUT, times=1, after=after)
+    elif kind == "drop":
+        plan.fail(wire.SITE_WIRE_DONE, times=1, after=after)
+    else:
+        raise ShardError(f"unknown shard fault kind {kind!r}")
     faults.install_plan(plan)
 
 
@@ -138,14 +181,29 @@ def shard_main(
                         untrack=untrack_shm,
                     )
                 continue
+            if kind == wire.MSG_PING:
+                _, token = msg
+                if faults.fire(wire.SITE_SHARD_PONG) is None:
+                    done_queue.put(wire.check_wire(wire.pong(shard_id, token)))
+                continue
             if kind != wire.MSG_BATCH:
                 raise ShardError(f"shard received unexpected {kind!r} message")
-            _, seq, key, slot, lanes, occupancy, width = msg
+            _, seq, key, slot, lanes, occupancy, width, deadline = msg
             rule = faults.fire(wire.SITE_SHARD_BATCH)
-            if rule is not None and rule.kind == "raise":
-                # Chaos: die the way real workers die — no farewell message,
-                # no cleanup; the router's liveness sweep must notice alone.
-                os._exit(KILL_EXIT_STATUS)
+            if rule is not None:
+                if rule.kind == "raise":
+                    # Chaos: die the way real workers die — no farewell
+                    # message, no cleanup; the router's liveness sweep (or
+                    # the supervisor's heartbeat) must notice alone.
+                    os._exit(KILL_EXIT_STATUS)
+                if rule.kind == "slow":
+                    time.sleep(rule.seconds)
+            if deadline >= 0.0 and time.monotonic() >= deadline:
+                # Nobody is waiting for this work any more — answer
+                # ``expired`` so the router can free the slot and fail the
+                # requests, instead of burning executor time.
+                done_queue.put(wire.check_wire(wire.expired(shard_id, seq, slot)))
+                continue
             try:
                 program = programs[key]
                 arena = arenas[key]
@@ -162,10 +220,20 @@ def shard_main(
                     arena.output_view(slot, occupancy),
                 )
                 elapsed = time.perf_counter() - started
-                done_queue.put(wire.check_wire(wire.done(
+                checksum = arena.output_checksum(slot, occupancy)
+                corrupt_rule = faults.fire(wire.SITE_SLOT_OUTPUT)
+                if corrupt_rule is not None and corrupt_rule.kind == "corrupt":
+                    # Damage the shared bytes *after* checksumming, so the
+                    # router's verification is what must catch it.
+                    raw = arena.output_view(slot, occupancy).view(np.uint8)
+                    raw.reshape(-1)[0] ^= 0xFF
+                completion = wire.check_wire(wire.done(
                     shard_id, seq, slot, elapsed, executor.backend,
                     policy.predicted_units(program.trace_length, lanes),
-                )))
+                    checksum,
+                ))
+                if faults.fire(wire.SITE_WIRE_DONE) is None:
+                    done_queue.put(completion)
             except ReproError as exc:
                 done_queue.put(wire.check_wire(wire.error(
                     shard_id, seq, slot, f"{type(exc).__name__}: {exc}"

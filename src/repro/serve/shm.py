@@ -31,6 +31,7 @@ keeps an ``untrack=True`` escape hatch for attachers that genuinely own a
 
 from __future__ import annotations
 
+import zlib
 from multiprocessing import shared_memory
 from typing import Optional
 
@@ -166,6 +167,18 @@ class SlotArena:
         """Writable view of slot ``slot``'s output block."""
         view = self._base[self._check_slot(slot), 1]
         return view[:occupancy] if occupancy is not None else view
+
+    def output_checksum(self, slot: int, occupancy: int) -> int:
+        """CRC32 of slot ``slot``'s live output rows.
+
+        The shard stamps this onto the ``done`` descriptor after writing
+        results; the router recomputes it before copying the rows out.  A
+        mismatch means the shared bytes were silently damaged between the
+        two reads — the one failure mode a zero-copy data plane adds over
+        a pickling one — and the batch is re-dispatched, never served.
+        """
+        view = self.output_view(slot, occupancy)
+        return zlib.crc32(np.ascontiguousarray(view).view(np.uint8).data)
 
     def _check_slot(self, slot: int) -> int:
         if not 0 <= slot < self.slots:

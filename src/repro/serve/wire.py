@@ -16,19 +16,31 @@ precedes that key's first ``batch``):
     ``payload`` = algorithm name, or ``"ir"`` with ``payload`` = the
     program's JSON document — custom programs ship *once*, not per
     request), then attach the named arena.
-``("batch", seq, key, slot, lanes, occupancy, width)``
+``("batch", seq, key, slot, lanes, occupancy, width, deadline)``
     Execute the ``occupancy`` rows of width ``width`` in slot ``slot`` as a
-    ``lanes``-wide bulk run; write images back into the slot's output block.
+    ``lanes``-wide bulk run; write images back into the slot's output
+    block.  ``deadline`` is the batch's earliest request deadline on the
+    system-wide monotonic clock (``-1.0`` = none): a shard that receives
+    the descriptor after it has passed must answer ``expired`` instead of
+    burning executor time on work nobody is waiting for.
+``("ping", token)``
+    Heartbeat probe.  A healthy shard answers ``pong`` with the same token
+    between batches; a wedged one cannot (the probe queues behind the stuck
+    descriptor), which is exactly the detection signal the supervisor uses.
 ``("stop",)``
     Drain nothing further; exit the worker loop cleanly.
 
 Shard → router (shared completion queue):
 
 ``("ready", shard_id, pid)``        worker is attached and serving.
-``("done", shard_id, seq, slot, elapsed, backend, units)``  batch completed
-    in ``elapsed`` seconds on ``backend``; ``units`` is the shard's own
-    analytic price of the run (its replicated policy's prediction), so the
-    router's telemetry can compare model and wall clock per shard.
+``("pong", shard_id, token)``       heartbeat answer (see ``ping``).
+``("done", shard_id, seq, slot, elapsed, backend, units, checksum)``
+    batch completed in ``elapsed`` seconds on ``backend``; ``units`` is the
+    shard's own analytic price of the run and ``checksum`` the CRC32 of the
+    slot's output block — the router recomputes it before trusting the
+    shared-memory bytes, so silent slot corruption is detected, not served.
+``("expired", shard_id, seq, slot)``  the batch's deadline had already
+    passed when the shard picked it up; nothing was executed.
 ``("error", shard_id, seq, slot, message)``  batch failed (executor raised);
     the worker survives and keeps serving.
 ``("fatal", shard_id, message)``    worker is about to die of an unexpected
@@ -43,24 +55,51 @@ from typing import Tuple
 from ..errors import ShardError
 
 __all__ = [
-    "MSG_OPEN", "MSG_BATCH", "MSG_STOP",
-    "MSG_READY", "MSG_DONE", "MSG_ERROR", "MSG_FATAL",
-    "SITE_SHARD_BATCH",
-    "open_key", "batch", "stop", "ready", "done", "error", "fatal",
+    "MSG_OPEN", "MSG_BATCH", "MSG_PING", "MSG_STOP",
+    "MSG_READY", "MSG_PONG", "MSG_DONE", "MSG_EXPIRED", "MSG_ERROR",
+    "MSG_FATAL",
+    "SITE_SHARD_BATCH", "SITE_SHARD_PONG", "SITE_SLOT_OUTPUT",
+    "SITE_WIRE_DONE",
+    "open_key", "batch", "ping", "stop",
+    "ready", "pong", "done", "expired", "error", "fatal",
     "check_wire",
 ]
 
 MSG_OPEN = "open"
 MSG_BATCH = "batch"
+MSG_PING = "ping"
 MSG_STOP = "stop"
 MSG_READY = "ready"
+MSG_PONG = "pong"
 MSG_DONE = "done"
+MSG_EXPIRED = "expired"
 MSG_ERROR = "error"
 MSG_FATAL = "fatal"
 
+_KINDS = (
+    MSG_OPEN, MSG_BATCH, MSG_PING, MSG_STOP,
+    MSG_READY, MSG_PONG, MSG_DONE, MSG_EXPIRED, MSG_ERROR, MSG_FATAL,
+)
+
 #: Fault-injection site observed once per batch descriptor inside the shard
-#: worker; a firing rule hard-kills the worker mid-load (chaos suite).
+#: worker.  A ``raise`` rule hard-kills the worker mid-load (shard-death
+#: chaos); a ``slow`` rule stalls it for its ``seconds`` — briefly for the
+#: deadline-expiry scenario, effectively forever for the wedge scenario.
 SITE_SHARD_BATCH = "serve.shard.batch"
+
+#: Observed once per heartbeat ping; a firing rule makes the shard *skip*
+#: the pong while continuing to serve (heartbeat loss without a wedge).
+SITE_SHARD_PONG = "serve.shard.pong"
+
+#: Observed after a batch's outputs and checksum are written; a ``corrupt``
+#: rule flips a byte of the slot's output block *after* checksumming, so
+#: the router's verification must catch the mismatch.
+SITE_SLOT_OUTPUT = "serve.shm.output"
+
+#: Observed before a ``done`` completion is enqueued; a firing rule drops
+#: the message on the floor (control-queue loss) — the flight goes silent
+#: and the supervisor's flight timeout must recover it.
+SITE_WIRE_DONE = "serve.wire.done"
 
 #: The only types a wire message may contain.
 _PLAIN = (str, int, float, bool, type(None))
@@ -75,8 +114,12 @@ def open_key(
 
 
 def batch(seq: int, key: str, slot: int, lanes: int, occupancy: int,
-          width: int) -> Tuple:
-    return (MSG_BATCH, seq, key, slot, lanes, occupancy, width)
+          width: int, deadline: float = -1.0) -> Tuple:
+    return (MSG_BATCH, seq, key, slot, lanes, occupancy, width, deadline)
+
+
+def ping(token: int) -> Tuple:
+    return (MSG_PING, token)
 
 
 def stop() -> Tuple:
@@ -87,9 +130,17 @@ def ready(shard_id: int, pid: int) -> Tuple:
     return (MSG_READY, shard_id, pid)
 
 
+def pong(shard_id: int, token: int) -> Tuple:
+    return (MSG_PONG, shard_id, token)
+
+
 def done(shard_id: int, seq: int, slot: int, elapsed: float,
-         backend: str, units: float) -> Tuple:
-    return (MSG_DONE, shard_id, seq, slot, elapsed, backend, units)
+         backend: str, units: float, checksum: int) -> Tuple:
+    return (MSG_DONE, shard_id, seq, slot, elapsed, backend, units, checksum)
+
+
+def expired(shard_id: int, seq: int, slot: int) -> Tuple:
+    return (MSG_EXPIRED, shard_id, seq, slot)
 
 
 def error(shard_id: int, seq: int, slot: int, message: str) -> Tuple:
@@ -111,8 +162,7 @@ def check_wire(msg: object) -> Tuple:
     if not isinstance(msg, tuple) or not msg:
         raise ShardError(f"wire message must be a non-empty tuple, got {type(msg).__name__}")
     kind = msg[0]
-    if kind not in (MSG_OPEN, MSG_BATCH, MSG_STOP, MSG_READY, MSG_DONE,
-                    MSG_ERROR, MSG_FATAL):
+    if kind not in _KINDS:
         raise ShardError(f"unknown wire message kind {kind!r}")
     for index, value in enumerate(msg):
         # bool is an int subclass; the isinstance check covers both.

@@ -1,0 +1,253 @@
+"""Supervision chaos: kill, wedge, deafen, corrupt, drop, flap — lose nothing.
+
+ISSUE 8 acceptance for the self-healing serving tier.  Every scenario
+drives a real multi-process :class:`ShardedServer` with
+``supervise=True`` and an armed fault, then asserts the same three
+invariants the unsupervised tier already promises, *plus* recovery:
+
+* zero requests lost and zero duplicated (completions == submissions),
+* every output bit-identical to the sequential reference,
+* the failure was detected, the fleet healed (respawn / quarantine), and
+  both are visible in ``stats()`` and ``reliability.incidents``.
+
+Deselect with ``-m "not chaos"`` for a fast lane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_spec
+from repro.errors import ServerOverloadedError
+from repro.serve import ShardConfig, ShardedServer
+from repro.trace.interpreter import run_sequential
+
+pytestmark = pytest.mark.chaos
+
+WORKLOAD, N, COUNT = "prefix-sums", 16, 40
+
+
+def _rows(count=COUNT):
+    spec = get_spec(WORKLOAD)
+    return spec.make_inputs(np.random.default_rng(23), N, count)
+
+
+def _expected(rows):
+    program = get_spec(WORKLOAD).build(N)
+    return [
+        run_sequential(program, row, collect_trace=False).memory.tobytes()
+        for row in rows
+    ]
+
+
+def _supervised_config(**overrides) -> ShardConfig:
+    """Aggressive supervision timings so chaos scenarios converge in ~1s."""
+    settings = dict(
+        shards=2, max_batch=8, max_linger=0.0, policy=8,
+        supervise=True, supervise_interval=0.02,
+        heartbeat_interval=0.05, heartbeat_timeout=0.4,
+        flight_timeout=1.5, backoff_base=0.01, backoff_max=0.05,
+    )
+    settings.update(overrides)
+    return ShardConfig(**settings)
+
+
+async def _await_counter(server, name, minimum=1, timeout=8.0):
+    """Poll stats until a counter reaches ``minimum`` (supervision is async)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        value = server.stats()["counters"].get(name, 0)
+        if value >= minimum:
+            return value
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError(
+                f"counter {name} never reached {minimum} "
+                f"(stats: {server.stats()['counters']})"
+            )
+        await asyncio.sleep(0.02)
+
+
+def _run_fault_scenario(fault, *, config_overrides=None, await_counters=()):
+    """Load the tier with an armed fault; return (rows, results, stats)."""
+    rows = _rows()
+
+    async def main():
+        config = _supervised_config(fault=fault, **(config_overrides or {}))
+        async with ShardedServer(config) as server:
+            results = await asyncio.gather(
+                *(server.submit(WORKLOAD, row, n=N) for row in rows),
+                return_exceptions=True,
+            )
+            for name, minimum in await_counters:
+                await _await_counter(server, name, minimum)
+            return rows, results, server.stats()
+
+    return asyncio.run(main())
+
+
+def _assert_exactly_once_and_bit_identical(rows, results, stats):
+    failures = [r for r in results if isinstance(r, BaseException)]
+    assert not failures, f"requests lost: {failures[:3]}"
+    assert [r.tobytes() for r in results] == _expected(rows)
+    assert stats["counters"]["requests.completed"] == len(rows)
+    assert stats["counters"]["requests.submitted"] == len(rows)
+
+
+class TestKillRespawn:
+    def test_killed_shard_is_respawned_and_nothing_is_lost(self):
+        rows, results, stats = _run_fault_scenario(
+            ("kill", 0, 1),
+            await_counters=[("shards.respawns", 1)],
+        )
+        _assert_exactly_once_and_bit_identical(rows, results, stats)
+        assert stats["counters"]["shards.deaths"] == 1
+        assert stats["counters"]["shards.respawns"] >= 1
+        # The respawned incarnation holds the same shard id, alive again.
+        assert stats["shards"][0]["alive"] is True
+        assert stats["shards"][0]["respawns"] >= 1
+        assert stats["incidents"].get("shard-death", 0) >= 1
+        assert stats["incidents"].get("shard-respawn", 0) >= 1
+
+
+class TestWedgeDetection:
+    def test_wedged_worker_is_condemned_by_heartbeat_and_work_recovered(self):
+        # Shard 0 hangs "forever" inside its second batch: the process stays
+        # alive, so only the heartbeat (or flight timeout) can catch it.
+        rows, results, stats = _run_fault_scenario(
+            ("wedge", 0, 1),
+            await_counters=[("shards.respawns", 1)],
+        )
+        _assert_exactly_once_and_bit_identical(rows, results, stats)
+        assert stats["counters"]["shards.wedged"] >= 1
+        assert stats["incidents"].get("shard-wedged", 0) >= 1
+        assert stats["shards"][0]["alive"] is True  # recycled
+
+
+class TestHeartbeatLoss:
+    def test_deaf_shard_is_recycled(self):
+        # The worker keeps serving but swallows every pong: heartbeat loss
+        # is indistinguishable from a wedge, and treated the same way.
+        rows = _rows(8)
+
+        async def main():
+            config = _supervised_config(fault=("deaf", 0, 0))
+            async with ShardedServer(config) as server:
+                results = await asyncio.gather(
+                    *(server.submit(WORKLOAD, row, n=N) for row in rows),
+                    return_exceptions=True,
+                )
+                await _await_counter(server, "shards.wedged", 1)
+                await _await_counter(server, "shards.respawns", 1)
+                # The respawned incarnation answers pings again.
+                await _await_counter(server, "supervisor.pongs", 1)
+                return rows, results, server.stats()
+
+        rows, results, stats = asyncio.run(main())
+        _assert_exactly_once_and_bit_identical(rows, results, stats)
+        assert stats["shards"][0]["alive"] is True
+
+
+class TestSlotCorruption:
+    def test_corrupted_slot_is_detected_and_never_served(self):
+        # A byte of shard 0's first output block flips *after* the shard
+        # checksummed it: the router's verification must catch the mismatch
+        # and re-execute — the corrupt bytes must never resolve a future.
+        rows, results, stats = _run_fault_scenario(("corrupt", 0, 0))
+        _assert_exactly_once_and_bit_identical(rows, results, stats)
+        assert stats["counters"]["slots.corrupted"] == 1
+        assert stats["counters"]["requests.redispatched"] >= 1
+        assert stats["incidents"].get("slot-corruption", 0) == 1
+
+
+class TestCompletionDrop:
+    def test_dropped_done_message_is_recovered_by_flight_timeout(self):
+        # One ``done`` vanishes from the control queue: the flight goes
+        # silent, the flight timeout condemns the shard, and the batch is
+        # re-executed from router-retained rows.
+        rows, results, stats = _run_fault_scenario(
+            ("drop", 0, 0),
+            config_overrides=dict(flight_timeout=0.5),
+        )
+        _assert_exactly_once_and_bit_identical(rows, results, stats)
+        assert stats["counters"]["shards.wedged"] >= 1
+        assert stats["counters"]["requests.redispatched"] >= 1
+
+
+class TestCircuitBreaker:
+    def test_flapping_shard_is_quarantined_and_fleet_survives(self):
+        rows = _rows(8)
+
+        async def main():
+            # Breaker: more than 2 respawns inside the window quarantines.
+            config = _supervised_config(
+                max_restarts=2, restart_window=60.0,
+            )
+            async with ShardedServer(config) as server:
+                # Warm the fleet so both shards are up and serving.
+                first = await asyncio.gather(
+                    *(server.submit(WORKLOAD, row, n=N) for row in rows)
+                )
+                # Kill shard 0's process over and over (SIGKILL — no
+                # farewell).  Respawn 1, respawn 2, then the third death
+                # must open the breaker instead of respawning again.
+                for death in range(3):
+                    pid = server.stats()["shards"][0]["pid"]
+                    os.kill(pid, signal.SIGKILL)
+                    if death < 2:
+                        await _await_counter(server, "shards.respawns", death + 1)
+                    else:
+                        await _await_counter(server, "shards.quarantined", 1)
+                # The quarantined id is out of rotation; the survivor still
+                # serves correctly.
+                second = await asyncio.gather(
+                    *(server.submit(WORKLOAD, row, n=N) for row in rows)
+                )
+                return first, second, server.stats()
+
+        first, second, stats = asyncio.run(main())
+        assert [r.tobytes() for r in first] == _expected(_rows(8))
+        assert [r.tobytes() for r in second] == _expected(_rows(8))
+        assert stats["shards"][0]["quarantined"] is True
+        assert stats["shards"][0]["alive"] is False
+        assert stats["shards"][1]["alive"] is True
+        assert stats["counters"]["shards.respawns"] == 2
+        assert stats["counters"]["shards.quarantined"] == 1
+        assert stats["incidents"].get("shard-flapping", 0) == 1
+        assert stats["supervisor"]["quarantined"] == 1
+
+
+class TestOverloadShedding:
+    def test_slot_exhaustion_sheds_with_retry_after_instead_of_stalling(self):
+        # One shard, one slot, batch size 1: the first batch stalls 0.25s
+        # holding the only slot, so the queued batches behind it exhaust
+        # the tiny admission timeout and must be *shed* — typed overload
+        # with a model-derived retry_after — never silently stalled.
+        rows = _rows(4)
+
+        async def main():
+            config = ShardConfig(
+                shards=1, slots=1, max_batch=1, max_linger=0.0, policy=1,
+                fault=("stall", 0, 0), admission_timeout=0.05,
+            )
+            async with ShardedServer(config) as server:
+                results = await asyncio.gather(
+                    *(server.submit(WORKLOAD, row, n=N) for row in rows),
+                    return_exceptions=True,
+                )
+                return results, server.stats()
+
+        results, stats = asyncio.run(main())
+        shed = [r for r in results if isinstance(r, ServerOverloadedError)]
+        completed = [r for r in results if isinstance(r, np.ndarray)]
+        assert shed, "no request was shed despite slot exhaustion"
+        assert completed, "the slot-holding batch itself should complete"
+        assert len(shed) + len(completed) == len(rows)
+        for exc in shed:
+            assert exc.retry_after is not None and exc.retry_after > 0
+        assert stats["counters"]["requests.rejected_slots"] >= 1
+        assert stats["incidents"].get("server-overload", 0) >= 1

@@ -8,6 +8,20 @@ import pytest
 from repro.machine import MachineParams
 
 
+def pytest_addoption(parser):
+    # pyproject sets ``timeout``/``timeout_method`` for pytest-timeout
+    # (an optional [test] extra, installed in CI).  When the plugin is
+    # absent, register the options as inert so local runs stay
+    # warning-free — the values are simply ignored.
+    import importlib.util
+
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini("timeout", "inert without pytest-timeout", default="0")
+        parser.addini(
+            "timeout_method", "inert without pytest-timeout", default="thread"
+        )
+
+
 @pytest.fixture(autouse=True)
 def _clean_reliability_state():
     """No fault plan, quarantine entry, or incident leaks across tests."""

@@ -1,0 +1,78 @@
+"""The incident log is bounded: newest-kept eviction with an honest count.
+
+A long-lived supervised server records an incident per respawn; a flapping
+shard must not grow the log without limit.  The cap comes from
+``REPRO_INCIDENT_MAX`` (or :func:`set_incident_cap`), evicts oldest-first,
+and surfaces the dropped count as ``evicted`` in the summary so per-kind
+counts are never mistaken for totals.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.incidents import (
+    clear_incidents,
+    incident_summary,
+    incidents,
+    record_incident,
+    set_incident_cap,
+)
+
+
+class TestBoundedLog:
+    def test_cap_keeps_newest_and_counts_evicted(self):
+        try:
+            applied = set_incident_cap(5)
+            assert applied == 5
+            for i in range(8):
+                record_incident("test-kind", "tests.site", f"event {i}")
+            kept = incidents("test-kind")
+            assert len(kept) == 5
+            # Oldest-first eviction: events 0-2 gone, 3-7 retained in order.
+            assert [i.detail for i in kept] == [f"event {i}" for i in range(3, 8)]
+            summary = incident_summary()
+            assert summary["test-kind"] == 5
+            assert summary["evicted"] == 3
+        finally:
+            set_incident_cap(None)   # conftest clears entries, not the cap
+            clear_incidents()
+
+    def test_shrinking_the_cap_evicts_immediately(self):
+        try:
+            set_incident_cap(10)
+            for i in range(6):
+                record_incident("test-kind", "tests.site", f"event {i}")
+            set_incident_cap(2)
+            kept = incidents("test-kind")
+            assert [i.detail for i in kept] == ["event 4", "event 5"]
+            assert incident_summary()["evicted"] == 4
+        finally:
+            set_incident_cap(None)
+            clear_incidents()
+
+    def test_clear_resets_the_eviction_counter(self):
+        try:
+            set_incident_cap(1)
+            record_incident("test-kind", "tests.site", "a")
+            record_incident("test-kind", "tests.site", "b")
+            assert incident_summary()["evicted"] == 1
+            clear_incidents()
+            assert incidents() == []
+            assert incident_summary() == {}
+        finally:
+            set_incident_cap(None)
+
+    def test_env_cap_is_floored_at_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCIDENT_MAX", "0")
+        try:
+            assert set_incident_cap(None) == 1
+        finally:
+            monkeypatch.delenv("REPRO_INCIDENT_MAX")
+            set_incident_cap(None)
+
+    def test_garbage_env_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCIDENT_MAX", "not-a-number")
+        try:
+            assert set_incident_cap(None) == 1000
+        finally:
+            monkeypatch.delenv("REPRO_INCIDENT_MAX")
+            set_incident_cap(None)

@@ -99,3 +99,32 @@ class TestLifecycle:
             assert again.input_view(0)[0, 0] == 3.0
         finally:
             again.close()
+
+
+class TestOutputChecksum:
+    """CRC32 over the trimmed output block — the slot-corruption detector."""
+
+    def test_matches_across_owner_and_attacher(self, arena):
+        other = SlotArena.attach(arena.name, dtype=np.float64, **GEO)
+        try:
+            arena.output_view(2, 4)[:] = np.arange(4 * GEO["words"]).reshape(
+                4, GEO["words"]
+            )
+            # Shard-side (attacher) and router-side (owner) compute the same
+            # checksum over the same shared bytes.
+            assert other.output_checksum(2, 4) == arena.output_checksum(2, 4)
+        finally:
+            other.close()
+
+    def test_single_flipped_byte_changes_the_checksum(self, arena):
+        arena.output_view(0, 2)[:] = 7.0
+        before = arena.output_checksum(0, 2)
+        arena.output_view(0, 2).view(np.uint8).reshape(-1)[0] ^= 0xFF
+        assert arena.output_checksum(0, 2) != before
+
+    def test_checksum_covers_only_the_occupied_rows(self, arena):
+        arena.output_view(1, 2)[:] = 1.0
+        before = arena.output_checksum(1, 2)
+        # Garbage beyond the occupancy (a stale wider batch) is invisible.
+        arena.output_view(1)[3:, :] = 42.0
+        assert arena.output_checksum(1, 2) == before

@@ -21,10 +21,13 @@ from repro.serve import wire
 def all_builders():
     return [
         wire.open_key("opt:8", "registry", "opt", 8, "shm-x", 4, 256, 10, "float64"),
-        wire.batch(3, "opt:8", 1, 64, 40, 10),
+        wire.batch(3, "opt:8", 1, 64, 40, 10, 12.5),
+        wire.ping(17),
         wire.stop(),
         wire.ready(2, 4711),
-        wire.done(2, 3, 1, 0.0125, "numpy", 812.5),
+        wire.pong(2, 17),
+        wire.done(2, 3, 1, 0.0125, "numpy", 812.5, 0xC0FFEE),
+        wire.expired(2, 3, 1),
         wire.error(2, 3, 1, "ExecutionError: boom"),
         wire.fatal(2, "ValueError: unexpected"),
     ]
@@ -38,9 +41,15 @@ class TestBuildersAreWireClean:
     def test_kinds_are_first_elements(self):
         kinds = {msg[0] for msg in all_builders()}
         assert kinds == {
-            wire.MSG_OPEN, wire.MSG_BATCH, wire.MSG_STOP,
-            wire.MSG_READY, wire.MSG_DONE, wire.MSG_ERROR, wire.MSG_FATAL,
+            wire.MSG_OPEN, wire.MSG_BATCH, wire.MSG_PING, wire.MSG_STOP,
+            wire.MSG_READY, wire.MSG_PONG, wire.MSG_DONE, wire.MSG_EXPIRED,
+            wire.MSG_ERROR, wire.MSG_FATAL,
         }
+
+    def test_batch_deadline_defaults_to_none_sentinel(self):
+        # Callers that serve no deadline ship -1.0, keeping the descriptor
+        # shape (and its pickle size) fixed.
+        assert wire.batch(0, "k", 0, 8, 8, 8)[-1] == -1.0
 
 
 class TestCheckWireRejects:
