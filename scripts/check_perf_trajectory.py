@@ -73,6 +73,18 @@ def regenerate_backends(json_path: Path) -> None:
     subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
 
 
+def regenerate_autofix(json_path: Path) -> None:
+    """Re-run the autofix closed-loop benchmark (promotion speedup ratio)."""
+    scratch = json_path.parent
+    cmd = [
+        sys.executable, str(REPO / "benchmarks" / "bench_autofix.py"),
+        "--json", str(json_path),
+        "--out", str(scratch / "bench_autofix.txt"),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+
+
 def gate(baseline_doc: dict, current_doc: dict, tolerance: float) -> bool:
     """Compare one benchmark's trajectories; print deltas; True = regressed.
 
@@ -105,6 +117,10 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--backends-baseline", type=Path,
                         default=REPO / "results" / "BENCH_backends.json",
                         help="committed backends-benchmark trajectory "
+                        "(skipped when absent, or when --current is given)")
+    parser.add_argument("--autofix-baseline", type=Path,
+                        default=REPO / "results" / "BENCH_autofix.json",
+                        help="committed autofix-benchmark trajectory "
                         "(skipped when absent, or when --current is given)")
     parser.add_argument("--current", type=Path, default=None,
                         help="pre-generated fresh trajectory file for the "
@@ -148,6 +164,19 @@ def main(argv: list | None = None) -> int:
         else:
             print(f"note: no committed baseline at "
                   f"{args.backends_baseline} — backends gate skipped")
+
+        if args.autofix_baseline.exists():
+            fresh_autofix = Path(scratch) / "BENCH_autofix.json"
+            regenerate_autofix(fresh_autofix)
+            print(f"== {args.autofix_baseline.name}")
+            regressed |= gate(
+                load_bench(args.autofix_baseline),
+                load_bench(fresh_autofix),
+                args.tolerance,
+            )
+        else:
+            print(f"note: no committed baseline at "
+                  f"{args.autofix_baseline} — autofix gate skipped")
 
     return 1 if regressed else 0
 

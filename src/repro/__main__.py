@@ -243,6 +243,23 @@ def cmd_lint(args) -> int:
     else:
         print(text)
 
+    if args.fix:
+        # Close the loop on what was just reported: propose, prove, canary
+        # and promote fixes for the same targets (see docs/AUTOFIX.md).
+        from .autofix import autofix_registry
+
+        outcomes = autofix_registry(
+            None if args.all else [args.algorithm],
+            params=params,
+            machine=args.machine,
+            arrangement=args.arrangement,
+            sizes=None if args.all else [args.n],
+            seed=0,
+        )
+        print()
+        for outcome in outcomes:
+            print(f"autofix: {outcome.describe()}")
+
     # Per-severity exit codes: 3 = errors, 4 = warnings, 5 = notes — but
     # only findings at or above --fail-on fail the run, so `--all` in CI
     # does not trip on advisory warnings unless asked to.
@@ -256,6 +273,107 @@ def cmd_lint(args) -> int:
     )
     if worst is not None and worst >= threshold:
         return {Severity.ERROR: 3, Severity.WARNING: 4, Severity.NOTE: 5}[worst]
+    return 0
+
+
+def cmd_autofix(args) -> int:
+    import json
+
+    from .autofix import autofix_registry, promotion_store, save_promotions
+
+    params = _machine(args)
+    if args.all:
+        names, sizes = None, None
+    else:
+        if args.algorithm is None or args.n is None:
+            print(
+                "error: name an algorithm and a size, or pass --all",
+                file=sys.stderr,
+            )
+            return 2
+        names, sizes = [args.algorithm], [args.n]
+
+    dry_run = args.dry_run or args.check
+    outcomes = autofix_registry(
+        names,
+        params=params,
+        machine=args.machine,
+        arrangement=args.arrangement,
+        sizes=sizes,
+        backend=args.backend,
+        dry_run=dry_run,
+        canary_p=args.canary_p,
+        seed=args.seed,
+    )
+
+    for outcome in outcomes:
+        print(outcome.describe())
+        if args.verbose:
+            for verdict in outcome.verdicts:
+                print(f"  {verdict.describe()}")
+            if outcome.result is not None:
+                print(f"  {outcome.result.describe()}")
+
+    fixable = [o for o in outcomes if o.fixable]
+    promoted = [o for o in outcomes if o.promoted]
+    print(
+        f"\n{len(outcomes)} program(s): {len(fixable)} with a verified "
+        f"cost-improving fix, {len(promoted)} promoted"
+        + (" (dry run)" if dry_run else "")
+    )
+
+    if args.json is not None:
+        doc = {
+            "format": "repro-autofix",
+            "version": 1,
+            "dry_run": dry_run,
+            "outcomes": [
+                {
+                    "program": o.name,
+                    "from_arrangement": o.from_arrangement,
+                    "final_arrangement": o.final_arrangement,
+                    "applied": list(o.applied),
+                    "fixable": o.fixable,
+                    "promoted": o.promoted,
+                    "cost_before": o.cost_before,
+                    "cost_after": o.cost_after,
+                    "verdicts": [v.describe() for v in o.verdicts],
+                }
+                for o in outcomes
+            ],
+        }
+        args.json.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(outcomes)} outcome(s) to {args.json}")
+
+    if args.save is not None:
+        count = save_promotions(args.save)
+        print(
+            f"saved {count} promotion(s) to {args.save} "
+            f"(serve shards pick these up via REPRO_AUTOFIX_PROMOTIONS)"
+        )
+
+    if args.check:
+        # CI gate: a provable, strictly cost-improving fix sitting
+        # unapplied fails the build — the registry must stay fixpoint-clean.
+        if fixable:
+            names_ = ", ".join(o.name for o in fixable)
+            print(
+                f"check failed: {len(fixable)} program(s) have a proven "
+                f"cost-improving fix left unapplied: {names_}",
+                file=sys.stderr,
+            )
+            return 1
+        regressed = [
+            p for p in promotion_store().promotions() if p.improvement <= 0
+        ]
+        if regressed:
+            print(
+                f"check failed: {len(regressed)} installed promotion(s) do "
+                "not improve certified cost",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: no unapplied fixes, no regressing promotions")
     return 0
 
 
@@ -685,7 +803,52 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the emitted-code certification")
     p.add_argument("--quiet", action="store_true",
                    help="omit the proved-certificate lines (text format)")
+    p.add_argument("--fix", action="store_true",
+                   help="after reporting, run the autofix pipeline on the "
+                   "same targets: propose fixes for the fixable findings, "
+                   "prove them equivalent and cheaper, canary and promote "
+                   "(see docs/AUTOFIX.md)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "autofix",
+        help="closed-loop lint fixing: propose rewrites from fix-it hints, "
+        "prove them equivalent and strictly cheaper, canary against the "
+        "incumbent, promote into the executor path (docs/AUTOFIX.md)",
+    )
+    p.add_argument("algorithm", nargs="?", default=None,
+                   help="registry name (see `list`); omit with --all")
+    p.add_argument("n", nargs="?", type=int, default=None, help="problem size")
+    p.add_argument("--all", action="store_true",
+                   help="run over every registry algorithm at every "
+                   "registered size")
+    add_machine(p)
+    p.add_argument("--machine", choices=["umm", "dmm"], default="umm")
+    p.add_argument("--arrangement",
+                   choices=["row", "column", "padded-row"], default="column")
+    p.add_argument("--backend", choices=["numpy", "native", "auto"],
+                   default="numpy",
+                   help="backend the canary runs candidates on")
+    p.add_argument("--dry-run", action="store_true",
+                   help="propose and fully verify but never canary, "
+                   "promote, or record incidents")
+    p.add_argument("--check", action="store_true",
+                   help="CI gate (implies --dry-run): exit 1 if any "
+                   "proven cost-improving fix is left unapplied or an "
+                   "installed promotion regresses certified cost")
+    p.add_argument("--canary-p", type=int, default=None, metavar="LANES",
+                   help="canary batch size (default: --p, the priced "
+                   "configuration)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true",
+                   help="also print every per-candidate verdict")
+    p.add_argument("--json", type=Path, default=None, metavar="PATH",
+                   help="write machine-readable outcomes to PATH")
+    p.add_argument("--save", type=Path, default=None, metavar="PATH",
+                   help="persist installed promotions to PATH "
+                   "(loaded by other processes via "
+                   "REPRO_AUTOFIX_PROMOTIONS=PATH)")
+    p.set_defaults(fn=cmd_autofix)
 
     p = sub.add_parser(
         "codegen-cache",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,10 +64,20 @@ class ValueNumbering:
     Both programs of a proof must share one instance so that equal
     expressions intern to equal ids; comparing final states is then integer
     equality.
+
+    ``zero_from`` optionally narrows the initial-memory model: cells at or
+    beyond that address start as the *constant* zero instead of the opaque
+    symbol ``m0[addr]``.  This is the engines' actual contract when the
+    packed inputs occupy ``[0, zero_from)`` — everything past the input
+    span is zero-filled — and it is what licenses proving the autofix
+    rewrite of an uninitialised-scratch load (``OBL-W503``) into a literal
+    ``Const 0``.  Left at ``None`` every cell stays symbolic (the
+    arrangement-agnostic default, sound for any input span).
     """
 
-    def __init__(self, dtype: np.dtype) -> None:
+    def __init__(self, dtype: np.dtype, *, zero_from: Optional[int] = None) -> None:
         self.dtype = np.dtype(dtype)
+        self.zero_from = None if zero_from is None else int(zero_from)
         self._scalar = self.dtype.type
         self._intern: Dict[tuple, int] = {}
         self._exprs: List[tuple] = []
@@ -96,7 +106,13 @@ class ValueNumbering:
         return vn
 
     def initial(self, addr: int) -> int:
-        """Value number of memory cell ``addr``'s initial contents."""
+        """Value number of memory cell ``addr``'s initial contents.
+
+        Constant zero beyond ``zero_from`` (the engine zero-fill), the
+        opaque symbol ``m0[addr]`` otherwise.
+        """
+        if self.zero_from is not None and int(addr) >= self.zero_from:
+            return self.const(0)
         return self._get(("m0", int(addr)))
 
     def binary(self, op, a: int, b: int) -> int:
@@ -251,6 +267,7 @@ def prove_equivalent(
     *,
     require_same_trace: bool = False,
     raise_on_mismatch: bool = True,
+    zero_from: Optional[int] = None,
 ) -> EquivalenceProof:
     """Prove ``candidate`` computes the same final memory as ``reference``.
 
@@ -260,6 +277,13 @@ def prove_equivalent(
     mismatch an :class:`~repro.errors.EquivalenceError` carrying the first
     differing cell is raised, unless ``raise_on_mismatch`` is disabled, in
     which case the failing proof object is returned for inspection.
+
+    ``zero_from`` models the engine zero-fill: memory cells at or beyond it
+    start as the constant 0 rather than an opaque symbol (see
+    :class:`ValueNumbering`).  Callers that know the packed input span (the
+    autofix verifier does) get strictly more proofs — e.g. a load of
+    never-written scratch rewritten to ``Const 0`` — without ever admitting
+    one that could differ on a real engine.
     """
     if reference.dtype != candidate.dtype:
         raise EquivalenceError(
@@ -273,7 +297,7 @@ def prove_equivalent(
             f"{candidate.memory_words} words",
             kind="structure",
         )
-    vn = ValueNumbering(reference.dtype)
+    vn = ValueNumbering(reference.dtype, zero_from=zero_from)
     ref_state = symbolic_state(reference, vn)
     cand_state = symbolic_state(candidate, vn)
 

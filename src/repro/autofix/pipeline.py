@@ -1,0 +1,297 @@
+"""The autofix orchestrator: drive the loop over a program or the registry.
+
+One :func:`autofix_program` call is the whole closed loop for one incumbent:
+
+1. lint (memory + cost families — the ones that emit fixable findings),
+2. propose the first fixable candidate, verify it against the *current*
+   incumbent, and — greedily — adopt it and re-lint, so chained rewrites
+   (a dead store exposing a dead load, an IR fix plus a re-arrangement)
+   compose with fresh instruction indices at every step; a rejected rule
+   is skipped for the rest of the run, which bounds the loop,
+3. re-verify the final chained candidate against the *original* program
+   (one proof covering the whole chain — the chain is never trusted
+   transitively), and
+4. hand the original/candidate pair to :func:`~repro.autofix.rollout.
+   rollout_candidate` to canary and promote (skipped under ``dry_run``,
+   which is also what ``repro autofix --check`` uses to fail CI when a
+   provable cost-improving fix is sitting unapplied).
+
+:func:`autofix_registry` sweeps the algorithm registry exactly like
+``lint_registry`` — same specs, same sizes, same derived input spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.lint.linter import lint_program
+from ..machine.params import MachineParams
+from ..trace.ir import Program
+from .proposer import Proposal, propose_fixes
+from .rollout import CanaryResult, rollout_candidate
+from .verify import Verdict, verify_proposal
+
+__all__ = ["AutofixOutcome", "autofix_program", "autofix_registry"]
+
+#: Bound on propose/verify/adopt iterations per program.  Each iteration
+#: either adopts a rewrite (strictly decreasing certified cost) or retires
+#: a rule for the run, so 2× the fixable-rule count is already generous.
+MAX_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class AutofixOutcome:
+    """Everything one program's trip through the loop produced.
+
+    Attributes
+    ----------
+    name:
+        The incumbent program's name.
+    incumbent:
+        The original (untouched) program.
+    from_arrangement:
+        The arrangement the incumbent was linted (and priced) under.
+    verdicts:
+        Every per-step verifier ruling, accepted and rejected, in order.
+    applied:
+        Rule ids of the rewrites the greedy chain adopted.
+    final_verdict:
+        The whole-chain proof of the final candidate against the original
+        (``None`` when nothing was adopted).
+    result:
+        The canary/promotion outcome (``None`` under ``dry_run`` or when
+        there was nothing to roll out).
+    dry_run:
+        Whether rollout was suppressed.
+    """
+
+    name: str
+    incumbent: Program
+    from_arrangement: str
+    verdicts: Tuple[Verdict, ...]
+    applied: Tuple[str, ...]
+    final_verdict: Optional[Verdict]
+    result: Optional[CanaryResult]
+    dry_run: bool
+
+    @property
+    def fixable(self) -> bool:
+        """Does a verified, strictly cost-improving candidate exist?"""
+        return self.final_verdict is not None and self.final_verdict.accepted
+
+    @property
+    def promoted(self) -> bool:
+        return self.result is not None and self.result.promoted
+
+    @property
+    def final_program(self) -> Program:
+        if self.fixable:
+            assert self.final_verdict is not None
+            return self.final_verdict.proposal.program
+        return self.incumbent
+
+    @property
+    def final_arrangement(self) -> str:
+        if self.fixable:
+            assert self.final_verdict is not None
+            return self.final_verdict.proposal.arrangement
+        return self.from_arrangement
+
+    @property
+    def cost_before(self) -> int:
+        return self.final_verdict.cost_before if self.fixable else 0
+
+    @property
+    def cost_after(self) -> int:
+        return self.final_verdict.cost_after if self.fixable else 0
+
+    def describe(self) -> str:
+        if not self.verdicts:
+            return f"{self.name}: clean — no fixable findings"
+        if not self.fixable:
+            return (
+                f"{self.name}: {len(self.verdicts)} candidate(s) proposed, "
+                "none survived verification; incumbent untouched"
+            )
+        assert self.final_verdict is not None
+        action = (
+            "promoted" if self.promoted
+            else ("would fix (dry run)" if self.dry_run else "fix verified")
+        )
+        return (
+            f"{self.name}: {action} [{','.join(self.applied)}] "
+            f"{self.from_arrangement} -> {self.final_arrangement}, "
+            f"{self.cost_before:,} -> {self.cost_after:,} time units"
+        )
+
+
+def autofix_program(
+    program: Program,
+    *,
+    params: MachineParams,
+    machine: str = "umm",
+    arrangement: str = "column",
+    input_words: Optional[int] = None,
+    backend: str = "numpy",
+    dry_run: bool = False,
+    canary_p: Optional[int] = None,
+    trials: int = 4,
+    seed: int = 0,
+) -> AutofixOutcome:
+    """Run the full lint → propose → prove → canary → promote loop once.
+
+    ``params`` prices candidates (the cost gate is not optional);
+    ``input_words`` is the packed input span when known — it turns on the
+    initialisation lint rules *and* the zero-fill model that proves the
+    ``OBL-W503`` rewrite.  ``canary_p`` sizes the canary batch (defaults to
+    ``params.p`` so the canary exercises exactly the priced configuration).
+    Under ``dry_run`` candidates are still proposed and fully verified but
+    nothing is canaried, promoted, or recorded as an incident.
+    """
+    current, current_arr = program, arrangement
+    verdicts: List[Verdict] = []
+    applied: List[str] = []
+    retired: set = set()
+
+    for _ in range(MAX_ROUNDS):
+        report = lint_program(
+            current,
+            params=params,
+            machine=machine,
+            arrangement=current_arr,
+            input_words=input_words,
+            passes=False,
+            codegen=False,
+        )
+        proposals = [
+            pr
+            for pr in propose_fixes(
+                current,
+                list(report.diagnostics),
+                arrangement=current_arr,
+                machine=machine,
+            )
+            if pr.rule_id not in retired
+        ]
+        if not proposals:
+            break
+        proposal = proposals[0]
+        verdict = verify_proposal(
+            current,
+            proposal,
+            params=params,
+            machine=machine,
+            from_arrangement=current_arr,
+            input_words=input_words,
+            trials=trials,
+            seed=seed,
+        )
+        verdicts.append(verdict)
+        if verdict.accepted:
+            current, current_arr = proposal.program, proposal.arrangement
+            applied.append(proposal.rule_id)
+        else:
+            retired.add(proposal.rule_id)
+            if not dry_run:
+                # Records the ``rollback`` incident; incumbent untouched.
+                rollout_candidate(
+                    current,
+                    verdict,
+                    p=canary_p or params.p,
+                    from_arrangement=current_arr,
+                    input_words=input_words,
+                    backend=backend,
+                    seed=seed,
+                )
+
+    final_verdict: Optional[Verdict] = None
+    result: Optional[CanaryResult] = None
+    if applied:
+        # One proof over the whole chain, original vs final — adopted steps
+        # were each proven against their predecessor, but the promotion's
+        # certificate must name the program executors will actually replace.
+        chain = Proposal(
+            kind="chained" if len(applied) > 1 else verdicts[-1].proposal.kind,
+            rule_id=applied[-1],
+            program=current,
+            arrangement=current_arr,
+            description=f"chained fixes: {', '.join(applied)}",
+        )
+        final_verdict = verify_proposal(
+            program,
+            chain,
+            params=params,
+            machine=machine,
+            from_arrangement=arrangement,
+            input_words=input_words,
+            trials=trials,
+            seed=seed,
+        )
+        if final_verdict.accepted and not dry_run:
+            result = rollout_candidate(
+                program,
+                final_verdict,
+                p=canary_p or params.p,
+                from_arrangement=arrangement,
+                input_words=input_words,
+                backend=backend,
+                seed=seed,
+                rule_ids=tuple(dict.fromkeys(applied)),
+            )
+
+    return AutofixOutcome(
+        name=program.name,
+        incumbent=program,
+        from_arrangement=arrangement,
+        verdicts=tuple(verdicts),
+        applied=tuple(applied),
+        final_verdict=final_verdict,
+        result=result,
+        dry_run=dry_run,
+    )
+
+
+def autofix_registry(
+    names: Optional[Sequence[str]] = None,
+    *,
+    params: MachineParams,
+    machine: str = "umm",
+    arrangement: str = "column",
+    sizes: Optional[Sequence[int]] = None,
+    backend: str = "numpy",
+    dry_run: bool = False,
+    canary_p: Optional[int] = None,
+    trials: int = 4,
+    seed: int = 0,
+) -> List[AutofixOutcome]:
+    """Run the loop over registry algorithms at their registered sizes.
+
+    The sweep mirrors ``lint_registry``: ``names`` restricts it, ``sizes``
+    overrides each spec's size list, and each program's input span is
+    derived from its spec's input factory.
+    """
+    from ..algorithms.registry import all_specs, get_spec
+
+    specs = all_specs() if names is None else [get_spec(n) for n in names]
+    rng = np.random.default_rng(0)
+    outcomes: List[AutofixOutcome] = []
+    for spec in specs:
+        for n in (spec.sizes if sizes is None else sizes):
+            program = spec.build(n)
+            span = int(spec.make_inputs(rng, n, 1).shape[1])
+            outcomes.append(autofix_program(
+                program,
+                params=params,
+                machine=machine,
+                arrangement=arrangement,
+                input_words=span,
+                backend=backend,
+                dry_run=dry_run,
+                canary_p=canary_p,
+                trials=trials,
+                seed=seed,
+            ))
+    return outcomes

@@ -195,6 +195,17 @@ class BulkExecutor:
         threads: Optional[int] = None,
         native_mode: str = "tiled",
     ) -> None:
+        if isinstance(arrangement, str):
+            # Autofix promotions: a proven, canaried, strictly cheaper
+            # rewrite of this exact program (keyed by content fingerprint
+            # and the arrangement asked for) transparently replaces it.
+            # An Arrangement *instance* pins the caller's layout and is
+            # never second-guessed; REPRO_AUTOFIX=0 disables resolution.
+            from ..autofix.store import promotion_store
+
+            program, arrangement = promotion_store().resolve(
+                program, arrangement
+            )
         self.program = program
         self.arrangement = make_arrangement(arrangement, program.memory_words, p)
         self.p = int(p)

@@ -65,7 +65,11 @@ from ..trace.ir import (
     instruction_uses,
 )
 from ..trace.ops import BINARY_UFUNCS, UNARY_UFUNCS, BinaryOp, UnaryOp
-from ..trace.optimize import eliminate_dead_code, fold_constants
+from ..trace.optimize import (
+    eliminate_dead_code,
+    fold_constants,
+    verify_passes_default,
+)
 from .arrangement import Arrangement
 
 __all__ = ["FusionStats", "FusedProgram", "compile_fused"]
@@ -206,7 +210,7 @@ def compile_fused(
     mask2: np.ndarray,
     *,
     optimize_locals: bool = True,
-    verify: bool = False,
+    verify: Optional[bool] = None,
 ) -> FusedProgram:
     """Compile ``program`` into a fused step list over the given buffers.
 
@@ -220,8 +224,13 @@ def compile_fused(
     the input program (same final memory, identical access trace) by the
     symbolic checker of :mod:`repro.analysis.lint.equiv` before fusion
     proceeds; a failed proof raises
-    :class:`~repro.errors.EquivalenceError`.
+    :class:`~repro.errors.EquivalenceError`.  The default (``None``)
+    follows :func:`~repro.trace.optimize.verify_passes_default` —
+    verification is *on* unless ``REPRO_VERIFY_PASSES=0`` — so every
+    production executor proves its own preamble.
     """
+    if verify is None:
+        verify = verify_passes_default()
     instrs: List[Instruction] = list(program.instructions)
     if optimize_locals:
         # Trace-preserving local cleanup (reused from trace.optimize):

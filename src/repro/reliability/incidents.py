@@ -59,7 +59,11 @@ class Incident:
         Stable machine-readable category, e.g. ``"kernel-load-failure"``,
         ``"guard-mismatch"``, ``"cache-corruption"``, ``"compile-retry"``,
         ``"compile-timeout"``, ``"native-crash"``, ``"shard-death"``,
-        ``"shard-wedged"``, ``"shard-flapping"``, ``"slot-corruption"``.
+        ``"shard-wedged"``, ``"shard-flapping"``, ``"slot-corruption"``;
+        the autofix pipeline adds ``"promotion"`` (a proven, canaried
+        rewrite replaced its incumbent) and ``"rollback"`` (a candidate
+        was rejected or failed its canary and was quarantined — the
+        incumbent stays untouched).
     site:
         Where it was detected (module-level fault-site naming).
     detail:

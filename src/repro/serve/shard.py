@@ -156,8 +156,19 @@ def shard_main(
     :meth:`SlotArena.attach`; the router leaves it off and instead
     guarantees its own tracker is running before workers launch, so every
     worker shares it.
+
+    Autofix promotions flow in through the inherited
+    ``REPRO_AUTOFIX_PROMOTIONS`` environment variable (see
+    ``docs/AUTOFIX.md``): the promotion store is preloaded *here*, at
+    startup, so a malformed promotion file fails the worker where the
+    supervisor can see it rather than inside the first batch — and every
+    executor this shard builds then resolves against the same promotion
+    set, keeping outputs replica-identical across the fleet.
     """
     _install_fault(fault_spec)
+    from ..autofix.store import promotion_store
+
+    promotion_store().preload()
     policy = AdaptivePolicy(
         w=warp, l=latency,
         speedup=backend_lane_speedup(backend, native_threads),

@@ -23,6 +23,7 @@ under reuse is property-tested against the interpreter.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -48,7 +49,24 @@ __all__ = [
     "forward_stores",
     "eliminate_dead_stores",
     "optimize",
+    "verify_passes_default",
 ]
+
+#: Environment opt-out for default pass verification (``"0"`` disables).
+ENV_VERIFY_PASSES = "REPRO_VERIFY_PASSES"
+
+
+def verify_passes_default() -> bool:
+    """Should transformation passes prove their own output by default?
+
+    Production paths — ``optimize`` and the fusion preamble inside every
+    :class:`~repro.bulk.engine.BulkExecutor` and serve shard — verify
+    unless ``REPRO_VERIFY_PASSES=0``.  The proof is a linear symbolic pass,
+    cheap next to compilation, and turns any future miscompilation into a
+    loud build-time :class:`~repro.errors.EquivalenceError` instead of
+    silently wrong lanes.
+    """
+    return os.environ.get(ENV_VERIFY_PASSES, "1") != "0"
 
 
 def fold_constants(
@@ -184,7 +202,9 @@ def eliminate_dead_stores(instrs: List[Instruction]) -> List[Instruction]:
     return [instr for idx, instr in enumerate(instrs) if keep[idx]]
 
 
-def optimize(program: Program, *, level: int = 1, verify: bool = False) -> Program:
+def optimize(
+    program: Program, *, level: int = 1, verify: Optional[bool] = None
+) -> Program:
     """Apply the optimisation pipeline; returns a new validated program.
 
     ``level=1`` preserves the access trace exactly; ``level=2`` may shorten
@@ -196,8 +216,12 @@ def optimize(program: Program, *, level: int = 1, verify: bool = False) -> Progr
     exact function of the initial memory, and at level 1 the access trace
     must additionally be unchanged.  A failed proof raises
     :class:`~repro.errors.EquivalenceError`; the guard turns a silent
-    miscompilation into a build-time error.
+    miscompilation into a build-time error.  The default (``None``) follows
+    :func:`verify_passes_default` — verification is *on* unless
+    ``REPRO_VERIFY_PASSES=0``.
     """
+    if verify is None:
+        verify = verify_passes_default()
     if level not in (1, 2):
         raise ProgramError(f"unknown optimisation level {level}; expected 1 or 2")
     instrs: List[Instruction] = list(program.instructions)

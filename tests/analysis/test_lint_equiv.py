@@ -182,8 +182,12 @@ class TestVerifyGuardTrips:
         monkeypatch.setattr(opt_mod, "fold_constants", bad_fold)
         with pytest.raises(EquivalenceError, match="not equivalent"):
             opt_mod.optimize(prog, level=1, verify=True)
-        # Without the guard the miscompilation passes silently.
-        opt_mod.optimize(prog, level=1)
+        # Verification now defaults ON (env REPRO_VERIFY_PASSES), so even
+        # the bare call refuses the miscompilation.
+        with pytest.raises(EquivalenceError, match="not equivalent"):
+            opt_mod.optimize(prog, level=1)
+        # Only an explicit opt-out lets the bad fold through silently.
+        opt_mod.optimize(prog, level=1, verify=False)
 
     def test_select_same_arm_rewrite_is_provable(self):
         ref = make([Load(0, 0), Load(1, 1), Select(2, 1, 0, 0), Store(2, 2)])

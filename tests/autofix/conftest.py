@@ -1,0 +1,63 @@
+"""Shared fixtures for the autofix pipeline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.trace.ir import Binary, Load, Program, Store
+from repro.trace.ops import BinaryOp
+
+#: Packed input span of :func:`fixable_program` (cells 0..1 are inputs,
+#: everything beyond is engine-zero-filled scratch).
+SPAN = 2
+
+
+@pytest.fixture
+def params() -> MachineParams:
+    return MachineParams(p=64, w=8, l=4)
+
+
+@pytest.fixture
+def fixable_program() -> Program:
+    """One of everything the proposer can fix.
+
+    instr 2 is a dead load (r2 never read), instr 3 a shadowed store
+    (overwritten by instr 7 with no intervening load of m[2]), instr 5 an
+    uninitialised-scratch load (m[5] is past the input span and never
+    stored) — and at a row arrangement every step is uncoalesced.
+    Semantics: m[2] = m[0] + m[1] (+ 0 from the scratch read).
+    """
+    return Program(
+        instructions=(
+            Load(rd=0, addr=0),
+            Load(rd=1, addr=1),
+            Load(rd=2, addr=3),
+            Store(addr=2, rs=0),
+            Binary(op=BinaryOp.ADD, rd=0, ra=0, rb=1),
+            Load(rd=3, addr=5),
+            Binary(op=BinaryOp.ADD, rd=0, ra=0, rb=3),
+            Store(addr=2, rs=0),
+        ),
+        num_registers=4,
+        memory_words=6,
+        dtype=np.dtype(np.int64),
+        name="fixable",
+    )
+
+
+@pytest.fixture
+def fixable_diagnostics(fixable_program, params):
+    """The lint findings of ``fixable_program`` at a row arrangement."""
+    from repro.analysis.lint.linter import lint_program
+
+    report = lint_program(
+        fixable_program,
+        params=params,
+        arrangement="row",
+        input_words=SPAN,
+        passes=False,
+        codegen=False,
+    )
+    return list(report.diagnostics)

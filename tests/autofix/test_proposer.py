@@ -1,0 +1,150 @@
+"""The proposer materialises exactly the rewrites the hints prescribe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.lint.linter import lint_program
+from repro.autofix import FIXABLE_RULES, propose_fixes
+from repro.trace.ir import Const, Load, Program, Store
+
+from .conftest import SPAN
+
+
+def by_rule(proposals):
+    return {p.rule_id: p for p in proposals}
+
+
+class TestProposals:
+    def test_one_proposal_per_fixable_rule(
+        self, fixable_program, fixable_diagnostics
+    ):
+        proposals = propose_fixes(
+            fixable_program, fixable_diagnostics, arrangement="row"
+        )
+        assert [p.rule_id for p in proposals] == list(FIXABLE_RULES)
+
+    def test_dead_load_elision_drops_the_flagged_load(
+        self, fixable_program, fixable_diagnostics
+    ):
+        p = by_rule(propose_fixes(
+            fixable_program, fixable_diagnostics, arrangement="row"
+        ))["OBL-W501"]
+        assert p.kind == "dead-load-elision"
+        assert p.indices == (2,)
+        assert len(p.program.instructions) == (
+            len(fixable_program.instructions) - 1
+        )
+        # The candidate is a fresh program; the incumbent is untouched.
+        assert isinstance(fixable_program.instructions[2], Load)
+
+    def test_dead_store_elision_drops_the_flagged_store(
+        self, fixable_program, fixable_diagnostics
+    ):
+        p = by_rule(propose_fixes(
+            fixable_program, fixable_diagnostics, arrangement="row"
+        ))["OBL-W502"]
+        assert p.kind == "dead-store-elision"
+        assert p.indices == (3,)
+        assert isinstance(fixable_program.instructions[3], Store)
+
+    def test_const_zero_rewrites_in_place_same_register(
+        self, fixable_program, fixable_diagnostics
+    ):
+        p = by_rule(propose_fixes(
+            fixable_program, fixable_diagnostics, arrangement="row"
+        ))["OBL-W503"]
+        assert p.kind == "const-zero"
+        for idx in p.indices:
+            original = fixable_program.instructions[idx]
+            replacement = p.program.instructions[idx]
+            assert isinstance(original, Load)
+            assert isinstance(replacement, Const)
+            assert replacement.rd == original.rd
+            assert replacement.imm == 0
+
+    def test_rearrange_targets_column_on_umm(
+        self, fixable_program, fixable_diagnostics
+    ):
+        p = by_rule(propose_fixes(
+            fixable_program, fixable_diagnostics,
+            arrangement="row", machine="umm",
+        ))["OBL-W401"]
+        assert p.kind == "rearrange"
+        assert p.arrangement == "column"
+        assert p.program is fixable_program  # the IR is untouched
+
+    def test_rearrange_honours_the_dmm_padding_hint(
+        self, fixable_program, params
+    ):
+        report = lint_program(
+            fixable_program,
+            params=params,
+            machine="dmm",
+            arrangement="row",
+            input_words=SPAN,
+            passes=False,
+            codegen=False,
+        )
+        p = by_rule(propose_fixes(
+            fixable_program, list(report.diagnostics),
+            arrangement="row", machine="dmm",
+        )).get("OBL-W401")
+        # memory_words=6 shares gcd 2 with w=8, so the hint prescribes a
+        # coprime padded stride; the proposal must follow it.
+        assert p is not None and p.arrangement == "padded-row"
+
+    def test_clean_program_yields_no_proposals(self, params):
+        prog = Program(
+            instructions=(Load(rd=0, addr=0), Store(addr=1, rs=0)),
+            num_registers=1, memory_words=2,
+            dtype=np.dtype(np.int64), name="clean",
+        )
+        report = lint_program(
+            prog, params=params, arrangement="column",
+            input_words=1, passes=False, codegen=False,
+        )
+        assert propose_fixes(prog, list(report.diagnostics)) == []
+
+    def test_suppressed_findings_generate_no_proposals(
+        self, fixable_program, params
+    ):
+        suppressed = Program(
+            instructions=fixable_program.instructions,
+            num_registers=fixable_program.num_registers,
+            memory_words=fixable_program.memory_words,
+            dtype=fixable_program.dtype,
+            name="fixable-suppressed",
+            meta={"lint_suppress": {
+                rule: "audited: deliberate access pattern"
+                for rule in FIXABLE_RULES
+            }},
+        )
+        report = lint_program(
+            suppressed, params=params, arrangement="row",
+            input_words=SPAN, passes=False, codegen=False,
+        )
+        proposals = propose_fixes(
+            suppressed, list(report.diagnostics), arrangement="row"
+        )
+        # Suppression collapses every finding to OBL-N603 notes, so an
+        # audited pattern is never rewritten behind its author's back.
+        assert proposals == []
+
+    def test_stale_indices_are_ignored_not_applied(
+        self, fixable_program, fixable_diagnostics
+    ):
+        # A diagnostic whose index no longer names the right instruction
+        # kind (e.g. after an unrelated edit) must not produce a bogus
+        # rewrite: only indices that still point at the expected opcode
+        # survive.
+        import dataclasses
+
+        stale = [
+            d for d in fixable_diagnostics if d.rule_id == "OBL-W502"
+        ]
+        assert stale
+        moved = [dataclasses.replace(d, index=0) for d in stale]
+        proposals = propose_fixes(fixable_program, moved, arrangement="row")
+        # index 0 is a Load, not a Store: no W502 proposal materialises.
+        assert all(p.rule_id != "OBL-W502" for p in proposals)

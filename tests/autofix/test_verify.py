@@ -1,0 +1,243 @@
+"""Mutation suite: one deliberately wrong proposal per fixable rule.
+
+The proposer is untrusted by design, so the verifier is the promotion
+pipeline's entire safety argument.  Each test here forges the exact
+miscompilation a buggy proposer for that rule would emit and asserts the
+prover (or the cost gate) blocks it — and that a blocked candidate never
+reaches the promotion store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autofix import promotion_store, verify_proposal
+from repro.autofix.proposer import Proposal
+from repro.trace.ir import Const, Load, Program, Store
+
+from .conftest import SPAN
+
+
+def forged(program, instructions, *, rule_id, kind, arrangement="row"):
+    """A Proposal wrapping a hand-built (wrong) candidate."""
+    candidate = Program(
+        instructions=tuple(instructions),
+        num_registers=program.num_registers,
+        memory_words=program.memory_words,
+        dtype=program.dtype,
+        name=f"{program.name}+forged",
+    )
+    return Proposal(
+        kind=kind, rule_id=rule_id, program=candidate,
+        arrangement=arrangement, description=f"forged {rule_id} fix",
+    )
+
+
+def drop(program, index):
+    instrs = list(program.instructions)
+    del instrs[index]
+    return instrs
+
+
+class TestWrongProposalsAreBlocked:
+    def test_mangling_a_live_load_is_rejected(self, fixable_program, params):
+        # A wrong OBL-W501 fix: the proposer "elides" the live load at
+        # instr 1 by retargeting it to the wrong address (m[0] instead of
+        # m[1]) — structurally valid, semantically wrong.
+        instrs = list(fixable_program.instructions)
+        instrs[1] = Load(rd=1, addr=0)
+        proposal = forged(
+            fixable_program, instrs,
+            rule_id="OBL-W501", kind="dead-load-elision",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "equivalence"
+        assert promotion_store().promotions() == []
+
+    def test_removing_a_live_store_is_rejected(self, fixable_program, params):
+        # A wrong OBL-W502 fix: drop the *final* store to m[2] (instr 7)
+        # instead of the shadowed one at instr 3.
+        proposal = forged(
+            fixable_program, drop(fixable_program, 7),
+            rule_id="OBL-W502", kind="dead-store-elision",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "equivalence"
+
+    def test_const_one_instead_of_zero_is_rejected(
+        self, fixable_program, params
+    ):
+        # A wrong OBL-W503 fix: the scratch read at instr 5 becomes
+        # Const 1 — engine zero-fill means the true value is 0.
+        instrs = list(fixable_program.instructions)
+        instrs[5] = Const(rd=3, imm=1)
+        proposal = forged(
+            fixable_program, instrs, rule_id="OBL-W503", kind="const-zero",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "equivalence"
+
+    def test_const_zero_without_known_span_is_rejected(
+        self, fixable_program, params
+    ):
+        # The *correct* OBL-W503 rewrite, but with no input span supplied:
+        # the prover must stay arrangement-agnostic (every cell symbolic)
+        # and refuse — sound rejection, never unsound acceptance.
+        instrs = list(fixable_program.instructions)
+        instrs[5] = Const(rd=3, imm=0)
+        proposal = forged(
+            fixable_program, instrs, rule_id="OBL-W503", kind="const-zero",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=None,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "equivalence"
+
+    def test_cost_regressing_rearrangement_is_rejected(
+        self, fixable_program, params
+    ):
+        # A wrong OBL-W401 fix: "re-arrange" coalesced column-wise inputs
+        # row-wise.  Semantics are identical, so only the cost gate can
+        # block it — and it must.
+        proposal = Proposal(
+            kind="rearrange", rule_id="OBL-W401",
+            program=fixable_program, arrangement="row",
+            description="forged regression",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="column", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "cost"
+        assert verdict.cost_after > verdict.cost_before
+
+    def test_break_even_rewrite_is_rejected(self, params):
+        # Identical cost is not an improvement: renaming a register does
+        # not change the trace, so the cost gate must refuse the churn.
+        prog = Program(
+            instructions=(Load(rd=0, addr=0), Store(addr=1, rs=0)),
+            num_registers=2, memory_words=2,
+            dtype=np.dtype(np.int64), name="breakeven",
+        )
+        clone = Program(
+            instructions=(Load(rd=1, addr=0), Store(addr=1, rs=1)),
+            num_registers=2, memory_words=2,
+            dtype=np.dtype(np.int64), name="breakeven+renamed",
+        )
+        proposal = Proposal(
+            kind="dead-load-elision", rule_id="OBL-W501", program=clone,
+            arrangement="column", description="no-op rename",
+        )
+        verdict = verify_proposal(
+            prog, proposal, params=params,
+            from_arrangement="column", input_words=1,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "cost"
+        assert verdict.cost_after == verdict.cost_before
+
+    def test_structurally_invalid_candidate_is_rejected(
+        self, fixable_program, params
+    ):
+        # Out-of-bounds address: rejected at the structure gate, before
+        # any prover or executor ever touches it.
+        instrs = list(fixable_program.instructions)
+        instrs[0] = Load(rd=0, addr=fixable_program.memory_words + 3)
+        bad = Program(
+            instructions=tuple(instrs),
+            num_registers=fixable_program.num_registers,
+            memory_words=fixable_program.memory_words,
+            dtype=fixable_program.dtype,
+            name="fixable+oob",
+        )
+        proposal = Proposal(
+            kind="dead-load-elision", rule_id="OBL-W501", program=bad,
+            arrangement="row", description="forged oob",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "structure"
+
+    def test_prover_bug_is_caught_by_the_dynamic_cross_check(
+        self, fixable_program, params, monkeypatch
+    ):
+        # Defense in depth: even if the symbolic prover wrongly certifies
+        # a bad candidate, the obliviousness checker's run-both-programs
+        # cross-check must catch the disagreement.
+        import repro.autofix.verify as verify_mod
+
+        instrs = list(fixable_program.instructions)
+        instrs[5] = Const(rd=3, imm=7)  # wrong: true zero-fill value is 0
+
+        from repro.analysis.lint.equiv import EquivalenceProof
+
+        def always_equivalent(reference, candidate, **kwargs):
+            return EquivalenceProof(
+                equivalent=True, trace_equal=False, checked_cells=0,
+                mismatches=(), reference=reference.name,
+                candidate=candidate.name,
+            )
+
+        monkeypatch.setattr(verify_mod, "prove_equivalent", always_equivalent)
+        proposal = forged(
+            fixable_program, instrs, rule_id="OBL-W503", kind="const-zero",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "semantics"
+
+
+class TestAcceptedVerdicts:
+    def test_correct_fix_is_accepted_with_improving_costs(
+        self, fixable_program, fixable_diagnostics, params
+    ):
+        from repro.autofix import propose_fixes
+
+        proposals = propose_fixes(
+            fixable_program, fixable_diagnostics, arrangement="row"
+        )
+        for proposal in proposals:
+            verdict = verify_proposal(
+                fixable_program, proposal, params=params,
+                from_arrangement="row", input_words=SPAN,
+            )
+            assert verdict.accepted, verdict.describe()
+            assert verdict.cost_after < verdict.cost_before
+            assert verdict.gate == "accepted"
+
+    def test_verdicts_never_raise_on_rejection(self, fixable_program, params):
+        # Dropping instr 1 leaves r1 used-before-definition — validate()
+        # raises RegisterError — yet the verifier wraps the failure into a
+        # rejected Verdict instead of letting it escape.
+        proposal = forged(
+            fixable_program, drop(fixable_program, 1),
+            rule_id="OBL-W501", kind="dead-load-elision",
+        )
+        verdict = verify_proposal(
+            fixable_program, proposal, params=params,
+            from_arrangement="row", input_words=SPAN,
+        )
+        assert not verdict.accepted
+        assert verdict.gate == "structure"

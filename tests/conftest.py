@@ -24,14 +24,19 @@ def pytest_addoption(parser):
 
 @pytest.fixture(autouse=True)
 def _clean_reliability_state():
-    """No fault plan, quarantine entry, or incident leaks across tests."""
+    """No fault plan, quarantine entry, incident, or autofix promotion
+    leaks across tests (the engine consults the promotion store at
+    construction, so a stale promotion would silently rewrite programs)."""
+    from repro.autofix.store import promotion_store
     from repro.reliability import clear_incidents, clear_plan, clear_quarantine
 
     clear_plan()
+    promotion_store().clear()
     yield
     clear_plan()
     clear_incidents()
     clear_quarantine()
+    promotion_store().clear()
 
 
 @pytest.fixture

@@ -76,3 +76,31 @@ class TestBoundedLog:
         finally:
             monkeypatch.delenv("REPRO_INCIDENT_MAX")
             set_incident_cap(None)
+
+
+class TestAutofixKinds:
+    def test_promotion_and_rollback_keep_summary_ordering(self):
+        """The autofix kinds slot into the sorted-by-kind summary contract.
+
+        ``incident_summary`` renders sorted keys, so adding ``promotion``
+        and ``rollback`` must not perturb the deterministic ordering CI
+        and the docs rely on — regardless of insertion order.
+        """
+        record_incident("rollback", "autofix.rollout", "candidate rejected")
+        record_incident("guard-mismatch", "engine.guard", "lane 3 differs")
+        record_incident("promotion", "autofix.rollout", "rewrite promoted")
+        record_incident("rollback", "autofix.rollout", "canary mismatch")
+        summary = incident_summary()
+        assert list(summary) == ["guard-mismatch", "promotion", "rollback"]
+        assert summary == {
+            "guard-mismatch": 1, "promotion": 1, "rollback": 2,
+        }
+        clear_incidents()
+
+    def test_autofix_incidents_carry_the_canary_key(self):
+        incident = record_incident(
+            "rollback", "autofix.rollout", "canary mismatch",
+            key="abc123def456789",
+        )
+        assert "abc123def456" in incident.describe()
+        clear_incidents()
