@@ -160,7 +160,7 @@ def cmd_autotune(args) -> int:
     tuning = autotune_native(
         program, args.p, args.arrangement,
         threads=threads, trials=args.trials, inputs=inputs,
-        persist=not args.dry_run, **kwargs,
+        persist=not args.dry_run, certify=not args.no_certify, **kwargs,
     )
     print(f"autotuned {spec.name} (n={args.n}, p={args.p}, "
           f"{args.arrangement}-wise) on {simd_isa()}:")
@@ -201,6 +201,7 @@ def cmd_lint(args) -> int:
             arrangement=args.arrangement,
             passes=not args.no_passes,
             codegen=not args.no_codegen,
+            schedule=args.schedule,
         )
     else:
         if args.algorithm is None or args.n is None:
@@ -223,6 +224,7 @@ def cmd_lint(args) -> int:
                 input_words=span,
                 passes=not args.no_passes,
                 codegen=not args.no_codegen,
+                schedule=args.schedule,
             )
         ]
 
@@ -276,12 +278,86 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_certify_schedule(args) -> int:
+    from .analysis.schedule import certify_native_schedule, default_schedule_grid
+    from .bulk.arrangement import make_arrangement
+
+    spec = get_spec(args.algorithm)
+    program = spec.build(args.n)
+    arrangement = make_arrangement(
+        args.arrangement, program.memory_words, args.p
+    )
+    if args.tile is not None or args.threads is not None:
+        grid = [(args.mode, args.tile, args.threads or 1)]
+    else:
+        grid = list(default_schedule_grid())
+    failures = 0
+    for native_mode, tile, threads in grid:
+        diags, _, proof = certify_native_schedule(
+            program, arrangement,
+            tile=tile, threads=threads, native_mode=native_mode, w=args.w,
+        )
+        if proof is not None and proof.certified:
+            print(f"  {proof.describe()}")
+            continue
+        failures += 1
+        if proof is not None:
+            print(f"  {proof.describe()}")
+        for d in diags:
+            print(f"    {d.rule_id}: {d.message}")
+    shape = f"{spec.name} (n={args.n}) on {args.arrangement} at p={args.p}"
+    if failures:
+        print(f"{shape}: {failures}/{len(grid)} configuration(s) FAILED "
+              f"schedule certification")
+        return 3
+    print(f"{shape}: all {len(grid)} configuration(s) certified — "
+          f"trace-preserving, race-free, forwarding-sound")
+    return 0
+
+
 def cmd_autofix(args) -> int:
     import json
 
     from .autofix import autofix_registry, promotion_store, save_promotions
 
     params = _machine(args)
+
+    if args.tile_shapes:
+        # The prove gate for native-kernel shapes, surfaced standalone:
+        # certify the autotuner's default grid for the named targets.
+        from .autofix import propose_tile_shapes, verify_tile_shape
+        from .bulk.autotune import _DEFAULT_TILES
+
+        if args.all:
+            specs = [(s, n) for s in all_specs() for n in s.sizes]
+        else:
+            if args.algorithm is None or args.n is None:
+                print(
+                    "error: name an algorithm and a size, or pass --all",
+                    file=sys.stderr,
+                )
+                return 2
+            specs = [(get_spec(args.algorithm), args.n)]
+        rejected = 0
+        total = 0
+        for spec, n in specs:
+            program = spec.build(n)
+            for proposal in propose_tile_shapes(
+                program,
+                arrangement=args.arrangement,
+                p=params.p,
+                tiles=_DEFAULT_TILES,
+                threads=(1, 4),
+            ):
+                verdict = verify_tile_shape(proposal, w=params.w)
+                total += 1
+                if not verdict.accepted:
+                    rejected += 1
+                if args.verbose or not verdict.accepted:
+                    print(f"{program.name}: {verdict.describe()}")
+        print(f"\n{total} tile-shape proposal(s): {total - rejected} "
+              f"certified, {rejected} rejected")
+        return 3 if rejected else 0
     if args.all:
         names, sizes = None, None
     else:
@@ -772,6 +848,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dry-run", action="store_true",
                    help="measure and report without persisting the choice")
+    p.add_argument("--no-certify", action="store_true",
+                   help="skip the static schedule certification gate "
+                   "(docs/SCHEDULE.md); uncertified grid points are "
+                   "otherwise refused before measurement")
     p.set_defaults(fn=cmd_autotune)
 
     p = sub.add_parser(
@@ -801,6 +881,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the pass-equivalence proofs")
     p.add_argument("--no-codegen", action="store_true",
                    help="skip the emitted-code certification")
+    p.add_argument("--schedule", action="store_true",
+                   help="also certify the native tiled/threaded kernel "
+                   "schedule over the default autotune grid: trace "
+                   "preservation, race freedom, forwarding soundness "
+                   "(OBL-S70x; docs/SCHEDULE.md)")
     p.add_argument("--quiet", action="store_true",
                    help="omit the proved-certificate lines (text format)")
     p.add_argument("--fix", action="store_true",
@@ -809,6 +894,27 @@ def main(argv: list[str] | None = None) -> int:
                    "prove them equivalent and cheaper, canary and promote "
                    "(see docs/AUTOFIX.md)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "certify-schedule",
+        help="statically certify the native tiled/threaded kernel schedule "
+        "for one program: trace preservation, race freedom, forwarding "
+        "soundness (docs/SCHEDULE.md)",
+    )
+    add_algo(p)
+    p.add_argument("--p", type=int, default=256, help="lanes to certify for")
+    p.add_argument("--w", type=int, default=32,
+                   help="warp width for the span cross-check")
+    p.add_argument("--arrangement",
+                   choices=["row", "column", "padded-row"], default="column")
+    p.add_argument("--tile", type=int, default=None, metavar="LANES",
+                   help="certify one tile size (default: the full "
+                   "autotune grid)")
+    p.add_argument("--threads", type=int, default=None, metavar="N",
+                   help="certify one thread count (with --tile)")
+    p.add_argument("--mode", choices=["tiled", "scalar"], default="tiled",
+                   help="native kernel mode (with --tile)")
+    p.set_defaults(fn=cmd_certify_schedule)
 
     p = sub.add_parser(
         "autofix",
@@ -836,6 +942,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="CI gate (implies --dry-run): exit 1 if any "
                    "proven cost-improving fix is left unapplied or an "
                    "installed promotion regresses certified cost")
+    p.add_argument("--tile-shapes", action="store_true",
+                   help="instead of IR rewrites, run the autotuner's "
+                   "default tile/thread grid through the schedule "
+                   "certifier (the prove gate native-kernel shapes must "
+                   "pass before the autotuner may measure or persist "
+                   "them; docs/SCHEDULE.md)")
     p.add_argument("--canary-p", type=int, default=None, metavar="LANES",
                    help="canary batch size (default: --p, the priced "
                    "configuration)")

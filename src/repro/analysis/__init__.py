@@ -5,14 +5,33 @@ running the program — the analysis equivalent of the paper's observation
 that an oblivious algorithm's memory behaviour is knowable in advance.
 The :mod:`~repro.analysis.lint` subpackage turns that observation into a
 certification tool: a rule-based static analyzer with proofs of bounds,
-pass equivalence, cost tables, and emitted-code fidelity.
+pass equivalence, cost tables, and emitted-code fidelity.  The
+:mod:`~repro.analysis.schedule` module extends certification to the native
+backend's tiled/threaded schedules: tiling/threading proofs and a static
+race detector over the emitted OpenMP work-sharing loop.
 """
 
 from .coalescing import CoalescingReport, analyze_coalescing
 from .lint import LintReport, Severity, lint_program, lint_registry
 from .profile import Region, RegionProfile, access_density, profile_regions
+from .schedule import (
+    ScheduleConfig,
+    ScheduleProof,
+    certify_bulk_schedule,
+    certify_native_schedule,
+    certify_schedule_family,
+    default_schedule_grid,
+    schedule_config,
+)
 
 __all__ = [
+    "ScheduleConfig",
+    "ScheduleProof",
+    "certify_bulk_schedule",
+    "certify_native_schedule",
+    "certify_schedule_family",
+    "default_schedule_grid",
+    "schedule_config",
     "CoalescingReport",
     "analyze_coalescing",
     "Region",

@@ -10,7 +10,9 @@
    preamble (:mod:`.equiv`),
 3. static cost certification against the analytic stage tables
    (:mod:`.cost`) — when machine parameters are supplied,
-4. emitted-code certification of every C/CUDA emission (:mod:`.codegen_lint`).
+4. emitted-code certification of every C/CUDA emission (:mod:`.codegen_lint`),
+5. — opt-in — schedule certification of the native tiled/threaded kernels
+   over the default autotune grid (:mod:`repro.analysis.schedule`).
 
 Structural errors short-circuit families 2–4: a program whose addresses are
 out of bounds cannot be optimised, priced, or emitted (each of those paths
@@ -148,12 +150,17 @@ def lint_program(
     input_words: Optional[int] = None,
     passes: bool = True,
     codegen: bool = True,
+    schedule: bool = False,
 ) -> LintReport:
     """Lint one program; returns the full report (never raises on findings).
 
     ``params`` enables cost certification (and sizes the native bulk
     emissions); ``input_words`` enables the initialisation rules;
     ``passes``/``codegen`` gate the corresponding analysis families.
+    ``schedule`` additionally certifies the native tiled/threaded kernel
+    schedule over the default autotune grid (``OBL-S70x``); it needs
+    ``params`` for the lane count ``p`` and warp width ``w`` — without
+    them an ``OBL-N602`` note records the skip.
     """
     diagnostics, certificates = check_memory(program, input_words=input_words)
     structural = any(
@@ -185,6 +192,25 @@ def lint_program(
             )
             diagnostics += d
             certificates += c
+        if schedule:
+            if params is None:
+                diagnostics.append(diag(
+                    "OBL-N602",
+                    "schedule certification skipped: machine parameters "
+                    "(p, w) are required to size the native kernel",
+                    program=program.name,
+                ))
+            else:
+                from ..schedule import certify_schedule_family
+
+                d, c = certify_schedule_family(
+                    program,
+                    arrangement=arrangement,
+                    p=params.p,
+                    w=params.w,
+                )
+                diagnostics += d
+                certificates += c
 
     return LintReport(
         program=program.name,
@@ -209,6 +235,7 @@ def lint_registry(
     sizes: Optional[Sequence[int]] = None,
     passes: bool = True,
     codegen: bool = True,
+    schedule: bool = False,
 ) -> List[LintReport]:
     """Lint registry algorithms at their registered sizes.
 
@@ -234,5 +261,6 @@ def lint_registry(
                 input_words=span,
                 passes=passes,
                 codegen=codegen,
+                schedule=schedule,
             ))
     return reports

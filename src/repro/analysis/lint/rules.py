@@ -9,7 +9,9 @@ The numbering groups rules by analysis family:
 * ``OBL-E3xx`` — emitted-code certification (C / CUDA sources),
 * ``OBL-E4xx`` — cost certification against :mod:`repro.machine.analytic`,
 * ``OBL-W4xx/W5xx`` — performance and dead-work warnings,
-* ``OBL-N6xx`` — informational notes.
+* ``OBL-N6xx`` — informational notes,
+* ``OBL-S7xx`` — schedule certification of the native tiled/threaded
+  kernels (:mod:`repro.analysis.schedule`).
 
 IDs are never reused or renumbered; a retired rule keeps its ID reserved.
 """
@@ -199,6 +201,59 @@ _CATALOG: Tuple[Rule, ...] = (
         "access trace.  Suppressed findings collapse into one note carrying "
         "the count and the justification, so the decision stays visible in "
         "every report.  ERROR findings are never suppressible.",
+    ),
+    # -- schedule certification (native tiled/threaded kernels) ----------------
+    Rule(
+        "OBL-S701", "schedule-unproven", Severity.ERROR,
+        "the tiled/threaded schedule could not be proven trace-preserving",
+        "The schedule certifier symbolically replays the emitted kernel's "
+        "tile/chunk/spill decomposition per lane and proves it reproduces "
+        "the sequential reference trace: chunks called in program order, "
+        "every access at the IR's address, every store carrying the exact "
+        "symbolic value the reference computes, registers round-tripping "
+        "the spill slab intact.  A finding means some step of that proof "
+        "failed — a dropped or duplicated instruction at a chunk boundary, "
+        "a reordered chunk call, a spilled register lost across chunks, a "
+        "mis-zeroed slab, or a span cross-check disagreement — so the "
+        "fast path computes something other than the program that was "
+        "priced and verified.",
+    ),
+    Rule(
+        "OBL-S702", "cross-tile-write-overlap", Severity.ERROR,
+        "the tile decomposition is not an exact partition of the lanes",
+        "Race freedom of the emitted `#pragma omp parallel for` rests on "
+        "distinct tiles owning disjoint lane ranges whose writes cannot "
+        "alias.  Overlapping tile bounds mean two OpenMP threads may store "
+        "to the same physical addresses concurrently (a write-write race); "
+        "a gap means lanes are silently never computed; a register slab "
+        "shared between tiles is a race through the spill memory.  Any of "
+        "these breaks the bit-identity contract with the NumPy engine "
+        "nondeterministically — the worst kind of wrong.",
+    ),
+    Rule(
+        "OBL-S703", "padding-trace-divergence", Severity.ERROR,
+        "the padded physical address map diverges from the arrangement",
+        "The column kernel separates the physical lane stride P = p + pad "
+        "from the logical lane count; the row kernel uses the arrangement's "
+        "row stride.  Every emitted access must use exactly that affine "
+        "map, with P (or STRIDE) at least the logical lane count (or word "
+        "count) so the map is injective across lanes — the unique-"
+        "decomposition argument behind the race proof.  A finding means "
+        "the kernel indexes a different buffer geometry than the engine "
+        "allocates: lanes alias, padding is read as data, or stores land "
+        "in a neighbouring input's cells.",
+    ),
+    Rule(
+        "OBL-S704", "forwarding-past-store", Severity.ERROR,
+        "an elided load's forwarded value differs from the memory cell",
+        "Load/store forwarding may elide a memory read only when the "
+        "forwarded register provably holds the exact symbolic value the "
+        "cell contains at that point — i.e. the elided load is dominated "
+        "by a same-address access with no intervening aliasing store.  A "
+        "finding means the emission forwards a stale value (forwarding "
+        "past a store to the same address, or from a register that was "
+        "redefined), so the fast path reads different data than the "
+        "sequential reference.",
     ),
 )
 

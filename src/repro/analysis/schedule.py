@@ -1,0 +1,1313 @@
+"""Static schedule certification of the native tiled/threaded kernels.
+
+The paper's correctness story rests on obliviousness: each lane's address
+trace is fixed by ``(program, arrangement, lane)`` alone, so bulk execution
+is *provable*, not merely testable.  PR 7's native backend complicated that
+chain — the emitted kernel reorders work into lane tiles, instruction
+chunks, spill slabs, forwarded loads and an OpenMP work-sharing loop — and
+until now the decomposition was validated only by bit-identity sampling.
+
+This module closes ROADMAP item 4 with a certifier that **proves, per
+``(program, arrangement, tile, threads, native_mode)`` configuration**,
+that the schedule commutes with the arrangement's address map.  Like the
+codegen linter it works on the *emitted source text*, never on the
+emitter's own bookkeeping (the thing being checked must not check itself):
+the schedule is re-derived from the C and replayed symbolically with the
+same value-numbering engine that backs the pass-equivalence prover.
+
+Three proof obligations (see ``docs/SCHEDULE.md``):
+
+**Trace preservation** (``OBL-S701``)
+    One symbolic lane is replayed through the chunk bodies in the driver's
+    call order: every parsed statement must align with the next IR
+    instruction, every access must carry the IR's address, every store's
+    symbolic value must equal — by value number — what the sequential
+    reference computes, constants must match bit-for-bit, compute
+    statements must wire exactly the IR's operand registers, and spilled
+    registers must round-trip the per-tile slab (zero-initialised, exactly
+    as the engines zero the register file).  The bodies are lane-uniform
+    (``jj`` stays symbolic), so one replay covers every lane of every
+    tile.  The lockstep reference is :func:`~.lint.equiv.symbolic_state`'s
+    semantics — this is the prover extension, not a new engine.
+
+**Race freedom** (``OBL-S702``/``OBL-S703``)
+    The tile loop's ``(init, bound, step)`` are parsed and simulated over
+    the integers: the resulting tiles must partition ``[0, p)`` exactly —
+    no overlap (a write-write race between OpenMP threads), no gap (lost
+    lanes), no excursion past ``p``.  The lane address map must be
+    injective across lanes: ``a·P + lane`` with ``lane < p ≤ P`` (column)
+    or ``lane·STRIDE + a`` with ``a < words ≤ STRIDE`` (row) decomposes
+    uniquely, so distinct lanes touch disjoint cells and a cross-tile
+    read-after-write cannot exist.  The register slab must be declared
+    *inside* the tile loop (tile-private) and the ``#pragma omp parallel
+    for schedule(static)`` must govern the tile loop itself.
+
+**Forwarding soundness** (``OBL-S704``)
+    An elided load is admitted only when the forwarded variable's value
+    number equals the current symbolic content of the addressed cell —
+    i.e. the load is dominated by a same-address access with no aliasing
+    store in between.  This *subsumes* the codegen certifier's
+    ``_certify_forwarded`` subsequence walk: that check pins the store
+    order; this one additionally proves each elided load's **value**.
+
+What is trusted: the per-statement arithmetic (``(a + b)`` really adds) is
+certified by the emitted-code rules (``OBL-E30x``) plus the bit-identity
+suites; this module certifies the *dataflow between* statements — which
+values flow where, in what order, under which thread partition.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ProgramError
+from ..trace.ir import Binary, Const, Load, Program, Select, Store, Unary
+from .lint.diagnostics import Diagnostic, Severity
+from .lint.equiv import ValueNumbering
+from .lint.rules import diag
+
+__all__ = [
+    "ScheduleConfig",
+    "ScheduleProof",
+    "schedule_config",
+    "certify_bulk_schedule",
+    "certify_native_schedule",
+    "certify_schedule_family",
+    "default_schedule_grid",
+    "DEFAULT_TILE_GRID",
+    "DEFAULT_THREAD_GRID",
+]
+
+#: Default certification grid — one entry per candidate tile size the
+#: autotuner measures (kept in sync with ``bulk.autotune._DEFAULT_TILES``
+#: by a test) crossed with a single- and a multi-thread configuration.
+#: The race proof is thread-count-free (any static partition of disjoint
+#: tiles is safe), so certifying one ``threads > 1`` point per tile
+#: covers the whole thread axis; the grid still includes both so a
+#: thread-count-dependent bound (the mutation class) cannot hide.
+DEFAULT_TILE_GRID: Tuple[int, ...] = (128, 256, 384, 512)
+DEFAULT_THREAD_GRID: Tuple[int, ...] = (1, 4)
+
+
+def default_schedule_grid() -> Tuple[Tuple[str, Optional[int], int], ...]:
+    """``(native_mode, tile, threads)`` configurations ``--schedule`` runs."""
+    grid: List[Tuple[str, Optional[int], int]] = [
+        ("tiled", tile, threads)
+        for tile in DEFAULT_TILE_GRID
+        for threads in DEFAULT_THREAD_GRID
+    ]
+    grid.append(("scalar", None, 1))
+    return tuple(grid)
+
+
+# -- configuration ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """The schedule a bulk emission was requested with.
+
+    This is the certifier's ground truth: what the engine will allocate
+    and price.  Everything parsed out of the source is checked against it.
+    """
+
+    layout: str  # "column" | "row"
+    p: int
+    words: int
+    tile: int
+    chunk: int
+    pad: int
+    threads: int
+    stride: int  # row stride (0 for the column layout)
+    forward: bool
+    mode: str  # "tiled" | "scalar"
+
+    @property
+    def physical_stride(self) -> int:
+        return self.p + self.pad
+
+
+def schedule_config(
+    program: Program,
+    arrangement,
+    *,
+    tile: Optional[int] = None,
+    threads: int = 1,
+    native_mode: str = "tiled",
+    chunk: Optional[int] = None,
+    pad: Optional[int] = None,
+) -> ScheduleConfig:
+    """Derive the full schedule for a ``(program, arrangement)`` request.
+
+    Mirrors :func:`repro.codegen.compile.compile_bulk`'s parameter
+    resolution exactly — same defaults per mode, same pad policy — but
+    stays pure: no compiler probe, no thread degrade.  The certifier
+    proves the *requested* kernel; the OpenMP-less degrade compiles the
+    identical source without the pragma, so the proof covers it too.
+    """
+    from ..codegen.compile import (
+        BULK_DEFAULT_CHUNK,
+        BULK_DEFAULT_PAD,
+        BULK_DEFAULT_TILE,
+        _SCALAR_CHUNK,
+        _SCALAR_TILE,
+    )
+
+    if native_mode not in ("tiled", "scalar"):
+        raise ProgramError(f"unknown native kernel mode {native_mode!r}")
+    scalar = native_mode == "scalar"
+    if chunk is None:
+        chunk = _SCALAR_CHUNK if scalar else BULK_DEFAULT_CHUNK
+    if tile is None:
+        tile = _SCALAR_TILE if scalar else BULK_DEFAULT_TILE
+    name = getattr(arrangement, "name", str(arrangement))
+    if name == "column":
+        layout, stride = "column", 0
+        if pad is None:
+            pad = 0 if scalar else BULK_DEFAULT_PAD
+    elif name in ("row", "padded-row"):
+        layout = "row"
+        stride = getattr(arrangement, "stride", program.memory_words)
+        pad = 0
+    else:
+        raise ProgramError(f"no native bulk kernel for arrangement {name!r}")
+    return ScheduleConfig(
+        layout=layout,
+        p=int(arrangement.p),
+        words=program.memory_words,
+        tile=int(tile),
+        chunk=int(chunk),
+        pad=int(pad),
+        threads=max(1, int(threads)),
+        stride=int(stride),
+        forward=not scalar,
+        mode=native_mode,
+    )
+
+
+# -- proof object -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleProof:
+    """What was proven about one emitted schedule.
+
+    ``tiles`` is the parsed ``(first_lane, length)`` decomposition;
+    ``span_tiled``/``span_sequential`` are the modeled stage counts of one
+    coalesced bulk step under the tiled and the flat issue order (equal
+    when ``w`` divides the tile; absent when no ``w`` was supplied).
+    """
+
+    program: str
+    label: str
+    config: ScheduleConfig
+    tiles: Tuple[Tuple[int, int], ...]
+    accesses_per_lane: int
+    elided_loads: int
+    spill_loads: int
+    spill_saves: int
+    span_tiled: Optional[int]
+    span_sequential: Optional[int]
+    certified: bool
+
+    def describe(self) -> str:
+        c = self.config
+        status = "certified" if self.certified else "NOT certified"
+        span = ""
+        if self.span_tiled is not None:
+            span = (
+                f"; span {self.span_tiled} stage(s) "
+                f"(sequential {self.span_sequential})"
+            )
+        return (
+            f"{self.label}: {status} — {len(self.tiles)} tile(s) partition "
+            f"{c.p} lane(s), {self.accesses_per_lane} access(es)/lane with "
+            f"{self.elided_loads} load(s) forwarded, "
+            f"{self.spill_loads}/{self.spill_saves} slab load/save(s) per "
+            f"lane{span}"
+        )
+
+
+# -- source parsing -----------------------------------------------------------
+
+_DEFINE_RE = re.compile(r"^#define (P|PLOGICAL|STRIDE|TILE|NREGS|THREADS) (-?\d+)L?\b")
+_HEADER_RE = re.compile(
+    r"/\* schedule: layout=(\w+) p=(\d+) pad=(\d+) stride=(\d+) "
+    r"chunk=(\d+) tile=(\d+) threads=(\d+) forward=([01]) \*/"
+)
+_CHUNK_START = re.compile(r"^static void chunk_(\d+)\(")
+_LANE_LOOP = "for (long jj = 0; jj < len; ++jj) {"
+_SPILL_LOAD = re.compile(
+    r"^(?:int64_t |double )?r(\d+) = regs\[(\d+) \* TILE \+ jj\];$"
+)
+_SPILL_SAVE = re.compile(r"^regs\[(\d+) \* TILE \+ jj\] = r(\d+);$")
+_MEM_READ = re.compile(r"^(?:int64_t |double )?([rv]\d+) = mem\[(.+)\];$")
+_MEM_WRITE = re.compile(r"^mem\[(.+)\] = r(\d+);$")
+_ASSIGN = re.compile(r"^(?:int64_t |double )?r(\d+) = (.+);$")
+_COL_ADDR = re.compile(r"^\(size_t\)(\d+) \* \(size_t\)P \+ \(size_t\)\(j0 \+ jj\)$")
+_ROW_ADDR = re.compile(r"^\(size_t\)\(j0 \+ jj\) \* \(size_t\)STRIDE \+ (\d+)$")
+_IDENT = re.compile(r"\b[rv]\d+\b")
+_SINGLE_IDENT = re.compile(r"^[rv]\d+$")
+_INT_IMM = re.compile(r"^INT64_C\((-?\d+)\)$")
+_KERNEL_START = re.compile(r"^void \w+\((?:int64_t|double) \*mem\) \{$")
+_FOR_J0 = re.compile(r"^for \(long j0 = (.+); j0 < (.+); j0 \+= (.+)\) \{$")
+_SLAB_DECL = re.compile(r"^(?:int64_t|double) regs\[NREGS \* TILE\];$")
+_CHUNK_CALL = re.compile(r"^chunk_(\d+)\(mem, regs, j0, len\);$")
+_LEN_STMT = "long len = (PLOGICAL - j0 < TILE) ? PLOGICAL - j0 : TILE;"
+_ZERO_STMT = "for (long i = 0; i < NREGS * TILE; ++i) regs[i] = 0;"
+_OMP_PRAGMA = "#pragma omp parallel for schedule(static) num_threads(THREADS)"
+_EXPR_CHARSET = re.compile(r"^[0-9+\-*/() ]+$")
+
+
+def _eval_bound(expr: str, macros: Dict[str, int]) -> Optional[int]:
+    """Evaluate a loop-bound expression with the parsed macro values.
+
+    Only integer literals, the six schedule macros and ``+ - * / ( )`` are
+    admitted; anything else (a register, a function call) is not a static
+    schedule and the caller reports it.
+    """
+    s = expr
+    for name in sorted(macros, key=len, reverse=True):
+        s = re.sub(rf"\b{name}\b", str(macros[name]), s)
+    if not _EXPR_CHARSET.match(s):
+        return None
+    try:
+        return int(eval(s.replace("/", "//"), {"__builtins__": {}}))  # noqa: S307
+    except (SyntaxError, ZeroDivisionError, ValueError, TypeError):
+        return None
+
+
+@dataclass
+class _ParsedChunk:
+    index: int
+    lane_loop_ok: bool
+    lane_loop_line: str
+    statements: List[Tuple]  # see _parse_chunks
+
+
+@dataclass
+class _ParsedDriver:
+    pragma_governs_loop: bool
+    init_expr: str
+    bound_expr: str
+    step_expr: str
+    slab_inside: bool
+    slab_outside: bool
+    len_ok: bool
+    zero_ok: bool
+    calls: List[int]
+    found: bool = True
+
+
+def _parse_chunks(lines: Sequence[str]) -> Dict[int, _ParsedChunk]:
+    """Chunk functions → ordered statement lists.
+
+    Statements are tagged tuples:
+    ``("spill_load", reg, slab, lineno)``, ``("spill_save", slab, reg,
+    lineno)``, ``("read", var, addr_expr, lineno)``, ``("write",
+    addr_expr, reg, lineno)``, ``("assign", reg, rhs, lineno)``,
+    ``("opaque", text, lineno)`` for anything unrecognised.
+    """
+    chunks: Dict[int, _ParsedChunk] = {}
+    i = 0
+    while i < len(lines):
+        m = _CHUNK_START.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        index = int(m.group(1))
+        depth = lines[i].count("{") - lines[i].count("}")
+        i += 1
+        lane_ok = False
+        lane_line = ""
+        stmts: List[Tuple] = []
+        in_lane_loop = False
+        while i < len(lines) and depth > 0:
+            raw = lines[i]
+            stripped = raw.strip()
+            depth += raw.count("{") - raw.count("}")
+            i += 1
+            if not stripped or stripped == "LANE_HINT":
+                continue
+            if not in_lane_loop:
+                if stripped.startswith("for (long jj"):
+                    lane_line = stripped
+                    lane_ok = stripped == _LANE_LOOP
+                    in_lane_loop = True
+                continue
+            if stripped == "}":
+                in_lane_loop = depth > 1
+                continue
+            sm = _SPILL_LOAD.match(stripped)
+            if sm:
+                stmts.append(("spill_load", int(sm.group(1)), int(sm.group(2)), i))
+                continue
+            sm = _SPILL_SAVE.match(stripped)
+            if sm:
+                stmts.append(("spill_save", int(sm.group(1)), int(sm.group(2)), i))
+                continue
+            sm = _MEM_READ.match(stripped)
+            if sm:
+                stmts.append(("read", sm.group(1), sm.group(2), i))
+                continue
+            sm = _MEM_WRITE.match(stripped)
+            if sm:
+                stmts.append(("write", sm.group(1), int(sm.group(2)), i))
+                continue
+            sm = _ASSIGN.match(stripped)
+            if sm:
+                stmts.append(("assign", int(sm.group(1)), sm.group(2), i))
+                continue
+            stmts.append(("opaque", stripped, i))
+        chunks[index] = _ParsedChunk(
+            index=index,
+            lane_loop_ok=lane_ok,
+            lane_loop_line=lane_line,
+            statements=stmts,
+        )
+    return chunks
+
+
+def _parse_driver(lines: Sequence[str]) -> _ParsedDriver:
+    start = None
+    for i, line in enumerate(lines):
+        if _KERNEL_START.match(line):
+            start = i
+            break
+    if start is None:
+        return _ParsedDriver(
+            pragma_governs_loop=False,
+            init_expr="",
+            bound_expr="",
+            step_expr="",
+            slab_inside=False,
+            slab_outside=False,
+            len_ok=False,
+            zero_ok=False,
+            calls=[],
+            found=False,
+        )
+    depth = 1
+    i = start + 1
+    pragma_pending = False
+    pragma_governs = False
+    init = bound = step = ""
+    in_loop = False
+    slab_inside = slab_outside = False
+    len_ok = zero_ok = False
+    calls: List[int] = []
+    while i < len(lines) and depth > 0:
+        raw = lines[i]
+        stripped = raw.strip()
+        depth += raw.count("{") - raw.count("}")
+        i += 1
+        if not stripped:
+            continue
+        if stripped == _OMP_PRAGMA:
+            pragma_pending = True
+            continue
+        if stripped.startswith("#if") or stripped.startswith("#endif"):
+            continue
+        m = _FOR_J0.match(stripped)
+        if m and not in_loop:
+            init, bound, step = m.group(1), m.group(2), m.group(3)
+            pragma_governs = pragma_pending
+            in_loop = True
+            continue
+        if _SLAB_DECL.match(stripped):
+            if in_loop:
+                slab_inside = True
+            else:
+                slab_outside = True
+            continue
+        if stripped == _LEN_STMT:
+            len_ok = True
+            continue
+        if stripped == _ZERO_STMT:
+            zero_ok = True
+            continue
+        cm = _CHUNK_CALL.match(stripped)
+        if cm:
+            calls.append(int(cm.group(1)))
+            continue
+    return _ParsedDriver(
+        pragma_governs_loop=pragma_governs,
+        init_expr=init,
+        bound_expr=bound,
+        step_expr=step,
+        slab_inside=slab_inside,
+        slab_outside=slab_outside,
+        len_ok=len_ok,
+        zero_ok=zero_ok,
+        calls=calls,
+        found=in_loop,
+    )
+
+
+def _parse_local_addr(expr: str, layout: str) -> Optional[int]:
+    form = _COL_ADDR if layout == "column" else _ROW_ADDR
+    m = form.match(expr.strip())
+    return int(m.group(1)) if m else None
+
+
+# -- the symbolic lane replay -------------------------------------------------
+
+
+class _WalkFailure(Exception):
+    def __init__(self, diagnostic: Diagnostic) -> None:
+        self.diagnostic = diagnostic
+        super().__init__(diagnostic.message)
+
+
+def _replay_lane(
+    program: Program,
+    chunks: Dict[int, _ParsedChunk],
+    call_order: Sequence[int],
+    config: ScheduleConfig,
+    label: str,
+) -> Tuple[int, int, int]:
+    """Symbolically replay one lane; returns (elided, spill_loads, spill_saves).
+
+    Raises :class:`_WalkFailure` carrying the precise diagnostic on the
+    first proof failure.  The replay maintains three symbolic states in
+    lockstep: the *reference* register file (the sequential semantics of
+    :func:`~.lint.equiv.symbolic_state`), the *emitted* local environment
+    (C variables, per chunk scope), and the shared memory map.  Stores are
+    the synchronisation points — the emitted value must equal the
+    reference value by value number, which pins the memory image.
+    """
+    vn = ValueNumbering(program.dtype)
+    zero = vn.const(0)
+    name = program.name
+
+    def fail(rule: str, message: str, *, index: Optional[int] = None):
+        raise _WalkFailure(diag(rule, f"{label}: {message}", program=name, index=index))
+
+    ref_regs = [zero] * program.num_registers
+    mem: Dict[int, int] = {}
+    slab: Dict[int, int] = {}
+    instrs = list(program.instructions)
+    cursor = 0
+    elided = spill_loads = spill_saves = 0
+
+    for ci in call_order:
+        chunk = chunks[ci]
+        env: Dict[str, int] = {}
+        stmts = chunk.statements
+        si = 0
+        while si < len(stmts):
+            st = stmts[si]
+            kind = st[0]
+            if kind == "opaque":
+                fail(
+                    "OBL-S701",
+                    f"chunk_{ci} line {st[2]}: unrecognised statement "
+                    f"{st[1]!r} — the schedule cannot be replayed",
+                )
+            if kind == "spill_load":
+                reg, slot = st[1], st[2]
+                if reg != slot:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: spill load restores slab slot {slot} "
+                        f"into r{reg} — registers must round-trip their own "
+                        f"slot",
+                    )
+                env[f"r{reg}"] = slab.get(slot, zero)
+                spill_loads += 1
+                si += 1
+                continue
+            if kind == "spill_save":
+                slot, reg = st[1], st[2]
+                val = env.get(f"r{reg}")
+                if val is None:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: spills r{reg} which holds no value in "
+                        f"this chunk",
+                    )
+                slab[slot] = val
+                spill_saves += 1
+                si += 1
+                continue
+
+            # Anything else must align with the next IR instruction.
+            if cursor >= len(instrs):
+                fail(
+                    "OBL-S701",
+                    f"chunk_{ci} line {st[3] if len(st) > 3 else st[2]}: "
+                    f"surplus statement after all {len(instrs)} instructions "
+                    f"were emitted (duplicated work at a chunk boundary?)",
+                )
+            instr = instrs[cursor]
+
+            if isinstance(instr, Load):
+                si = _replay_load(
+                    instr, cursor, ci, stmts, si, env, mem, ref_regs,
+                    vn, config, fail,
+                )
+                if si < 0:  # elided
+                    si = -si - 1
+                    elided += 1
+            elif isinstance(instr, Store):
+                if kind != "write":
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: instruction {cursor} is "
+                        f"Store({instr.addr}) but the emission's next "
+                        f"statement is not a store",
+                        index=cursor,
+                    )
+                addr = _parse_local_addr(st[1], config.layout)
+                if addr is None:
+                    fail(
+                        "OBL-S703",
+                        f"chunk_{ci} line {st[3]}: store index {st[1]!r} is "
+                        f"not the {config.layout} layout's lane-affine map",
+                        index=cursor,
+                    )
+                if addr != instr.addr:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: instruction {cursor} stores word "
+                        f"{instr.addr} but the emission writes word {addr}",
+                        index=cursor,
+                    )
+                if st[2] != instr.rs:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: Store({instr.addr}) must write r"
+                        f"{instr.rs}, the emission writes r{st[2]}",
+                        index=cursor,
+                    )
+                val = env.get(f"r{instr.rs}")
+                if val is None:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: Store({instr.addr}) reads r{instr.rs} "
+                        f"which holds no value in this chunk (dropped spill "
+                        f"load?)",
+                        index=cursor,
+                    )
+                want = ref_regs[instr.rs]
+                if val != want:
+                    fail(
+                        "OBL-S701",
+                        f"chunk_{ci}: Store({instr.addr})'s value diverges "
+                        f"from the sequential reference: emission stores "
+                        f"{vn.describe(val)}, reference stores "
+                        f"{vn.describe(want)}",
+                        index=cursor,
+                    )
+                mem[instr.addr] = want
+                si += 1
+            elif isinstance(instr, Const):
+                si = _replay_const(
+                    instr, cursor, ci, st, si, env, ref_regs, vn, program, fail
+                )
+            else:
+                si = _replay_compute(
+                    instr, cursor, ci, st, si, env, ref_regs, vn, fail
+                )
+            cursor += 1
+
+    if cursor < len(instrs):
+        fail(
+            "OBL-S701",
+            f"the emission ends after instruction {cursor - 1} but the "
+            f"program has {len(instrs)} instructions — work dropped at a "
+            f"chunk boundary",
+            index=cursor,
+        )
+    return elided, spill_loads, spill_saves
+
+
+def _replay_load(
+    instr, cursor, ci, stmts, si, env, mem, ref_regs, vn, config, fail
+) -> int:
+    """Handle one Load; returns the next statement index (negative-encoded
+    as ``-(next+1)`` when the load was elided)."""
+    st = stmts[si]
+    want = mem.get(instr.addr, vn.initial(instr.addr))
+    if st[0] == "read":
+        var, expr = st[1], st[2]
+        addr = _parse_local_addr(expr, config.layout)
+        if addr is None:
+            fail(
+                "OBL-S703",
+                f"chunk_{ci} line {st[3]}: load index {expr!r} is not the "
+                f"{config.layout} layout's lane-affine map",
+                index=cursor,
+            )
+        if addr != instr.addr:
+            fail(
+                "OBL-S701",
+                f"chunk_{ci}: instruction {cursor} loads word {instr.addr} "
+                f"but the emission reads word {addr}",
+                index=cursor,
+            )
+        env[var] = want
+        si += 1
+        if var != f"r{instr.rd}":
+            nxt = stmts[si] if si < len(stmts) else None
+            if (
+                nxt is None
+                or nxt[0] != "assign"
+                or nxt[1] != instr.rd
+                or nxt[2].strip() != var
+            ):
+                fail(
+                    "OBL-S701",
+                    f"chunk_{ci}: Load({instr.addr})'s value lands in "
+                    f"{var} but never reaches r{instr.rd}",
+                    index=cursor,
+                )
+            env[f"r{instr.rd}"] = want
+            si += 1
+        ref_regs[instr.rd] = want
+        return si
+    if st[0] == "assign" and st[1] == instr.rd:
+        rhs = st[2].strip()
+        if not _SINGLE_IDENT.match(rhs):
+            fail(
+                "OBL-S701",
+                f"chunk_{ci}: instruction {cursor} is Load({instr.addr}) "
+                f"but the emission computes {rhs!r}",
+                index=cursor,
+            )
+        fwd = env.get(rhs)
+        if fwd is None:
+            fail(
+                "OBL-S704",
+                f"chunk_{ci}: Load({instr.addr}) elided by forwarding from "
+                f"{rhs}, which holds no value in this chunk — forwarding "
+                f"may not cross a chunk boundary",
+                index=cursor,
+            )
+        if fwd != want:
+            fail(
+                "OBL-S704",
+                f"chunk_{ci}: Load({instr.addr}) elided by forwarding from "
+                f"{rhs}, but {rhs} holds {vn.describe(fwd)} while memory "
+                f"word {instr.addr} holds {vn.describe(want)} — the "
+                f"emission forwards past an aliasing store",
+                index=cursor,
+            )
+        env[f"r{instr.rd}"] = want
+        ref_regs[instr.rd] = want
+        return -(si + 1) - 1  # elided marker
+    fail(
+        "OBL-S701",
+        f"chunk_{ci}: instruction {cursor} is Load({instr.addr}) but the "
+        f"emission's next statement does not produce r{instr.rd}",
+        index=cursor,
+    )
+
+
+def _replay_const(
+    instr, cursor, ci, st, si, env, ref_regs, vn, program, fail
+) -> int:
+    if st[0] != "assign" or st[1] != instr.rd:
+        fail(
+            "OBL-S701",
+            f"chunk_{ci}: instruction {cursor} is Const(r{instr.rd}) but "
+            f"the emission's next statement does not assign r{instr.rd}",
+            index=cursor,
+        )
+    rhs = st[2].strip()
+    m = _INT_IMM.match(rhs)
+    if m:
+        literal: object = int(m.group(1))
+    else:
+        try:
+            literal = float(rhs)
+        except ValueError:
+            fail(
+                "OBL-S701",
+                f"chunk_{ci}: Const expected a literal, the emission "
+                f"computes {rhs!r}",
+                index=cursor,
+            )
+    got = vn.const(literal)
+    want = vn.const(instr.imm)
+    if got != want:
+        fail(
+            "OBL-S701",
+            f"chunk_{ci}: Const(r{instr.rd}) carries {instr.imm!r} but the "
+            f"emission encodes {rhs!r}",
+            index=cursor,
+        )
+    env[f"r{instr.rd}"] = want
+    ref_regs[instr.rd] = want
+    return si + 1
+
+
+def _replay_compute(instr, cursor, ci, st, si, env, ref_regs, vn, fail) -> int:
+    kindname = type(instr).__name__
+    if st[0] != "assign" or st[1] != instr.rd:
+        fail(
+            "OBL-S701",
+            f"chunk_{ci}: instruction {cursor} ({kindname} -> r{instr.rd}) "
+            f"does not align with the emission's next statement",
+            index=cursor,
+        )
+    rhs = st[2]
+    idents = set(_IDENT.findall(rhs))
+    if isinstance(instr, Binary):
+        expected = {f"r{instr.ra}", f"r{instr.rb}"}
+    elif isinstance(instr, Unary):
+        expected = {f"r{instr.ra}"}
+    elif isinstance(instr, Select):
+        expected = {f"r{instr.rc}", f"r{instr.ra}", f"r{instr.rb}"}
+    else:  # pragma: no cover - validated programs only
+        fail("OBL-S701", f"chunk_{ci}: unknown instruction {instr!r}")
+    if idents != expected:
+        fail(
+            "OBL-S701",
+            f"chunk_{ci}: {kindname} at instruction {cursor} must read "
+            f"{sorted(expected)} but the emission reads {sorted(idents)}",
+            index=cursor,
+        )
+    vals = {}
+    for ident in expected:
+        val = env.get(ident)
+        if val is None:
+            fail(
+                "OBL-S701",
+                f"chunk_{ci}: {kindname} at instruction {cursor} reads "
+                f"{ident} which holds no value in this chunk (dropped "
+                f"spill load?)",
+                index=cursor,
+            )
+        vals[ident] = val
+
+    def emitted_and_ref(a_reg, *more):
+        regs = (a_reg,) + more
+        emitted = tuple(vals[f"r{r}"] for r in regs)
+        reference = tuple(ref_regs[r] for r in regs)
+        return emitted, reference
+
+    if isinstance(instr, Binary):
+        (ea, eb), (ra, rb) = emitted_and_ref(instr.ra, instr.rb)
+        env[f"r{instr.rd}"] = vn.binary(instr.op, ea, eb)
+        ref_regs[instr.rd] = vn.binary(instr.op, ra, rb)
+    elif isinstance(instr, Unary):
+        (ea,), (ra,) = emitted_and_ref(instr.ra)
+        env[f"r{instr.rd}"] = vn.unary(instr.op, ea)
+        ref_regs[instr.rd] = vn.unary(instr.op, ra)
+    else:
+        (ec, ea, eb), (rc, ra, rb) = emitted_and_ref(
+            instr.rc, instr.ra, instr.rb
+        )
+        env[f"r{instr.rd}"] = vn.select(ec, ea, eb)
+        ref_regs[instr.rd] = vn.select(rc, ra, rb)
+    return si + 1
+
+
+# -- the certifier ------------------------------------------------------------
+
+
+def certify_bulk_schedule(
+    program: Program,
+    source: str,
+    config: ScheduleConfig,
+    *,
+    label: Optional[str] = None,
+    w: Optional[int] = None,
+) -> Tuple[List[Diagnostic], List[str], Optional[ScheduleProof]]:
+    """Certify one emitted bulk kernel's schedule against ``config``.
+
+    Returns ``(diagnostics, certificates, proof)``; the proof is ``None``
+    when the source could not even be parsed into a schedule.  ``w``
+    enables the span cross-check against
+    :func:`repro.machine.analytic.tiled_stage_count`.
+    """
+    name = program.name
+    if label is None:
+        label = (
+            f"schedule[{config.layout},tile={config.tile},"
+            f"threads={config.threads},mode={config.mode}]"
+        )
+    out: List[Diagnostic] = []
+    certs: List[str] = []
+    lines = source.splitlines()
+
+    # 1. The #define block — the schedule's constants as compiled.
+    macros: Dict[str, int] = {}
+    for line in lines:
+        m = _DEFINE_RE.match(line)
+        if m:
+            macros[m.group(1)] = int(m.group(2))
+    missing = [k for k in ("P", "PLOGICAL", "STRIDE", "TILE", "NREGS", "THREADS")
+               if k not in macros]
+    if missing:
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: schedule constants {missing} absent from the source; "
+            f"nothing to certify",
+            program=name,
+        ))
+        return out, certs, None
+
+    # 2. The emitter's own schedule claim, when present: claim, constants
+    #    and request must agree three ways.
+    header = _HEADER_RE.search(source)
+    if header:
+        claim = {
+            "layout": header.group(1),
+            "p": int(header.group(2)),
+            "pad": int(header.group(3)),
+            "stride": int(header.group(4)),
+            "chunk": int(header.group(5)),
+            "tile": int(header.group(6)),
+            "threads": int(header.group(7)),
+            "forward": bool(int(header.group(8))),
+        }
+        geometry = {
+            "layout": config.layout,
+            "p": config.p,
+            "pad": config.pad,
+            "stride": config.stride,
+        }
+        for key, want in geometry.items():
+            if claim[key] != want:
+                out.append(diag(
+                    "OBL-S703",
+                    f"{label}: emitter claims {key}={claim[key]} but the "
+                    f"engine allocates for {key}={want}",
+                    program=name,
+                ))
+        for key in ("chunk", "tile", "threads", "forward"):
+            if claim[key] != getattr(config, key):
+                out.append(diag(
+                    "OBL-S701",
+                    f"{label}: emitter claims {key}={claim[key]} but the "
+                    f"request was {key}={getattr(config, key)}",
+                    program=name,
+                ))
+
+    # 3. Constants vs. the requested configuration.  Geometry mismatches
+    #    (the address map) are S703; shape mismatches are S701.
+    geometry_ok = True
+    for macro, want, rule, what in (
+        ("P", config.physical_stride, "OBL-S703",
+         "physical lane stride (p + pad)"),
+        ("PLOGICAL", config.p, "OBL-S703", "logical lane count"),
+        ("STRIDE", config.stride, "OBL-S703", "row stride"),
+        ("TILE", config.tile, "OBL-S701", "tile size"),
+        ("NREGS", program.num_registers, "OBL-S701", "register count"),
+        ("THREADS", config.threads, "OBL-S701", "thread count"),
+    ):
+        if macros[macro] != want:
+            out.append(diag(
+                rule,
+                f"{label}: compiled {macro}={macros[macro]} but the "
+                f"{what} must be {want} — the kernel indexes a different "
+                f"buffer than the engine allocates",
+                program=name,
+            ))
+            if rule == "OBL-S703":
+                geometry_ok = False
+
+    # 4. Lane-map injectivity: the unique-decomposition argument that
+    #    makes distinct lanes' footprints disjoint (the heart of the race
+    #    proof).  a·P + lane with lane < p requires p <= P; lane·STRIDE + a
+    #    with a < words requires words <= STRIDE.
+    injective = True
+    if config.layout == "column":
+        if macros["P"] < macros["PLOGICAL"]:
+            injective = False
+            out.append(diag(
+                "OBL-S703",
+                f"{label}: physical stride P={macros['P']} is smaller than "
+                f"the lane count {macros['PLOGICAL']} — lanes "
+                f"{macros['P']}..{macros['PLOGICAL'] - 1} alias other "
+                f"inputs' cells (word a, lane j maps to a*P+j; uniqueness "
+                f"needs j < P)",
+                program=name,
+            ))
+    else:
+        if macros["STRIDE"] < program.memory_words:
+            injective = False
+            out.append(diag(
+                "OBL-S703",
+                f"{label}: row stride {macros['STRIDE']} is smaller than "
+                f"the program's {program.memory_words} words — lane rows "
+                f"overlap",
+                program=name,
+            ))
+    if geometry_ok and injective:
+        if config.layout == "column":
+            certs.append(
+                f"{label}: lane map a·P+j injective — P={macros['P']} ≥ "
+                f"p={macros['PLOGICAL']}, so (a, j) is recoverable by "
+                f"division and distinct lanes touch disjoint cells"
+            )
+        else:
+            certs.append(
+                f"{label}: lane map j·STRIDE+a injective — "
+                f"STRIDE={macros['STRIDE']} ≥ words={program.memory_words}"
+            )
+
+    # 5. Chunk functions.
+    chunks = _parse_chunks(lines)
+    n_instr = len(program.instructions)
+    expected_chunks = max(1, -(-n_instr // config.chunk))
+    if sorted(chunks) != list(range(expected_chunks)):
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: expected chunk functions 0..{expected_chunks - 1} "
+            f"({n_instr} instructions / chunk={config.chunk}) but the "
+            f"source defines {sorted(chunks)}",
+            program=name,
+        ))
+        return out, certs, None
+    for chunk in chunks.values():
+        if not chunk.lane_loop_ok:
+            out.append(diag(
+                "OBL-S702",
+                f"{label}: chunk_{chunk.index}'s lane loop "
+                f"{chunk.lane_loop_line!r} is not the tile's [0, len) "
+                f"range — lanes may be computed by more than one tile "
+                f"(write race) or dropped",
+                program=name,
+            ))
+
+    # 6. The driver: work-sharing pragma, private slab, tail length,
+    #    zeroing, call order.
+    driver = _parse_driver(lines)
+    if not driver.found:
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: no tile loop found in the kernel driver",
+            program=name,
+        ))
+        return out, certs, None
+    if config.threads > 1 and not driver.pragma_governs_loop:
+        out.append(diag(
+            "OBL-S702",
+            f"{label}: threads={config.threads} requested but the OpenMP "
+            f"work-sharing pragma does not immediately govern the tile "
+            f"loop — the thread partition is unknown and unprovable",
+            program=name,
+        ))
+    if driver.slab_outside or not driver.slab_inside:
+        out.append(diag(
+            "OBL-S702",
+            f"{label}: the register slab must be declared inside the tile "
+            f"loop (tile-private); a shared slab is a write race between "
+            f"OpenMP threads",
+            program=name,
+        ))
+    if not driver.len_ok:
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: unrecognised tail-length computation; cannot prove "
+            f"the last tile stops at lane PLOGICAL",
+            program=name,
+        ))
+    if not driver.zero_ok:
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: the per-tile register slab is not zeroed — the "
+            f"engines' zero-initialised register contract is broken",
+            program=name,
+        ))
+
+    # 7. Partition analysis: simulate the parsed (init, bound, step) over
+    #    the integers and demand an exact disjoint cover of [0, p).
+    tiles: List[Tuple[int, int]] = []
+    partition_ok = geometry_ok and driver.len_ok
+    bound_text = f"{driver.init_expr} / {driver.bound_expr} / {driver.step_expr}"
+    thread_dependent = "THREADS" in bound_text
+    suffix = (
+        " (the tile-loop bounds reference THREADS — the computed lane set "
+        "varies with the thread count)" if thread_dependent else ""
+    )
+    init = _eval_bound(driver.init_expr, macros)
+    bound = _eval_bound(driver.bound_expr, macros)
+    step = _eval_bound(driver.step_expr, macros)
+    if init is None or bound is None or step is None:
+        partition_ok = False
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: tile loop bounds ({driver.init_expr!r}; "
+            f"{driver.bound_expr!r}; {driver.step_expr!r}) are not static "
+            f"schedule expressions",
+            program=name,
+        ))
+    elif step <= 0:
+        partition_ok = False
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: tile loop step {step} does not advance — the "
+            f"schedule does not terminate",
+            program=name,
+        ))
+    else:
+        plog, tdef = macros["PLOGICAL"], macros["TILE"]
+        j0, iters = init, 0
+        while j0 < bound and iters < 1_000_000:
+            iters += 1
+            ln = min(plog - j0, tdef)
+            if ln > 0:
+                tiles.append((j0, ln))
+            j0 += step
+        if iters >= 1_000_000:
+            partition_ok = False
+            out.append(diag(
+                "OBL-S701",
+                f"{label}: tile loop exceeds 10^6 iterations; refusing to "
+                f"certify",
+                program=name,
+            ))
+        if partition_ok:
+            expect = 0
+            for (start, ln) in sorted(tiles):
+                end = start + ln
+                if start < expect:
+                    partition_ok = False
+                    out.append(diag(
+                        "OBL-S702",
+                        f"{label}: lanes {start}..{min(expect, end) - 1} "
+                        f"are computed by two tiles — two OpenMP threads "
+                        f"may store to the same physical addresses"
+                        f"{suffix}",
+                        program=name,
+                    ))
+                    break
+                if start > expect:
+                    partition_ok = False
+                    out.append(diag(
+                        "OBL-S702",
+                        f"{label}: lanes {expect}..{start - 1} are never "
+                        f"computed — the tile decomposition has a gap"
+                        f"{suffix}",
+                        program=name,
+                    ))
+                    break
+                expect = end
+            if partition_ok and expect != config.p:
+                partition_ok = False
+                if expect < config.p:
+                    out.append(diag(
+                        "OBL-S702",
+                        f"{label}: lanes {expect}..{config.p - 1} are "
+                        f"never computed — the tile decomposition stops "
+                        f"early{suffix}",
+                        program=name,
+                    ))
+                else:
+                    out.append(diag(
+                        "OBL-S702",
+                        f"{label}: the schedule computes lanes up to "
+                        f"{expect - 1}, past the logical count {config.p}"
+                        f"{suffix}",
+                        program=name,
+                    ))
+    race_ok = (
+        partition_ok
+        and injective
+        and driver.slab_inside
+        and not driver.slab_outside
+        and (config.threads == 1 or driver.pragma_governs_loop)
+        and all(c.lane_loop_ok for c in chunks.values())
+    )
+    if race_ok:
+        certs.append(
+            f"{label}: race freedom — {len(tiles)} tile(s) partition lanes "
+            f"[0, {config.p}) disjointly, the lane map is injective, the "
+            f"register slab is tile-private, and schedule(static) ranges "
+            f"over whole tiles: distinct threads' write sets are disjoint "
+            f"and no cross-tile read-after-write exists"
+        )
+
+    # 8. Call order, then the symbolic lane replay (trace preservation
+    #    and forwarding soundness).
+    walk_ok = False
+    elided = sloads = ssaves = 0
+    if sorted(driver.calls) != sorted(chunks):
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: the driver calls chunks {driver.calls} but the "
+            f"source defines {sorted(chunks)} — chunks dropped or "
+            f"duplicated",
+            program=name,
+        ))
+    elif driver.calls != sorted(driver.calls):
+        out.append(diag(
+            "OBL-S701",
+            f"{label}: chunks called out of program order "
+            f"({driver.calls}) — the per-lane trace is reordered",
+            program=name,
+        ))
+    else:
+        try:
+            elided, sloads, ssaves = _replay_lane(
+                program, chunks, driver.calls, config, label
+            )
+            walk_ok = True
+        except _WalkFailure as failure:
+            out.append(failure.diagnostic)
+    if walk_ok:
+        certs.append(
+            f"{label}: per-lane trace preserved — the symbolic replay of "
+            f"{len(chunks)} chunk(s) reproduces all "
+            f"{program.trace_length} accesses with every store's value "
+            f"equal to the sequential reference by value number"
+        )
+        if config.forward:
+            certs.append(
+                f"{label}: forwarding sound — {elided} elided load(s), "
+                f"each proven value-equal to the addressed cell at its "
+                f"program point (dominating same-address access, no "
+                f"aliasing store between)"
+            )
+
+    # 9. Span cross-check: the parsed decomposition's stage count must
+    #    match the analytic closed form (two independent derivations).
+    span_tiled = span_seq = None
+    if w is not None and w >= 1 and partition_ok:
+        from ..machine.analytic import tiled_stage_count
+
+        derived = sum(-(-ln // w) for _, ln in tiles)
+        closed = tiled_stage_count(config.p, w, macros["TILE"])
+        span_seq = -(-config.p // w)
+        if derived != closed:
+            out.append(diag(
+                "OBL-S701",
+                f"{label}: span cross-check failed — the parsed tile "
+                f"decomposition occupies {derived} stage(s) of w={w} but "
+                f"machine.analytic prices {closed}",
+                program=name,
+            ))
+        else:
+            span_tiled = derived
+            certs.append(
+                f"{label}: span cross-check — tiled issue occupies "
+                f"{derived} stage(s) of w={w} "
+                f"(sequential optimum {span_seq}"
+                + (", tile-aligned)" if derived == span_seq else
+                   "; ragged tile tails add partial warps)")
+            )
+
+    certified = not any(d.severity is Severity.ERROR for d in out)
+    proof = ScheduleProof(
+        program=name,
+        label=label,
+        config=config,
+        tiles=tuple(tiles),
+        accesses_per_lane=program.trace_length,
+        elided_loads=elided,
+        spill_loads=sloads,
+        spill_saves=ssaves,
+        span_tiled=span_tiled,
+        span_sequential=span_seq,
+        certified=certified,
+    )
+    return out, certs, proof
+
+
+def certify_native_schedule(
+    program: Program,
+    arrangement,
+    *,
+    tile: Optional[int] = None,
+    threads: int = 1,
+    native_mode: str = "tiled",
+    chunk: Optional[int] = None,
+    pad: Optional[int] = None,
+    w: Optional[int] = None,
+) -> Tuple[List[Diagnostic], List[str], Optional[ScheduleProof]]:
+    """Emit the native bulk kernel for one configuration and certify it.
+
+    The one-call entry point behind ``repro certify-schedule``, the
+    ``--schedule`` lint family and the autotuner's refuse-uncertified
+    gate.  Unsupported dtypes/arrangements yield an ``OBL-N602`` note.
+    """
+    from ..codegen.c_emitter import emit_bulk_c
+
+    try:
+        config = schedule_config(
+            program, arrangement,
+            tile=tile, threads=threads, native_mode=native_mode,
+            chunk=chunk, pad=pad,
+        )
+        source = emit_bulk_c(
+            program,
+            config.layout,
+            p=config.p,
+            stride=config.stride,
+            chunk=config.chunk,
+            tile=config.tile,
+            pad=config.pad,
+            threads=config.threads,
+            simd=False if native_mode == "scalar" else None,
+            forward=config.forward,
+        )
+    except ProgramError as exc:
+        note = diag(
+            "OBL-N602",
+            f"schedule certification unavailable for this configuration: "
+            f"{exc}",
+            program=program.name,
+        )
+        return [note], [], None
+    return certify_bulk_schedule(program, source, config, w=w)
+
+
+def certify_schedule_family(
+    program: Program,
+    *,
+    arrangement: Union[str, object] = "column",
+    p: int,
+    w: Optional[int] = None,
+    grid: Optional[Sequence[Tuple[str, Optional[int], int]]] = None,
+) -> Tuple[List[Diagnostic], List[str]]:
+    """The lint analysis family: certify the default schedule grid.
+
+    One proof per ``(native_mode, tile, threads)`` grid point; the
+    per-point certificates are collapsed into one family certificate when
+    everything proves (verbose reports stay readable across a 55-program
+    registry sweep), while failures surface individually.
+    """
+    from ..bulk.arrangement import Arrangement, make_arrangement
+
+    if isinstance(arrangement, Arrangement):
+        arr = arrangement
+    else:
+        arr = make_arrangement(str(arrangement), program.memory_words, int(p))
+    out: List[Diagnostic] = []
+    certs: List[str] = []
+    proofs: List[ScheduleProof] = []
+    notes = 0
+    for native_mode, tile, threads in (grid or default_schedule_grid()):
+        d, c, proof = certify_native_schedule(
+            program, arr,
+            tile=tile, threads=threads, native_mode=native_mode, w=w,
+        )
+        if proof is None:
+            notes += 1
+            out.extend(d)
+            continue
+        if proof.certified:
+            proofs.append(proof)
+        else:
+            out.extend(d)
+            certs.extend(c)
+    if proofs:
+        spans = {pr.span_tiled for pr in proofs if pr.span_tiled is not None}
+        span = (
+            f"; spans {sorted(spans)} stage(s)" if spans else ""
+        )
+        certs.append(
+            f"schedule: {len(proofs)} (mode, tile, threads) "
+            f"configuration(s) certified on the "
+            f"{getattr(arr, 'name', arr)} arrangement at p={arr.p} — "
+            f"trace-preserving, race-free, forwarding-sound{span}"
+        )
+    return out, certs

@@ -197,18 +197,44 @@ def load_tuning(program: Program, arrangement) -> Optional[NativeTuning]:
     """The persisted autotuner choice, or ``None`` (never raises).
 
     The engine consults this on every native-executor construction when no
-    explicit ``tile``/``threads`` was given; a missing, stale-format, or
-    torn file simply means "no tuning" — the library defaults apply.
+    explicit ``tile``/``threads`` was given.  A *missing* file simply means
+    "no tuning" — the library defaults apply, silently.  A file that is
+    present but unusable is different: a torn/stale-format entry, a
+    ``(tile, threads)`` that no longer parses as a positive shape, or a
+    shape exceeding the operator's ``REPRO_NATIVE_TILE``/``THREADS`` env
+    caps is *rejected* with a ``stale-autotune`` incident — applying it
+    silently would override an explicit operator decision (or run a shape
+    nobody chose), and the defaults are always safe.
     """
     path = tuning_path(program, arrangement)
     try:
-        doc = json.loads(path.read_text())
+        raw = path.read_text()
+    except OSError:
+        return None  # no persisted tuning — the normal cold-cache case
+
+    def stale(reason: str) -> None:
+        from ..reliability.incidents import record_incident
+
+        record_incident(
+            "stale-autotune",
+            f"autotune:{program.name}",
+            f"{path.name}: {reason}; ignoring the persisted entry, library "
+            f"defaults apply",
+            key=f"stale-autotune:{path.stem}",
+        )
+
+    try:
+        doc = json.loads(raw)
         if (
             doc.get("format") != _TUNING_FORMAT
             or doc.get("version") != _TUNING_VERSION
         ):
+            stale(
+                f"format {doc.get('format')!r} v{doc.get('version')!r} is "
+                f"not {_TUNING_FORMAT!r} v{_TUNING_VERSION}"
+            )
             return None
-        return NativeTuning(
+        tuning = NativeTuning(
             tile=int(doc["tile"]),
             threads=int(doc["threads"]),
             seconds=float(doc["seconds"]),
@@ -216,8 +242,29 @@ def load_tuning(program: Program, arrangement) -> Optional[NativeTuning]:
             fingerprint=str(doc.get("fingerprint", path.stem)),
             host_cpus=int(doc.get("host_cpus", 0)),
         )
-    except (OSError, ValueError, KeyError, TypeError):
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        stale(f"entry does not parse ({type(exc).__name__}: {exc})")
         return None
+    if tuning.tile < 1 or tuning.threads < 1:
+        stale(
+            f"tile={tuning.tile} threads={tuning.threads} is not a "
+            f"positive shape"
+        )
+        return None
+    try:
+        from .engine import ENV_NATIVE_THREADS, ENV_NATIVE_TILE, _env_knob
+
+        for knob, value, what in (
+            (ENV_NATIVE_TILE, tuning.tile, "tile"),
+            (ENV_NATIVE_THREADS, tuning.threads, "threads"),
+        ):
+            cap = _env_knob(knob)
+            if cap is not None and value > cap:
+                stale(f"{what}={value} exceeds the operator cap {knob}={cap}")
+                return None
+    except ExecutionError:
+        pass  # malformed env var — the engine surfaces that itself
+    return tuning
 
 
 def _default_thread_candidates() -> Tuple[int, ...]:
@@ -240,15 +287,25 @@ def autotune_native(
     inputs: Optional[np.ndarray] = None,
     persist: bool = True,
     verify: bool = True,
+    certify: bool = True,
 ) -> NativeTuning:
     """Measure the tile × threads grid on real compiled kernels; persist.
 
-    Compiles one native kernel per candidate (all content-cached, so a
-    re-tune after the first is pure measurement), times the execute phase
-    ``trials`` times each on the same loaded inputs, optionally verifies
-    the winner bit-identical to the NumPy engine, and (with ``persist``)
-    writes the choice to :func:`tuning_path` — atomically, next to the
-    kernel cache it belongs with.
+    With ``certify`` (the default), every grid point first passes the
+    static schedule certifier (:mod:`repro.analysis.schedule`) through the
+    autofix prove gate — the same propose → prove → canary → promote shape
+    the fix pipeline uses, with measurement as the canary and persistence
+    as the promotion.  An uncertified shape is never measured, let alone
+    persisted: each refusal records an ``uncertified-schedule`` incident,
+    and if *no* shape certifies the whole tune raises.
+
+    Compiles one native kernel per surviving candidate (all
+    content-cached, so a re-tune after the first is pure measurement),
+    times the execute phase ``trials`` times each on the same loaded
+    inputs, optionally verifies the winner bit-identical to the NumPy
+    engine, and (with ``persist``) writes the choice to
+    :func:`tuning_path` — atomically, next to the kernel cache it belongs
+    with.
     """
     from ..codegen.compile import have_compiler
 
@@ -263,6 +320,45 @@ def autotune_native(
     )
     if not thread_candidates:
         raise ExecutionError("no candidate thread counts")
+
+    if certify:
+        from ..autofix.proposer import propose_tile_shapes
+        from ..autofix.verify import verify_tile_shape
+        from ..reliability.incidents import record_incident
+
+        certified: set = set()
+        for proposal in propose_tile_shapes(
+            program,
+            arrangement=str(arrangement),
+            p=p,
+            tiles=[int(t) for t in tiles],
+            threads=thread_candidates,
+        ):
+            verdict = verify_tile_shape(proposal)
+            if verdict.accepted:
+                certified.add((proposal.tile, proposal.threads))
+            else:
+                record_incident(
+                    "uncertified-schedule",
+                    f"autotune:{program.name}",
+                    f"refusing to measure tile={proposal.tile} "
+                    f"threads={proposal.threads}: {verdict.reason}",
+                    key=(
+                        f"uncertified-schedule:{program.name}:"
+                        f"{proposal.shape_key}"
+                    ),
+                )
+        if not certified:
+            raise ExecutionError(
+                f"no candidate tile shape passed schedule certification for "
+                f"{program.name} on {arrangement} at p={p}; refusing to "
+                f"autotune an unproven schedule (see the "
+                f"uncertified-schedule incidents)"
+            )
+    else:
+        certified = {
+            (int(t), int(n)) for t in tiles for n in thread_candidates
+        }
     if inputs is None:
         rng = np.random.default_rng(0)
         width = min(program.memory_words, max(1, program.memory_words // 2))
@@ -286,6 +382,8 @@ def autotune_native(
     scores: Dict[str, float] = {}
     for tile in tiles:
         for nthreads in thread_candidates:
+            if (int(tile), int(nthreads)) not in certified:
+                continue
             executor = BulkExecutor(
                 program, p, arrangement, backend="native",
                 tile=int(tile), threads=int(nthreads),

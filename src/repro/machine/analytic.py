@@ -52,6 +52,7 @@ __all__ = [
     "column_wise_stage_table",
     "row_wise_stage_table",
     "bulk_step_time",
+    "tiled_stage_count",
     "bulk_batch_time",
     "placement_units",
     "autoscale_thresholds",
@@ -128,6 +129,33 @@ def bulk_step_time(lanes: int, w: int, l: int) -> int:
     if lanes < 1:
         raise MachineConfigError(f"lanes must be >= 1, got {lanes}")
     return -(-lanes // w) + l - 1
+
+
+def tiled_stage_count(lanes: int, w: int, tile: int) -> int:
+    """Stages of one coalesced bulk step issued tile-by-tile.
+
+    The native backend's tile loop processes lanes in slabs of ``tile``;
+    on the modeled machine each slab issues ``⌈len/w⌉`` aligned address
+    groups, so the step occupies ``Σ_tiles ⌈len/w⌉`` stages.  This equals
+    the sequential optimum ``⌈lanes/w⌉`` exactly when ``w`` divides
+    ``tile`` (or a single tile covers all lanes) and is strictly larger
+    otherwise — every ragged tile tail issues a partial warp.  The
+    schedule certifier (:mod:`repro.analysis.schedule`) cross-checks this
+    closed form against the tile decomposition it parses out of the
+    emitted kernel: two independent derivations of the schedule's span
+    must agree, or the schedule is not the one being priced.
+    """
+    if lanes < 1:
+        raise MachineConfigError(f"lanes must be >= 1, got {lanes}")
+    if w < 1:
+        raise MachineConfigError(f"w must be >= 1, got {w}")
+    if tile < 1:
+        raise MachineConfigError(f"tile must be >= 1, got {tile}")
+    full, rem = divmod(lanes, tile)
+    stages = full * (-(-tile // w))
+    if rem:
+        stages += -(-rem // w)
+    return stages
 
 
 def effective_lane_speedup(

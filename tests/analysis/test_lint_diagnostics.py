@@ -44,10 +44,11 @@ class TestRuleCatalog:
         for rule in all_rules():
             assert rule.id.startswith("OBL-")
             assert rule.summary and rule.description
-            # E rules default to ERROR, W to WARNING, N to NOTE.
+            # E rules default to ERROR, W to WARNING, N to NOTE;
+            # S (schedule certification) rules are ERROR.
             family = rule.id[4]
             want = {"E": Severity.ERROR, "W": Severity.WARNING,
-                    "N": Severity.NOTE}[family]
+                    "N": Severity.NOTE, "S": Severity.ERROR}[family]
             assert rule.severity is want
 
     def test_get_rule_unknown(self):

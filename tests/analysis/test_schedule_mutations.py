@@ -1,0 +1,195 @@
+"""The schedule certifier's threat model, tested by corruption.
+
+Each test seeds one deliberate schedule bug into a known-good native
+emission — the bug classes the certifier exists to catch — and asserts it
+is rejected with its expected ``OBL-S70x`` rule ID:
+
+* overlapping tile bounds (a cross-thread write race)      -> ``OBL-S702``
+* a thread-count-dependent tile loop (lanes dropped)       -> ``OBL-S702``
+* a shared (hoisted) register slab                         -> ``OBL-S702``
+* the lane pad dropped from the physical stride            -> ``OBL-S703``
+* forwarding past an aliasing store                        -> ``OBL-S704``
+* an off-by-one chunk boundary (dropped / duplicated work) -> ``OBL-S701``
+* chunk calls reordered in the driver                      -> ``OBL-S701``
+* the per-tile register slab zeroing skipped               -> ``OBL-S701``
+
+Every mutation starts from a source that certifies cleanly, so a failure
+is attributable to the seeded bug alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedule import certify_bulk_schedule, schedule_config
+from repro.bulk.arrangement import make_arrangement
+from repro.codegen.c_emitter import emit_bulk_c
+from repro.trace.ir import Binary, Const, Load, Program, Store
+from repro.trace.ops import BinaryOp
+
+P = 64
+TILE = 16
+THREADS = 4
+
+
+def _program():
+    return Program(
+        name="sched-mut",
+        instructions=(
+            Load(0, 0),
+            Const(1, 5),
+            Store(0, 1),
+            Load(2, 0),                     # forwarded: r2 = r1
+            Binary(BinaryOp.ADD, 3, 2, 1),
+            Store(1, 3),
+        ),
+        num_registers=4,
+        memory_words=4,
+        dtype=np.dtype("int64"),
+    )
+
+
+def _emit(program, *, chunk=None, threads=THREADS):
+    config = schedule_config(
+        program,
+        make_arrangement("column", program.memory_words, P),
+        tile=TILE,
+        threads=threads,
+        chunk=chunk,
+    )
+    source = emit_bulk_c(
+        program,
+        config.layout,
+        p=config.p,
+        stride=config.stride,
+        chunk=config.chunk,
+        tile=config.tile,
+        pad=config.pad,
+        threads=config.threads,
+        simd=False,
+        forward=config.forward,
+    )
+    return source, config
+
+
+def _rules(program, source, config):
+    diags, _, _ = certify_bulk_schedule(program, source, config)
+    return [d.rule_id for d in diags]
+
+
+def _mutate(source, old, new, count=1):
+    assert source.count(old) >= count, f"mutation anchor {old!r} not found"
+    return source.replace(old, new, count)
+
+
+@pytest.fixture()
+def clean():
+    program = _program()
+    source, config = _emit(program)
+    assert _rules(program, source, config) == []  # the baseline certifies
+    return program, source, config
+
+
+class TestSeededScheduleBugs:
+    def test_overlapping_tile_bounds_is_a_race(self, clean):
+        program, source, config = clean
+        mutated = _mutate(source, "j0 += TILE)", "j0 += TILE - 1)")
+        rules = _rules(program, mutated, config)
+        assert "OBL-S702" in rules
+
+    def test_thread_count_dependent_trace_drops_lanes(self, clean):
+        program, source, config = clean
+        mutated = _mutate(source, "j0 < PLOGICAL;", "j0 < PLOGICAL / THREADS;")
+        diags, _, _ = certify_bulk_schedule(program, mutated, config)
+        hits = [d for d in diags if d.rule_id == "OBL-S702"]
+        assert hits, "dropped lanes must be OBL-S702"
+        assert any("THREADS" in d.message for d in hits)
+
+    def test_shared_register_slab_is_a_race(self, clean):
+        program, source, config = clean
+        # Hoist the slab out of the tile loop: one shared scratch block
+        # for all OpenMP threads.
+        mutated = _mutate(
+            source,
+            "    for (long j0 = 0; j0 < PLOGICAL; j0 += TILE) {\n"
+            "        int64_t regs[NREGS * TILE];\n",
+            "    int64_t regs[NREGS * TILE];\n"
+            "    for (long j0 = 0; j0 < PLOGICAL; j0 += TILE) {\n",
+        )
+        rules = _rules(program, mutated, config)
+        assert "OBL-S702" in rules
+
+    def test_dropped_lane_pad_diverges_the_trace(self, clean):
+        program, source, config = clean
+        assert config.pad == 8
+        mutated = _mutate(source, f"#define P {P + 8}L", f"#define P {P}L")
+        rules = _rules(program, mutated, config)
+        assert "OBL-S703" in rules
+
+    def test_forwarding_past_an_aliasing_store(self, clean):
+        program, source, config = clean
+        # Load(2, 0) is elided as `r2 = r1` (r1 was just stored to word 0).
+        # Forward from r0 instead: the *pre-store* content of word 0.
+        mutated = _mutate(source, "r2 = r1;", "r2 = r0;")
+        rules = _rules(program, mutated, config)
+        assert "OBL-S704" in rules
+
+    def test_off_by_one_chunk_boundary(self):
+        program = _program()
+        source, config = _emit(program, chunk=2)
+        assert _rules(program, source, config) == []
+        assert "chunk_1" in source
+        # Duplicate chunk_0's store into chunk_1: the instruction runs
+        # twice at the boundary (surplus emitted work).
+        store = "mem[(size_t)0 * (size_t)P + (size_t)(j0 + jj)] = r1;"
+        head, _, tail = source.partition("static void chunk_1(")
+        mutated_tail = _mutate(
+            tail,
+            "for (long jj = 0; jj < len; ++jj) {\n",
+            "for (long jj = 0; jj < len; ++jj) {\n"
+            f"        {store}\n",
+        )
+        rules = _rules(program, head + "static void chunk_1(" + mutated_tail,
+                       config)
+        assert "OBL-S701" in rules
+
+    def test_dropped_statement_at_chunk_boundary(self):
+        program = _program()
+        source, config = _emit(program, chunk=2)
+        # Delete the forwarded load's assignment from chunk_1: r2 is never
+        # produced, the ADD consumes a value the schedule dropped.
+        head, mid, tail = source.partition("static void chunk_1(")
+        mutated_tail = _mutate(tail, "        int64_t r2 = r1;\n", "")
+        rules = _rules(program, head + mid + mutated_tail, config)
+        assert "OBL-S701" in rules
+
+    def test_reordered_chunk_calls(self):
+        program = _program()
+        source, config = _emit(program, chunk=2)
+        mutated = _mutate(
+            source,
+            "        chunk_0(mem, regs, j0, len);\n"
+            "        chunk_1(mem, regs, j0, len);\n",
+            "        chunk_1(mem, regs, j0, len);\n"
+            "        chunk_0(mem, regs, j0, len);\n",
+        )
+        rules = _rules(program, mutated, config)
+        assert "OBL-S701" in rules
+
+    def test_skipped_slab_zeroing(self, clean):
+        program, source, config = clean
+        mutated = _mutate(
+            source,
+            "        for (long i = 0; i < NREGS * TILE; ++i) regs[i] = 0;\n",
+            "",
+        )
+        rules = _rules(program, mutated, config)
+        assert "OBL-S701" in rules
+
+
+class TestMutationsAreErrors:
+    def test_every_s_rule_defaults_to_error(self):
+        from repro.analysis.lint.rules import RULES
+        from repro.analysis.lint.diagnostics import Severity
+
+        for rule_id in ("OBL-S701", "OBL-S702", "OBL-S703", "OBL-S704"):
+            assert RULES[rule_id].severity is Severity.ERROR

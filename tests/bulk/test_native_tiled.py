@@ -33,6 +33,7 @@ from repro.bulk.autotune import (
 from repro.codegen.cache import cache_stats
 from repro.codegen.compile import have_compiler, have_openmp
 from repro.errors import ExecutionError
+from repro.reliability.incidents import clear_incidents, incidents
 
 needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler")
 
@@ -320,3 +321,158 @@ class TestAutotune:
         assert stats["autotune_bytes"] > 0
         assert list(stats) == sorted(stats)
         assert autotune_stats()["autotune_entries"] == 1
+
+
+@needs_cc
+class TestScheduleGate:
+    """The autotuner only measures (and persists) certified tile shapes."""
+
+    def test_uncertified_shapes_are_refused_outright(self, monkeypatch):
+        from repro.analysis.lint.rules import diag
+        import repro.analysis.schedule as schedule_mod
+
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+
+        def refuse_all(prog, arrangement, **kwargs):
+            d = diag(
+                "OBL-S702", "seeded: overlapping tile write sets",
+                program=prog.name, index=0,
+            )
+            return [d], [], None
+
+        monkeypatch.setattr(
+            schedule_mod, "certify_native_schedule", refuse_all
+        )
+        clear_incidents()
+        with pytest.raises(ExecutionError, match="schedule certification"):
+            autotune_native(
+                program, 32, tiles=(4, 16), threads=(1,), trials=1,
+                inputs=inputs,
+            )
+        refused = incidents("uncertified-schedule")
+        assert len(refused) == 2  # one per rejected grid point
+        assert any("overlapping tile write sets" in i.detail for i in refused)
+        # Nothing was measured, so nothing was persisted.
+        ex = BulkExecutor(program, 32, backend="numpy")
+        try:
+            assert load_tuning(program, ex.arrangement) is None
+        finally:
+            ex.close()
+
+    def test_partial_refusal_measures_only_certified_points(self, monkeypatch):
+        from repro.analysis.lint.rules import diag
+        import repro.analysis.schedule as schedule_mod
+
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        real = schedule_mod.certify_native_schedule
+
+        def refuse_tile_4(prog, arrangement, *, tile=None, **kwargs):
+            if tile == 4:
+                d = diag(
+                    "OBL-S701", "seeded: tile=4 unproven",
+                    program=prog.name, index=0,
+                )
+                return [d], [], None
+            return real(prog, arrangement, tile=tile, **kwargs)
+
+        monkeypatch.setattr(
+            schedule_mod, "certify_native_schedule", refuse_tile_4
+        )
+        clear_incidents()
+        tuning = autotune_native(
+            program, 32, tiles=(4, 16), threads=(1,), trials=1,
+            inputs=inputs,
+        )
+        assert tuning.tile == 16  # the refused point never competed
+        assert len(tuning.scores) == 1
+        assert len(incidents("uncertified-schedule")) == 1
+
+    def test_certify_false_restores_the_ungated_grid(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        clear_incidents()
+        tuning = autotune_native(
+            program, 32, tiles=(4, 16), threads=(1,), trials=1,
+            inputs=inputs, certify=False,
+        )
+        assert len(tuning.scores) == 2
+        assert incidents("uncertified-schedule") == []
+
+
+@needs_cc
+class TestStaleTuning:
+    """Persisted entries are re-validated on load, not trusted."""
+
+    def _persist(self, program, inputs):
+        autotune_native(
+            program, 32, tiles=(4,), threads=(1,), trials=1, inputs=inputs
+        )
+        ex = BulkExecutor(program, 32, backend="numpy")
+        path = tuning_path(program, ex.arrangement)
+        arrangement = ex.arrangement
+        ex.close()
+        return path, arrangement
+
+    def test_missing_file_is_silent(self):
+        spec = get_spec("prefix-sums")
+        program, _ = _spec_case(spec, 32)
+        ex = BulkExecutor(program, 32, backend="numpy")
+        try:
+            clear_incidents()
+            assert load_tuning(program, ex.arrangement) is None
+            assert incidents("stale-autotune") == []
+        finally:
+            ex.close()
+
+    def test_torn_file_records_a_stale_incident(self):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        path, arrangement = self._persist(program, inputs)
+        path.write_text("{ torn json")
+        clear_incidents()
+        assert load_tuning(program, arrangement) is None
+        stale = incidents("stale-autotune")
+        assert len(stale) == 1
+        assert "does not parse" in stale[0].detail
+
+    def test_nonpositive_shape_is_stale(self):
+        import json as _json
+
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        path, arrangement = self._persist(program, inputs)
+        doc = _json.loads(path.read_text())
+        doc["tile"] = 0
+        path.write_text(_json.dumps(doc))
+        clear_incidents()
+        assert load_tuning(program, arrangement) is None
+        stale = incidents("stale-autotune")
+        assert len(stale) == 1
+        assert "not a positive shape" in stale[0].detail
+
+    def test_env_cap_exceeded_is_stale(self, monkeypatch):
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        path, arrangement = self._persist(program, inputs)
+        assert load_tuning(program, arrangement) is not None
+        monkeypatch.setenv("REPRO_NATIVE_TILE", "2")  # below persisted tile=4
+        clear_incidents()
+        assert load_tuning(program, arrangement) is None
+        stale = incidents("stale-autotune")
+        assert len(stale) == 1
+        assert "REPRO_NATIVE_TILE" in stale[0].detail
+
+    def test_format_mismatch_is_stale(self):
+        import json as _json
+
+        spec = get_spec("prefix-sums")
+        program, inputs = _spec_case(spec, 32)
+        path, arrangement = self._persist(program, inputs)
+        doc = _json.loads(path.read_text())
+        doc["version"] = 999
+        path.write_text(_json.dumps(doc))
+        clear_incidents()
+        assert load_tuning(program, arrangement) is None
+        assert len(incidents("stale-autotune")) == 1
